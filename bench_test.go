@@ -1,0 +1,275 @@
+package mnn_test
+
+// One testing.B benchmark family per table and figure of the paper's
+// evaluation (DESIGN.md's per-experiment index). `go test -bench=.` gives
+// host numbers for the measured experiments and drives the Equation 5
+// simulator for the device-labelled ones; `cmd/mnnbench` prints the same
+// data as paper-shaped tables.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"mnn"
+	"mnn/internal/bench"
+	"mnn/internal/device"
+	"mnn/internal/engines"
+	"mnn/internal/matmul"
+	"mnn/internal/models"
+	"mnn/internal/tensor"
+)
+
+// --- Table 1: computation scheme selection ------------------------------
+
+func BenchmarkTable1(b *testing.B) {
+	for _, c := range bench.Table1Cases {
+		for _, scheme := range []string{"sliding", "wino2", "wino6", "ours"} {
+			name := fmt.Sprintf("conv%dx%d_ic%d_oc%d_%d/%s", c.K, c.K, c.IC, c.OC, c.Size, scheme)
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := bench.Table1Measure(c, scheme, 1, 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- Table 2: preparation–execution decoupling --------------------------
+
+func BenchmarkTable2Decoupled(b *testing.B) {
+	g := models.MobileNetV1()
+	sess, err := mnn.NewInterpreter(g).CreateSession(mnn.Config{Threads: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fillInput(b, sess, "data")
+	if err := sess.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2NoPreparation(b *testing.B) {
+	g := models.MobileNetV1()
+	sess, err := mnn.NewInterpreter(g).CreateSession(mnn.Config{Threads: 4, NoPreparation: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fillInput(b, sess, "data")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 3: Strassen matmul -------------------------------------------
+
+func BenchmarkTable3(b *testing.B) {
+	for _, c := range bench.Table3Cases {
+		a := tensor.NewRandom(1, 1, c.M, c.K).Data()
+		bm := tensor.NewRandom(2, 1, c.K, c.N).Data()
+		dst := make([]float32, c.M*c.N)
+		b.Run(fmt.Sprintf("direct_%dx%dx%d", c.M, c.K, c.N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				matmul.Mul(dst, a, bm, c.M, c.K, c.N)
+			}
+		})
+		b.Run(fmt.Sprintf("strassen_%dx%dx%d", c.M, c.K, c.N), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				matmul.MulStrassen(dst, a, bm, c.M, c.K, c.N)
+			}
+		})
+	}
+}
+
+// --- Table 4: backend operator coverage (report-style, priced as census) --
+
+func BenchmarkTable4Census(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Table4(bench.Options{Quick: true, Out: io.Discard}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 5: TVM deployment cost vs MNN pre-inference -------------------
+
+func BenchmarkTable5PreInference(b *testing.B) {
+	g := models.ResNet18()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mnn.NewInterpreter(g).CreateSession(mnn.Config{Threads: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 6: production fleet ------------------------------------------
+
+func BenchmarkTable6FleetSim(b *testing.B) {
+	g := models.CommoditySearchDetector()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, row := range bench.Table6Devices {
+			if _, err := engines.Simulate(engines.MNN, g, row.Dev, engines.Mode{Threads: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Table 7: MLPerf single-stream ---------------------------------------
+
+func BenchmarkTable7SingleStream(b *testing.B) {
+	g := models.MobileNetV2()
+	sess, err := mnn.NewInterpreter(g).CreateSession(mnn.Config{Threads: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fillInput(b, sess, "data")
+	if err := sess.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 8: Pixel CPU comparison ---------------------------------------
+
+func BenchmarkTable8(b *testing.B) {
+	g := models.InceptionV3()
+	for _, dev := range []*device.Profile{device.Pixel2, device.Pixel3} {
+		for _, threads := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s_t%d", dev.Name, threads), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := engines.Simulate(engines.MNN, g, dev, engines.Mode{Threads: threads}); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := engines.Simulate(engines.TFLite, g, dev, engines.Mode{Threads: threads}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- Figures 7–9: engine comparison grids --------------------------------
+
+func BenchmarkFigure7Grid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figure7Grid(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	g := models.InceptionV3()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, bar := range bench.Figure8Bars {
+			if _, err := engines.Simulate(bar.Engine, g, device.P20, bar.Mode); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, row := range bench.Figure9Nets {
+			g, err := models.ByName(row.Name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := engines.Simulate(engines.MNN, g, device.P20Pro, engines.Mode{Threads: 4}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := engines.Simulate(engines.TVM, g, device.P20Pro, engines.Mode{Threads: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Ablations ------------------------------------------------------------
+
+func BenchmarkAblationStrassenCutoff(b *testing.B) {
+	const size = 384
+	a := tensor.NewRandom(1, 1, size, size).Data()
+	bm := tensor.NewRandom(2, 1, size, size).Data()
+	dst := make([]float32, size*size)
+	saved := matmul.MinSplitDim
+	defer func() { matmul.MinSplitDim = saved }()
+	for _, floor := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("floor%d", floor), func(b *testing.B) {
+			matmul.MinSplitDim = floor
+			for i := 0; i < b.N; i++ {
+				matmul.MulStrassen(dst, a, bm, size, size, size)
+			}
+		})
+	}
+}
+
+func BenchmarkAblationMemoryPlan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.AblationMemory(bench.Options{Quick: true, Out: io.Discard}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- End-to-end network inference on the host ----------------------------
+
+func BenchmarkInference(b *testing.B) {
+	for _, name := range []string{"mobilenet-v1", "squeezenet-v1.1", "resnet-18"} {
+		for _, threads := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/t%d", name, threads), func(b *testing.B) {
+				g, err := models.ByName(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := mnn.Optimize(g); err != nil {
+					b.Fatal(err)
+				}
+				sess, err := mnn.NewInterpreter(g).CreateSession(mnn.Config{Threads: threads})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fillInput(b, sess, "data")
+				if err := sess.Run(); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := sess.Run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func fillInput(b *testing.B, sess *mnn.Session, name string) {
+	b.Helper()
+	in := sess.Input(name)
+	tmp := tensor.New(in.Shape()...)
+	tensor.FillRandom(tmp, 1, 1)
+	in.CopyFrom(tmp)
+}

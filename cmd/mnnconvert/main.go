@@ -1,0 +1,111 @@
+// Command mnnconvert is the offline converter of Figure 2: it reads a model
+// (the pseudo-ONNX JSON frontend or a built-in zoo network), runs the graph
+// optimizer (operator fusion/replacement, Dropout elimination), optionally
+// quantizes weights to int8, and writes the engine's binary format.
+//
+//	mnnconvert -net mobilenet-v1 -o mobilenet.mnng
+//	mnnconvert -json model.json -quantize -o model.mnng
+//	mnnconvert -in model.mnng -export-json model.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mnn"
+	"mnn/internal/converter"
+)
+
+func main() {
+	net := flag.String("net", "", "built-in network to convert (see -list-nets)")
+	jsonIn := flag.String("json", "", "read the JSON frontend format from this file")
+	binIn := flag.String("in", "", "read an existing binary model from this file")
+	out := flag.String("o", "", "output path for the binary model")
+	exportJSON := flag.String("export-json", "", "write the graph back out as frontend JSON")
+	optimize := flag.Bool("optimize", true, "run the offline graph optimizer")
+	quantize := flag.Bool("quantize", false, "int8-quantize conv/FC weights")
+	prune := flag.Float64("prune", 0, "magnitude-prune conv/FC weights to this sparsity (0–1)")
+	listNets := flag.Bool("list-nets", false, "list built-in networks and exit")
+	flag.Parse()
+
+	if *listNets {
+		for _, n := range mnn.Networks() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var g *mnn.Graph
+	var err error
+	switch {
+	case *net != "":
+		g, err = mnn.BuildNetwork(*net)
+	case *jsonIn != "":
+		var f *os.File
+		if f, err = os.Open(*jsonIn); err == nil {
+			g, err = mnn.ParseJSONModel(f)
+			f.Close()
+		}
+	case *binIn != "":
+		var ip *mnn.Interpreter
+		if ip, err = mnn.LoadModelFile(*binIn); err == nil {
+			g = ip.Graph()
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "mnnconvert: one of -net, -json or -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	if *optimize {
+		before := len(g.Nodes)
+		if err := mnn.Optimize(g); err != nil {
+			fail(err)
+		}
+		fmt.Printf("optimizer: %d → %d nodes\n", before, len(g.Nodes))
+	}
+	if *prune > 0 {
+		// Prune before quantizing so magnitudes are still float32.
+		sp := mnn.PruneWeights(g, *prune)
+		fmt.Printf("pruner: %.1f%% of conv/FC weights zeroed\n", sp*100)
+	}
+	if *quantize {
+		count, saved := mnn.QuantizeWeights(g)
+		fmt.Printf("quantizer: %d tensors → int8, %.1f MB saved\n", count, float64(saved)/(1<<20))
+	}
+
+	if *exportJSON != "" {
+		f, err := os.Create(*exportJSON)
+		if err != nil {
+			fail(err)
+		}
+		if err := converter.ExportJSON(g, f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *exportJSON)
+	}
+	if *out != "" {
+		if err := mnn.SaveModelFile(g, *out); err != nil {
+			fail(err)
+		}
+		info, _ := os.Stat(*out)
+		fmt.Printf("wrote %s (%.1f MB, %d nodes, %d weights)\n",
+			*out, float64(info.Size())/(1<<20), len(g.Nodes), len(g.Weights))
+	}
+	if *out == "" && *exportJSON == "" {
+		fmt.Fprintln(os.Stderr, "mnnconvert: nothing to write (use -o or -export-json)")
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mnnconvert:", err)
+	os.Exit(1)
+}

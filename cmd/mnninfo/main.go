@@ -1,0 +1,158 @@
+// Command mnninfo inspects a model: per-layer shapes, multiplication
+// counts, the Equation 2–3 scheme each convolution would get, the planned
+// memory footprint, and the operator census — the kind of "more tools for
+// user convenience" the paper's Section 5 plans.
+//
+//	mnninfo -net inception-v3
+//	mnninfo -in model.mnng -layers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mnn"
+	"mnn/internal/core"
+	"mnn/internal/graph"
+	"mnn/internal/memory"
+	"mnn/internal/tensor"
+)
+
+func main() {
+	binIn := flag.String("in", "", "binary model path")
+	net := flag.String("net", "", "built-in network name instead of -in")
+	layers := flag.Bool("layers", false, "print the per-layer table")
+	flag.Parse()
+
+	var g *mnn.Graph
+	var err error
+	switch {
+	case *net != "":
+		g, err = mnn.BuildNetwork(*net)
+	case *binIn != "":
+		var ip *mnn.Interpreter
+		if ip, err = mnn.LoadModelFile(*binIn); err == nil {
+			g = ip.Graph()
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "mnninfo: -in or -net is required")
+		os.Exit(2)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	shapes, err := graph.InferShapes(g, nil)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("model: %s\n", g.Name)
+	fmt.Printf("inputs: %v  outputs: %v\n", g.InputNames, g.OutputNames)
+
+	// Census.
+	fmt.Println("\noperator census:")
+	for _, c := range g.OpCensus() {
+		fmt.Printf("  %-14s %4d\n", c.Op, c.Count)
+	}
+
+	// Weights.
+	var weightFloats, weightBytes int64
+	for _, w := range g.Weights {
+		weightFloats += int64(w.NumElements())
+		switch w.DType() {
+		case tensor.Int8:
+			weightBytes += int64(w.NumElements())
+		default:
+			weightBytes += int64(w.NumElements()) * 4
+		}
+	}
+	fmt.Printf("\nweights: %d tensors, %.2fM parameters, %.1f MB\n",
+		len(g.Weights), float64(weightFloats)/1e6, float64(weightBytes)/(1<<20))
+
+	// Compute.
+	var totalMULs, convMULs int64
+	schemes := map[string]int{}
+	for _, n := range g.Nodes {
+		muls := graph.MULCount(n, shapes)
+		totalMULs += muls
+		if n.Op == graph.OpConv2D {
+			convMULs += muls
+			dec := core.SelectConvScheme(n.Attrs.(*graph.Conv2DAttrs), shapes[n.Inputs[0]])
+			schemes[dec.Scheme.String()]++
+		}
+	}
+	fmt.Printf("compute: %.1f GMACs total, %.1f GMACs in convolutions\n",
+		float64(totalMULs)/1e9, float64(convMULs)/1e9)
+	fmt.Printf("pre-inference scheme mix: %v\n", schemes)
+
+	// Activation memory plan (single-backend NC4HW4, as the CPU session
+	// would lay it out).
+	producerStep := map[string]int{}
+	lastUse := map[string]int{}
+	for i, n := range g.Nodes {
+		for _, o := range n.Outputs {
+			producerStep[o] = i
+			lastUse[o] = i
+		}
+		for _, in := range n.Inputs {
+			lastUse[in] = i
+		}
+	}
+	for _, o := range g.OutputNames {
+		lastUse[o] = len(g.Nodes) - 1
+	}
+	var items []memory.Item
+	for name, def := range producerStep {
+		s := shapes[name]
+		shape4 := s
+		if len(s) != 4 {
+			shape4 = []int{1, 1, 1, tensor.NumElements(s)}
+		}
+		items = append(items, memory.Item{
+			Name: name, Size: tensor.PhysicalLen(tensor.NC4HW4, shape4),
+			DefStep: def, LastStep: lastUse[name],
+		})
+	}
+	plan, err := memory.PlanItems(items)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("activation arena: %.1f MB planned (%.1f MB without lifetime reuse, %.0f%% saved)\n",
+		float64(plan.ArenaSize)*4/(1<<20), float64(plan.NoReuseSize)*4/(1<<20),
+		(1-float64(plan.ArenaSize)/float64(plan.NoReuseSize))*100)
+
+	if *layers {
+		fmt.Println("\nper-layer table:")
+		fmt.Printf("%-28s %-13s %-18s %12s %-12s\n", "name", "op", "output", "MACs", "scheme")
+		for _, n := range g.Nodes {
+			out := ""
+			if len(n.Outputs) > 0 {
+				out = fmt.Sprint(shapes[n.Outputs[0]])
+			}
+			scheme := ""
+			if n.Op == graph.OpConv2D {
+				dec := core.SelectConvScheme(n.Attrs.(*graph.Conv2DAttrs), shapes[n.Inputs[0]])
+				scheme = dec.Scheme.String()
+				if dec.Scheme.String() == "winograd" {
+					scheme = fmt.Sprintf("winograd %dx%d", dec.TileH, dec.TileW)
+				}
+			}
+			fmt.Printf("%-28s %-13s %-18s %12d %-12s\n",
+				trunc(n.Name, 28), n.Op, out, graph.MULCount(n, shapes), scheme)
+		}
+	}
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mnninfo:", err)
+	os.Exit(1)
+}

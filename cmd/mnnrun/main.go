@@ -1,0 +1,151 @@
+// Command mnnrun loads a model and runs inference, reporting latency,
+// pre-inference decisions and (optionally) the Equation 5 simulated time on
+// a named device profile. With -check it also validates the engine output
+// against the naive reference interpreter.
+//
+//	mnnrun -in model.mnng -threads 4 -runs 10
+//	mnnrun -net mobilenet-v1 -device MI6 -forward auto -simulate
+//	mnnrun -net resnet-18 -check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mnn"
+	"mnn/internal/tensor"
+)
+
+func main() {
+	binIn := flag.String("in", "", "binary model path")
+	net := flag.String("net", "", "built-in network name instead of -in")
+	threads := flag.Int("threads", 4, "CPU threads")
+	runs := flag.Int("runs", 10, "timed runs (after one warm-up, as in the paper)")
+	deviceName := flag.String("device", "", "simulated device profile (see -list-devices)")
+	forward := flag.String("forward", "cpu", "backend: auto, cpu, metal, opencl, opengl, vulkan")
+	simulate := flag.Bool("simulate", false, "report Equation 5 simulated time")
+	check := flag.Bool("check", false, "compare output against the reference interpreter")
+	profile := flag.Bool("profile", false, "print a per-operator timing breakdown")
+	listDevices := flag.Bool("list-devices", false, "list device profiles and exit")
+	flag.Parse()
+
+	if *listDevices {
+		for _, d := range mnn.Devices() {
+			fmt.Println(d)
+		}
+		return
+	}
+
+	var g *mnn.Graph
+	var err error
+	switch {
+	case *net != "":
+		g, err = mnn.BuildNetwork(*net)
+	case *binIn != "":
+		var ip *mnn.Interpreter
+		if ip, err = mnn.LoadModelFile(*binIn); err == nil {
+			g = ip.Graph()
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "mnnrun: -in or -net is required")
+		os.Exit(2)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	ft := map[string]mnn.ForwardType{
+		"auto": mnn.ForwardAuto, "cpu": mnn.ForwardCPU, "metal": mnn.ForwardMetal,
+		"opencl": mnn.ForwardOpenCL, "opengl": mnn.ForwardOpenGL, "vulkan": mnn.ForwardVulkan,
+	}[strings.ToLower(*forward)]
+
+	interp := mnn.NewInterpreter(g)
+	t0 := time.Now()
+	sess, err := interp.CreateSession(mnn.Config{
+		Type: ft, Threads: *threads, DeviceName: *deviceName, Simulate: *simulate,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("pre-inference: %.1f ms\n", float64(time.Since(t0).Microseconds())/1000)
+
+	st := sess.Stats()
+	fmt.Printf("schemes: %v\n", st.SchemeCounts)
+	backends := map[string]int{}
+	for _, b := range st.Assignment {
+		backends[b]++
+	}
+	fmt.Printf("backend assignment: %v (cross-backend copies: %d)\n", backends, st.CrossBackendCopies)
+	for name, floats := range st.ArenaFloats {
+		fmt.Printf("arena[%s]: %.1f MB\n", name, float64(floats)*4/(1<<20))
+	}
+
+	// Fill inputs deterministically.
+	inputs := map[string]*mnn.Tensor{}
+	for _, name := range g.InputNames {
+		in := sess.Input(name)
+		tmp := tensor.New(in.Shape()...)
+		tensor.FillRandom(tmp, 1, 1)
+		in.CopyFrom(tmp)
+		inputs[name] = tmp
+	}
+
+	// Warm-up + timed runs (paper Section 4.1's protocol).
+	if _, err := sess.RunTimed(); err != nil {
+		fail(err)
+	}
+	if *simulate {
+		sess.ResetSimulatedClock()
+	}
+	var total time.Duration
+	for i := 0; i < *runs; i++ {
+		d, err := sess.RunTimed()
+		if err != nil {
+			fail(err)
+		}
+		total += d
+	}
+	fmt.Printf("host latency: %.2f ms (avg of %d runs)\n",
+		float64(total.Microseconds())/1000/float64(*runs), *runs)
+	if *simulate {
+		fmt.Printf("simulated latency on %s: %.2f ms/run\n",
+			*deviceName, sess.SimulatedMs()/float64(*runs))
+	}
+
+	if *check {
+		ref, err := mnn.RunReference(g, inputs)
+		if err != nil {
+			fail(err)
+		}
+		worst := 0.0
+		for _, name := range sess.OutputNames() {
+			if d := tensor.MaxAbsDiff(ref[name], sess.Output(name)); d > worst {
+				worst = d
+			}
+		}
+		fmt.Printf("reference check: max |Δ| = %g\n", worst)
+		if worst > 5e-3 {
+			fail(fmt.Errorf("output mismatch vs reference: %g", worst))
+		}
+	}
+	if *profile {
+		p, err := sess.RunProfiled()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println()
+		p.Dump(os.Stdout, 10)
+	}
+	for _, name := range sess.OutputNames() {
+		out := sess.Output(name)
+		fmt.Printf("output %q: %v\n", name, out)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mnnrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a network, run the offline optimizer, create a session
+// (which performs MNN's pre-inference), and classify one input — the
+// shortest end-to-end path through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"mnn"
+	"mnn/internal/tensor"
+)
+
+func main() {
+	// 1. A model. Normally this comes from mnn.LoadModelFile("model.mnng")
+	//    after converting with cmd/mnnconvert; the built-in zoo keeps this
+	//    example self-contained.
+	graph, err := mnn.BuildNetwork("squeezenet-v1.1")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Offline optimization: fuse Conv+BN+ReLU, drop Dropout, replace
+	//    BatchNorm with folded Scale (Figure 2 of the paper).
+	before := len(graph.Nodes)
+	if err := mnn.Optimize(graph); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimizer: %d → %d nodes\n", before, len(graph.Nodes))
+
+	// 3. Create a session. This runs pre-inference: shape inference, cost-
+	//    based scheme selection per convolution (Eq. 2–3), memory planning
+	//    (Figure 3) and weight pre-transforms.
+	sess, err := mnn.NewInterpreter(graph).CreateSession(mnn.Config{Threads: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := sess.Stats()
+	fmt.Printf("schemes chosen: %v\n", stats.SchemeCounts)
+	fmt.Printf("activation arena: %.1f MB (planned once, reused every run)\n",
+		float64(stats.ArenaFloats["CPU"])*4/(1<<20))
+
+	// 4. Fill the input. A real application would decode an image into
+	//    1×3×224×224 RGB; synthetic data keeps the example offline.
+	input := sess.Input("data")
+	img := tensor.New(input.Shape()...)
+	tensor.FillRandom(img, 2024, 1)
+	input.CopyFrom(img)
+
+	// 5. Run and read the classification.
+	elapsed, err := sess.RunTimed()
+	if err != nil {
+		log.Fatal(err)
+	}
+	probs := sess.Output("prob").Data()
+	type pair struct {
+		class int
+		p     float32
+	}
+	top := make([]pair, len(probs))
+	for i, p := range probs {
+		top[i] = pair{i, p}
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].p > top[j].p })
+	fmt.Printf("inference: %.1f ms\n", float64(elapsed.Microseconds())/1000)
+	fmt.Println("top-5 classes (synthetic weights, so arbitrary but deterministic):")
+	for _, t := range top[:5] {
+		fmt.Printf("  class %4d  p=%.4f\n", t.class, t.p)
+	}
+}

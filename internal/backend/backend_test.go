@@ -1,0 +1,130 @@
+package backend
+
+import (
+	"testing"
+)
+
+func TestBufferTrackerLifecycle(t *testing.T) {
+	bt := NewBufferTracker()
+	bt.OnAcquireBuffer("a", 100, 0, StorageDynamic)
+	bt.OnAcquireBuffer("b", 200, 1, StorageDynamic)
+	bt.OnReleaseBuffer("a", 1)
+	bt.OnReleaseBuffer("b", 2)
+	bt.OnAcquireBuffer("c", 100, 2, StorageDynamic)
+	bt.OnReleaseBuffer("c", 3)
+	if err := bt.OnAllocate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(bt.Buffer("a")) != 100 || len(bt.Buffer("b")) != 200 || len(bt.Buffer("c")) != 100 {
+		t.Fatal("buffer lengths wrong")
+	}
+	if bt.ArenaSize() <= 0 {
+		t.Fatal("arena empty")
+	}
+	// c is defined after a is freed and should reuse its space: arena must
+	// be smaller than the naive 400+ floats.
+	if bt.ArenaSize() > 320+2*16 {
+		t.Errorf("arena %d did not reuse freed chunks", bt.ArenaSize())
+	}
+}
+
+func TestBufferTrackerStatics(t *testing.T) {
+	bt := NewBufferTracker()
+	bt.OnAcquireBuffer("w", 64, 0, StorageStatic)
+	// Statics are available before OnAllocate and never planned.
+	if len(bt.Buffer("w")) != 64 {
+		t.Fatal("static buffer missing")
+	}
+	bt.OnReleaseBuffer("w", 5) // must be a no-op, not a panic
+	if err := bt.OnAllocate(); err != nil {
+		t.Fatal(err)
+	}
+	if bt.ArenaSize() != 0 {
+		t.Fatalf("statics must not consume arena: %d", bt.ArenaSize())
+	}
+}
+
+func TestBufferTrackerOpenBuffersExtended(t *testing.T) {
+	bt := NewBufferTracker()
+	bt.OnAcquireBuffer("never-released", 10, 0, StorageDynamic)
+	bt.OnAcquireBuffer("later", 10, 5, StorageDynamic)
+	bt.OnReleaseBuffer("later", 6)
+	if err := bt.OnAllocate(); err != nil {
+		t.Fatal(err)
+	}
+	// The open buffer must live to the final step, i.e. not share space
+	// with "later".
+	a := bt.Buffer("never-released")
+	b := bt.Buffer("later")
+	a[0] = 1
+	b[0] = 2
+	if a[0] != 1 {
+		t.Fatal("open buffer was recycled")
+	}
+}
+
+func TestBufferTrackerDoubleAcquirePanics(t *testing.T) {
+	bt := NewBufferTracker()
+	bt.OnAcquireBuffer("x", 1, 0, StorageDynamic)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bt.OnAcquireBuffer("x", 1, 1, StorageDynamic)
+}
+
+func TestBufferTrackerUnknownReleasePanics(t *testing.T) {
+	bt := NewBufferTracker()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bt.OnReleaseBuffer("ghost", 0)
+}
+
+func TestBufferTrackerClear(t *testing.T) {
+	bt := NewBufferTracker()
+	bt.OnAcquireBuffer("a", 10, 0, StorageDynamic)
+	bt.OnReleaseBuffer("a", 1)
+	if err := bt.OnAllocate(); err != nil {
+		t.Fatal(err)
+	}
+	bt.OnClearBuffer()
+	if bt.ArenaSize() != 0 {
+		t.Fatal("clear failed")
+	}
+	// Reusable after clear.
+	bt.OnAcquireBuffer("a", 10, 0, StorageDynamic)
+	bt.OnReleaseBuffer("a", 1)
+	if err := bt.OnAllocate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(bt.Buffer("a")) != 10 {
+		t.Fatal("tracker not reusable after clear")
+	}
+}
+
+func TestBufferPanicsBeforeAllocate(t *testing.T) {
+	bt := NewBufferTracker()
+	bt.OnAcquireBuffer("a", 10, 0, StorageDynamic)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bt.Buffer("a")
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindCPU: "CPU", KindMetal: "Metal", KindOpenCL: "OpenCL",
+		KindOpenGL: "OpenGL", KindVulkan: "Vulkan",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%v", k)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"mnn/internal/core"
+	"mnn/internal/graph"
+	"mnn/internal/kernels"
+	"mnn/internal/matmul"
+	"mnn/internal/memory"
+	"mnn/internal/models"
+	"mnn/internal/tensor"
+)
+
+// AblationStrassen sweeps the Strassen recursion floor (the calibrated
+// extension of Equation 9) to justify the default in matmul.MinSplitDim.
+func AblationStrassen(opt Options) error {
+	size := 512
+	reps := 3
+	if opt.Quick {
+		size = 256
+		reps = 1
+	}
+	a := tensor.NewRandom(1, 1, size, size).Data()
+	b := tensor.NewRandom(2, 1, size, size).Data()
+	dst := make([]float32, size*size)
+	matmul.Mul(dst, a, b, size, size, size)
+	direct := medianOf(reps, func() { matmul.Mul(dst, a, b, size, size, size) })
+	opt.printf("Ablation — Strassen recursion floor at %d³ (host; direct = %.1f ms)\n", size, ms(direct))
+	opt.printf("%-10s %10s %8s\n", "floor", "ms", "vs direct")
+	saved := matmul.MinSplitDim
+	defer func() { matmul.MinSplitDim = saved }()
+	for _, floor := range []int{32, 64, 128, 256, 1 << 20} {
+		matmul.MinSplitDim = floor
+		matmul.MulStrassen(dst, a, b, size, size, size)
+		d := medianOf(reps, func() { matmul.MulStrassen(dst, a, b, size, size, size) })
+		label := "off"
+		if floor < 1<<20 {
+			label = itoa(floor)
+		}
+		opt.printf("%-10s %10.1f %7.2fx\n", label, ms(d), float64(d)/float64(direct))
+	}
+	opt.printf("expected: the default floor (128) is at or near the minimum.\n\n")
+	return nil
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// AblationLayout compares the NC4HW4 packed sliding-window kernel against
+// the same convolution through NCHW im2col — the data-layout choice of
+// Section 3.3.1.
+func AblationLayout(opt Options) error {
+	reps := 3
+	size := 56
+	if opt.Quick {
+		reps = 1
+		size = 28
+	}
+	a := &graph.Conv2DAttrs{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1,
+		PadH: 1, PadW: 1, Group: 1, InputCount: 64, OutputCount: 64}
+	src := tensor.NewRandom(3, 1, 1, 64, size, size)
+	weight := tensor.NewRandom(4, 0.2, 64, 64, 3, 3)
+	bias := tensor.NewRandom(5, 0.1, 64)
+
+	src4 := src.ToLayout(tensor.NC4HW4)
+	dst4 := tensor.NewWithLayout(tensor.NC4HW4, 1, 64, size, size)
+	sc := kernels.PrepareSliding(weight, bias, a)
+	sc.Run(dst4, src4, 1)
+	packed := medianOf(reps, func() { sc.Run(dst4, src4, 1) })
+
+	im := kernels.PrepareIm2col(weight, bias, a)
+	dst := tensor.New(1, 64, size, size)
+	ws := make([]float32, im.WorkspaceSize(size, size))
+	im.Run(dst, src, 1, ws)
+	unpacked := medianOf(reps, func() { im.Run(dst, src, 1, ws) })
+
+	opt.printf("Ablation — NC4HW4 packed sliding vs NCHW im2col (64ch 3×3 @ %d×%d, host)\n", size, size)
+	opt.printf("NC4HW4 sliding: %8.2f ms\n", ms(packed))
+	opt.printf("NCHW im2col:    %8.2f ms\n", ms(unpacked))
+	if d := tensor.MaxAbsDiff(dst4, dst); d > 1e-2 {
+		opt.printf("WARNING: results differ by %g\n", d)
+	}
+	opt.printf("\n")
+	return nil
+}
+
+// AblationMemory quantifies the Figure 3 memory-reuse plan against naive
+// per-tensor allocation across the network zoo.
+func AblationMemory(opt Options) error {
+	opt.printf("Ablation — pre-inference memory plan vs naive allocation (activation arenas)\n")
+	opt.printf("%-18s %14s %14s %8s\n", "network", "planned (MB)", "naive (MB)", "saving")
+	nets := models.Names()
+	if opt.Quick {
+		nets = nets[:2]
+	}
+	for _, name := range nets {
+		g, err := models.ByName(name)
+		if err != nil {
+			return err
+		}
+		shapes, err := graph.InferShapes(g, nil)
+		if err != nil {
+			return err
+		}
+		var items []memory.Item
+		// Lifetime analysis identical to the session's single-backend path.
+		producerStep := map[string]int{}
+		lastUse := map[string]int{}
+		for i, n := range g.Nodes {
+			for _, o := range n.Outputs {
+				producerStep[o] = i
+				lastUse[o] = i
+			}
+			for _, in := range n.Inputs {
+				lastUse[in] = i
+			}
+		}
+		for _, o := range g.OutputNames {
+			lastUse[o] = len(g.Nodes) - 1
+		}
+		for name, def := range producerStep {
+			size := tensor.PhysicalLen(tensor.NC4HW4, pad4(shapes[name]))
+			items = append(items, memory.Item{Name: name, Size: size, DefStep: def, LastStep: lastUse[name]})
+		}
+		plan, err := memory.PlanItems(items)
+		if err != nil {
+			return err
+		}
+		mb := func(floats int) float64 { return float64(floats) * 4 / (1 << 20) }
+		saving := (1 - float64(plan.ArenaSize)/float64(plan.NoReuseSize)) * 100
+		opt.printf("%-18s %14.1f %14.1f %7.1f%%\n", name, mb(plan.ArenaSize), mb(plan.NoReuseSize), saving)
+	}
+	opt.printf("expected: reuse cuts activation memory by well over half on deep nets.\n\n")
+	return nil
+}
+
+// pad4 maps non-rank-4 shapes to a rank-4 form for sizing.
+func pad4(s []int) []int {
+	if len(s) == 4 {
+		return s
+	}
+	out := []int{1, 1, 1, 1}
+	copy(out[4-len(s):], s)
+	return out
+}
+
+// AblationTile measures real host latency of every Winograd tile size on
+// the Table 1 cases, validating that the Equation 2 argmin picks a
+// near-optimal tile.
+func AblationTile(opt Options) error {
+	reps := 3
+	if opt.Quick {
+		reps = 1
+	}
+	opt.printf("Ablation — Winograd tile size vs Equation 2's choice (host ms)\n")
+	opt.printf("%-22s %8s %8s %8s %10s\n", "conv", "n=2", "n=4", "n=6", "Eq.2 pick")
+	for _, c := range Table1Cases[1:] { // winograd-eligible cases
+		a := &graph.Conv2DAttrs{KernelH: c.K, KernelW: c.K, StrideH: 1, StrideW: 1,
+			Group: 1, InputCount: c.IC, OutputCount: c.OC}
+		src := tensor.NewWithLayout(tensor.NC4HW4, 1, c.IC, c.Size, c.Size)
+		tensor.FillRandom(src, 7, 1)
+		weight := tensor.NewRandom(8, 0.2, c.OC, c.IC, c.K, c.K)
+		oh, ow, err := graph.ConvOutputSize(c.Size, c.Size, a)
+		if err != nil {
+			return err
+		}
+		dst := tensor.NewWithLayout(tensor.NC4HW4, 1, c.OC, oh, ow)
+		opt.printf("(%d,%d,%d,%d)%*s", c.K, c.IC, c.OC, c.Size,
+			22-len(itoa(c.K))-len(itoa(c.IC))-len(itoa(c.OC))-len(itoa(c.Size))-5, "")
+		for _, tile := range []int{2, 4, 6} {
+			wc, err := kernels.PrepareWinograd(weight, nil, a, tile, tile)
+			if err != nil {
+				return err
+			}
+			ws := make([]float32, wc.WorkspaceSize())
+			wc.Run(dst, src, 1, ws)
+			d := medianOf(reps, func() { wc.Run(dst, src, 1, ws) })
+			opt.printf(" %8.1f", ms(d))
+		}
+		dec := core.SelectConvScheme(a, src.Shape())
+		opt.printf(" %9dx\n", dec.TileH)
+	}
+	opt.printf("\n")
+	return nil
+}

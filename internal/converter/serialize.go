@@ -1,0 +1,411 @@
+// Package converter implements the offline conversion stage of Figure 2:
+// reading models from a frontend format (a pseudo-ONNX JSON dialect, since
+// real protobuf frontends are out of scope offline), running the graph
+// optimizer, and serializing to the engine's own compact binary format
+// (".mnn" in the paper; ".mnng" here).
+package converter
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"mnn/internal/graph"
+	"mnn/internal/tensor"
+)
+
+// Magic and version of the binary format.
+const (
+	Magic   = 0x4D4E4E47 // "MNNG"
+	Version = 1
+)
+
+type writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (w *writer) u32(v uint32) {
+	if w.err != nil {
+		return
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, w.err = w.w.Write(b[:])
+}
+
+func (w *writer) i32(v int) { w.u32(uint32(int32(v))) }
+
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.WriteString(s)
+}
+
+func (w *writer) strs(ss []string) {
+	w.u32(uint32(len(ss)))
+	for _, s := range ss {
+		w.str(s)
+	}
+}
+
+func (w *writer) f32(v float32) { w.u32(math.Float32bits(v)) }
+
+func (w *writer) bool(v bool) {
+	if v {
+		w.u32(1)
+	} else {
+		w.u32(0)
+	}
+}
+
+func (w *writer) ints(vs []int) {
+	w.u32(uint32(len(vs)))
+	for _, v := range vs {
+		w.i32(v)
+	}
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	var b [4]byte
+	_, r.err = io.ReadFull(r.r, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (r *reader) i32() int { return int(int32(r.u32())) }
+
+func (r *reader) str() string {
+	n := r.u32()
+	if r.err != nil {
+		return ""
+	}
+	if n > 1<<20 {
+		r.err = fmt.Errorf("converter: string length %d too large", n)
+		return ""
+	}
+	b := make([]byte, n)
+	_, r.err = io.ReadFull(r.r, b)
+	return string(b)
+}
+
+func (r *reader) strs() []string {
+	n := r.u32()
+	if r.err != nil || n > 1<<20 {
+		if n > 1<<20 {
+			r.err = fmt.Errorf("converter: list length %d too large", n)
+		}
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.str()
+	}
+	return out
+}
+
+func (r *reader) f32() float32 { return math.Float32frombits(r.u32()) }
+
+func (r *reader) bool() bool { return r.u32() != 0 }
+
+func (r *reader) ints() []int {
+	n := r.u32()
+	if r.err != nil || n > 1<<20 {
+		if n > 1<<20 {
+			r.err = fmt.Errorf("converter: list length %d too large", n)
+		}
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.i32()
+	}
+	return out
+}
+
+// Save serializes a graph to the binary format.
+func Save(g *graph.Graph, out io.Writer) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	w := &writer{w: bufio.NewWriter(out)}
+	w.u32(Magic)
+	w.u32(Version)
+	w.str(g.Name)
+	w.strs(g.InputNames)
+	w.strs(g.OutputNames)
+
+	w.u32(uint32(len(g.Nodes)))
+	for _, n := range g.Nodes {
+		w.str(n.Name)
+		w.u32(uint32(n.Op))
+		w.strs(n.Inputs)
+		w.strs(n.Outputs)
+		w.strs(n.WeightNames)
+		writeAttrs(w, n)
+	}
+
+	w.u32(uint32(len(g.Weights)))
+	// Deterministic order: follow node weight references, then leftovers
+	// sorted implicitly by first-reference; simpler: write in sorted order.
+	for _, name := range sortedWeightNames(g) {
+		t := g.Weights[name]
+		w.str(name)
+		w.u32(uint32(t.DType()))
+		w.ints(t.Shape())
+		switch t.DType() {
+		case tensor.Float32:
+			for _, v := range t.Data() {
+				w.f32(v)
+			}
+		case tensor.Int8:
+			w.f32(t.Quant.Scale)
+			if w.err == nil {
+				raw := make([]byte, len(t.Int8Data()))
+				for i, v := range t.Int8Data() {
+					raw[i] = byte(v)
+				}
+				_, w.err = w.w.Write(raw)
+			}
+		default:
+			return fmt.Errorf("converter: cannot serialize dtype %v", t.DType())
+		}
+	}
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+func sortedWeightNames(g *graph.Graph) []string {
+	names := make([]string, 0, len(g.Weights))
+	for name := range g.Weights {
+		names = append(names, name)
+	}
+	// insertion sort (small n, avoids importing sort for one call site —
+	// kept simple and allocation-free)
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+// Load deserializes a graph from the binary format.
+func Load(in io.Reader) (*graph.Graph, error) {
+	r := &reader{r: bufio.NewReader(in)}
+	if m := r.u32(); m != Magic {
+		if r.err != nil {
+			return nil, r.err
+		}
+		return nil, fmt.Errorf("converter: bad magic %#x", m)
+	}
+	if v := r.u32(); v != Version {
+		return nil, fmt.Errorf("converter: unsupported version %d", v)
+	}
+	g := graph.New(r.str())
+	g.InputNames = r.strs()
+	g.OutputNames = r.strs()
+
+	nNodes := r.u32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if nNodes > 1<<20 {
+		return nil, fmt.Errorf("converter: node count %d too large", nNodes)
+	}
+	for i := uint32(0); i < nNodes; i++ {
+		n := &graph.Node{
+			Name: r.str(),
+			Op:   graph.OpType(r.u32()),
+		}
+		n.Inputs = r.strs()
+		n.Outputs = r.strs()
+		n.WeightNames = r.strs()
+		if err := readAttrs(r, n); err != nil {
+			return nil, err
+		}
+		g.AddNode(n)
+	}
+
+	nWeights := r.u32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if nWeights > 1<<20 {
+		return nil, fmt.Errorf("converter: weight count %d too large", nWeights)
+	}
+	for i := uint32(0); i < nWeights; i++ {
+		name := r.str()
+		dt := tensor.DataType(r.u32())
+		shape := r.ints()
+		if r.err != nil {
+			return nil, r.err
+		}
+		switch dt {
+		case tensor.Float32:
+			t := tensor.New(shape...)
+			d := t.Data()
+			for j := range d {
+				d[j] = r.f32()
+			}
+			g.AddWeight(name, t)
+		case tensor.Int8:
+			scale := r.f32()
+			t := tensor.NewInt8(tensor.QuantParams{Scale: scale}, shape...)
+			raw := make([]byte, len(t.Int8Data()))
+			if r.err == nil {
+				_, r.err = io.ReadFull(r.r, raw)
+			}
+			for j, v := range raw {
+				t.Int8Data()[j] = int8(v)
+			}
+			g.AddWeight(name, t)
+		default:
+			return nil, fmt.Errorf("converter: weight %q has unsupported dtype %v", name, dt)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("converter: loaded graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+func writeAttrs(w *writer, n *graph.Node) {
+	switch a := n.Attrs.(type) {
+	case *graph.InputAttrs:
+		w.ints(a.Shape)
+	case *graph.Conv2DAttrs:
+		w.i32(a.KernelH)
+		w.i32(a.KernelW)
+		w.i32(a.StrideH)
+		w.i32(a.StrideW)
+		w.i32(a.DilationH)
+		w.i32(a.DilationW)
+		w.i32(a.PadH)
+		w.i32(a.PadW)
+		w.u32(uint32(a.PadMode))
+		w.i32(a.Group)
+		w.i32(a.OutputCount)
+		w.i32(a.InputCount)
+		w.bool(a.ReLU)
+		w.bool(a.ReLU6)
+	case *graph.PoolAttrs:
+		w.u32(uint32(a.Type))
+		w.i32(a.KernelH)
+		w.i32(a.KernelW)
+		w.i32(a.StrideH)
+		w.i32(a.StrideW)
+		w.i32(a.PadH)
+		w.i32(a.PadW)
+		w.u32(uint32(a.PadMode))
+		w.bool(a.Global)
+		w.bool(a.CountIncludePad)
+	case *graph.BatchNormAttrs:
+		w.f32(a.Eps)
+	case *graph.ScaleAttrs:
+		w.bool(a.HasBias)
+	case *graph.EltwiseAttrs:
+		w.u32(uint32(a.Type))
+		w.bool(a.ReLU)
+	case *graph.ConcatAttrs:
+		w.i32(a.Axis)
+	case *graph.InnerProductAttrs:
+		w.i32(a.OutputCount)
+		w.bool(a.ReLU)
+	case *graph.SoftmaxAttrs:
+		w.i32(a.Axis)
+	case *graph.FlattenAttrs:
+		w.i32(a.Axis)
+	case *graph.ReshapeAttrs:
+		w.ints(a.Shape)
+	case *graph.DropoutAttrs:
+		w.f32(a.Ratio)
+	case *graph.PaddingAttrs:
+		w.i32(a.Top)
+		w.i32(a.Bottom)
+		w.i32(a.Left)
+		w.i32(a.Right)
+	case nil:
+		// activation ops carry no attrs
+	default:
+		w.err = fmt.Errorf("converter: cannot serialize attrs %T", n.Attrs)
+	}
+}
+
+func readAttrs(r *reader, n *graph.Node) error {
+	switch n.Op {
+	case graph.OpInput:
+		n.Attrs = &graph.InputAttrs{Shape: r.ints()}
+	case graph.OpConv2D, graph.OpDeconv2D:
+		a := &graph.Conv2DAttrs{}
+		a.KernelH = r.i32()
+		a.KernelW = r.i32()
+		a.StrideH = r.i32()
+		a.StrideW = r.i32()
+		a.DilationH = r.i32()
+		a.DilationW = r.i32()
+		a.PadH = r.i32()
+		a.PadW = r.i32()
+		a.PadMode = graph.PadMode(r.u32())
+		a.Group = r.i32()
+		a.OutputCount = r.i32()
+		a.InputCount = r.i32()
+		a.ReLU = r.bool()
+		a.ReLU6 = r.bool()
+		n.Attrs = a
+	case graph.OpPool:
+		a := &graph.PoolAttrs{}
+		a.Type = graph.PoolType(r.u32())
+		a.KernelH = r.i32()
+		a.KernelW = r.i32()
+		a.StrideH = r.i32()
+		a.StrideW = r.i32()
+		a.PadH = r.i32()
+		a.PadW = r.i32()
+		a.PadMode = graph.PadMode(r.u32())
+		a.Global = r.bool()
+		a.CountIncludePad = r.bool()
+		n.Attrs = a
+	case graph.OpBatchNorm:
+		n.Attrs = &graph.BatchNormAttrs{Eps: r.f32()}
+	case graph.OpScale:
+		n.Attrs = &graph.ScaleAttrs{HasBias: r.bool()}
+	case graph.OpEltwise:
+		n.Attrs = &graph.EltwiseAttrs{Type: graph.EltwiseType(r.u32()), ReLU: r.bool()}
+	case graph.OpConcat:
+		n.Attrs = &graph.ConcatAttrs{Axis: r.i32()}
+	case graph.OpInnerProduct:
+		n.Attrs = &graph.InnerProductAttrs{OutputCount: r.i32(), ReLU: r.bool()}
+	case graph.OpSoftmax:
+		n.Attrs = &graph.SoftmaxAttrs{Axis: r.i32()}
+	case graph.OpFlatten:
+		n.Attrs = &graph.FlattenAttrs{Axis: r.i32()}
+	case graph.OpReshape:
+		n.Attrs = &graph.ReshapeAttrs{Shape: r.ints()}
+	case graph.OpDropout:
+		n.Attrs = &graph.DropoutAttrs{Ratio: r.f32()}
+	case graph.OpPadding:
+		n.Attrs = &graph.PaddingAttrs{Top: r.i32(), Bottom: r.i32(), Left: r.i32(), Right: r.i32()}
+	case graph.OpReLU, graph.OpReLU6, graph.OpSigmoid, graph.OpTanh:
+		n.Attrs = nil
+	default:
+		return fmt.Errorf("converter: unknown op %d for node %q", n.Op, n.Name)
+	}
+	return r.err
+}

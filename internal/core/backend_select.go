@@ -1,0 +1,76 @@
+package core
+
+import (
+	"mnn/internal/graph"
+	"mnn/internal/simclock"
+)
+
+// CostProvider is the slice of a backend that the cost model needs. The
+// backend package's Backend interface satisfies it structurally, keeping
+// this package free of runtime dependencies.
+type CostProvider interface {
+	Name() string
+	// FLOPS is the capability term of Equation 5 (Appendix C).
+	FLOPS() float64
+	// ScheduleOverheadMs is t_schedule; zero for CPU.
+	ScheduleOverheadMs() float64
+	// Supports reports whether the backend implements the operator. Ops an
+	// accelerator cannot run are scheduled to the CPU (Section 3.2).
+	Supports(n *graph.Node) bool
+}
+
+// Assignment maps node names to the chosen backend's Name().
+type Assignment map[string]string
+
+// BackendCosts is the per-backend total of Equation 4, for reporting.
+type BackendCosts map[string]float64
+
+// SelectBackend implements Equations 4–5: it sums the per-operator cost
+// Cop = MUL/FLOPS·1000 (+ t_schedule) over the whole graph for each
+// candidate backend — operators a backend does not support are priced at
+// (and executed by) the fallback CPU backend — and returns the assignment
+// induced by the cheapest backend. The first provider must be the CPU
+// fallback.
+//
+// The returned Assignment is per-node, so a winning GPU backend still yields
+// a hybrid schedule when some operators only run on CPU — this is the
+// "hybrid scheduling" property of Section 3.4.
+func SelectBackend(g *graph.Graph, shapes graph.ShapeMap, providers []CostProvider) (Assignment, BackendCosts) {
+	if len(providers) == 0 {
+		return Assignment{}, BackendCosts{}
+	}
+	cpu := providers[0]
+	costs := BackendCosts{}
+	type choice struct {
+		total  float64
+		assign Assignment
+	}
+	best := choice{total: -1}
+	for _, p := range providers {
+		assign := Assignment{}
+		var total float64
+		for _, n := range g.Nodes {
+			muls := graph.MULCount(n, shapes)
+			var c float64
+			if p.Supports(n) {
+				if p.ScheduleOverheadMs() > 0 {
+					c = simclock.GPUCostMs(muls, p.FLOPS(), p.ScheduleOverheadMs(), 1)
+				} else {
+					c = simclock.CPUCostMs(muls, p.FLOPS(), 1)
+				}
+				assign[n.Name] = p.Name()
+			} else {
+				// Unsupported: runs on the CPU fallback, and pays a
+				// transfer's worth of scheduling overhead both ways.
+				c = simclock.CPUCostMs(muls, cpu.FLOPS(), 1) + 2*p.ScheduleOverheadMs()
+				assign[n.Name] = cpu.Name()
+			}
+			total += c
+		}
+		costs[p.Name()] = total
+		if best.total < 0 || total < best.total {
+			best = choice{total: total, assign: assign}
+		}
+	}
+	return best.assign, costs
+}

@@ -1,0 +1,233 @@
+// Package core implements the paper's primary contribution: the
+// pre-inference mechanism of Section 3.2. Given a graph whose input sizes
+// are fixed, it selects
+//
+//   - the computation scheme of every convolution (sliding window vs.
+//     Winograd with cost-optimal tile size vs. Strassen matmul for 1×1) via
+//     the cost model of Equations 2–3, and
+//   - the backend of every operator via the cost model of Equations 4–5,
+//
+// all before the first real inference runs, so that execution is pure
+// compute (Figure 3).
+package core
+
+import (
+	"fmt"
+
+	"mnn/internal/graph"
+	"mnn/internal/matmul"
+)
+
+// ConvScheme identifies the algorithm chosen for a convolution.
+type ConvScheme uint8
+
+const (
+	// SchemeSliding is the direct sliding-window kernel.
+	SchemeSliding ConvScheme = iota
+	// SchemeWinograd is F(n̂×n̂, k×k) Winograd (per-axis for asymmetric k).
+	SchemeWinograd
+	// SchemeStrassen1x1 lowers a 1×1 convolution to a Strassen matmul.
+	SchemeStrassen1x1
+	// SchemeDepthwise is the dedicated depthwise kernel.
+	SchemeDepthwise
+	// SchemeIm2col is the generic im2col+GEMM fallback (grouped convs etc.).
+	SchemeIm2col
+)
+
+func (s ConvScheme) String() string {
+	switch s {
+	case SchemeSliding:
+		return "sliding"
+	case SchemeWinograd:
+		return "winograd"
+	case SchemeStrassen1x1:
+		return "strassen-1x1"
+	case SchemeDepthwise:
+		return "depthwise"
+	case SchemeIm2col:
+		return "im2col"
+	default:
+		return fmt.Sprintf("ConvScheme(%d)", uint8(s))
+	}
+}
+
+// ConvDecision is the outcome of scheme selection for one convolution.
+type ConvDecision struct {
+	Scheme ConvScheme
+	// TileH/TileW are the Winograd output tile sizes n̂ per axis (Eq. 2);
+	// meaningful only when Scheme == SchemeWinograd.
+	TileH, TileW int
+	// EffMULs is the effective multiplication count of the chosen scheme
+	// (the MUL term of Eq. 5 after algorithmic savings), used by the
+	// simulated clock.
+	EffMULs int64
+	// DirectMULs is the naive multiplication count, kept for reporting.
+	DirectMULs int64
+	// CostPerPixel is the model's predicted per-output-pixel cost in
+	// multiply-equivalents, for diagnostics.
+	CostPerPixel float64
+}
+
+// winoTileCandidates are the output tile sizes considered for n̂ (Eq. 2).
+// MNN's implementation bounds the transform size; beyond n=6 the float32
+// transforms lose too much precision to be useful.
+var winoTileCandidates = []int{2, 4, 6}
+
+// TrafficCostFactor converts one float of kernel memory traffic into
+// multiply-equivalents for the scheme cost model. Equation 2 counts
+// arithmetic only; on real kernels the Winograd gather/scatter traffic is
+// what makes small-channel convolutions favor sliding window (the paper's
+// Table 1, first column). Calibrated once against this repo's kernels.
+var TrafficCostFactor = 2.0
+
+// SelectConvScheme implements Equations 2–3 extended with a traffic term:
+// it evaluates the per-output-pixel cost of the sliding-window kernel and of
+// every Winograd tile candidate, and returns the argmin. 1×1 convolutions
+// lower to Strassen matmul, depthwise convolutions to the dedicated kernel,
+// and configurations outside the fast paths (groups, stride/dilation with
+// k > 1 restrictions) fall back to im2col.
+func SelectConvScheme(a *graph.Conv2DAttrs, inShape []int) ConvDecision {
+	ic := a.InputCount
+	if ic == 0 && len(inShape) == 4 {
+		ic = inShape[1]
+	}
+	oc := a.OutputCount
+	ih, iw := inShape[2], inShape[3]
+	oh, ow, err := graph.ConvOutputSize(ih, iw, a)
+	if err != nil {
+		oh, ow = 1, 1
+	}
+	n := inShape[0]
+	outPixels := int64(n) * int64(oh) * int64(ow)
+	group := a.Group
+	if group <= 0 {
+		group = 1
+	}
+	direct := outPixels * int64(oc) * int64(ic/group) * int64(a.KernelH) * int64(a.KernelW)
+
+	dec := ConvDecision{DirectMULs: direct}
+
+	switch {
+	case a.IsDepthwise():
+		dec.Scheme = SchemeDepthwise
+		dec.EffMULs = direct
+		dec.CostPerPixel = float64(a.KernelH * a.KernelW)
+		return dec
+	case group > 1:
+		dec.Scheme = SchemeIm2col
+		dec.EffMULs = direct
+		dec.CostPerPixel = float64(ic/group*a.KernelH*a.KernelW) * float64(oc)
+		return dec
+	case a.KernelH == 1 && a.KernelW == 1:
+		// Rule 1 of Section 3.2: k = 1 is a matrix multiplication;
+		// Strassen applies.
+		dec.Scheme = SchemeStrassen1x1
+		dec.EffMULs = matmul.StrassenMULs(int(outPixels), ic, oc)
+		dec.CostPerPixel = float64(ic) * float64(oc)
+		return dec
+	}
+
+	// Sliding-window cost per output pixel (all output channels).
+	slidingCost := float64(ic) * float64(a.KernelH) * float64(a.KernelW) * float64(oc)
+
+	// Winograd applies only to stride-1, dilation-1 convolutions.
+	winoOK := strideOr1(a.StrideH) == 1 && strideOr1(a.StrideW) == 1 &&
+		dilOr1(a.DilationH) == 1 && dilOr1(a.DilationW) == 1 &&
+		a.KernelH+minTile-1 <= maxTransform && a.KernelW+minTile-1 <= maxTransform &&
+		a.KernelH <= ih && a.KernelW <= iw
+
+	bestCost := slidingCost
+	bestTile := 0
+	if winoOK {
+		for _, t := range winoTileCandidates {
+			nh, nw := t, t
+			if a.KernelH == 1 {
+				nh = 1
+			}
+			if a.KernelW == 1 {
+				nw = 1
+			}
+			mh := nh + a.KernelH - 1
+			mw := nw + a.KernelW - 1
+			if mh > maxTransform || mw > maxTransform {
+				continue
+			}
+			c := winoCostPerPixel(nh, nw, a.KernelH, a.KernelW, ic, oc, oh, ow)
+			if c < bestCost {
+				bestCost = c
+				bestTile = t
+			}
+		}
+	}
+
+	if bestTile == 0 {
+		// Equation 3's first branch: n̂ = 1 ⇒ sliding window.
+		dec.Scheme = SchemeSliding
+		dec.EffMULs = direct
+		dec.CostPerPixel = slidingCost
+		return dec
+	}
+
+	nh, nw := bestTile, bestTile
+	if a.KernelH == 1 {
+		nh = 1
+	}
+	if a.KernelW == 1 {
+		nw = 1
+	}
+	dec.Scheme = SchemeWinograd
+	dec.TileH, dec.TileW = nh, nw
+	dec.CostPerPixel = bestCost
+	tiles := int64(n) * int64(upDiv(oh, nh)) * int64(upDiv(ow, nw))
+	arith, traffic := winoPerTileCost(nh, nw, a.KernelH, a.KernelW, ic, oc)
+	dec.EffMULs = tiles * int64(arith+TrafficCostFactor*traffic)
+	return dec
+}
+
+const (
+	minTile      = 2
+	maxTransform = 10 // n+k-1 bound for usable float32 transforms
+)
+
+// winoCostPerPixel evaluates Equation 2 per tile, multiplies by the number
+// of tiles actually launched for an oh×ow output (edge tiles compute wasted
+// lanes — this is what makes large tiles lose on small feature maps, the
+// paper's Table 1 second column), adds the memory-traffic term that
+// Equation 2 omits, and normalizes per useful output pixel.
+func winoCostPerPixel(nh, nw, kh, kw, ic, oc, oh, ow int) float64 {
+	arith, traffic := winoPerTileCost(nh, nw, kh, kw, ic, oc)
+	perTile := arith + TrafficCostFactor*traffic
+	tiles := float64(upDiv(oh, nh)) * float64(upDiv(ow, nw))
+	return perTile * tiles / float64(oh*ow)
+}
+
+// winoPerTileCost returns the Equation 2 arithmetic count and the memory
+// traffic of one Winograd tile, generalized to rectangular transforms (an
+// axis with kernel size 1 has mh or mw = nh or nw): input transform
+// ic·(mh+mw)·mh·mw, Hadamard ic·oc·mh·mw, output transform per channel, and
+// the Figure 4 data flow's reads/writes.
+func winoPerTileCost(nh, nw, kh, kw, ic, oc int) (arith, traffic float64) {
+	mh := nh + kh - 1
+	mw := nw + kw - 1
+	arith = float64(ic)*float64(mh+mw)*float64(mh*mw) +
+		float64(ic*oc)*float64(mh*mw) +
+		float64(nh*mw)*float64(nh+mh)
+	traffic = float64(mh*mw*(2*ic)) + float64(nh*nw*oc) + float64(mh*mw*oc)
+	return arith, traffic
+}
+
+func upDiv(a, b int) int { return (a + b - 1) / b }
+
+func strideOr1(s int) int {
+	if s <= 0 {
+		return 1
+	}
+	return s
+}
+
+func dilOr1(d int) int {
+	if d <= 0 {
+		return 1
+	}
+	return d
+}

@@ -1,0 +1,326 @@
+package cpu
+
+import (
+	"fmt"
+
+	"mnn/internal/backend"
+	"mnn/internal/core"
+	"mnn/internal/graph"
+	"mnn/internal/kernels"
+	"mnn/internal/tensor"
+)
+
+// execFunc adapts a closure to backend.Execution.
+type execFunc func() error
+
+func (f execFunc) Run() error { return f() }
+
+// OnCreate implements backend.Backend: it binds tensors, runs scheme
+// selection (for convolutions), transforms/packs weights, pre-allocates
+// workspaces and returns a pure-compute Execution. This is the
+// "preparation" half of the paper's preparation–execution decoupling.
+func (b *Backend) OnCreate(n *graph.Node, inputs, outputs []*tensor.Tensor, weights backend.WeightSource) (backend.Execution, error) {
+	threads := b.cfg.Threads
+	switch n.Op {
+	case graph.OpInput:
+		return execFunc(func() error { return nil }), nil
+
+	case graph.OpConv2D:
+		return b.createConv(n, inputs[0], outputs[0], weights)
+
+	case graph.OpDeconv2D:
+		return b.createDeconv(n, inputs[0], outputs[0], weights)
+
+	case graph.OpPool:
+		a := n.Attrs.(*graph.PoolAttrs)
+		in, out := inputs[0], outputs[0]
+		muls := int64(out.NumElements()) / 2
+		return execFunc(func() error {
+			kernels.PoolNC4(out, in, a, threads)
+			b.charge("Pool", muls, n, "pool")
+			return nil
+		}), nil
+
+	case graph.OpReLU, graph.OpReLU6, graph.OpSigmoid, graph.OpTanh:
+		kind := map[graph.OpType]kernels.ActivationKind{
+			graph.OpReLU:    kernels.ActReLU,
+			graph.OpReLU6:   kernels.ActReLU6,
+			graph.OpSigmoid: kernels.ActSigmoid,
+			graph.OpTanh:    kernels.ActTanh,
+		}[n.Op]
+		in, out := inputs[0], outputs[0]
+		muls := int64(out.NumElements()) / 4
+		label := n.Op.String()
+		return execFunc(func() error {
+			kernels.Activation(out, in, kind, threads)
+			b.charge(label, muls, n, "activation")
+			return nil
+		}), nil
+
+	case graph.OpBatchNorm:
+		a := n.Attrs.(*graph.BatchNormAttrs)
+		if len(n.WeightNames) != 4 {
+			return nil, fmt.Errorf("cpu: BatchNorm %q needs 4 weights, has %d", n.Name, len(n.WeightNames))
+		}
+		gamma := weights(n.WeightNames[0])
+		beta := weights(n.WeightNames[1])
+		mean := weights(n.WeightNames[2])
+		variance := weights(n.WeightNames[3])
+		// Fold to scale+shift at prepare time (pre-computed constants,
+		// Figure 2).
+		scale, shift := kernels.FoldBatchNorm(gamma.Data(), beta.Data(), mean.Data(), variance.Data(), a.Eps)
+		in, out := inputs[0], outputs[0]
+		muls := int64(out.NumElements())
+		return execFunc(func() error {
+			kernels.ScaleNC4(out, in, scale, shift, threads)
+			b.charge("BatchNorm", muls, n, "scale")
+			return nil
+		}), nil
+
+	case graph.OpScale:
+		a := n.Attrs.(*graph.ScaleAttrs)
+		scale := weights(n.WeightNames[0]).Data()
+		var shift []float32
+		if a.HasBias && len(n.WeightNames) > 1 {
+			shift = weights(n.WeightNames[1]).Data()
+		}
+		in, out := inputs[0], outputs[0]
+		muls := int64(out.NumElements())
+		return execFunc(func() error {
+			kernels.ScaleNC4(out, in, scale, shift, threads)
+			b.charge("Scale", muls, n, "scale")
+			return nil
+		}), nil
+
+	case graph.OpEltwise:
+		a := n.Attrs.(*graph.EltwiseAttrs)
+		out := outputs[0]
+		ins := append([]*tensor.Tensor(nil), inputs...)
+		muls := int64(out.NumElements()) / 4
+		return execFunc(func() error {
+			kernels.Eltwise(out, ins, a, threads)
+			b.charge("Eltwise", muls, n, "eltwise")
+			return nil
+		}), nil
+
+	case graph.OpConcat:
+		a := n.Attrs.(*graph.ConcatAttrs)
+		out := outputs[0]
+		ins := append([]*tensor.Tensor(nil), inputs...)
+		muls := int64(out.NumElements()) / 8
+		if a.Axis == 1 && out.Rank() == 4 {
+			return execFunc(func() error {
+				kernels.ConcatChannel(out, ins)
+				b.charge("Concat", muls, n, "concat")
+				return nil
+			}), nil
+		}
+		// Generic axis: stage through NCHW temporaries (pre-allocated).
+		tmpIns := make([]*tensor.Tensor, len(ins))
+		for i, in := range ins {
+			tmpIns[i] = tensor.New(in.Shape()...)
+		}
+		tmpOut := tensor.New(out.Shape()...)
+		return execFunc(func() error {
+			for i, in := range ins {
+				tmpIns[i].CopyFrom(in)
+			}
+			kernels.ConcatAxis(tmpOut, tmpIns, a.Axis)
+			out.CopyFrom(tmpOut)
+			b.charge("Concat", muls, n, "concat")
+			return nil
+		}), nil
+
+	case graph.OpInnerProduct:
+		a := n.Attrs.(*graph.InnerProductAttrs)
+		weight := weights(n.WeightNames[0])
+		var bias *tensor.Tensor
+		if len(n.WeightNames) > 1 {
+			bias = weights(n.WeightNames[1])
+		}
+		in, out := inputs[0], outputs[0]
+		batch := in.Dim(0)
+		features := in.NumElements() / batch
+		// The FC weight may be stored [out, features]; flatten input to
+		// match regardless of its rank/layout.
+		w2 := weight
+		if weight.Rank() != 2 {
+			w2 = weight.Reshape(a.OutputCount, features)
+		}
+		ip := kernels.PrepareInnerProduct(w2, bias, a)
+		flat := tensor.New(batch, features)
+		muls := int64(batch) * int64(features) * int64(a.OutputCount)
+		needsConvert := in.Layout() == tensor.NC4HW4
+		return execFunc(func() error {
+			src := in
+			if needsConvert {
+				// Unpack via logical copy into the flat NCHW buffer.
+				flat4 := flat.Reshape(in.Shape()...)
+				flat4.CopyFrom(in)
+				src = flat
+			} else if in.Rank() != 2 {
+				src = in.Reshape(batch, features)
+			}
+			ip.Run(out, src, threads)
+			b.charge("InnerProduct", muls, n, "gemm")
+			return nil
+		}), nil
+
+	case graph.OpSoftmax:
+		a := n.Attrs.(*graph.SoftmaxAttrs)
+		in, out := inputs[0], outputs[0]
+		muls := int64(out.NumElements()) * 2
+		if in.Layout() != tensor.NC4HW4 {
+			return execFunc(func() error {
+				kernels.SoftmaxRef(out, in, a.Axis)
+				b.charge("Softmax", muls, n, "softmax")
+				return nil
+			}), nil
+		}
+		tmpIn := tensor.New(in.Shape()...)
+		tmpOut := tensor.New(out.Shape()...)
+		return execFunc(func() error {
+			tmpIn.CopyFrom(in)
+			kernels.SoftmaxRef(tmpOut, tmpIn, a.Axis)
+			out.CopyFrom(tmpOut)
+			b.charge("Softmax", muls, n, "softmax")
+			return nil
+		}), nil
+
+	case graph.OpFlatten, graph.OpReshape, graph.OpDropout:
+		in, out := inputs[0], outputs[0]
+		muls := int64(out.NumElements()) / 8
+		label := n.Op.String()
+		return execFunc(func() error {
+			copyReinterpret(out, in)
+			b.charge(label, muls, n, "copy")
+			return nil
+		}), nil
+
+	case graph.OpPadding:
+		a := n.Attrs.(*graph.PaddingAttrs)
+		in, out := inputs[0], outputs[0]
+		muls := int64(out.NumElements()) / 8
+		return execFunc(func() error {
+			kernels.PaddingNC4(out, in, a, threads)
+			b.charge("Padding", muls, n, "copy")
+			return nil
+		}), nil
+	}
+	return nil, fmt.Errorf("cpu: unsupported op %v", n.Op)
+}
+
+// copyReinterpret copies src into dst when shapes differ only by
+// reinterpretation (Flatten/Reshape). Data order is NCHW-logical.
+func copyReinterpret(dst, src *tensor.Tensor) {
+	if tensor.EqualShape(dst.Shape(), src.Shape()) {
+		dst.CopyFrom(src)
+		return
+	}
+	// Unpack src logically, then copy flat.
+	flatSrc := src
+	if src.Layout() == tensor.NC4HW4 {
+		flatSrc = src.ToLayout(tensor.NCHW)
+	}
+	if dst.Layout() == tensor.NC4HW4 {
+		dst.CopyFrom(flatSrc.Reshape(dst.Shape()...))
+		return
+	}
+	copy(dst.Data(), flatSrc.Data())
+}
+
+// createConv runs scheme selection (Equations 2–3) and prepares the chosen
+// kernel.
+func (b *Backend) createConv(n *graph.Node, in, out *tensor.Tensor, weights backend.WeightSource) (backend.Execution, error) {
+	a := n.Attrs.(*graph.Conv2DAttrs)
+	weight := weights(n.WeightNames[0])
+	var bias *tensor.Tensor
+	if len(n.WeightNames) > 1 {
+		bias = weights(n.WeightNames[1])
+	}
+	dec := core.SelectConvScheme(a, in.Shape())
+	if b.cfg.ForceScheme != nil {
+		dec = b.cfg.ForceScheme(n, dec)
+	}
+	threads := b.cfg.Threads
+
+	switch dec.Scheme {
+	case core.SchemeWinograd:
+		wc, err := kernels.PrepareWinograd(weight, bias, a, dec.TileH, dec.TileW)
+		if err != nil {
+			return nil, fmt.Errorf("cpu: conv %q: %w", n.Name, err)
+		}
+		ws := make([]float32, wc.WorkspaceSize()*threads)
+		scheme := dec.Scheme.String()
+		return execFunc(func() error {
+			wc.Run(out, in, threads, ws)
+			b.charge("Conv2D", dec.EffMULs, n, scheme)
+			return nil
+		}), nil
+
+	case core.SchemeStrassen1x1:
+		c := kernels.PrepareConv1x1(weight, bias, a)
+		if b.cfg.DisableStrassen {
+			c.Strassen = false
+		}
+		ws := make([]float32, c.WorkspaceSize(in.Batch(), in.Height(), in.Width()))
+		scheme := dec.Scheme.String()
+		return execFunc(func() error {
+			c.Run(out, in, threads, ws)
+			b.charge("Conv2D", dec.EffMULs, n, scheme)
+			return nil
+		}), nil
+
+	case core.SchemeDepthwise:
+		dc := kernels.PrepareDepthwise(weight, bias, a)
+		scheme := dec.Scheme.String()
+		return execFunc(func() error {
+			dc.Run(out, in, threads)
+			b.charge("Conv2D", dec.EffMULs, n, scheme)
+			return nil
+		}), nil
+
+	case core.SchemeIm2col:
+		c := kernels.PrepareIm2col(weight, bias, a)
+		ws := make([]float32, c.WorkspaceSize(in.Height(), in.Width()))
+		// im2col computes in NCHW; stage through pre-allocated temps.
+		tmpIn := tensor.New(in.Shape()...)
+		tmpOut := tensor.New(out.Shape()...)
+		scheme := dec.Scheme.String()
+		return execFunc(func() error {
+			tmpIn.CopyFrom(in)
+			c.Run(tmpOut, tmpIn, threads, ws)
+			out.CopyFrom(tmpOut)
+			b.charge("Conv2D", dec.EffMULs, n, scheme)
+			return nil
+		}), nil
+
+	default: // SchemeSliding
+		sc := kernels.PrepareSliding(weight, bias, a)
+		scheme := dec.Scheme.String()
+		return execFunc(func() error {
+			sc.Run(out, in, threads)
+			b.charge("Conv2D", dec.EffMULs, n, scheme)
+			return nil
+		}), nil
+	}
+}
+
+func (b *Backend) createDeconv(n *graph.Node, in, out *tensor.Tensor, weights backend.WeightSource) (backend.Execution, error) {
+	a := n.Attrs.(*graph.Conv2DAttrs)
+	weight := weights(n.WeightNames[0])
+	var bias *tensor.Tensor
+	if len(n.WeightNames) > 1 {
+		bias = weights(n.WeightNames[1])
+	}
+	tmpIn := tensor.New(in.Shape()...)
+	tmpOut := tensor.New(out.Shape()...)
+	muls := int64(in.NumElements()) * int64(a.OutputCount) * int64(a.KernelH) * int64(a.KernelW)
+	return execFunc(func() error {
+		tmpIn.CopyFrom(in)
+		kernels.DeconvRef(tmpOut, tmpIn, weight, bias, a)
+		out.CopyFrom(tmpOut)
+		b.charge("Deconv2D", muls, n, "deconv")
+		return nil
+	}), nil
+}

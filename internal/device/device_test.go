@@ -1,0 +1,84 @@
+package device
+
+import "testing"
+
+func TestCPUFLOPSSumsTopFrequencies(t *testing.T) {
+	// MI6 (Kryo 280): 4×2.45 + 4×1.90 GHz.
+	if got := MI6.CPUFLOPS(1); got != 2.45e9 {
+		t.Errorf("1 thread: %g", got)
+	}
+	if got := MI6.CPUFLOPS(4); got != 4*2.45e9 {
+		t.Errorf("4 threads: %g", got)
+	}
+	// More threads than cores clamps.
+	if got := MI6.CPUFLOPS(100); got != (4*2.45+4*1.90)*1e9 {
+		t.Errorf("overcommit: %g", got)
+	}
+	if got := MI6.CPUFLOPS(0); got != 2.45e9 {
+		t.Errorf("zero threads: %g", got)
+	}
+}
+
+func TestCPUFLOPSFallback(t *testing.T) {
+	p := &Profile{Name: "bare"}
+	if got := p.CPUFLOPS(4); got != DefaultCPUFLOPS {
+		t.Errorf("fallback: %g", got)
+	}
+}
+
+func TestGPUFLOPSAppendixValues(t *testing.T) {
+	cases := map[string]float64{
+		"Adreno (TM) 540": 42.74e9,
+		"Mali-G72":        31.61e9,
+		"Mali-T860":       6.83e9,
+		"Adreno (TM) 615": 16.77e9,
+	}
+	for gpu, want := range cases {
+		if got := GPUFLOPSFor(gpu); got != want {
+			t.Errorf("%s: got %g want %g", gpu, got, want)
+		}
+	}
+	if got := GPUFLOPSFor("UnknownGPU 9000"); got != DefaultGPUFLOPS {
+		t.Errorf("unknown GPU fallback: %g", got)
+	}
+}
+
+func TestScheduleOverheads(t *testing.T) {
+	if APIOpenCL.ScheduleOverheadMs() != 0.05 || APIOpenGL.ScheduleOverheadMs() != 0.05 {
+		t.Error("OpenCL/OpenGL t_schedule must be 0.05 ms (Appendix C)")
+	}
+	if APIVulkan.ScheduleOverheadMs() != 0.01 {
+		t.Error("Vulkan t_schedule must be 0.01 ms (Appendix C)")
+	}
+	if APINone.ScheduleOverheadMs() != 0 {
+		t.Error("CPU has no t_schedule")
+	}
+}
+
+func TestDeviceProfiles(t *testing.T) {
+	for _, p := range All() {
+		if p.Name == "" {
+			t.Error("unnamed profile")
+		}
+		if p.OS == "iOS" && !p.HasAPI(APIMetal) {
+			t.Errorf("%s: iOS device must expose Metal", p.Name)
+		}
+		if p.OS == "Android" && p.HasAPI(APIMetal) {
+			t.Errorf("%s: Android device must not expose Metal", p.Name)
+		}
+	}
+	if ByName("MI6") != MI6 {
+		t.Error("ByName lookup failed")
+	}
+	if ByName("nonexistent") != nil {
+		t.Error("ByName must return nil for unknown device")
+	}
+}
+
+func TestTable6DevicesPresent(t *testing.T) {
+	for _, name := range []string{"EML-AL00", "PBEM00", "PACM00", "COL-AL10", "OPPO R11"} {
+		if ByName(name) == nil {
+			t.Errorf("Table 6 device %q missing", name)
+		}
+	}
+}

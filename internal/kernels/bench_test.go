@@ -1,0 +1,129 @@
+package kernels
+
+import (
+	"fmt"
+	"testing"
+
+	"mnn/internal/graph"
+	"mnn/internal/tensor"
+)
+
+// Kernel micro-benchmarks: per-scheme convolution throughput on a
+// representative mid-network layer, for tuning work on the kernels
+// themselves (the table/figure harness lives at the repository root).
+
+func benchConvSetup(ic, oc, size, k int) (*tensor.Tensor, *tensor.Tensor, *tensor.Tensor, *graph.Conv2DAttrs) {
+	a := &graph.Conv2DAttrs{KernelH: k, KernelW: k, StrideH: 1, StrideW: 1,
+		PadH: k / 2, PadW: k / 2, Group: 1, InputCount: ic, OutputCount: oc}
+	src := tensor.NewWithLayout(tensor.NC4HW4, 1, ic, size, size)
+	tensor.FillRandom(src, 1, 1)
+	weight := tensor.NewRandom(2, 0.2, oc, ic, k, k)
+	bias := tensor.NewRandom(3, 0.1, oc)
+	return src, weight, bias, a
+}
+
+func BenchmarkConvSliding3x3(b *testing.B) {
+	for _, threads := range []int{1, 4} {
+		b.Run(fmt.Sprintf("t%d", threads), func(b *testing.B) {
+			src, w, bias, a := benchConvSetup(64, 64, 56, 3)
+			sc := PrepareSliding(w, bias, a)
+			dst := tensor.NewWithLayout(tensor.NC4HW4, 1, 64, 56, 56)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc.Run(dst, src, threads)
+			}
+		})
+	}
+}
+
+func BenchmarkConvWinograd3x3(b *testing.B) {
+	for _, tile := range []int{2, 4, 6} {
+		for _, threads := range []int{1, 4} {
+			b.Run(fmt.Sprintf("F%d/t%d", tile, threads), func(b *testing.B) {
+				src, w, bias, a := benchConvSetup(64, 64, 56, 3)
+				wc, err := PrepareWinograd(w, bias, a, tile, tile)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ws := make([]float32, wc.WorkspaceSize()*threads)
+				dst := tensor.NewWithLayout(tensor.NC4HW4, 1, 64, 56, 56)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					wc.Run(dst, src, threads, ws)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkConv1x1Strassen(b *testing.B) {
+	for _, threads := range []int{1, 4} {
+		b.Run(fmt.Sprintf("t%d", threads), func(b *testing.B) {
+			src, w, bias, a := benchConvSetup(256, 256, 28, 1)
+			c := PrepareConv1x1(w, bias, a)
+			ws := make([]float32, c.WorkspaceSize(1, 28, 28))
+			dst := tensor.NewWithLayout(tensor.NC4HW4, 1, 256, 28, 28)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Run(dst, src, threads, ws)
+			}
+		})
+	}
+}
+
+func BenchmarkConvDepthwise3x3(b *testing.B) {
+	src := tensor.NewWithLayout(tensor.NC4HW4, 1, 256, 28, 28)
+	tensor.FillRandom(src, 1, 1)
+	a := &graph.Conv2DAttrs{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1,
+		PadH: 1, PadW: 1, Group: 256, InputCount: 256, OutputCount: 256}
+	w := tensor.NewRandom(2, 0.2, 256, 1, 3, 3)
+	dc := PrepareDepthwise(w, nil, a)
+	dst := tensor.NewWithLayout(tensor.NC4HW4, 1, 256, 28, 28)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dc.Run(dst, src, 4)
+	}
+}
+
+func BenchmarkConvIm2col3x3(b *testing.B) {
+	a := &graph.Conv2DAttrs{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1,
+		PadH: 1, PadW: 1, Group: 1, InputCount: 64, OutputCount: 64}
+	src := tensor.NewRandom(1, 1, 1, 64, 56, 56)
+	w := tensor.NewRandom(2, 0.2, 64, 64, 3, 3)
+	c := PrepareIm2col(w, nil, a)
+	ws := make([]float32, c.WorkspaceSize(56, 56))
+	dst := tensor.New(1, 64, 56, 56)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Run(dst, src, 4, ws)
+	}
+}
+
+func BenchmarkConvAsymmetric1x7Winograd(b *testing.B) {
+	a := &graph.Conv2DAttrs{KernelH: 1, KernelW: 7, StrideH: 1, StrideW: 1,
+		PadH: 0, PadW: 3, Group: 1, InputCount: 128, OutputCount: 128}
+	src := tensor.NewWithLayout(tensor.NC4HW4, 1, 128, 17, 17)
+	tensor.FillRandom(src, 1, 1)
+	w := tensor.NewRandom(2, 0.2, 128, 128, 1, 7)
+	wc, err := PrepareWinograd(w, nil, a, 1, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := make([]float32, wc.WorkspaceSize()*4)
+	dst := tensor.NewWithLayout(tensor.NC4HW4, 1, 128, 17, 17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wc.Run(dst, src, 4, ws)
+	}
+}
+
+func BenchmarkPoolGlobal(b *testing.B) {
+	src := tensor.NewWithLayout(tensor.NC4HW4, 1, 1024, 7, 7)
+	tensor.FillRandom(src, 1, 1)
+	dst := tensor.NewWithLayout(tensor.NC4HW4, 1, 1024, 1, 1)
+	a := &graph.PoolAttrs{Type: graph.AvgPool, Global: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PoolNC4(dst, src, a, 4)
+	}
+}

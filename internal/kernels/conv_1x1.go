@@ -1,0 +1,117 @@
+package kernels
+
+import (
+	"mnn/internal/graph"
+	"mnn/internal/matmul"
+	"mnn/internal/tensor"
+)
+
+// Conv1x1 is the prepared state of the 1×1 convolution, which MNN lowers to
+// one large matrix multiplication accelerated with Strassen's algorithm
+// (paper Sections 3.2 and 3.3.2). The pixel matrix is laid out [pixels, ic]
+// so each thread multiplies a contiguous row block, and the weight is stored
+// transposed as [ic, oc].
+type Conv1x1 struct {
+	attrs    graph.Conv2DAttrs
+	ic, oc   int
+	wT       []float32 // [ic][oc]
+	bias     []float32
+	Strassen bool // use MulStrassen for the pixel GEMM (MNN's choice)
+}
+
+// PrepareConv1x1 packs weights for the 1×1 kernel. weight is [oc, ic, 1, 1].
+func PrepareConv1x1(weight, bias *tensor.Tensor, a *graph.Conv2DAttrs) *Conv1x1 {
+	oc, ic := weight.Dim(0), weight.Dim(1)
+	c := &Conv1x1{attrs: *a, ic: ic, oc: oc, Strassen: true}
+	c.wT = make([]float32, ic*oc)
+	w := weight.Data()
+	for o := 0; o < oc; o++ {
+		for i := 0; i < ic; i++ {
+			c.wT[i*oc+o] = w[o*ic+i]
+		}
+	}
+	c.bias = make([]float32, oc)
+	if bias != nil {
+		copy(c.bias, bias.Data())
+	}
+	return c
+}
+
+// WorkspaceSize returns the per-run scratch requirement in float32s for a
+// given source size: the unpacked [pixels, ic] matrix plus the [pixels, oc]
+// product.
+func (c *Conv1x1) WorkspaceSize(n, h, w int) int {
+	oh := tensor.UpDiv(h, strideOr1(c.attrs.StrideH))
+	ow := tensor.UpDiv(w, strideOr1(c.attrs.StrideW))
+	px := n * oh * ow
+	return px * (c.ic + c.oc)
+}
+
+// Run executes the convolution. src and dst must be NC4HW4. workspace may be
+// nil or at least WorkspaceSize floats.
+func (c *Conv1x1) Run(dst, src *tensor.Tensor, threads int, workspace []float32) {
+	a := &c.attrs
+	N, H, W := src.Batch(), src.Height(), src.Width()
+	OH, OW := dst.Height(), dst.Width()
+	sh, sw := strideOr1(a.StrideH), strideOr1(a.StrideW)
+	ic4 := tensor.UpDiv(c.ic, 4)
+	oc4 := tensor.UpDiv(c.oc, 4)
+	px := N * OH * OW
+	if workspace == nil {
+		workspace = make([]float32, px*(c.ic+c.oc))
+	}
+	in := workspace[:px*c.ic]
+	out := workspace[px*c.ic : px*(c.ic+c.oc)]
+	s := src.Data()
+	d := dst.Data()
+
+	// Unpack NC4HW4 → [pixels, ic] rows (applying stride).
+	ParallelFor(threads, px, func(start, end int) {
+		for p := start; p < end; p++ {
+			n := p / (OH * OW)
+			rem := p % (OH * OW)
+			iy := (rem / OW) * sh
+			ix := (rem % OW) * sw
+			row := in[p*c.ic : (p+1)*c.ic]
+			for cz := 0; cz < ic4; cz++ {
+				so := (((n*ic4+cz)*H+iy)*W + ix) * 4
+				lim := c.ic - cz*4
+				if lim > 4 {
+					lim = 4
+				}
+				for l := 0; l < lim; l++ {
+					row[cz*4+l] = s[so+l]
+				}
+			}
+		}
+	})
+
+	// GEMM: [px, ic] × [ic, oc] → [px, oc], row blocks per thread.
+	ParallelFor(threads, px, func(start, end int) {
+		rows := end - start
+		if c.Strassen {
+			matmul.MulStrassen(out[start*c.oc:end*c.oc], in[start*c.ic:end*c.ic], c.wT, rows, c.ic, c.oc)
+		} else {
+			matmul.Mul(out[start*c.oc:end*c.oc], in[start*c.ic:end*c.ic], c.wT, rows, c.ic, c.oc)
+		}
+	})
+
+	// Repack [pixels, oc] → NC4HW4 with bias + activation.
+	ParallelFor(threads, px, func(start, end int) {
+		for p := start; p < end; p++ {
+			n := p / (OH * OW)
+			rem := p % (OH * OW)
+			row := out[p*c.oc : (p+1)*c.oc]
+			for o := 0; o < c.oc; o++ {
+				v := row[o] + c.bias[o]
+				if a.ReLU6 {
+					v = relu6(v)
+				} else if a.ReLU {
+					v = relu(v)
+				}
+				oz, ol := o/4, o%4
+				d[(((n*oc4+oz)*OH*OW)+rem)*4+ol] = v
+			}
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package kernels
+
+import (
+	"mnn/internal/graph"
+	"mnn/internal/tensor"
+)
+
+// DepthwiseConv is the prepared state of the depthwise convolution on
+// NC4HW4 tensors. Each channel convolves with its own kh×kw filter; the four
+// channels of a packed block are processed lane-parallel, mirroring the NEON
+// vectorization of the paper's kernels.
+type DepthwiseConv struct {
+	attrs  graph.Conv2DAttrs
+	c      int
+	packed []float32 // [c4][kh][kw][4]
+	bias   []float32 // length c4*4
+}
+
+// PrepareDepthwise packs weights for the depthwise kernel.
+// weight is [c, 1, kh, kw]; bias may be nil.
+func PrepareDepthwise(weight, bias *tensor.Tensor, a *graph.Conv2DAttrs) *DepthwiseConv {
+	c := weight.Dim(0)
+	kh, kw := a.KernelH, a.KernelW
+	c4 := tensor.UpDiv(c, 4)
+	dc := &DepthwiseConv{attrs: *a, c: c}
+	dc.packed = make([]float32, c4*kh*kw*4)
+	w := weight.Data()
+	for ch := 0; ch < c; ch++ {
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				v := w[(ch*kh+ky)*kw+kx]
+				cz, cl := ch/4, ch%4
+				dc.packed[((cz*kh+ky)*kw+kx)*4+cl] = v
+			}
+		}
+	}
+	dc.bias = make([]float32, c4*4)
+	if bias != nil {
+		copy(dc.bias, bias.Data())
+	}
+	return dc
+}
+
+// Run executes the depthwise convolution. src and dst must be NC4HW4.
+func (dc *DepthwiseConv) Run(dst, src *tensor.Tensor, threads int) {
+	a := &dc.attrs
+	N, H, W := src.Batch(), src.Height(), src.Width()
+	OH, OW := dst.Height(), dst.Width()
+	c4 := tensor.UpDiv(dc.c, 4)
+	kh, kw := a.KernelH, a.KernelW
+	sh, sw := strideOr1(a.StrideH), strideOr1(a.StrideW)
+	dh, dw := dilOr1(a.DilationH), dilOr1(a.DilationW)
+	ph, pw := graph.ConvPadding(H, W, a)
+	s := src.Data()
+	d := dst.Data()
+
+	ParallelFor(threads, N*c4, func(start, end int) {
+		for item := start; item < end; item++ {
+			n, cz := item/c4, item%c4
+			b0, b1, b2, b3 := dc.bias[cz*4], dc.bias[cz*4+1], dc.bias[cz*4+2], dc.bias[cz*4+3]
+			srcCZ := ((n*c4 + cz) * H) * W * 4
+			dstCZ := ((n*c4 + cz) * OH) * OW * 4
+			wCZ := cz * kh * kw * 4
+			for oy := 0; oy < OH; oy++ {
+				for ox := 0; ox < OW; ox++ {
+					acc0, acc1, acc2, acc3 := b0, b1, b2, b3
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*sh - ph + ky*dh
+						if iy < 0 || iy >= H {
+							continue
+						}
+						rowOff := srcCZ + iy*W*4
+						wKY := wCZ + ky*kw*4
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*sw - pw + kx*dw
+							if ix < 0 || ix >= W {
+								continue
+							}
+							so := rowOff + ix*4
+							wo := wKY + kx*4
+							acc0 += s[so] * dc.packed[wo]
+							acc1 += s[so+1] * dc.packed[wo+1]
+							acc2 += s[so+2] * dc.packed[wo+2]
+							acc3 += s[so+3] * dc.packed[wo+3]
+						}
+					}
+					if a.ReLU6 {
+						acc0, acc1, acc2, acc3 = relu6(acc0), relu6(acc1), relu6(acc2), relu6(acc3)
+					} else if a.ReLU {
+						acc0, acc1, acc2, acc3 = relu(acc0), relu(acc1), relu(acc2), relu(acc3)
+					}
+					do := dstCZ + (oy*OW+ox)*4
+					d[do] = acc0
+					d[do+1] = acc1
+					d[do+2] = acc2
+					d[do+3] = acc3
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package kernels
+
+import (
+	"mnn/internal/graph"
+	"mnn/internal/matmul"
+	"mnn/internal/tensor"
+)
+
+// Im2colConv is the prepared state of the generic im2col+GEMM convolution.
+// This is the strategy TF-Lite-style engines apply to every convolution and
+// the path MNN itself uses for configurations outside the Winograd/sliding
+// sweet spots (grouped non-depthwise convs, exotic dilations). Activations
+// are NCHW.
+type Im2colConv struct {
+	attrs  graph.Conv2DAttrs
+	ic, oc int
+	// wT is [group][ickhkw/g][oc/g] — transposed per-group weight.
+	wT   []float32
+	bias []float32
+}
+
+// PrepareIm2col packs the [oc, ic/g, kh, kw] weight into per-group
+// transposed GEMM operands.
+func PrepareIm2col(weight, bias *tensor.Tensor, a *graph.Conv2DAttrs) *Im2colConv {
+	oc := weight.Dim(0)
+	icg := weight.Dim(1) // ic per group
+	kh, kw := a.KernelH, a.KernelW
+	group := a.Group
+	if group <= 0 {
+		group = 1
+	}
+	ocg := oc / group
+	k := icg * kh * kw
+	c := &Im2colConv{attrs: *a, ic: icg * group, oc: oc}
+	c.wT = make([]float32, group*k*ocg)
+	w := weight.Data()
+	for g := 0; g < group; g++ {
+		for o := 0; o < ocg; o++ {
+			for i := 0; i < k; i++ {
+				c.wT[(g*k+i)*ocg+o] = w[(g*ocg+o)*k+i]
+			}
+		}
+	}
+	c.bias = make([]float32, oc)
+	if bias != nil {
+		copy(c.bias, bias.Data())
+	}
+	return c
+}
+
+// WorkspaceSize returns the scratch float32 count for a batch-element run:
+// the im2col patch matrix [oh*ow, icg*kh*kw] plus the product [oh*ow, ocg].
+func (c *Im2colConv) WorkspaceSize(h, w int) int {
+	a := &c.attrs
+	oh, ow, err := graph.ConvOutputSize(h, w, a)
+	if err != nil {
+		return 0
+	}
+	group := a.Group
+	if group <= 0 {
+		group = 1
+	}
+	icg := c.ic / group
+	ocg := c.oc / group
+	return oh*ow*icg*a.KernelH*a.KernelW + oh*ow*ocg
+}
+
+// Run executes the convolution on NCHW tensors.
+func (c *Im2colConv) Run(dst, src *tensor.Tensor, threads int, workspace []float32) {
+	a := &c.attrs
+	N, _, H, W := src.Batch(), src.Channels(), src.Height(), src.Width()
+	OH, OW := dst.Height(), dst.Width()
+	kh, kw := a.KernelH, a.KernelW
+	sh, sw := strideOr1(a.StrideH), strideOr1(a.StrideW)
+	dh, dw := dilOr1(a.DilationH), dilOr1(a.DilationW)
+	ph, pw := graph.ConvPadding(H, W, a)
+	group := a.Group
+	if group <= 0 {
+		group = 1
+	}
+	icg := c.ic / group
+	ocg := c.oc / group
+	k := icg * kh * kw
+	px := OH * OW
+	if workspace == nil {
+		workspace = make([]float32, px*k+px*ocg)
+	}
+	cols := workspace[:px*k]
+	prod := workspace[px*k : px*k+px*ocg]
+	s := src.Data()
+	d := dst.Data()
+
+	for n := 0; n < N; n++ {
+		for g := 0; g < group; g++ {
+			// im2col: rows are output pixels, columns are (ic, ky, kx).
+			ParallelFor(threads, px, func(start, end int) {
+				for p := start; p < end; p++ {
+					oy, ox := p/OW, p%OW
+					row := cols[p*k : (p+1)*k]
+					idx := 0
+					for i := 0; i < icg; i++ {
+						srcC := g*icg + i
+						chanOff := (n*c.ic + srcC) * H * W
+						for ky := 0; ky < kh; ky++ {
+							iy := oy*sh - ph + ky*dh
+							for kx := 0; kx < kw; kx++ {
+								ix := ox*sw - pw + kx*dw
+								if iy < 0 || iy >= H || ix < 0 || ix >= W {
+									row[idx] = 0
+								} else {
+									row[idx] = s[chanOff+iy*W+ix]
+								}
+								idx++
+							}
+						}
+					}
+				}
+			})
+			// GEMM [px, k] × [k, ocg] → [px, ocg].
+			ParallelFor(threads, px, func(start, end int) {
+				matmul.Mul(prod[start*ocg:end*ocg], cols[start*k:end*k],
+					c.wT[g*k*ocg:(g+1)*k*ocg], end-start, k, ocg)
+			})
+			// Scatter to NCHW with bias + activation.
+			ParallelFor(threads, ocg, func(start, end int) {
+				for o := start; o < end; o++ {
+					dstC := g*ocg + o
+					b := c.bias[dstC]
+					off := (n*c.oc + dstC) * OH * OW
+					for p := 0; p < px; p++ {
+						v := prod[p*ocg+o] + b
+						if a.ReLU6 {
+							v = relu6(v)
+						} else if a.ReLU {
+							v = relu(v)
+						}
+						d[off+p] = v
+					}
+				}
+			})
+		}
+	}
+}

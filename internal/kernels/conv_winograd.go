@@ -1,0 +1,281 @@
+package kernels
+
+import (
+	"fmt"
+
+	"mnn/internal/graph"
+	"mnn/internal/matmul"
+	"mnn/internal/tensor"
+	"mnn/internal/winograd"
+)
+
+// WinogradConv is the prepared state of the Winograd convolution following
+// Figure 4 of the paper: weights are transformed once at pre-inference time
+// (W' = G·W·Gᵀ), inputs are transformed per tile (X' = Bᵀ·X·B), the Hadamard
+// product over channels is re-ordered into one matrix multiplication per
+// transform position, and outputs are transformed back (Y = Aᵀ·Y'·A).
+//
+// Transforms are applied per axis with independent matrices, so asymmetric
+// kernels (1×7, 7×1, …) are handled by the same code path — this is what
+// makes the engine free of the case-by-case bottleneck shown in Figure 8.
+type WinogradConv struct {
+	attrs  graph.Conv2DAttrs
+	ic, oc int
+
+	nh, nw int // output tile size per axis
+	mh, mw int // transform size per axis (n + k - 1)
+
+	matsH, matsW *winograd.Matrices
+
+	// wT holds transformed weights: [mh*mw][ic][oc] flattened, one ic×oc
+	// matrix per transform position (the right operand of Figure 4's
+	// per-position matmul).
+	wT   []float32
+	bias []float32
+
+	// tileBlock is U in Figure 4: how many tiles are gathered into one
+	// matmul batch.
+	tileBlock int
+}
+
+// DefaultTileBlock is the default number of Winograd tiles batched into one
+// per-position matrix multiplication (U in Figure 4).
+const DefaultTileBlock = 64
+
+// PrepareWinograd transforms weights for F(nh×nw, kh×kw) Winograd
+// convolution. weight is [oc, ic, kh, kw]; bias may be nil. The convolution
+// must have stride 1, dilation 1 and group 1; tile sizes must satisfy
+// n+k-1 ≤ 12 on each axis. An axis with kernel size 1 uses the identity
+// transform (n=1).
+func PrepareWinograd(weight, bias *tensor.Tensor, a *graph.Conv2DAttrs, nh, nw int) (*WinogradConv, error) {
+	if strideOr1(a.StrideH) != 1 || strideOr1(a.StrideW) != 1 {
+		return nil, fmt.Errorf("winograd conv requires stride 1, got %dx%d", a.StrideH, a.StrideW)
+	}
+	if dilOr1(a.DilationH) != 1 || dilOr1(a.DilationW) != 1 {
+		return nil, fmt.Errorf("winograd conv requires dilation 1")
+	}
+	if a.Group > 1 {
+		return nil, fmt.Errorf("winograd conv requires group 1, got %d", a.Group)
+	}
+	kh, kw := a.KernelH, a.KernelW
+	if kh == 1 {
+		nh = 1
+	}
+	if kw == 1 {
+		nw = 1
+	}
+	if nh < 1 || nw < 1 {
+		return nil, fmt.Errorf("invalid tile size %dx%d", nh, nw)
+	}
+	matsH, err := winograd.Generate(nh, kh, winograd.DefaultF)
+	if err != nil {
+		return nil, err
+	}
+	matsW, err := winograd.Generate(nw, kw, winograd.DefaultF)
+	if err != nil {
+		return nil, err
+	}
+	oc, ic := weight.Dim(0), weight.Dim(1)
+	wc := &WinogradConv{
+		attrs: *a, ic: ic, oc: oc,
+		nh: nh, nw: nw, mh: matsH.M, mw: matsW.M,
+		matsH: matsH, matsW: matsW,
+		tileBlock: DefaultTileBlock,
+	}
+	mh, mw := wc.mh, wc.mw
+	wc.wT = make([]float32, mh*mw*ic*oc)
+	w := weight.Data()
+	// Transform each output channel's filters in parallel: for wide layers
+	// (512×512) this is millions of small transforms and dominates
+	// pre-inference time otherwise.
+	ParallelFor(4, oc, func(start, end int) {
+		kTile := make([]float32, kh*kw)
+		tTile := make([]float32, mh*mw)
+		scratch := make([]float32, mh*kw)
+		for o := start; o < end; o++ {
+			for i := 0; i < ic; i++ {
+				copy(kTile, w[(o*ic+i)*kh*kw:(o*ic+i+1)*kh*kw])
+				// W' = G_h (kh→mh rows) · W · G_wᵀ (kw→mw cols).
+				rectTransform(tTile, kTile, matsH.G, matsW.G, mh, kh, kw, mw, scratch)
+				for p := 0; p < mh*mw; p++ {
+					wc.wT[(p*ic+i)*oc+o] = tTile[p]
+				}
+			}
+		}
+	})
+	wc.bias = make([]float32, tensor.AlignUp(oc, 4))
+	if bias != nil {
+		copy(wc.bias, bias.Data())
+	}
+	return wc, nil
+}
+
+// rectTransform computes dst = L · src · Rᵀ where L is lm×lk, src is lk×rk,
+// R is rm×rk; dst is lm×rm. scratch must hold lm*rk floats.
+func rectTransform(dst, src, l, r []float32, lm, lk, rk, rm int, scratch []float32) {
+	// scratch = L(lm×lk) · src(lk×rk)
+	for i := 0; i < lm; i++ {
+		li := l[i*lk : (i+1)*lk]
+		row := scratch[i*rk : (i+1)*rk]
+		for j := range row {
+			row[j] = 0
+		}
+		for p, lv := range li {
+			if lv == 0 {
+				continue
+			}
+			sp := src[p*rk : (p+1)*rk]
+			for j, sv := range sp {
+				row[j] += lv * sv
+			}
+		}
+	}
+	// dst = scratch(lm×rk) · Rᵀ: dst[i][j] = Σ_p scratch[i][p]·R[j][p]
+	for i := 0; i < lm; i++ {
+		si := scratch[i*rk : (i+1)*rk]
+		for j := 0; j < rm; j++ {
+			rj := r[j*rk : (j+1)*rk]
+			var sum float32
+			for p := 0; p < rk; p++ {
+				sum += si[p] * rj[p]
+			}
+			dst[i*rm+j] = sum
+		}
+	}
+}
+
+// WorkspaceSize returns the float32 count of the scratch workspace one
+// worker needs for the given source spatial size. The pre-inference memory
+// planner allocates this from the arena (Section 3.2 of the paper).
+func (wc *WinogradConv) WorkspaceSize() int {
+	mm := wc.mh * wc.mw
+	u := wc.tileBlock
+	// srcT [mm][U][ic] + dstT [mm][U][oc] + gather tile + transform scratch.
+	return mm*u*wc.ic + mm*u*wc.oc + 2*mm + mm
+}
+
+// Run executes the convolution. src and dst must be NC4HW4.
+// workspace may be nil (allocated internally) or a slice of at least
+// WorkspaceSize()*threads floats.
+func (wc *WinogradConv) Run(dst, src *tensor.Tensor, threads int, workspace []float32) {
+	a := &wc.attrs
+	N, H, W := src.Batch(), src.Height(), src.Width()
+	OH, OW := dst.Height(), dst.Width()
+	ph, pw := graph.ConvPadding(H, W, a)
+	ic4 := tensor.UpDiv(wc.ic, 4)
+	oc4 := tensor.UpDiv(wc.oc, 4)
+	s := src.Data()
+	d := dst.Data()
+
+	nh, nw, mh, mw := wc.nh, wc.nw, wc.mh, wc.mw
+	mm := mh * mw
+	tilesY := tensor.UpDiv(OH, nh)
+	tilesX := tensor.UpDiv(OW, nw)
+	tilesPerImage := tilesY * tilesX
+	totalTiles := N * tilesPerImage
+	u := wc.tileBlock
+	blocks := tensor.UpDiv(totalTiles, u)
+
+	wsPer := wc.WorkspaceSize()
+	if workspace == nil {
+		if threads < 1 {
+			threads = 1
+		}
+		workspace = make([]float32, wsPer*threads)
+	}
+
+	ParallelForWorker(threads, blocks, func(worker, start, end int) {
+		ws := workspace[worker*wsPer : (worker+1)*wsPer]
+		srcT := ws[:mm*u*wc.ic]
+		dstT := ws[mm*u*wc.ic : mm*u*(wc.ic+wc.oc)]
+		tile := ws[mm*u*(wc.ic+wc.oc) : mm*u*(wc.ic+wc.oc)+mm]
+		tileT := ws[mm*u*(wc.ic+wc.oc)+mm : mm*u*(wc.ic+wc.oc)+2*mm]
+		scratch := ws[mm*u*(wc.ic+wc.oc)+2*mm:]
+
+		for blk := start; blk < end; blk++ {
+			t0 := blk * u
+			t1 := t0 + u
+			if t1 > totalTiles {
+				t1 = totalTiles
+			}
+			cnt := t1 - t0
+
+			// ---- Input transform: fill srcT[p][u][ic].
+			for t := t0; t < t1; t++ {
+				ti := t - t0
+				n := t / tilesPerImage
+				rem := t % tilesPerImage
+				ty, tx := rem/tilesX, rem%tilesX
+				y0 := ty*nh - ph
+				x0 := tx*nw - pw
+				for c := 0; c < wc.ic; c++ {
+					cz, cl := c/4, c%4
+					base := ((n*ic4 + cz) * H) * W * 4
+					// Gather mh×mw patch with zero padding.
+					for yy := 0; yy < mh; yy++ {
+						iy := y0 + yy
+						for xx := 0; xx < mw; xx++ {
+							ix := x0 + xx
+							if iy < 0 || iy >= H || ix < 0 || ix >= W {
+								tile[yy*mw+xx] = 0
+							} else {
+								tile[yy*mw+xx] = s[base+(iy*W+ix)*4+cl]
+							}
+						}
+					}
+					// X' = BT_h · X · B_w  (B_w applied as · BT_wᵀ).
+					rectTransform(tileT, tile, wc.matsH.BT, wc.matsW.BT, mh, mh, mw, mw, scratch)
+					for p := 0; p < mm; p++ {
+						srcT[(p*u+ti)*wc.ic+c] = tileT[p]
+					}
+				}
+			}
+
+			// ---- Per-position matmul (Figure 4): Y'[p] = X'[p] · W'[p].
+			for p := 0; p < mm; p++ {
+				matmul.Mul(dstT[p*u*wc.oc:(p*u+cnt)*wc.oc],
+					srcT[p*u*wc.ic:(p*u+cnt)*wc.ic],
+					wc.wT[p*wc.ic*wc.oc:(p+1)*wc.ic*wc.oc],
+					cnt, wc.ic, wc.oc)
+			}
+
+			// ---- Output transform: Y = AT_h · Y' · A_w, then bias+act+write.
+			for t := t0; t < t1; t++ {
+				ti := t - t0
+				n := t / tilesPerImage
+				rem := t % tilesPerImage
+				ty, tx := rem/tilesX, rem%tilesX
+				oy0 := ty * nh
+				ox0 := tx * nw
+				for o := 0; o < wc.oc; o++ {
+					oz, ol := o/4, o%4
+					for p := 0; p < mm; p++ {
+						tile[p] = dstT[(p*u+ti)*wc.oc+o]
+					}
+					rectTransform(tileT, tile, wc.matsH.AT, wc.matsW.AT, nh, mh, mw, nw, scratch)
+					bv := wc.bias[o]
+					base := ((n*oc4 + oz) * OH) * OW * 4
+					for yy := 0; yy < nh; yy++ {
+						oy := oy0 + yy
+						if oy >= OH {
+							break
+						}
+						for xx := 0; xx < nw; xx++ {
+							ox := ox0 + xx
+							if ox >= OW {
+								break
+							}
+							v := tileT[yy*nw+xx] + bv
+							if a.ReLU6 {
+								v = relu6(v)
+							} else if a.ReLU {
+								v = relu(v)
+							}
+							d[base+(oy*OW+ox)*4+ol] = v
+						}
+					}
+				}
+			}
+		}
+	})
+}

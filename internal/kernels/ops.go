@@ -1,0 +1,363 @@
+package kernels
+
+import (
+	"math"
+
+	"mnn/internal/graph"
+	"mnn/internal/matmul"
+	"mnn/internal/tensor"
+)
+
+// PoolNC4 executes max/average pooling on NC4HW4 tensors, processing the
+// four packed channels of a block lane-parallel.
+func PoolNC4(dst, src *tensor.Tensor, a *graph.PoolAttrs, threads int) {
+	N, C, H, W := src.Batch(), src.Channels(), src.Height(), src.Width()
+	OH, OW := dst.Height(), dst.Width()
+	c4 := tensor.UpDiv(C, 4)
+	kh, kw := a.KernelH, a.KernelW
+	sh, sw := strideOr1(a.StrideH), strideOr1(a.StrideW)
+	if a.Global {
+		kh, kw, sh, sw = H, W, 1, 1
+	}
+	ph, pw := graph.PoolPadding(H, W, a)
+	if a.Global {
+		ph, pw = 0, 0
+	}
+	s := src.Data()
+	d := dst.Data()
+	ParallelFor(threads, N*c4, func(start, end int) {
+		for item := start; item < end; item++ {
+			srcOff := item * H * W * 4
+			dstOff := item * OH * OW * 4
+			for oy := 0; oy < OH; oy++ {
+				for ox := 0; ox < OW; ox++ {
+					y0, x0 := oy*sh-ph, ox*sw-pw
+					var m0, m1, m2, m3 float32
+					var a0, a1, a2, a3 float64
+					m0, m1, m2, m3 = float32(math.Inf(-1)), float32(math.Inf(-1)), float32(math.Inf(-1)), float32(math.Inf(-1))
+					count := 0
+					for ky := 0; ky < kh; ky++ {
+						iy := y0 + ky
+						if iy < 0 || iy >= H {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := x0 + kx
+							if ix < 0 || ix >= W {
+								continue
+							}
+							so := srcOff + (iy*W+ix)*4
+							v0, v1, v2, v3 := s[so], s[so+1], s[so+2], s[so+3]
+							if a.Type == graph.MaxPool {
+								if v0 > m0 {
+									m0 = v0
+								}
+								if v1 > m1 {
+									m1 = v1
+								}
+								if v2 > m2 {
+									m2 = v2
+								}
+								if v3 > m3 {
+									m3 = v3
+								}
+							} else {
+								a0 += float64(v0)
+								a1 += float64(v1)
+								a2 += float64(v2)
+								a3 += float64(v3)
+							}
+							count++
+						}
+					}
+					do := dstOff + (oy*OW+ox)*4
+					if a.Type == graph.MaxPool {
+						d[do], d[do+1], d[do+2], d[do+3] = m0, m1, m2, m3
+					} else {
+						div := float64(count)
+						if a.CountIncludePad {
+							div = float64(kh * kw)
+						}
+						if div == 0 {
+							div = 1
+						}
+						d[do] = float32(a0 / div)
+						d[do+1] = float32(a1 / div)
+						d[do+2] = float32(a2 / div)
+						d[do+3] = float32(a3 / div)
+					}
+				}
+			}
+		}
+	})
+}
+
+// ActivationKind enumerates unary activations.
+type ActivationKind uint8
+
+const (
+	ActReLU ActivationKind = iota
+	ActReLU6
+	ActSigmoid
+	ActTanh
+)
+
+// Activation applies a unary activation elementwise over the physical
+// buffer. For NC4HW4 tensors the padding lanes are transformed too, which is
+// harmless: they are never read logically and ReLU/ReLU6 keep them zero.
+func Activation(dst, src *tensor.Tensor, kind ActivationKind, threads int) {
+	s := src.Data()
+	d := dst.Data()
+	ParallelFor(threads, len(s), func(start, end int) {
+		switch kind {
+		case ActReLU:
+			for i := start; i < end; i++ {
+				d[i] = relu(s[i])
+			}
+		case ActReLU6:
+			for i := start; i < end; i++ {
+				d[i] = relu6(s[i])
+			}
+		case ActSigmoid:
+			for i := start; i < end; i++ {
+				d[i] = float32(1 / (1 + math.Exp(-float64(s[i]))))
+			}
+		case ActTanh:
+			for i := start; i < end; i++ {
+				d[i] = float32(math.Tanh(float64(s[i])))
+			}
+		}
+	})
+}
+
+// Eltwise applies a binary elementwise reduction over ≥2 inputs with
+// identical shapes and layouts, writing into dst (which may alias inputs[0]).
+func Eltwise(dst *tensor.Tensor, inputs []*tensor.Tensor, a *graph.EltwiseAttrs, threads int) {
+	d := dst.Data()
+	first := inputs[0].Data()
+	ParallelFor(threads, len(d), func(start, end int) {
+		copy(d[start:end], first[start:end])
+		for _, in := range inputs[1:] {
+			s := in.Data()
+			switch a.Type {
+			case graph.EltSum:
+				for i := start; i < end; i++ {
+					d[i] += s[i]
+				}
+			case graph.EltProd:
+				for i := start; i < end; i++ {
+					d[i] *= s[i]
+				}
+			case graph.EltMax:
+				for i := start; i < end; i++ {
+					if s[i] > d[i] {
+						d[i] = s[i]
+					}
+				}
+			case graph.EltSub:
+				for i := start; i < end; i++ {
+					d[i] -= s[i]
+				}
+			}
+		}
+		if a.ReLU {
+			for i := start; i < end; i++ {
+				d[i] = relu(d[i])
+			}
+		}
+	})
+}
+
+// ConcatChannel concatenates along the channel axis. When every input's
+// channel count is a multiple of the pack factor, blocks are copied
+// wholesale; otherwise a generic per-element path repacks.
+func ConcatChannel(dst *tensor.Tensor, inputs []*tensor.Tensor) {
+	if dst.Layout() == tensor.NC4HW4 {
+		allAligned := true
+		for _, in := range inputs {
+			if in.Channels()%4 != 0 || in.Layout() != tensor.NC4HW4 {
+				allAligned = false
+				break
+			}
+		}
+		if allAligned {
+			N := dst.Batch()
+			H, W := dst.Height(), dst.Width()
+			dc4 := tensor.UpDiv(dst.Channels(), 4)
+			d := dst.Data()
+			czOff := 0
+			for _, in := range inputs {
+				ic4 := in.Channels() / 4
+				s := in.Data()
+				for n := 0; n < N; n++ {
+					for cz := 0; cz < ic4; cz++ {
+						srcOff := ((n*ic4 + cz) * H * W) * 4
+						dstOff := ((n*dc4 + czOff + cz) * H * W) * 4
+						copy(d[dstOff:dstOff+H*W*4], s[srcOff:srcOff+H*W*4])
+					}
+				}
+				czOff += ic4
+			}
+			return
+		}
+	}
+	// Generic path.
+	cOff := 0
+	for _, in := range inputs {
+		N, C, H, W := in.Batch(), in.Channels(), in.Height(), in.Width()
+		for n := 0; n < N; n++ {
+			for c := 0; c < C; c++ {
+				for y := 0; y < H; y++ {
+					for x := 0; x < W; x++ {
+						dst.Set(n, cOff+c, y, x, in.At(n, c, y, x))
+					}
+				}
+			}
+		}
+		cOff += C
+	}
+}
+
+// ConcatAxis concatenates along an arbitrary axis on NCHW buffers.
+func ConcatAxis(dst *tensor.Tensor, inputs []*tensor.Tensor, axis int) {
+	shape := dst.Shape()
+	outer := 1
+	for _, v := range shape[:axis] {
+		outer *= v
+	}
+	innerDst := 1
+	for _, v := range shape[axis:] {
+		innerDst *= v
+	}
+	d := dst.Data()
+	off := 0
+	for _, in := range inputs {
+		is := in.Shape()
+		innerSrc := 1
+		for _, v := range is[axis:] {
+			innerSrc *= v
+		}
+		s := in.Data()
+		for o := 0; o < outer; o++ {
+			copy(d[o*innerDst+off:o*innerDst+off+innerSrc], s[o*innerSrc:(o+1)*innerSrc])
+		}
+		off += innerSrc
+	}
+}
+
+// ScaleNC4 applies per-channel y = x·scale + shift on an NC4HW4 tensor.
+// BatchNorm folds into this form at prepare time.
+func ScaleNC4(dst, src *tensor.Tensor, scale, shift []float32, threads int) {
+	N, C, H, W := src.Batch(), src.Channels(), src.Height(), src.Width()
+	c4 := tensor.UpDiv(C, 4)
+	s := src.Data()
+	d := dst.Data()
+	// Padded-lane-safe packed parameters.
+	ps := make([]float32, c4*4)
+	pb := make([]float32, c4*4)
+	copy(ps, scale)
+	if shift != nil {
+		copy(pb, shift)
+	}
+	ParallelFor(threads, N*c4, func(start, end int) {
+		for item := start; item < end; item++ {
+			cz := item % c4
+			s0, s1, s2, s3 := ps[cz*4], ps[cz*4+1], ps[cz*4+2], ps[cz*4+3]
+			b0, b1, b2, b3 := pb[cz*4], pb[cz*4+1], pb[cz*4+2], pb[cz*4+3]
+			off := item * H * W * 4
+			for p := 0; p < H*W; p++ {
+				o := off + p*4
+				d[o] = s[o]*s0 + b0
+				d[o+1] = s[o+1]*s1 + b1
+				d[o+2] = s[o+2]*s2 + b2
+				d[o+3] = s[o+3]*s3 + b3
+			}
+		}
+	})
+}
+
+// FoldBatchNorm converts BatchNorm constants into (scale, shift) pairs:
+// y = gamma·(x-mean)/sqrt(var+eps) + beta = x·s + b.
+func FoldBatchNorm(gamma, beta, mean, variance []float32, eps float32) (scale, shift []float32) {
+	n := len(gamma)
+	scale = make([]float32, n)
+	shift = make([]float32, n)
+	for i := 0; i < n; i++ {
+		s := gamma[i] / float32(math.Sqrt(float64(variance[i]+eps)))
+		scale[i] = s
+		shift[i] = beta[i] - s*mean[i]
+	}
+	return scale, shift
+}
+
+// InnerProduct is the prepared fully-connected kernel: a [batch, features] ×
+// [features, out] GEMM on the transposed weight.
+type InnerProduct struct {
+	attrs    graph.InnerProductAttrs
+	features int
+	wT       []float32
+	bias     []float32
+}
+
+// PrepareInnerProduct transposes the [out, features] weight.
+func PrepareInnerProduct(weight, bias *tensor.Tensor, a *graph.InnerProductAttrs) *InnerProduct {
+	out := weight.Dim(0)
+	features := weight.Dim(1)
+	ip := &InnerProduct{attrs: *a, features: features}
+	ip.wT = make([]float32, features*out)
+	w := weight.Data()
+	for o := 0; o < out; o++ {
+		for i := 0; i < features; i++ {
+			ip.wT[i*out+o] = w[o*features+i]
+		}
+	}
+	ip.bias = make([]float32, out)
+	if bias != nil {
+		copy(ip.bias, bias.Data())
+	}
+	return ip
+}
+
+// Run executes the FC layer on NCHW buffers (src flattened per batch).
+func (ip *InnerProduct) Run(dst, src *tensor.Tensor, threads int) {
+	batch := src.Dim(0)
+	out := ip.attrs.OutputCount
+	s := src.Data()
+	d := dst.Data()
+	ParallelFor(threads, batch, func(start, end int) {
+		rows := end - start
+		matmul.Mul(d[start*out:end*out], s[start*ip.features:end*ip.features], ip.wT, rows, ip.features, out)
+	})
+	ParallelFor(threads, batch, func(start, end int) {
+		for n := start; n < end; n++ {
+			for o := 0; o < out; o++ {
+				v := d[n*out+o] + ip.bias[o]
+				if ip.attrs.ReLU && v < 0 {
+					v = 0
+				}
+				d[n*out+o] = v
+			}
+		}
+	})
+}
+
+// PaddingNC4 zero-pads spatial dims on NC4HW4 tensors.
+func PaddingNC4(dst, src *tensor.Tensor, a *graph.PaddingAttrs, threads int) {
+	N, C, H, W := src.Batch(), src.Channels(), src.Height(), src.Width()
+	OW := dst.Width()
+	c4 := tensor.UpDiv(C, 4)
+	s := src.Data()
+	d := dst.Data()
+	dst.Zero()
+	ParallelFor(threads, N*c4, func(start, end int) {
+		for item := start; item < end; item++ {
+			srcOff := item * H * W * 4
+			dstOff := item * dst.Height() * OW * 4
+			for y := 0; y < H; y++ {
+				srcRow := srcOff + y*W*4
+				dstRow := dstOff + ((y+a.Top)*OW+a.Left)*4
+				copy(d[dstRow:dstRow+W*4], s[srcRow:srcRow+W*4])
+			}
+		}
+	})
+}

@@ -1,0 +1,324 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"mnn/internal/graph"
+	"mnn/internal/tensor"
+)
+
+func TestPoolNC4MatchesRef(t *testing.T) {
+	cases := []struct {
+		name string
+		a    graph.PoolAttrs
+		c, h, w int
+	}{
+		{"max2x2s2", graph.PoolAttrs{Type: graph.MaxPool, KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2}, 8, 8, 8},
+		{"max3x3s2p1", graph.PoolAttrs{Type: graph.MaxPool, KernelH: 3, KernelW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}, 6, 9, 9},
+		{"avg3x3s1p1", graph.PoolAttrs{Type: graph.AvgPool, KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}, 5, 7, 7},
+		{"avg-incl-pad", graph.PoolAttrs{Type: graph.AvgPool, KernelH: 3, KernelW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1, CountIncludePad: true}, 4, 9, 9},
+		{"global-avg", graph.PoolAttrs{Type: graph.AvgPool, Global: true}, 10, 7, 7},
+		{"global-max", graph.PoolAttrs{Type: graph.MaxPool, Global: true}, 3, 5, 5},
+	}
+	for _, tc := range cases {
+		for _, threads := range []int{1, 3} {
+			t.Run(fmt.Sprintf("%s/t%d", tc.name, threads), func(t *testing.T) {
+				src := tensor.NewRandom(5, 1, 1, tc.c, tc.h, tc.w)
+				var oh, ow int
+				var err error
+				if tc.a.Global {
+					oh, ow = 1, 1
+				} else {
+					oh, ow, err = graph.PoolOutputSize(tc.h, tc.w, &tc.a)
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				want := tensor.New(1, tc.c, oh, ow)
+				PoolRef(want, src, &tc.a)
+				src4 := src.ToLayout(tensor.NC4HW4)
+				got := tensor.NewWithLayout(tensor.NC4HW4, 1, tc.c, oh, ow)
+				PoolNC4(got, src4, &tc.a, threads)
+				if d := tensor.MaxAbsDiff(want, got); d > 1e-5 {
+					t.Fatalf("max diff %g", d)
+				}
+			})
+		}
+	}
+}
+
+func TestActivationKinds(t *testing.T) {
+	src := tensor.FromData([]float32{-3, -0.5, 0, 0.5, 3, 7}, 6)
+	check := func(kind ActivationKind, want []float32) {
+		dst := tensor.New(6)
+		Activation(dst, src, kind, 1)
+		for i := range want {
+			if math.Abs(float64(dst.Data()[i]-want[i])) > 1e-5 {
+				t.Errorf("kind %d elem %d: got %v want %v", kind, i, dst.Data()[i], want[i])
+			}
+		}
+	}
+	check(ActReLU, []float32{0, 0, 0, 0.5, 3, 7})
+	check(ActReLU6, []float32{0, 0, 0, 0.5, 3, 6})
+	sig := func(x float64) float32 { return float32(1 / (1 + math.Exp(-x))) }
+	check(ActSigmoid, []float32{sig(-3), sig(-0.5), 0.5, sig(0.5), sig(3), sig(7)})
+	th := func(x float64) float32 { return float32(math.Tanh(x)) }
+	check(ActTanh, []float32{th(-3), th(-0.5), 0, th(0.5), th(3), th(7)})
+}
+
+func TestEltwiseOps(t *testing.T) {
+	a := tensor.FromData([]float32{1, 2, 3, 4}, 4)
+	b := tensor.FromData([]float32{5, -6, 7, -8}, 4)
+	for _, tc := range []struct {
+		typ  graph.EltwiseType
+		want []float32
+	}{
+		{graph.EltSum, []float32{6, -4, 10, -4}},
+		{graph.EltProd, []float32{5, -12, 21, -32}},
+		{graph.EltMax, []float32{5, 2, 7, 4}},
+		{graph.EltSub, []float32{-4, 8, -4, 12}},
+	} {
+		dst := tensor.New(4)
+		Eltwise(dst, []*tensor.Tensor{a, b}, &graph.EltwiseAttrs{Type: tc.typ}, 1)
+		for i := range tc.want {
+			if dst.Data()[i] != tc.want[i] {
+				t.Errorf("%v: got %v want %v", tc.typ, dst.Data(), tc.want)
+				break
+			}
+		}
+	}
+	// Fused ReLU.
+	dst := tensor.New(4)
+	Eltwise(dst, []*tensor.Tensor{a, b}, &graph.EltwiseAttrs{Type: graph.EltSum, ReLU: true}, 1)
+	want := []float32{6, 0, 10, 0}
+	for i := range want {
+		if dst.Data()[i] != want[i] {
+			t.Fatalf("relu sum: got %v want %v", dst.Data(), want)
+		}
+	}
+	// Three inputs.
+	dst3 := tensor.New(4)
+	Eltwise(dst3, []*tensor.Tensor{a, a, a}, &graph.EltwiseAttrs{Type: graph.EltSum}, 2)
+	for i, v := range []float32{3, 6, 9, 12} {
+		if dst3.Data()[i] != v {
+			t.Fatalf("3-input sum: %v", dst3.Data())
+		}
+	}
+}
+
+func TestConcatChannelAligned(t *testing.T) {
+	a := tensor.NewRandom(1, 1, 1, 4, 3, 3).ToLayout(tensor.NC4HW4)
+	b := tensor.NewRandom(2, 1, 1, 8, 3, 3).ToLayout(tensor.NC4HW4)
+	dst := tensor.NewWithLayout(tensor.NC4HW4, 1, 12, 3, 3)
+	ConcatChannel(dst, []*tensor.Tensor{a, b})
+	for c := 0; c < 4; c++ {
+		for y := 0; y < 3; y++ {
+			for x := 0; x < 3; x++ {
+				if dst.At(0, c, y, x) != a.At(0, c, y, x) {
+					t.Fatal("first input corrupted")
+				}
+			}
+		}
+	}
+	for c := 0; c < 8; c++ {
+		if dst.At(0, 4+c, 1, 1) != b.At(0, c, 1, 1) {
+			t.Fatal("second input corrupted")
+		}
+	}
+}
+
+func TestConcatChannelUnaligned(t *testing.T) {
+	a := tensor.NewRandom(3, 1, 1, 3, 2, 2).ToLayout(tensor.NC4HW4)
+	b := tensor.NewRandom(4, 1, 1, 5, 2, 2).ToLayout(tensor.NC4HW4)
+	dst := tensor.NewWithLayout(tensor.NC4HW4, 1, 8, 2, 2)
+	ConcatChannel(dst, []*tensor.Tensor{a, b})
+	for c := 0; c < 3; c++ {
+		if dst.At(0, c, 0, 0) != a.At(0, c, 0, 0) {
+			t.Fatal("unaligned concat first input")
+		}
+	}
+	for c := 0; c < 5; c++ {
+		if dst.At(0, 3+c, 1, 0) != b.At(0, c, 1, 0) {
+			t.Fatal("unaligned concat second input")
+		}
+	}
+}
+
+func TestConcatAxisSpatial(t *testing.T) {
+	a := tensor.NewRandom(5, 1, 1, 2, 2, 3)
+	b := tensor.NewRandom(6, 1, 1, 2, 4, 3)
+	dst := tensor.New(1, 2, 6, 3)
+	ConcatAxis(dst, []*tensor.Tensor{a, b}, 2)
+	if dst.At(0, 1, 0, 0) != a.At(0, 1, 0, 0) || dst.At(0, 1, 2, 1) != b.At(0, 1, 0, 1) {
+		t.Fatal("axis-2 concat wrong")
+	}
+}
+
+func TestScaleNC4MatchesRef(t *testing.T) {
+	src := tensor.NewRandom(7, 1, 1, 6, 4, 4)
+	scale := []float32{1, 2, 3, 4, 5, 6}
+	shift := []float32{0.5, -0.5, 0, 1, -1, 2}
+	want := tensor.New(1, 6, 4, 4)
+	ScaleRef(want, src, tensor.FromData(scale, 6), tensor.FromData(shift, 6))
+	src4 := src.ToLayout(tensor.NC4HW4)
+	got := tensor.NewWithLayout(tensor.NC4HW4, 1, 6, 4, 4)
+	ScaleNC4(got, src4, scale, shift, 2)
+	if d := tensor.MaxAbsDiff(want, got); d > 1e-5 {
+		t.Fatalf("max diff %g", d)
+	}
+}
+
+func TestFoldBatchNormMatchesRef(t *testing.T) {
+	c := 5
+	r := tensor.NewRNG(9)
+	gamma := make([]float32, c)
+	beta := make([]float32, c)
+	mean := make([]float32, c)
+	variance := make([]float32, c)
+	for i := 0; i < c; i++ {
+		gamma[i] = r.Float32() + 1.5
+		beta[i] = r.Float32()
+		mean[i] = r.Float32()
+		variance[i] = r.Float32()*0.5 + 1
+	}
+	src := tensor.NewRandom(10, 1, 1, c, 3, 3)
+	want := tensor.New(1, c, 3, 3)
+	BatchNormRef(want, src, tensor.FromData(gamma, c), tensor.FromData(beta, c),
+		tensor.FromData(mean, c), tensor.FromData(variance, c), 1e-5)
+
+	scale, shift := FoldBatchNorm(gamma, beta, mean, variance, 1e-5)
+	src4 := src.ToLayout(tensor.NC4HW4)
+	got := tensor.NewWithLayout(tensor.NC4HW4, 1, c, 3, 3)
+	ScaleNC4(got, src4, scale, shift, 1)
+	if d := tensor.MaxAbsDiff(want, got); d > 1e-4 {
+		t.Fatalf("folded BN differs from reference by %g", d)
+	}
+}
+
+func TestInnerProductMatchesRef(t *testing.T) {
+	batch, features, out := 3, 20, 7
+	src := tensor.NewRandom(11, 1, batch, features)
+	weight := tensor.NewRandom(12, 1, out, features)
+	bias := tensor.NewRandom(13, 1, out)
+	a := &graph.InnerProductAttrs{OutputCount: out}
+	want := tensor.New(batch, out)
+	InnerProductRef(want, src, weight, bias, a)
+	ip := PrepareInnerProduct(weight, bias, a)
+	got := tensor.New(batch, out)
+	ip.Run(got, src, 2)
+	if d := tensor.MaxAbsDiff(want, got); d > 1e-4 {
+		t.Fatalf("max diff %g", d)
+	}
+	// With fused ReLU.
+	aR := &graph.InnerProductAttrs{OutputCount: out, ReLU: true}
+	wantR := tensor.New(batch, out)
+	InnerProductRef(wantR, src, weight, bias, aR)
+	ipR := PrepareInnerProduct(weight, bias, aR)
+	gotR := tensor.New(batch, out)
+	ipR.Run(gotR, src, 1)
+	if d := tensor.MaxAbsDiff(wantR, gotR); d > 1e-4 {
+		t.Fatalf("relu max diff %g", d)
+	}
+}
+
+func TestSoftmaxRef(t *testing.T) {
+	src := tensor.FromData([]float32{1, 2, 3, 4}, 1, 4)
+	dst := tensor.New(1, 4)
+	SoftmaxRef(dst, src, 1)
+	var sum float64
+	for _, v := range dst.Data() {
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-5 {
+		t.Fatalf("softmax sum %v", sum)
+	}
+	if !(dst.Data()[3] > dst.Data()[2] && dst.Data()[2] > dst.Data()[1]) {
+		t.Fatal("softmax not monotone")
+	}
+	// Large inputs must not overflow (max-subtraction).
+	big := tensor.FromData([]float32{1000, 1001}, 1, 2)
+	dstBig := tensor.New(1, 2)
+	SoftmaxRef(dstBig, big, 1)
+	if math.IsNaN(float64(dstBig.Data()[0])) || math.IsInf(float64(dstBig.Data()[1]), 0) {
+		t.Fatal("softmax overflow")
+	}
+}
+
+func TestSoftmaxAxis2(t *testing.T) {
+	src := tensor.NewRandom(14, 1, 2, 3, 4)
+	dst := tensor.New(2, 3, 4)
+	SoftmaxRef(dst, src, 1)
+	// Sum along axis 1 must be 1 for each (outer, inner).
+	d := dst.Data()
+	for o := 0; o < 2; o++ {
+		for in := 0; in < 4; in++ {
+			var sum float64
+			for i := 0; i < 3; i++ {
+				sum += float64(d[o*12+i*4+in])
+			}
+			if math.Abs(sum-1) > 1e-5 {
+				t.Fatalf("axis softmax sum %v", sum)
+			}
+		}
+	}
+}
+
+func TestPaddingNC4(t *testing.T) {
+	src := tensor.NewRandom(15, 1, 1, 5, 3, 3)
+	a := &graph.PaddingAttrs{Top: 1, Bottom: 2, Left: 3, Right: 1}
+	want := tensor.New(1, 5, 6, 7)
+	for c := 0; c < 5; c++ {
+		for y := 0; y < 3; y++ {
+			for x := 0; x < 3; x++ {
+				want.Set(0, c, y+1, x+3, src.At(0, c, y, x))
+			}
+		}
+	}
+	src4 := src.ToLayout(tensor.NC4HW4)
+	got := tensor.NewWithLayout(tensor.NC4HW4, 1, 5, 6, 7)
+	PaddingNC4(got, src4, a, 2)
+	if d := tensor.MaxAbsDiff(want, got); d > 0 {
+		t.Fatalf("padding diff %g", d)
+	}
+}
+
+func TestParallelForCoverage(t *testing.T) {
+	for _, threads := range []int{1, 2, 4, 7, 100} {
+		n := 37
+		seen := make([]int32, n)
+		var hits [100]bool
+		ParallelForWorker(threads, n, func(w, s, e int) {
+			hits[w] = true
+			for i := s; i < e; i++ {
+				seen[i]++
+			}
+		})
+		for i, v := range seen {
+			if v != 1 {
+				t.Fatalf("threads=%d: index %d visited %d times", threads, i, v)
+			}
+		}
+		// Worker indices must be dense and unique-per-chunk.
+		workers := 0
+		for _, h := range hits {
+			if h {
+				workers++
+			}
+		}
+		wantW := threads
+		if wantW > n {
+			wantW = n
+		}
+		if workers > wantW {
+			t.Fatalf("threads=%d: %d workers used", threads, workers)
+		}
+	}
+	// Zero-length range must not call fn.
+	called := false
+	ParallelFor(4, 0, func(s, e int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}

@@ -1,0 +1,43 @@
+package kernels
+
+import "sync"
+
+// ParallelFor splits [0, n) into at most `threads` contiguous chunks and runs
+// fn(start, end) on each concurrently. threads ≤ 1 (or n ≤ 1) runs inline,
+// so single-threaded configurations pay no goroutine overhead. This stands in
+// for the pthread worker pools of the paper's CPU backend.
+func ParallelFor(threads, n int, fn func(start, end int)) {
+	ParallelForWorker(threads, n, func(_, start, end int) { fn(start, end) })
+}
+
+// ParallelForWorker is ParallelFor with a dense worker index (0 ≤ worker <
+// threads) passed to fn, for kernels that need a private workspace slot per
+// concurrent chunk.
+func ParallelForWorker(threads, n int, fn func(worker, start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + threads - 1) / threads
+	var wg sync.WaitGroup
+	worker := 0
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(w, s, e int) {
+			defer wg.Done()
+			fn(w, s, e)
+		}(worker, start, end)
+		worker++
+	}
+	wg.Wait()
+}

@@ -1,0 +1,109 @@
+// Package loadgen reimplements the MLPerf-inference single-stream load
+// generator used for the paper's Appendix A benchmark (Table 7): issue one
+// query at a time, measure per-query latency, and report QPS with and
+// without the generator's own overhead plus a latency distribution.
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Config mirrors the MLPerf single-stream knobs the paper reports.
+type Config struct {
+	// MinQueryCount is the lower bound on issued queries (MLPerf: 1024).
+	MinQueryCount int
+	// MaxQueryCount caps the run (MLPerf: 5000). 0 means MinQueryCount.
+	MaxQueryCount int
+	// MinDuration keeps issuing until this much time has passed.
+	MinDuration time.Duration
+}
+
+// Stats matches the rows of Table 7.
+type Stats struct {
+	QueryCount            int
+	QPSWithLoadgen        float64 // wall-clock queries/second incl. harness
+	QPSWithoutLoadgen     float64 // based on summed query latencies only
+	MinLatency            time.Duration
+	MaxLatency            time.Duration
+	MeanLatency           time.Duration
+	P50Latency            time.Duration
+	P90Latency            time.Duration
+	P99Latency            time.Duration
+	LoadgenOverheadPerQry time.Duration
+}
+
+// RunSingleStream drives query() in MLPerf single-stream mode.
+func RunSingleStream(query func() error, cfg Config) (Stats, error) {
+	if cfg.MinQueryCount <= 0 {
+		cfg.MinQueryCount = 1024
+	}
+	if cfg.MaxQueryCount <= 0 {
+		cfg.MaxQueryCount = cfg.MinQueryCount
+	}
+	if cfg.MaxQueryCount < cfg.MinQueryCount {
+		return Stats{}, fmt.Errorf("loadgen: max_query_count %d < min_query_count %d", cfg.MaxQueryCount, cfg.MinQueryCount)
+	}
+	latencies := make([]time.Duration, 0, cfg.MinQueryCount)
+	wallStart := time.Now()
+	for {
+		issued := len(latencies)
+		if issued >= cfg.MaxQueryCount {
+			break
+		}
+		if issued >= cfg.MinQueryCount && time.Since(wallStart) >= cfg.MinDuration {
+			break
+		}
+		t0 := time.Now()
+		if err := query(); err != nil {
+			return Stats{}, fmt.Errorf("loadgen: query %d: %w", issued, err)
+		}
+		latencies = append(latencies, time.Since(t0))
+	}
+	wall := time.Since(wallStart)
+	return summarize(latencies, wall), nil
+}
+
+func summarize(latencies []time.Duration, wall time.Duration) Stats {
+	n := len(latencies)
+	st := Stats{QueryCount: n}
+	if n == 0 {
+		return st
+	}
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, l := range sorted {
+		sum += l
+	}
+	st.MinLatency = sorted[0]
+	st.MaxLatency = sorted[n-1]
+	st.MeanLatency = sum / time.Duration(n)
+	st.P50Latency = percentile(sorted, 50)
+	st.P90Latency = percentile(sorted, 90)
+	st.P99Latency = percentile(sorted, 99)
+	st.QPSWithLoadgen = float64(n) / wall.Seconds()
+	if sum > 0 {
+		st.QPSWithoutLoadgen = float64(n) / sum.Seconds()
+	}
+	if overhead := wall - sum; overhead > 0 {
+		st.LoadgenOverheadPerQry = overhead / time.Duration(n)
+	}
+	return st
+}
+
+// percentile returns the pth percentile of a sorted slice (nearest-rank).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

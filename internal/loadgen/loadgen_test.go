@@ -1,0 +1,87 @@
+package loadgen
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRunSingleStreamCounts(t *testing.T) {
+	calls := 0
+	st, err := RunSingleStream(func() error {
+		calls++
+		return nil
+	}, Config{MinQueryCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 50 || st.QueryCount != 50 {
+		t.Fatalf("calls=%d stats=%d", calls, st.QueryCount)
+	}
+	if st.QPSWithLoadgen <= 0 || st.QPSWithoutLoadgen <= 0 {
+		t.Fatalf("QPS not computed: %+v", st)
+	}
+	// Loadgen overhead means with-loadgen QPS ≤ without-loadgen QPS.
+	if st.QPSWithLoadgen > st.QPSWithoutLoadgen*1.05 {
+		t.Errorf("with-loadgen QPS %.1f should not exceed pure QPS %.1f", st.QPSWithLoadgen, st.QPSWithoutLoadgen)
+	}
+}
+
+func TestRunSingleStreamMaxCap(t *testing.T) {
+	calls := 0
+	_, err := RunSingleStream(func() error {
+		calls++
+		return nil
+	}, Config{MinQueryCount: 10, MaxQueryCount: 10, MinDuration: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 10 {
+		t.Fatalf("max cap ignored: %d calls", calls)
+	}
+}
+
+func TestRunSingleStreamError(t *testing.T) {
+	boom := errors.New("boom")
+	if _, err := RunSingleStream(func() error { return boom }, Config{MinQueryCount: 5}); !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if _, err := RunSingleStream(func() error { return nil }, Config{MinQueryCount: 10, MaxQueryCount: 5}); err == nil {
+		t.Fatal("expected config error")
+	}
+}
+
+func TestLatencyStatsOrdering(t *testing.T) {
+	d := 0
+	st, err := RunSingleStream(func() error {
+		d++
+		time.Sleep(time.Duration(d%5) * 100 * time.Microsecond)
+		return nil
+	}, Config{MinQueryCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(st.MinLatency <= st.P50Latency && st.P50Latency <= st.P90Latency &&
+		st.P90Latency <= st.P99Latency && st.P99Latency <= st.MaxLatency) {
+		t.Fatalf("percentiles out of order: %+v", st)
+	}
+	if st.MeanLatency < st.MinLatency || st.MeanLatency > st.MaxLatency {
+		t.Fatalf("mean outside range: %+v", st)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(sorted, 50); p != 5 {
+		t.Errorf("p50 = %d", p)
+	}
+	if p := percentile(sorted, 90); p != 9 {
+		t.Errorf("p90 = %d", p)
+	}
+	if p := percentile(sorted, 99); p != 10 {
+		t.Errorf("p99 = %d", p)
+	}
+	if p := percentile(nil, 50); p != 0 {
+		t.Errorf("empty percentile = %d", p)
+	}
+}

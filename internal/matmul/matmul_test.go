@@ -1,0 +1,230 @@
+package matmul
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mnn/internal/tensor"
+)
+
+// naive reference multiply.
+func refMul(a, b []float32, m, k, n int) []float32 {
+	out := make([]float32, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += float64(a[i*k+p]) * float64(b[p*n+j])
+			}
+			out[i*n+j] = float32(s)
+		}
+	}
+	return out
+}
+
+func randMat(seed uint64, rows, cols int) []float32 {
+	r := tensor.NewRNG(seed)
+	out := make([]float32, rows*cols)
+	for i := range out {
+		out[i] = r.Float32()
+	}
+	return out
+}
+
+func maxDiff(a, b []float32) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i] - b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestMulSmall(t *testing.T) {
+	a := []float32{1, 2, 3, 4, 5, 6}       // 2×3
+	b := []float32{7, 8, 9, 10, 11, 12}    // 3×2
+	dst := make([]float32, 4)
+	Mul(dst, a, b, 2, 3, 2)
+	want := []float32{58, 64, 139, 154}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestMulMatchesReference(t *testing.T) {
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {16, 16, 16}, {33, 17, 65}, {64, 128, 32}, {100, 1, 100}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randMat(1, m, k)
+		b := randMat(2, k, n)
+		dst := make([]float32, m*n)
+		Mul(dst, a, b, m, k, n)
+		want := refMul(a, b, m, k, n)
+		if d := maxDiff(dst, want); d > 1e-4*float64(k) {
+			t.Errorf("(%d,%d,%d): max diff %g", m, k, n, d)
+		}
+	}
+}
+
+func TestMulAddAccumulates(t *testing.T) {
+	m, k, n := 8, 8, 8
+	a := randMat(3, m, k)
+	b := randMat(4, k, n)
+	dst := make([]float32, m*n)
+	for i := range dst {
+		dst[i] = 1
+	}
+	MulAdd(dst, a, b, m, k, n)
+	want := refMul(a, b, m, k, n)
+	for i := range want {
+		if math.Abs(float64(dst[i]-(want[i]+1))) > 1e-4 {
+			t.Fatalf("MulAdd wrong at %d: %v vs %v+1", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestStrassenMatchesDirect(t *testing.T) {
+	for _, dims := range [][3]int{
+		{64, 64, 64},
+		{128, 128, 128},
+		{256, 256, 256},
+		{100, 100, 100}, // even-ish but not power of two
+		{127, 129, 131}, // all odd
+		{256, 64, 256},
+		{65, 256, 65},
+		{512, 3, 512}, // thin inner dim never recurses
+	} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randMat(5, m, k)
+		b := randMat(6, k, n)
+		got := make([]float32, m*n)
+		MulStrassen(got, a, b, m, k, n)
+		want := make([]float32, m*n)
+		Mul(want, a, b, m, k, n)
+		if d := maxDiff(got, want); d > 1e-3*math.Sqrt(float64(k)) {
+			t.Errorf("(%d,%d,%d): strassen diff %g", m, k, n, d)
+		}
+	}
+}
+
+func TestStrassenProperty(t *testing.T) {
+	f := func(seed uint64, mRaw, kRaw, nRaw uint8) bool {
+		m := int(mRaw)%96 + 32
+		k := int(kRaw)%96 + 32
+		n := int(nRaw)%96 + 32
+		a := randMat(seed, m, k)
+		b := randMat(seed+1, k, n)
+		got := make([]float32, m*n)
+		MulStrassen(got, a, b, m, k, n)
+		want := make([]float32, m*n)
+		Mul(want, a, b, m, k, n)
+		return maxDiff(got, want) <= 1e-3*math.Sqrt(float64(k))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShouldRecurseEquation9(t *testing.T) {
+	// Isolate the pure Eq. 9 inequality from the calibrated floor.
+	saved := MinSplitDim
+	MinSplitDim = 2
+	defer func() { MinSplitDim = saved }()
+
+	// For a cube of size s the inequality reduces to s/8·s² > s² + s² + 1.75s²
+	// i.e. s > 30. So 32 recurses, 24 does not.
+	if !ShouldRecurse(32, 32, 32) {
+		t.Error("32³ should recurse")
+	}
+	if ShouldRecurse(24, 24, 24) {
+		t.Error("24³ should not recurse")
+	}
+	// Thin matrices never recurse regardless of the other dims.
+	if ShouldRecurse(1, 1024, 1024) {
+		t.Error("m=1 should never recurse")
+	}
+	if ShouldRecurse(1024, 1, 1024) {
+		t.Error("k=1 should never recurse")
+	}
+}
+
+func TestShouldRecurseCalibratedFloor(t *testing.T) {
+	// With the default calibrated floor, sub-128 matrices never split even
+	// though Eq. 9 alone would allow it.
+	if ShouldRecurse(64, 64, 64) {
+		t.Error("64³ must not recurse under the calibrated floor")
+	}
+	if !ShouldRecurse(128, 128, 128) {
+		t.Error("128³ should recurse")
+	}
+}
+
+func TestStrassenRecursionDepth(t *testing.T) {
+	// 256³ splits twice under the default floor: 256 → 128 → 64 leaves.
+	a := randMat(7, 256, 256)
+	b := randMat(8, 256, 256)
+	dst := make([]float32, 256*256)
+	st := MulStrassen(dst, a, b, 256, 256, 256)
+	if st.Recursions == 0 {
+		t.Fatal("expected recursion for 256³")
+	}
+	if st.BaseCalls != 49 {
+		t.Errorf("leaf calls = %d, want 49 (two levels: 256→128→64)", st.BaseCalls)
+	}
+
+	// Small matrices take the direct path.
+	small := MulStrassen(make([]float32, 16*16), randMat(9, 16, 16), randMat(10, 16, 16), 16, 16, 16)
+	if small.Recursions != 0 || small.BaseCalls != 1 {
+		t.Errorf("16³: %+v, want direct", small)
+	}
+}
+
+func TestStrassenMULsSavings(t *testing.T) {
+	direct := DirectMULs(1024, 1024, 1024)
+	strassen := StrassenMULs(1024, 1024, 1024)
+	if strassen >= direct {
+		t.Fatalf("strassen MULs %d >= direct %d", strassen, direct)
+	}
+	// Four levels of recursion: (7/8)⁴ ≈ 0.586 of direct.
+	ratio := float64(strassen) / float64(direct)
+	if ratio > 0.75 || ratio < 0.4 {
+		t.Errorf("unexpected MUL ratio %v", ratio)
+	}
+	// No-recursion case returns exactly the direct count.
+	if StrassenMULs(16, 16, 16) != DirectMULs(16, 16, 16) {
+		t.Error("small case must match direct count")
+	}
+}
+
+func TestMulPanicsOnShortBuffer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mul(make([]float32, 3), make([]float32, 4), make([]float32, 4), 2, 2, 2)
+}
+
+func BenchmarkGEMM256(b *testing.B) {
+	a := randMat(1, 256, 256)
+	bb := randMat(2, 256, 256)
+	dst := make([]float32, 256*256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(dst, a, bb, 256, 256, 256)
+	}
+}
+
+func BenchmarkStrassen256(b *testing.B) {
+	a := randMat(1, 256, 256)
+	bb := randMat(2, 256, 256)
+	dst := make([]float32, 256*256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulStrassen(dst, a, bb, 256, 256, 256)
+	}
+}

@@ -1,0 +1,87 @@
+package models
+
+import (
+	"fmt"
+
+	"mnn/internal/graph"
+)
+
+// MobileNetV1 builds MobileNet-v1 (Howard et al., 2017) at width 1.0 for
+// 224×224 input: a 3×3 stem followed by 13 depthwise-separable blocks, then
+// global average pooling and a 1000-way classifier.
+func MobileNetV1() *graph.Graph {
+	b := newBuilder("mobilenet-v1", 0x1001)
+	x := b.input("data", 1, 3, 224, 224)
+	x = b.conv("conv1", x, 3, 32, convOpts{kh: 3, sh: 2, ph: 1, pw: 1, relu: true})
+
+	// (oc, stride) per separable block.
+	blocks := []struct{ oc, stride int }{
+		{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1},
+		{512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+		{1024, 2}, {1024, 1},
+	}
+	ic := 32
+	for i, blk := range blocks {
+		dw := fmt.Sprintf("conv%d_dw", i+2)
+		pw := fmt.Sprintf("conv%d_pw", i+2)
+		x = b.conv(dw, x, ic, ic, convOpts{kh: 3, sh: blk.stride, ph: 1, pw: 1, group: ic, relu: true})
+		x = b.conv(pw, x, ic, blk.oc, convOpts{kh: 1, relu: true})
+		ic = blk.oc
+	}
+	x = b.globalAvgPool("pool6", x)
+	x = b.fc("fc7", x, 1024, 1000)
+	x = b.softmax("prob", x, 1)
+	return b.finish(x)
+}
+
+// MobileNetV2 builds MobileNet-v2 (inverted residual bottlenecks with
+// ReLU6) at width 1.0 for 224×224 input.
+func MobileNetV2() *graph.Graph {
+	b := newBuilder("mobilenet-v2", 0x1002)
+	x := b.input("data", 1, 3, 224, 224)
+	x = b.conv("conv1", x, 3, 32, convOpts{kh: 3, sh: 2, ph: 1, pw: 1, relu6: true})
+
+	ic := 32
+	blockIdx := 0
+	bottleneck := func(x string, oc, stride, expand int) string {
+		blockIdx++
+		prefix := fmt.Sprintf("block%d", blockIdx)
+		mid := ic * expand
+		y := x
+		if expand != 1 {
+			y = b.conv(prefix+"_expand", y, ic, mid, convOpts{kh: 1, relu6: true})
+		}
+		y = b.conv(prefix+"_dw", y, mid, mid, convOpts{kh: 3, sh: stride, ph: 1, pw: 1, group: mid, relu6: true})
+		y = b.conv(prefix+"_project", y, mid, oc, convOpts{kh: 1})
+		if stride == 1 && ic == oc {
+			y = b.add(prefix+"_add", x, y)
+		}
+		ic = oc
+		return y
+	}
+
+	// (expansion, oc, repeats, stride) per stage, per the paper.
+	stages := []struct{ t, c, n, s int }{
+		{1, 16, 1, 1},
+		{6, 24, 2, 2},
+		{6, 32, 3, 2},
+		{6, 64, 4, 2},
+		{6, 96, 3, 1},
+		{6, 160, 3, 2},
+		{6, 320, 1, 1},
+	}
+	for _, st := range stages {
+		for r := 0; r < st.n; r++ {
+			stride := st.s
+			if r > 0 {
+				stride = 1
+			}
+			x = bottleneck(x, st.c, stride, st.t)
+		}
+	}
+	x = b.conv("conv_last", x, 320, 1280, convOpts{kh: 1, relu6: true})
+	x = b.globalAvgPool("pool", x)
+	x = b.fc("fc", x, 1280, 1000)
+	x = b.softmax("prob", x, 1)
+	return b.finish(x)
+}

@@ -1,0 +1,180 @@
+package models
+
+import (
+	"testing"
+
+	"mnn/internal/graph"
+	"mnn/internal/tensor"
+)
+
+// expected top-level properties per network.
+var netProps = []struct {
+	name       string
+	inputShape []int
+	output     string
+	outClasses int
+	minNodes   int
+	directMULs int64 // approximate known MAC counts (±35%)
+}{
+	{"mobilenet-v1", []int{1, 3, 224, 224}, "prob", 1000, 30, 569e6},
+	{"mobilenet-v2", []int{1, 3, 224, 224}, "prob", 1000, 60, 300e6},
+	{"squeezenet-v1.1", []int{1, 3, 224, 224}, "prob", 1000, 40, 352e6},
+	{"squeezenet-v1.0", []int{1, 3, 224, 224}, "prob", 1000, 40, 837e6},
+	{"resnet-18", []int{1, 3, 224, 224}, "prob", 1000, 50, 1.8e9},
+	{"resnet-50", []int{1, 3, 224, 224}, "prob", 1000, 120, 3.9e9},
+	{"inception-v3", []int{1, 3, 299, 299}, "prob", 1000, 120, 5.7e9},
+	{"vgg-16", []int{1, 3, 224, 224}, "prob", 1000, 25, 15.3e9},
+}
+
+func TestNetworksBuildAndInfer(t *testing.T) {
+	for _, p := range netProps {
+		t.Run(p.name, func(t *testing.T) {
+			g, err := ByName(p.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if len(g.Nodes) < p.minNodes {
+				t.Errorf("only %d nodes, expected ≥ %d", len(g.Nodes), p.minNodes)
+			}
+			shapes, err := graph.InferShapes(g, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tensor.EqualShape(shapes["data"], p.inputShape) {
+				t.Errorf("input shape %v", shapes["data"])
+			}
+			out := shapes[p.output]
+			if len(out) != 2 || out[1] != p.outClasses {
+				t.Errorf("output shape %v, want [1 %d]", out, p.outClasses)
+			}
+		})
+	}
+}
+
+func TestNetworkMULCounts(t *testing.T) {
+	// Conv+FC multiplication counts must be near the published MAC counts —
+	// this guards against mis-built architectures (wrong strides, missing
+	// blocks).
+	for _, p := range netProps {
+		t.Run(p.name, func(t *testing.T) {
+			g, _ := ByName(p.name)
+			shapes, err := graph.InferShapes(g, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var muls int64
+			for _, n := range g.Nodes {
+				if n.Op == graph.OpConv2D || n.Op == graph.OpInnerProduct {
+					muls += graph.MULCount(n, shapes)
+				}
+			}
+			lo := int64(float64(p.directMULs) * 0.65)
+			hi := int64(float64(p.directMULs) * 1.35)
+			if muls < lo || muls > hi {
+				t.Errorf("MULs = %d, want within [%d, %d] (published ≈ %d)", muls, lo, hi, p.directMULs)
+			}
+		})
+	}
+}
+
+func TestInceptionHasAsymmetricConvs(t *testing.T) {
+	g := InceptionV3()
+	asym := 0
+	for _, n := range g.Nodes {
+		if n.Op != graph.OpConv2D {
+			continue
+		}
+		a := n.Attrs.(*graph.Conv2DAttrs)
+		if a.KernelH != a.KernelW {
+			asym++
+		}
+	}
+	// 4 B-blocks ×5 + reduction-B ×2 + 2 C-blocks ×4 = 30.
+	if asym < 20 {
+		t.Errorf("only %d asymmetric convolutions; Figure 8's bottleneck needs the 1×7/7×1 family", asym)
+	}
+}
+
+func TestMobileNetV1DepthwiseCount(t *testing.T) {
+	g := MobileNetV1()
+	dw := 0
+	for _, n := range g.Nodes {
+		if n.Op == graph.OpConv2D && n.Attrs.(*graph.Conv2DAttrs).IsDepthwise() {
+			dw++
+		}
+	}
+	if dw != 13 {
+		t.Errorf("depthwise convs = %d, want 13", dw)
+	}
+}
+
+func TestResNet18HasResiduals(t *testing.T) {
+	g := ResNet18()
+	adds := 0
+	for _, n := range g.Nodes {
+		if n.Op == graph.OpEltwise {
+			adds++
+		}
+	}
+	if adds != 8 {
+		t.Errorf("residual adds = %d, want 8", adds)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("alexnet"); err == nil {
+		t.Fatal("expected error for unknown network")
+	}
+	if len(Names()) != 8 {
+		t.Fatalf("Names() = %v", Names())
+	}
+	for _, n := range Names() {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestDeterministicWeights(t *testing.T) {
+	a := MobileNetV1()
+	b := MobileNetV1()
+	wa := a.Weights["conv1_w"].Data()
+	wb := b.Weights["conv1_w"].Data()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatal("weights must be deterministic across builds")
+		}
+	}
+}
+
+func TestCommodityDetectorTwoOutputs(t *testing.T) {
+	g := CommoditySearchDetector()
+	if len(g.OutputNames) != 2 {
+		t.Fatalf("outputs: %v", g.OutputNames)
+	}
+	shapes, err := graph.InferShapes(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three pyramid scales: 3×4 box coords, 3×100 class scores.
+	if !tensor.EqualShape(shapes["box"], []int{1, 12, 1, 1}) {
+		t.Errorf("box shape %v", shapes["box"])
+	}
+	if !tensor.EqualShape(shapes["cls_prob"], []int{1, 300}) {
+		t.Errorf("cls shape %v", shapes["cls_prob"])
+	}
+	// The workload must sit in the ~0.5–1.5 GMAC band of the production
+	// detector (Table 6's ~90 ms AIT).
+	var muls int64
+	for _, n := range g.Nodes {
+		if n.Op == graph.OpConv2D {
+			muls += graph.MULCount(n, shapes)
+		}
+	}
+	if muls < 500e6 || muls > 1600e6 {
+		t.Errorf("detector MACs = %d, want ~0.8G", muls)
+	}
+}

@@ -1,0 +1,103 @@
+package models
+
+import (
+	"fmt"
+
+	"mnn/internal/graph"
+)
+
+// ResNet18 builds ResNet-18 (He et al., 2016): 7×7 stem, four stages of
+// basic blocks (two 3×3 convs + identity/projection shortcut), with
+// BatchNorm after every convolution.
+func ResNet18() *graph.Graph {
+	b := newBuilder("resnet-18", 0x1005)
+	x := b.input("data", 1, 3, 224, 224)
+	x = b.conv("conv1", x, 3, 64, convOpts{kh: 7, sh: 2, ph: 3, pw: 3, noBias: true})
+	x = b.batchNorm("bn1", x, 64)
+	x = b.relu("relu1", x)
+	x = b.maxPool("pool1", x, 3, 2, 1)
+
+	ic := 64
+	basic := func(name, in string, oc, stride int) string {
+		y := b.conv(name+"_conv1", in, ic, oc, convOpts{kh: 3, sh: stride, ph: 1, pw: 1, noBias: true})
+		y = b.batchNorm(name+"_bn1", y, oc)
+		y = b.relu(name+"_relu1", y)
+		y = b.conv(name+"_conv2", y, oc, oc, convOpts{kh: 3, ph: 1, pw: 1, noBias: true})
+		y = b.batchNorm(name+"_bn2", y, oc)
+		short := in
+		if stride != 1 || ic != oc {
+			short = b.conv(name+"_down", in, ic, oc, convOpts{kh: 1, sh: stride, noBias: true})
+			short = b.batchNorm(name+"_downbn", short, oc)
+		}
+		y = b.add(name+"_add", short, y)
+		y = b.relu(name+"_relu2", y)
+		ic = oc
+		return y
+	}
+
+	stages := []struct{ oc, blocks, stride int }{
+		{64, 2, 1}, {128, 2, 2}, {256, 2, 2}, {512, 2, 2},
+	}
+	for si, st := range stages {
+		for bi := 0; bi < st.blocks; bi++ {
+			stride := st.stride
+			if bi > 0 {
+				stride = 1
+			}
+			x = basic(fmt.Sprintf("layer%d_%d", si+1, bi), x, st.oc, stride)
+		}
+	}
+	x = b.globalAvgPool("pool5", x)
+	x = b.fc("fc", x, 512, 1000)
+	x = b.softmax("prob", x, 1)
+	return b.finish(x)
+}
+
+// ResNet50 builds ResNet-50: bottleneck blocks (1×1 reduce → 3×3 → 1×1
+// expand ×4) across four stages.
+func ResNet50() *graph.Graph {
+	b := newBuilder("resnet-50", 0x1006)
+	x := b.input("data", 1, 3, 224, 224)
+	x = b.conv("conv1", x, 3, 64, convOpts{kh: 7, sh: 2, ph: 3, pw: 3, noBias: true})
+	x = b.batchNorm("bn1", x, 64)
+	x = b.relu("relu1", x)
+	x = b.maxPool("pool1", x, 3, 2, 1)
+
+	ic := 64
+	bottleneck := func(name, in string, mid, oc, stride int) string {
+		y := b.conv(name+"_conv1", in, ic, mid, convOpts{kh: 1, noBias: true})
+		y = b.batchNorm(name+"_bn1", y, mid)
+		y = b.relu(name+"_relu1", y)
+		y = b.conv(name+"_conv2", y, mid, mid, convOpts{kh: 3, sh: stride, ph: 1, pw: 1, noBias: true})
+		y = b.batchNorm(name+"_bn2", y, mid)
+		y = b.relu(name+"_relu2", y)
+		y = b.conv(name+"_conv3", y, mid, oc, convOpts{kh: 1, noBias: true})
+		y = b.batchNorm(name+"_bn3", y, oc)
+		short := in
+		if stride != 1 || ic != oc {
+			short = b.conv(name+"_down", in, ic, oc, convOpts{kh: 1, sh: stride, noBias: true})
+			short = b.batchNorm(name+"_downbn", short, oc)
+		}
+		y = b.add(name+"_add", short, y)
+		y = b.relu(name+"_relu3", y)
+		ic = oc
+		return y
+	}
+
+	stages := []struct{ mid, oc, blocks, stride int }{
+		{64, 256, 3, 1}, {128, 512, 4, 2}, {256, 1024, 6, 2}, {512, 2048, 3, 2},
+	}
+	for si, st := range stages {
+		for bi := 0; bi < st.blocks; bi++ {
+			stride := st.stride
+			if bi > 0 {
+				stride = 1
+			}
+			x = bottleneck(fmt.Sprintf("layer%d_%d", si+1, bi), x, st.mid, st.oc, stride)
+		}
+	}
+	x = b.globalAvgPool("pool5", x)
+	x = b.fc("fc", x, 2048, 1000)
+	x = b.softmax("prob", x, 1)
+	return b.finish(x)
+}

@@ -1,0 +1,73 @@
+package models
+
+import (
+	"fmt"
+
+	"mnn/internal/graph"
+)
+
+// fire builds a SqueezeNet fire module: squeeze 1×1 then parallel expand
+// 1×1 and 3×3 branches concatenated on channels.
+func fire(b *builder, name, in string, ic, squeeze, expand1, expand3 int) (string, int) {
+	s := b.conv(name+"_squeeze", in, ic, squeeze, convOpts{kh: 1, relu: true})
+	e1 := b.conv(name+"_expand1x1", s, squeeze, expand1, convOpts{kh: 1, relu: true})
+	e3 := b.conv(name+"_expand3x3", s, squeeze, expand3, convOpts{kh: 3, ph: 1, pw: 1, relu: true})
+	return b.concat(name+"_concat", e1, e3), expand1 + expand3
+}
+
+// SqueezeNetV10 builds SqueezeNet v1.0 (Iandola et al., 2016): 7×7 stem,
+// fire modules with late downsampling.
+func SqueezeNetV10() *graph.Graph {
+	b := newBuilder("squeezenet-v1.0", 0x1003)
+	x := b.input("data", 1, 3, 224, 224)
+	x = b.conv("conv1", x, 3, 96, convOpts{kh: 7, sh: 2, relu: true})
+	x = b.maxPool("pool1", x, 3, 2, 0)
+	ic := 96
+	fires := []struct{ s, e1, e3 int }{
+		{16, 64, 64}, {16, 64, 64}, {32, 128, 128},
+	}
+	for i, f := range fires {
+		x, ic = fire(b, fmt.Sprintf("fire%d", i+2), x, ic, f.s, f.e1, f.e3)
+	}
+	x = b.maxPool("pool4", x, 3, 2, 0)
+	fires2 := []struct{ s, e1, e3 int }{
+		{32, 128, 128}, {48, 192, 192}, {48, 192, 192}, {64, 256, 256},
+	}
+	for i, f := range fires2 {
+		x, ic = fire(b, fmt.Sprintf("fire%d", i+5), x, ic, f.s, f.e1, f.e3)
+	}
+	x = b.maxPool("pool8", x, 3, 2, 0)
+	x, ic = fire(b, "fire9", x, ic, 64, 256, 256)
+	x = b.dropout("drop9", x)
+	x = b.conv("conv10", x, ic, 1000, convOpts{kh: 1, relu: true})
+	x = b.globalAvgPool("pool10", x)
+	x = b.flatten("flat10", x)
+	x = b.softmax("prob", x, 1)
+	return b.finish(x)
+}
+
+// SqueezeNetV11 builds SqueezeNet v1.1: 3×3 stem and earlier downsampling
+// (≈2.4× cheaper than v1.0 at the same accuracy).
+func SqueezeNetV11() *graph.Graph {
+	b := newBuilder("squeezenet-v1.1", 0x1004)
+	x := b.input("data", 1, 3, 224, 224)
+	x = b.conv("conv1", x, 3, 64, convOpts{kh: 3, sh: 2, relu: true})
+	x = b.maxPool("pool1", x, 3, 2, 0)
+	ic := 64
+	x, ic = fire(b, "fire2", x, ic, 16, 64, 64)
+	x, ic = fire(b, "fire3", x, ic, 16, 64, 64)
+	x = b.maxPool("pool3", x, 3, 2, 0)
+	x, ic = fire(b, "fire4", x, ic, 32, 128, 128)
+	x, ic = fire(b, "fire5", x, ic, 32, 128, 128)
+	x = b.maxPool("pool5", x, 3, 2, 0)
+	x, ic = fire(b, "fire6", x, ic, 48, 192, 192)
+	x, ic = fire(b, "fire7", x, ic, 48, 192, 192)
+	x, ic = fire(b, "fire8", x, ic, 64, 256, 256)
+	x, ic = fire(b, "fire9", x, ic, 64, 256, 256)
+	x = b.dropout("drop9", x)
+	x = b.conv("conv10", x, ic, 1000, convOpts{kh: 1, relu: true})
+	x = b.globalAvgPool("pool10", x)
+	x = b.flatten("flat10", x)
+	x = b.softmax("prob", x, 1)
+	return b.finish(x)
+}

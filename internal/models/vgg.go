@@ -1,0 +1,52 @@
+package models
+
+import (
+	"fmt"
+
+	"mnn/internal/graph"
+)
+
+// VGG16 builds VGG-16 (Simonyan & Zisserman): five 3×3 convolution stages
+// with max-pool downsampling and three FC layers. At ~15.3 GMACs it is the
+// heavy classical baseline — useful for stressing the Winograd path, since
+// every convolution is a plain 3×3 stride-1 (the shape all engines
+// optimize, so relative engine gaps shrink — a useful contrast to
+// Inception-v3 in the Figure 8 story).
+func VGG16() *graph.Graph {
+	b := newBuilder("vgg-16", 0x1009)
+	x := b.input("data", 1, 3, 224, 224)
+	ic := 3
+	stageIdx := 0
+	stage := func(x string, oc, convs int) string {
+		stageIdx++
+		for i := 0; i < convs; i++ {
+			name := fmt.Sprintf("conv%d_%d", stageIdx, i+1)
+			x = b.conv(name, x, ic, oc, convOpts{kh: 3, ph: 1, pw: 1, relu: true})
+			ic = oc
+		}
+		return b.maxPool(fmt.Sprintf("pool%d", stageIdx), x, 2, 2, 0)
+	}
+	x = stage(x, 64, 2)
+	x = stage(x, 128, 2)
+	x = stage(x, 256, 3)
+	x = stage(x, 512, 3)
+	x = stage(x, 512, 3)
+	x = b.flatten("flat", x) // 512×7×7 = 25088
+	x = b.fcRelu("fc6", x, 25088, 4096)
+	x = b.dropout("drop6", x)
+	x = b.fcRelu("fc7", x, 4096, 4096)
+	x = b.dropout("drop7", x)
+	x = b.fc("fc8", x, 4096, 1000)
+	x = b.softmax("prob", x, 1)
+	return b.finish(x)
+}
+
+func (b *builder) fcRelu(name, in string, features, out int) string {
+	w := b.weight(name+"_w", heScale(features), out, features)
+	bias := b.weight(name+"_b", 0.1, out)
+	b.g.AddNode(&graph.Node{Name: name, Op: graph.OpInnerProduct,
+		Inputs: []string{in}, Outputs: []string{name},
+		WeightNames: []string{w, bias},
+		Attrs:       &graph.InnerProductAttrs{OutputCount: out, ReLU: true}})
+	return name
+}

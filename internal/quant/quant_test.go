@@ -1,0 +1,136 @@
+package quant
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mnn/internal/graph"
+	"mnn/internal/kernels"
+	"mnn/internal/models"
+	"mnn/internal/tensor"
+)
+
+func TestQuantizeRoundTripError(t *testing.T) {
+	w := tensor.NewRandom(1, 0.5, 64, 32, 3, 3)
+	// Symmetric int8: error bounded by scale/2 = maxAbs/254.
+	if e := MaxQuantError(w); e > 0.5/254+1e-6 {
+		t.Fatalf("quant error %g too large", e)
+	}
+}
+
+func TestQuantizeZeroTensor(t *testing.T) {
+	z := tensor.New(4, 4)
+	q := QuantizeTensor(z)
+	if q.Quant.Scale != 1 {
+		t.Fatalf("zero tensor scale %v", q.Quant.Scale)
+	}
+	d := Dequantize(q)
+	for _, v := range d.Data() {
+		if v != 0 {
+			t.Fatal("zero tensor must stay zero")
+		}
+	}
+}
+
+func TestQuantizePropertyBounded(t *testing.T) {
+	f := func(seed uint64, scaleRaw uint8) bool {
+		scale := float32(scaleRaw)/16 + 0.01
+		w := tensor.NewRandom(seed, scale, 3, 5, 7)
+		return MaxQuantError(w) <= float64(scale)/254+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulInt8MatchesInt32(t *testing.T) {
+	r := tensor.NewRNG(7)
+	m, k, n := 5, 9, 6
+	a := make([]int8, m*k)
+	b := make([]int8, k*n)
+	for i := range a {
+		a[i] = int8(r.Intn(255) - 127)
+	}
+	for i := range b {
+		b[i] = int8(r.Intn(255) - 127)
+	}
+	dst := make([]int32, m*n)
+	MulInt8(dst, a, b, m, k, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var want int32
+			for p := 0; p < k; p++ {
+				want += int32(a[i*k+p]) * int32(b[p*n+j])
+			}
+			if dst[i*n+j] != want {
+				t.Fatalf("(%d,%d): got %d want %d", i, j, dst[i*n+j], want)
+			}
+		}
+	}
+}
+
+func TestQuantizedConvCloseToFloat(t *testing.T) {
+	a := &graph.Conv2DAttrs{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1,
+		PadH: 1, PadW: 1, Group: 1, InputCount: 8, OutputCount: 16}
+	src := tensor.NewRandom(11, 1, 1, 8, 12, 12)
+	weight := tensor.NewRandom(12, 0.2, 16, 8, 3, 3)
+	bias := tensor.NewRandom(13, 0.1, 16)
+	want := tensor.New(1, 16, 12, 12)
+	kernels.ConvRef(want, src, weight, bias, a)
+
+	qc, err := PrepareQuantizedConv(weight, bias, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tensor.New(1, 16, 12, 12)
+	qc.Run(got, src)
+	// int8×int8 accumulation: relative error a few percent of the dynamic
+	// range is expected.
+	if d := tensor.MaxAbsDiff(want, got); d > 0.15 {
+		t.Fatalf("quantized conv error %g", d)
+	}
+	// But it must be non-trivially accurate, not garbage.
+	var norm float64
+	for _, v := range want.Data() {
+		if x := float64(v); x > norm {
+			norm = x
+		}
+	}
+	if norm < 0.5 {
+		t.Fatal("test signal too weak to be meaningful")
+	}
+}
+
+func TestQuantizedConvRejectsGroups(t *testing.T) {
+	a := &graph.Conv2DAttrs{KernelH: 3, KernelW: 3, Group: 4, InputCount: 8, OutputCount: 8}
+	if _, err := PrepareQuantizedConv(tensor.New(8, 2, 3, 3), nil, a, 0); err == nil {
+		t.Fatal("expected group error")
+	}
+}
+
+func TestQuantizeWeightsGraph(t *testing.T) {
+	g := models.SqueezeNetV11()
+	count, saved := QuantizeWeights(g)
+	if count < 20 {
+		t.Fatalf("only %d weights quantized", count)
+	}
+	if saved < 1_000_000 {
+		t.Fatalf("saved only %d bytes", saved)
+	}
+	// All conv filters now int8; biases float.
+	for _, n := range g.Nodes {
+		if n.Op != graph.OpConv2D {
+			continue
+		}
+		if g.Weights[n.WeightNames[0]].DType() != tensor.Int8 {
+			t.Fatalf("conv %q filter not quantized", n.Name)
+		}
+		if len(n.WeightNames) > 1 && g.Weights[n.WeightNames[1]].DType() != tensor.Float32 {
+			t.Fatalf("conv %q bias must stay float", n.Name)
+		}
+	}
+	// Dequantize restores float graph.
+	if n := DequantizeWeights(g); n != count {
+		t.Fatalf("dequantized %d, want %d", n, count)
+	}
+}

@@ -1,0 +1,157 @@
+package session
+
+import (
+	"fmt"
+
+	"mnn/internal/graph"
+	"mnn/internal/kernels"
+	"mnn/internal/tensor"
+)
+
+// RunReference executes the graph with the naive NCHW reference kernels,
+// with no scheme selection, no memory planning and no backends. It is the
+// correctness oracle: every optimized session must agree with it.
+func RunReference(g *graph.Graph, inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	shapes, err := graph.InferShapes(g, shapesOf(inputs))
+	if err != nil {
+		return nil, err
+	}
+	vals := map[string]*tensor.Tensor{}
+	for name, t := range inputs {
+		vals[name] = t.ToLayout(tensor.NCHW)
+	}
+	w := func(i int, n *graph.Node) *tensor.Tensor {
+		if i < len(n.WeightNames) {
+			return g.Weights[n.WeightNames[i]]
+		}
+		return nil
+	}
+	for _, n := range order {
+		switch n.Op {
+		case graph.OpInput:
+			if _, ok := vals[n.Outputs[0]]; !ok {
+				return nil, fmt.Errorf("reference: input %q not provided", n.Outputs[0])
+			}
+		case graph.OpConv2D:
+			a := n.Attrs.(*graph.Conv2DAttrs)
+			out := tensor.New(shapes[n.Outputs[0]]...)
+			kernels.ConvRef(out, vals[n.Inputs[0]], w(0, n), w(1, n), a)
+			vals[n.Outputs[0]] = out
+		case graph.OpDeconv2D:
+			a := n.Attrs.(*graph.Conv2DAttrs)
+			out := tensor.New(shapes[n.Outputs[0]]...)
+			kernels.DeconvRef(out, vals[n.Inputs[0]], w(0, n), w(1, n), a)
+			vals[n.Outputs[0]] = out
+		case graph.OpPool:
+			a := n.Attrs.(*graph.PoolAttrs)
+			out := tensor.New(shapes[n.Outputs[0]]...)
+			kernels.PoolRef(out, vals[n.Inputs[0]], a)
+			vals[n.Outputs[0]] = out
+		case graph.OpReLU, graph.OpReLU6, graph.OpSigmoid, graph.OpTanh:
+			kind := map[graph.OpType]kernels.ActivationKind{
+				graph.OpReLU:    kernels.ActReLU,
+				graph.OpReLU6:   kernels.ActReLU6,
+				graph.OpSigmoid: kernels.ActSigmoid,
+				graph.OpTanh:    kernels.ActTanh,
+			}[n.Op]
+			out := tensor.New(shapes[n.Outputs[0]]...)
+			kernels.Activation(out, vals[n.Inputs[0]], kind, 1)
+			vals[n.Outputs[0]] = out
+		case graph.OpBatchNorm:
+			a := n.Attrs.(*graph.BatchNormAttrs)
+			out := tensor.New(shapes[n.Outputs[0]]...)
+			kernels.BatchNormRef(out, vals[n.Inputs[0]], w(0, n), w(1, n), w(2, n), w(3, n), a.Eps)
+			vals[n.Outputs[0]] = out
+		case graph.OpScale:
+			a := n.Attrs.(*graph.ScaleAttrs)
+			out := tensor.New(shapes[n.Outputs[0]]...)
+			var bias *tensor.Tensor
+			if a.HasBias {
+				bias = w(1, n)
+			}
+			kernels.ScaleRef(out, vals[n.Inputs[0]], w(0, n), bias)
+			vals[n.Outputs[0]] = out
+		case graph.OpEltwise:
+			a := n.Attrs.(*graph.EltwiseAttrs)
+			out := tensor.New(shapes[n.Outputs[0]]...)
+			ins := make([]*tensor.Tensor, len(n.Inputs))
+			for i, name := range n.Inputs {
+				ins[i] = vals[name]
+			}
+			kernels.Eltwise(out, ins, a, 1)
+			vals[n.Outputs[0]] = out
+		case graph.OpConcat:
+			a := n.Attrs.(*graph.ConcatAttrs)
+			out := tensor.New(shapes[n.Outputs[0]]...)
+			ins := make([]*tensor.Tensor, len(n.Inputs))
+			for i, name := range n.Inputs {
+				ins[i] = vals[name]
+			}
+			kernels.ConcatAxis(out, ins, a.Axis)
+			vals[n.Outputs[0]] = out
+		case graph.OpInnerProduct:
+			a := n.Attrs.(*graph.InnerProductAttrs)
+			out := tensor.New(shapes[n.Outputs[0]]...)
+			in := vals[n.Inputs[0]]
+			weight := w(0, n)
+			if weight.Rank() != 2 {
+				features := in.NumElements() / in.Dim(0)
+				weight = weight.Reshape(a.OutputCount, features)
+			}
+			kernels.InnerProductRef(out, in, weight, w(1, n), a)
+			vals[n.Outputs[0]] = out
+		case graph.OpSoftmax:
+			a := n.Attrs.(*graph.SoftmaxAttrs)
+			out := tensor.New(shapes[n.Outputs[0]]...)
+			kernels.SoftmaxRef(out, vals[n.Inputs[0]], a.Axis)
+			vals[n.Outputs[0]] = out
+		case graph.OpFlatten, graph.OpReshape:
+			vals[n.Outputs[0]] = vals[n.Inputs[0]].Reshape(shapes[n.Outputs[0]]...)
+		case graph.OpDropout:
+			vals[n.Outputs[0]] = vals[n.Inputs[0]]
+		case graph.OpPadding:
+			a := n.Attrs.(*graph.PaddingAttrs)
+			in := vals[n.Inputs[0]]
+			out := tensor.New(shapes[n.Outputs[0]]...)
+			for nn := 0; nn < in.Batch(); nn++ {
+				for c := 0; c < in.Channels(); c++ {
+					for y := 0; y < in.Height(); y++ {
+						for x := 0; x < in.Width(); x++ {
+							out.Set(nn, c, y+a.Top, x+a.Left, in.At(nn, c, y, x))
+						}
+					}
+				}
+			}
+			vals[n.Outputs[0]] = out
+		default:
+			return nil, fmt.Errorf("reference: unhandled op %v", n.Op)
+		}
+	}
+	out := map[string]*tensor.Tensor{}
+	for _, name := range g.OutputNames {
+		t, ok := vals[name]
+		if !ok {
+			return nil, fmt.Errorf("reference: output %q not produced", name)
+		}
+		out[name] = t
+	}
+	return out, nil
+}
+
+func shapesOf(inputs map[string]*tensor.Tensor) map[string][]int {
+	if inputs == nil {
+		return nil
+	}
+	m := map[string][]int{}
+	for name, t := range inputs {
+		m[name] = t.Shape()
+	}
+	return m
+}

@@ -1,0 +1,427 @@
+package session
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"mnn/internal/backend"
+	"mnn/internal/cpu"
+	"mnn/internal/device"
+	"mnn/internal/gpusim"
+	"mnn/internal/graph"
+	"mnn/internal/models"
+	"mnn/internal/simclock"
+	"mnn/internal/tensor"
+)
+
+// smallCNN: conv-bn-relu → dwconv → 1x1 conv → add(residual) → pool → fc →
+// softmax. Touches every major kernel family and the residual pattern.
+func smallCNN() *graph.Graph {
+	g := graph.New("smallcnn")
+	g.InputNames = []string{"data"}
+	g.OutputNames = []string{"prob"}
+	g.AddNode(&graph.Node{Name: "data", Op: graph.OpInput, Outputs: []string{"data"},
+		Attrs: &graph.InputAttrs{Shape: []int{1, 3, 16, 16}}})
+
+	add := func(n *graph.Node) { g.AddNode(n) }
+	w := func(name string, scale float32, shape ...int) string {
+		t := tensor.New(shape...)
+		tensor.FillRandom(t, uint64(len(g.Weights))+77, scale)
+		g.AddWeight(name, t)
+		return name
+	}
+
+	add(&graph.Node{Name: "conv1", Op: graph.OpConv2D, Inputs: []string{"data"}, Outputs: []string{"conv1"},
+		WeightNames: []string{w("c1w", 0.3, 8, 3, 3, 3), w("c1b", 0.1, 8)},
+		Attrs: &graph.Conv2DAttrs{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+			Group: 1, InputCount: 3, OutputCount: 8}})
+	// BN with positive variance.
+	gamma := w("bng", 0.1, 8)
+	for i, v := range g.Weights[gamma].Data() {
+		g.Weights[gamma].Data()[i] = v + 1
+	}
+	vr := w("bnv", 0.05, 8)
+	for i, v := range g.Weights[vr].Data() {
+		g.Weights[vr].Data()[i] = v + 1
+	}
+	add(&graph.Node{Name: "bn1", Op: graph.OpBatchNorm, Inputs: []string{"conv1"}, Outputs: []string{"bn1"},
+		WeightNames: []string{gamma, w("bnb", 0.1, 8), w("bnm", 0.1, 8), vr},
+		Attrs:       &graph.BatchNormAttrs{Eps: 1e-5}})
+	add(&graph.Node{Name: "relu1", Op: graph.OpReLU, Inputs: []string{"bn1"}, Outputs: []string{"relu1"}})
+	add(&graph.Node{Name: "dw", Op: graph.OpConv2D, Inputs: []string{"relu1"}, Outputs: []string{"dw"},
+		WeightNames: []string{w("dww", 0.3, 8, 1, 3, 3), w("dwb", 0.1, 8)},
+		Attrs: &graph.Conv2DAttrs{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+			Group: 8, InputCount: 8, OutputCount: 8, ReLU: true}})
+	add(&graph.Node{Name: "pw", Op: graph.OpConv2D, Inputs: []string{"dw"}, Outputs: []string{"pw"},
+		WeightNames: []string{w("pww", 0.3, 8, 8, 1, 1), w("pwb", 0.1, 8)},
+		Attrs: &graph.Conv2DAttrs{KernelH: 1, KernelW: 1, StrideH: 1, StrideW: 1,
+			Group: 1, InputCount: 8, OutputCount: 8}})
+	add(&graph.Node{Name: "res", Op: graph.OpEltwise, Inputs: []string{"relu1", "pw"}, Outputs: []string{"res"},
+		Attrs: &graph.EltwiseAttrs{Type: graph.EltSum}})
+	add(&graph.Node{Name: "pool", Op: graph.OpPool, Inputs: []string{"res"}, Outputs: []string{"pool"},
+		Attrs: &graph.PoolAttrs{Type: graph.AvgPool, Global: true}})
+	add(&graph.Node{Name: "fc", Op: graph.OpInnerProduct, Inputs: []string{"pool"}, Outputs: []string{"fc"},
+		WeightNames: []string{w("fcw", 0.3, 10, 8), w("fcb", 0.1, 10)},
+		Attrs:       &graph.InnerProductAttrs{OutputCount: 10}})
+	add(&graph.Node{Name: "prob", Op: graph.OpSoftmax, Inputs: []string{"fc"}, Outputs: []string{"prob"},
+		Attrs: &graph.SoftmaxAttrs{Axis: 1}})
+	return g
+}
+
+func fillInput(s *Session, name string, seed uint64) {
+	in := s.Input(name)
+	tmp := tensor.New(in.Shape()...)
+	tensor.FillRandom(tmp, seed, 1)
+	in.CopyFrom(tmp)
+}
+
+func refOutput(t *testing.T, g *graph.Graph, seed uint64) *tensor.Tensor {
+	t.Helper()
+	shapes, err := graph.InferShapes(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(shapes[g.InputNames[0]]...)
+	tensor.FillRandom(in, seed, 1)
+	outs, err := RunReference(g, map[string]*tensor.Tensor{g.InputNames[0]: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outs[g.OutputNames[0]]
+}
+
+func TestSessionMatchesReferenceCPU(t *testing.T) {
+	g := smallCNN()
+	want := refOutput(t, g, 5)
+	for _, threads := range []int{1, 4} {
+		s, err := New(g, Config{Backends: []backend.Backend{cpu.New(cpu.Config{Threads: threads})}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillInput(s, "data", 5)
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		got := s.Output("prob")
+		if d := tensor.MaxAbsDiff(want, got); d > 1e-3 {
+			t.Fatalf("threads=%d: max diff vs reference %g", threads, d)
+		}
+	}
+}
+
+func TestSessionMatchesReferenceGPUSim(t *testing.T) {
+	g := smallCNN()
+	want := refOutput(t, g, 6)
+	clock := simclock.New()
+	cpuB := cpu.New(cpu.Config{Threads: 2, Device: device.MI6, Clock: clock})
+	gpuB, err := gpusim.New(gpusim.Config{Kind: backend.KindVulkan, Device: device.MI6,
+		Clock: clock, DecoupledEncode: true, ComputeThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(g, Config{Backends: []backend.Backend{cpuB, gpuB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillInput(s, "data", 6)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(want, s.Output("prob")); d > 1e-3 {
+		t.Fatalf("max diff vs reference %g", d)
+	}
+	if clock.TotalMs() <= 0 {
+		t.Fatal("simulated clock must have advanced")
+	}
+}
+
+// heavyCNN is large enough that a GPU wins the Equation 4 comparison on an
+// MI6-class device: two 64-channel 3×3 convolutions at 56×56 plus a small
+// FC head.
+func heavyCNN() *graph.Graph {
+	g := graph.New("heavycnn")
+	g.InputNames = []string{"data"}
+	g.OutputNames = []string{"prob"}
+	g.AddNode(&graph.Node{Name: "data", Op: graph.OpInput, Outputs: []string{"data"},
+		Attrs: &graph.InputAttrs{Shape: []int{1, 16, 56, 56}}})
+	w := func(name string, scale float32, shape ...int) string {
+		t := tensor.New(shape...)
+		tensor.FillRandom(t, uint64(len(g.Weights))+31, scale)
+		g.AddWeight(name, t)
+		return name
+	}
+	g.AddNode(&graph.Node{Name: "conv1", Op: graph.OpConv2D, Inputs: []string{"data"}, Outputs: []string{"conv1"},
+		WeightNames: []string{w("c1w", 0.1, 64, 16, 3, 3), w("c1b", 0.1, 64)},
+		Attrs: &graph.Conv2DAttrs{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+			Group: 1, InputCount: 16, OutputCount: 64, ReLU: true}})
+	g.AddNode(&graph.Node{Name: "conv2", Op: graph.OpConv2D, Inputs: []string{"conv1"}, Outputs: []string{"conv2"},
+		WeightNames: []string{w("c2w", 0.05, 64, 64, 3, 3), w("c2b", 0.1, 64)},
+		Attrs: &graph.Conv2DAttrs{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+			Group: 1, InputCount: 64, OutputCount: 64, ReLU: true}})
+	g.AddNode(&graph.Node{Name: "gap", Op: graph.OpPool, Inputs: []string{"conv2"}, Outputs: []string{"gap"},
+		Attrs: &graph.PoolAttrs{Type: graph.AvgPool, Global: true}})
+	g.AddNode(&graph.Node{Name: "fc", Op: graph.OpInnerProduct, Inputs: []string{"gap"}, Outputs: []string{"fc"},
+		WeightNames: []string{w("fcw", 0.2, 10, 64), w("fcb", 0.1, 10)},
+		Attrs:       &graph.InnerProductAttrs{OutputCount: 10}})
+	g.AddNode(&graph.Node{Name: "prob", Op: graph.OpSoftmax, Inputs: []string{"fc"}, Outputs: []string{"prob"},
+		Attrs: &graph.SoftmaxAttrs{Axis: 1}})
+	return g
+}
+
+func TestSessionHybridScheduling(t *testing.T) {
+	// Vulkan does not support InnerProduct: fc must land on CPU even when
+	// the GPU wins overall, and staging copies must appear.
+	g := heavyCNN()
+	cpuB := cpu.New(cpu.Config{Threads: 2, Device: device.MI6})
+	gpuB, err := gpusim.New(gpusim.Config{Kind: backend.KindVulkan, Device: device.MI6,
+		DecoupledEncode: true, ComputeThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(g, Config{Backends: []backend.Backend{cpuB, gpuB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Assignment["fc"] != "CPU" {
+		t.Errorf("fc assigned to %s, want CPU", st.Assignment["fc"])
+	}
+	// The convolution-heavy body should beat the CPU on this device.
+	if st.Assignment["conv1"] != "Vulkan" {
+		t.Errorf("conv1 assigned to %s, want Vulkan", st.Assignment["conv1"])
+	}
+	if st.CrossBackendCopies == 0 {
+		t.Error("hybrid schedule must stage tensors across backends")
+	}
+	fillInput(s, "data", 7)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := refOutput(t, g, 7)
+	if d := tensor.MaxAbsDiff(want, s.Output("prob")); d > 1e-3 {
+		t.Fatalf("hybrid output differs from reference by %g", d)
+	}
+}
+
+func TestSessionPinnedAssignment(t *testing.T) {
+	g := smallCNN()
+	cpuB := cpu.New(cpu.Config{Threads: 1})
+	assign := core0Assignment(g, "CPU")
+	s, err := New(g, Config{Backends: []backend.Backend{cpuB}, Assignment: assign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillInput(s, "data", 8)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func core0Assignment(g *graph.Graph, name string) map[string]string {
+	m := map[string]string{}
+	for _, n := range g.Nodes {
+		m[n.Name] = name
+	}
+	return m
+}
+
+func TestSessionNoPreparationMatches(t *testing.T) {
+	g := smallCNN()
+	want := refOutput(t, g, 9)
+	s, err := New(g, Config{Backends: []backend.Backend{cpu.New(cpu.Config{Threads: 2})},
+		NoPreparation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillInput(s, "data", 9)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(want, s.Output("prob")); d > 1e-3 {
+		t.Fatalf("NoPreparation output differs by %g", d)
+	}
+}
+
+func TestSessionRepeatedRunsStable(t *testing.T) {
+	g := smallCNN()
+	s, err := New(g, Config{Backends: []backend.Backend{cpu.New(cpu.Config{Threads: 2})}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillInput(s, "data", 10)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	first := s.Output("prob").Clone()
+	for i := 0; i < 3; i++ {
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := tensor.MaxAbsDiff(first, s.Output("prob")); d != 0 {
+		t.Fatalf("outputs drifted across runs by %g", d)
+	}
+}
+
+func TestSessionResize(t *testing.T) {
+	g := smallCNN()
+	s, err := New(g, Config{Backends: []backend.Backend{cpu.New(cpu.Config{Threads: 1})}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Resize(map[string][]int{"data": {1, 3, 32, 32}}); err != nil {
+		t.Fatal(err)
+	}
+	in := s.Input("data")
+	if !tensor.EqualShape(in.Shape(), []int{1, 3, 32, 32}) {
+		t.Fatalf("input shape after resize: %v", in.Shape())
+	}
+	fillInput(s, "data", 11)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Check against reference at the new size.
+	tmp := tensor.New(1, 3, 32, 32)
+	tensor.FillRandom(tmp, 11, 1)
+	outs, err := RunReference(g, map[string]*tensor.Tensor{"data": tmp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(outs["prob"], s.Output("prob")); d > 1e-3 {
+		t.Fatalf("resized output differs by %g", d)
+	}
+}
+
+func TestSessionStats(t *testing.T) {
+	g := smallCNN()
+	s, err := New(g, Config{Backends: []backend.Backend{cpu.New(cpu.Config{Threads: 1})}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.ArenaFloats["CPU"] <= 0 {
+		t.Error("arena must be planned")
+	}
+	if len(st.SchemeCounts) == 0 {
+		t.Error("scheme counts must be recorded")
+	}
+	if st.Assignment["conv1"] != "CPU" {
+		t.Errorf("assignment: %v", st.Assignment)
+	}
+}
+
+func TestSessionRejectsBadConfig(t *testing.T) {
+	g := smallCNN()
+	if _, err := New(g, Config{}); err == nil {
+		t.Fatal("no backends must fail")
+	}
+	gpuB, _ := gpusim.New(gpusim.Config{Kind: backend.KindVulkan, Device: device.MI6})
+	if _, err := New(g, Config{Backends: []backend.Backend{gpuB}}); err == nil {
+		t.Fatal("non-CPU first backend must fail")
+	}
+}
+
+func TestSessionMobileNetV1EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full network in -short mode")
+	}
+	g := models.MobileNetV1()
+	s, err := New(g, Config{Backends: []backend.Backend{cpu.New(cpu.Config{Threads: 4})}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillInput(s, "data", 12)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := s.Output("prob")
+	var sum float64
+	for _, v := range out.Data() {
+		sum += float64(v)
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("softmax output sums to %v", sum)
+	}
+	// Scheme mix: MobileNet has 13 depthwise + 14 pointwise(1x1) + 1 stem.
+	st := s.Stats()
+	if st.SchemeCounts["depthwise"] != 13 {
+		t.Errorf("depthwise count: %v", st.SchemeCounts)
+	}
+	if st.SchemeCounts["strassen-1x1"] < 13 {
+		t.Errorf("1x1 count: %v", st.SchemeCounts)
+	}
+}
+
+func TestSessionInceptionV3Correctness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full network in -short mode")
+	}
+	// Inception-v3 exercises asymmetric Winograd and concat-heavy graphs;
+	// compare CPU session against the reference on a reduced input.
+	g := models.InceptionV3()
+	s, err := New(g, Config{Backends: []backend.Backend{cpu.New(cpu.Config{Threads: 4})}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillInput(s, "data", 13)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := refOutput(t, g, 13)
+	if d := tensor.MaxAbsDiff(want, s.Output("prob")); d > 5e-3 {
+		t.Fatalf("inception output differs from reference by %g", d)
+	}
+}
+
+func TestRunProfiled(t *testing.T) {
+	g := smallCNN()
+	s, err := New(g, Config{Backends: []backend.Backend{cpu.New(cpu.Config{Threads: 2})}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillInput(s, "data", 14)
+	p, err := s.RunProfiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Entries) != len(g.Nodes) {
+		t.Fatalf("entries %d, nodes %d", len(p.Entries), len(g.Nodes))
+	}
+	var sum time.Duration
+	for _, e := range p.Entries {
+		if e.Backend != "CPU" {
+			t.Fatalf("entry backend %q", e.Backend)
+		}
+		sum += e.Wall
+	}
+	if sum > p.Total || p.Total == 0 {
+		t.Fatalf("per-op sum %v vs total %v", sum, p.Total)
+	}
+	// Hottest/ByOp orderings are descending.
+	hot := p.Hottest(3)
+	for i := 1; i < len(hot); i++ {
+		if hot[i].Wall > hot[i-1].Wall {
+			t.Fatal("Hottest not sorted")
+		}
+	}
+	by := p.ByOp()
+	for i := 1; i < len(by); i++ {
+		if by[i].Wall > by[i-1].Wall {
+			t.Fatal("ByOp not sorted")
+		}
+	}
+	var buf bytes.Buffer
+	p.Dump(&buf, 5)
+	if !bytes.Contains(buf.Bytes(), []byte("hottest")) {
+		t.Fatal("Dump output malformed")
+	}
+	// Profiled output must equal the regular run's output.
+	regular := s.Output("prob").Clone()
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(regular, s.Output("prob")); d != 0 {
+		t.Fatalf("profiled run changed results by %g", d)
+	}
+}

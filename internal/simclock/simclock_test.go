@@ -1,0 +1,83 @@
+package simclock
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCPUCostEquation5(t *testing.T) {
+	// 569M MULs at 9.8 GFLOPS ⇒ 58.06 ms.
+	got := CPUCostMs(569e6, 9.8e9, 1)
+	if math.Abs(got-58.06) > 0.1 {
+		t.Fatalf("CPU cost = %v, want ≈58.06", got)
+	}
+	// Efficiency halves throughput ⇒ doubles cost.
+	if half := CPUCostMs(569e6, 9.8e9, 0.5); math.Abs(half-2*got) > 1e-9 {
+		t.Fatalf("efficiency scaling wrong: %v vs %v", half, got)
+	}
+	if CPUCostMs(0, 9.8e9, 1) != 0 || CPUCostMs(100, 0, 1) != 0 {
+		t.Fatal("degenerate inputs must cost zero")
+	}
+	// Zero/negative efficiency falls back to 1.
+	if CPUCostMs(100, 1e9, 0) != CPUCostMs(100, 1e9, 1) {
+		t.Fatal("zero efficiency must normalize to 1")
+	}
+}
+
+func TestGPUCostEquation5(t *testing.T) {
+	// MUL/FLOPS·1000 + t_schedule.
+	got := GPUCostMs(42.74e6, 42.74e9, 0.05, 1)
+	if math.Abs(got-1.05) > 1e-9 {
+		t.Fatalf("GPU cost = %v, want 1.05", got)
+	}
+	// Zero-MUL op still pays the schedule overhead.
+	if got := GPUCostMs(0, 42.74e9, 0.01, 1); got != 0.01 {
+		t.Fatalf("zero-MUL GPU op = %v, want 0.01", got)
+	}
+}
+
+func TestClockAccumulation(t *testing.T) {
+	c := New()
+	c.Charge("conv", 1.5)
+	c.Charge("conv", 2.5)
+	c.Charge("pool", 1)
+	if got := c.TotalMs(); got != 5 {
+		t.Fatalf("total = %v", got)
+	}
+	by := c.ByLabel()
+	if by["conv"] != 4 || by["pool"] != 1 {
+		t.Fatalf("breakdown: %v", by)
+	}
+	c.Reset()
+	if c.TotalMs() != 0 || len(c.ByLabel()) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestClockNilSafe(t *testing.T) {
+	var c *Clock
+	c.Charge("x", 1) // must not panic
+	if c.TotalMs() != 0 {
+		t.Fatal("nil clock total")
+	}
+	c.Reset()
+}
+
+func TestClockConcurrent(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Charge("op", 0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.TotalMs(); math.Abs(got-8) > 1e-6 {
+		t.Fatalf("concurrent total = %v, want 8", got)
+	}
+}

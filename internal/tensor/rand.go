@@ -1,0 +1,69 @@
+package tensor
+
+// Deterministic pseudo-random filling for synthetic weights and test inputs.
+// A tiny xorshift generator keeps the package dependency-free and makes every
+// benchmark input reproducible across runs and platforms.
+
+// RNG is a small deterministic pseudo-random generator (xorshift64*).
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed (0 is remapped to a constant).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 advances the generator.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float32 returns a uniform value in [-1, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40)/float32(1<<24)*2 - 1
+}
+
+// Intn returns a uniform int in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// FillRandom fills the logical elements of t with uniform values in
+// [-scale, scale) from a deterministic stream.
+func FillRandom(t *Tensor, seed uint64, scale float32) {
+	r := NewRNG(seed)
+	if t.layout != NC4HW4 || len(t.shape) != 4 {
+		d := t.Data()
+		for i := range d {
+			d[i] = r.Float32() * scale
+		}
+		return
+	}
+	N, C, H, W := t.shape[0], t.shape[1], t.shape[2], t.shape[3]
+	for n := 0; n < N; n++ {
+		for c := 0; c < C; c++ {
+			for h := 0; h < H; h++ {
+				for w := 0; w < W; w++ {
+					t.Set(n, c, h, w, r.Float32()*scale)
+				}
+			}
+		}
+	}
+}
+
+// NewRandom allocates an NCHW tensor filled from the deterministic stream.
+func NewRandom(seed uint64, scale float32, shape ...int) *Tensor {
+	t := New(shape...)
+	FillRandom(t, seed, scale)
+	return t
+}

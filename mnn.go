@@ -1,0 +1,315 @@
+// Package mnn is a pure-Go reproduction of MNN, the universal and efficient
+// mobile inference engine of Jiang et al. (MLSys 2020).
+//
+// The package exposes the engine's user-facing workflow:
+//
+//	graph, _ := mnn.BuildNetwork("mobilenet-v1")      // or LoadModel(r)
+//	_ = mnn.Optimize(graph)                           // offline fusion passes
+//	interp := mnn.NewInterpreter(graph)
+//	sess, _ := interp.CreateSession(mnn.Config{Threads: 4})
+//	sess.Input("data").CopyFrom(img)
+//	_ = sess.Run()
+//	out := sess.Output("prob")
+//
+// Session creation runs the paper's pre-inference (Section 3.2): shape
+// inference, Equation 4–5 backend selection, Equation 2–3 computation-scheme
+// selection per convolution, Figure 3 memory planning, and constant
+// pre-computation (Winograd weight transforms, packed kernels, command
+// buffers). Run is then pure compute.
+package mnn
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"mnn/internal/backend"
+	"mnn/internal/converter"
+	"mnn/internal/core"
+	"mnn/internal/cpu"
+	"mnn/internal/device"
+	"mnn/internal/graph"
+	"mnn/internal/gpusim"
+	"mnn/internal/models"
+	"mnn/internal/optimizer"
+	"mnn/internal/quant"
+	"mnn/internal/session"
+	"mnn/internal/simclock"
+	"mnn/internal/tensor"
+)
+
+// Tensor is the dense tensor type of the engine (see Data, Shape, CopyFrom).
+type Tensor = tensor.Tensor
+
+// Graph is a loaded or built computational graph.
+type Graph = graph.Graph
+
+// SessionStats summarizes what pre-inference decided.
+type SessionStats = session.Stats
+
+// ForwardType selects the preferred backend family, mirroring
+// MNNForwardType in the original API.
+type ForwardType int
+
+const (
+	// ForwardAuto lets the Equation 4–5 cost model choose among every
+	// backend available on the device.
+	ForwardAuto ForwardType = iota
+	// ForwardCPU pins execution to the CPU backend.
+	ForwardCPU
+	// ForwardMetal/OpenCL/OpenGL/Vulkan prefer the given (simulated) GPU
+	// API with CPU fallback for unsupported operators.
+	ForwardMetal
+	ForwardOpenCL
+	ForwardOpenGL
+	ForwardVulkan
+)
+
+// Config parameterizes CreateSession.
+type Config struct {
+	// Type selects the backend family (default ForwardAuto).
+	Type ForwardType
+	// Threads is the CPU worker count (default 1; the paper evaluates
+	// 1, 2 and 4).
+	Threads int
+	// DeviceName selects a simulated device profile from Devices()
+	// ("MI6", "Mate20", …). Empty means the host: no GPU simulation, cost
+	// model uses generic constants.
+	DeviceName string
+	// Simulate attaches a simulated clock charging the paper's Equation 5
+	// costs; read it back with Session.SimulatedMs.
+	Simulate bool
+	// NoPreparation disables preparation–execution decoupling (Table 2's
+	// ablation): every Run re-plans memory and re-creates kernels.
+	NoPreparation bool
+	// InputShapes overrides declared input shapes.
+	InputShapes map[string][]int
+}
+
+// Interpreter holds a model, ready to create sessions (mirrors
+// MNN::Interpreter).
+type Interpreter struct {
+	g *graph.Graph
+}
+
+// NewInterpreter wraps a graph.
+func NewInterpreter(g *Graph) *Interpreter { return &Interpreter{g: g} }
+
+// LoadModel reads a serialized .mnng model.
+func LoadModel(r io.Reader) (*Interpreter, error) {
+	g, err := converter.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Interpreter{g: g}, nil
+}
+
+// LoadModelFile reads a serialized model from disk.
+func LoadModelFile(path string) (*Interpreter, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadModel(f)
+}
+
+// Graph exposes the underlying graph (e.g. for inspection or export).
+func (ip *Interpreter) Graph() *Graph { return ip.g }
+
+// Session is a prepared inference pipeline bound to backends.
+type Session struct {
+	s     *session.Session
+	clock *simclock.Clock
+}
+
+// CreateSession runs pre-inference for the given configuration.
+func (ip *Interpreter) CreateSession(cfg Config) (*Session, error) {
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	dev := device.Host
+	if cfg.DeviceName != "" {
+		dev = device.ByName(cfg.DeviceName)
+		if dev == nil {
+			return nil, fmt.Errorf("mnn: unknown device %q (see mnn.Devices())", cfg.DeviceName)
+		}
+	}
+	var clock *simclock.Clock
+	if cfg.Simulate {
+		clock = simclock.New()
+	}
+	backends := []backend.Backend{
+		cpu.New(cpu.Config{Threads: cfg.Threads, Device: dev, Clock: clock}),
+	}
+	addGPU := func(kind backend.Kind, api device.GPUAPI) error {
+		if !dev.HasAPI(api) {
+			return fmt.Errorf("mnn: device %s has no %s support", dev.Name, kind)
+		}
+		b, err := gpusim.New(gpusim.Config{Kind: kind, Device: dev, Clock: clock,
+			DecoupledEncode: !cfg.NoPreparation, ComputeThreads: cfg.Threads})
+		if err != nil {
+			return err
+		}
+		backends = append(backends, b)
+		return nil
+	}
+	switch cfg.Type {
+	case ForwardAuto:
+		if cfg.DeviceName != "" {
+			for _, c := range []struct {
+				kind backend.Kind
+				api  device.GPUAPI
+			}{
+				{backend.KindMetal, device.APIMetal},
+				{backend.KindOpenCL, device.APIOpenCL},
+				{backend.KindOpenGL, device.APIOpenGL},
+				{backend.KindVulkan, device.APIVulkan},
+			} {
+				if dev.HasAPI(c.api) {
+					if err := addGPU(c.kind, c.api); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	case ForwardCPU:
+		// CPU only.
+	case ForwardMetal:
+		if err := addGPU(backend.KindMetal, device.APIMetal); err != nil {
+			return nil, err
+		}
+	case ForwardOpenCL:
+		if err := addGPU(backend.KindOpenCL, device.APIOpenCL); err != nil {
+			return nil, err
+		}
+	case ForwardOpenGL:
+		if err := addGPU(backend.KindOpenGL, device.APIOpenGL); err != nil {
+			return nil, err
+		}
+	case ForwardVulkan:
+		if err := addGPU(backend.KindVulkan, device.APIVulkan); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("mnn: unknown forward type %d", cfg.Type)
+	}
+	s, err := session.New(ip.g, session.Config{
+		Backends:      backends,
+		InputShapes:   cfg.InputShapes,
+		NoPreparation: cfg.NoPreparation,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: s, clock: clock}, nil
+}
+
+// Input returns the writable input tensor.
+func (s *Session) Input(name string) *Tensor { return s.s.Input(name) }
+
+// Output returns an output tensor (valid after Run).
+func (s *Session) Output(name string) *Tensor { return s.s.Output(name) }
+
+// OutputNames lists declared outputs.
+func (s *Session) OutputNames() []string { return s.s.OutputNames() }
+
+// Run executes one inference.
+func (s *Session) Run() error { return s.s.Run() }
+
+// RunTimed executes one inference and returns the host wall time.
+func (s *Session) RunTimed() (time.Duration, error) {
+	t0 := time.Now()
+	err := s.s.Run()
+	return time.Since(t0), err
+}
+
+// Profile is a per-operator timing breakdown (see Session.RunProfiled).
+type Profile = session.Profile
+
+// RunProfiled executes one inference measuring every operator.
+func (s *Session) RunProfiled() (*Profile, error) { return s.s.RunProfiled() }
+
+// SimulatedMs returns the accumulated simulated time (Config.Simulate).
+func (s *Session) SimulatedMs() float64 { return s.clock.TotalMs() }
+
+// ResetSimulatedClock zeroes the simulated clock.
+func (s *Session) ResetSimulatedClock() { s.clock.Reset() }
+
+// Stats returns pre-inference statistics (backend assignment, scheme
+// counts, arena sizes).
+func (s *Session) Stats() SessionStats { return s.s.Stats() }
+
+// Resize re-runs pre-inference for new input shapes.
+func (s *Session) Resize(shapes map[string][]int) error { return s.s.Resize(shapes) }
+
+// --- model utilities ---
+
+// BuildNetwork constructs one of the built-in benchmark networks:
+// mobilenet-v1, mobilenet-v2, squeezenet-v1.0, squeezenet-v1.1, resnet-18,
+// resnet-50, inception-v3.
+func BuildNetwork(name string) (*Graph, error) { return models.ByName(name) }
+
+// Networks lists the built-in network names.
+func Networks() []string { return models.Names() }
+
+// Optimize runs the offline fusion/replacement passes in place.
+func Optimize(g *Graph) error { return optimizer.Optimize(g) }
+
+// SaveModel serializes a graph to the binary model format.
+func SaveModel(g *Graph, w io.Writer) error { return converter.Save(g, w) }
+
+// SaveModelFile serializes a graph to disk.
+func SaveModelFile(g *Graph, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := converter.Save(g, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ParseJSONModel reads the pseudo-ONNX JSON frontend format.
+func ParseJSONModel(r io.Reader) (*Graph, error) { return converter.ParseJSON(r) }
+
+// QuantizeWeights applies int8 post-training weight quantization in place,
+// returning the number of tensors quantized and bytes saved.
+func QuantizeWeights(g *Graph) (count int, savedBytes int64) { return quant.QuantizeWeights(g) }
+
+// PruneWeights magnitude-prunes conv/FC filters to the target sparsity
+// (the model-slimming tool of the paper's future work), returning the
+// achieved zero fraction.
+func PruneWeights(g *Graph, sparsity float64) float64 {
+	return quant.PruneWeights(g, sparsity).Sparsity()
+}
+
+// MeasureHostFLOPS micro-benchmarks the basic matrix-multiplication unit
+// and returns achieved MACs/second — the auto-tuned replacement for the
+// Appendix C capability heuristic (the paper's future work item 1).
+func MeasureHostFLOPS() float64 { return core.MeasureHostFLOPS(256, 3).FLOPS }
+
+// RunReference executes the naive reference interpreter (the correctness
+// oracle) on the given inputs.
+func RunReference(g *Graph, inputs map[string]*Tensor) (map[string]*Tensor, error) {
+	return session.RunReference(g, inputs)
+}
+
+// Devices lists the simulated device profile names.
+func Devices() []string {
+	all := device.All()
+	names := make([]string, len(all))
+	for i, d := range all {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// SelectConvScheme exposes the Equation 2–3 scheme decision for one
+// convolution configuration (used by the schemetuner example and tooling).
+func SelectConvScheme(a *graph.Conv2DAttrs, inputShape []int) core.ConvDecision {
+	return core.SelectConvScheme(a, inputShape)
+}

@@ -1,0 +1,220 @@
+package mnn_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mnn"
+	"mnn/internal/tensor"
+)
+
+const tinyModelJSON = `{
+  "name": "tiny",
+  "inputs": ["data"],
+  "outputs": ["prob"],
+  "nodes": [
+    {"name": "data", "op": "Input", "attrs": {"shape": [1, 3, 16, 16]}},
+    {"name": "conv1", "op": "Conv2D", "inputs": ["data"], "weights": ["w1", "b1"],
+     "attrs": {"kernel": [3], "pad": [1], "outputs": 8, "relu": true}},
+    {"name": "dw", "op": "Conv2D", "inputs": ["conv1"], "weights": ["w2", "b2"],
+     "attrs": {"kernel": [3], "pad": [1], "group": 8, "outputs": 8, "relu": true}},
+    {"name": "pw", "op": "Conv2D", "inputs": ["dw"], "weights": ["w3", "b3"],
+     "attrs": {"kernel": [1], "outputs": 16}},
+    {"name": "gap", "op": "Pool", "inputs": ["pw"], "attrs": {"type": "avg", "global": true}},
+    {"name": "flat", "op": "Flatten", "inputs": ["gap"], "attrs": {"axis": 1}},
+    {"name": "prob", "op": "Softmax", "inputs": ["flat"], "attrs": {"axis": 1}}
+  ],
+  "weights": [
+    {"name": "w1", "shape": [8, 3, 3, 3], "init": "random", "seed": 1, "scale": 0.3},
+    {"name": "b1", "shape": [8], "init": "random", "seed": 2, "scale": 0.1},
+    {"name": "w2", "shape": [8, 1, 3, 3], "init": "random", "seed": 3, "scale": 0.3},
+    {"name": "b2", "shape": [8], "init": "random", "seed": 4, "scale": 0.1},
+    {"name": "w3", "shape": [16, 8, 1, 1], "init": "random", "seed": 5, "scale": 0.3},
+    {"name": "b3", "shape": [16], "init": "random", "seed": 6, "scale": 0.1}
+  ]
+}`
+
+func tinyModel(t *testing.T) *mnn.Graph {
+	t.Helper()
+	g, err := mnn.ParseJSONModel(strings.NewReader(tinyModelJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestQuickstartWorkflow(t *testing.T) {
+	g := tinyModel(t)
+	if err := mnn.Optimize(g); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := mnn.NewInterpreter(g).CreateSession(mnn.Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sess.Input("data")
+	tmp := tensor.New(in.Shape()...)
+	tensor.FillRandom(tmp, 42, 1)
+	in.CopyFrom(tmp)
+	if err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := sess.Output("prob")
+	var sum float64
+	for _, v := range out.Data() {
+		sum += float64(v)
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("softmax sum %v", sum)
+	}
+	// Must agree with the reference oracle.
+	ref, err := mnn.RunReference(tinyModel(t), map[string]*mnn.Tensor{"data": tmp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(ref["prob"], out); d > 1e-4 {
+		t.Fatalf("engine differs from reference by %g", d)
+	}
+}
+
+func TestSaveLoadFileRoundTrip(t *testing.T) {
+	g := tinyModel(t)
+	path := filepath.Join(t.TempDir(), "tiny.mnng")
+	if err := mnn.SaveModelFile(g, path); err != nil {
+		t.Fatal(err)
+	}
+	ip, err := mnn.LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ip.Graph().Nodes) != len(g.Nodes) {
+		t.Fatal("node count changed through file round trip")
+	}
+	if _, err := mnn.LoadModelFile(filepath.Join(t.TempDir(), "missing.mnng")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	if !os.IsNotExist(func() error {
+		_, err := mnn.LoadModelFile(filepath.Join(t.TempDir(), "missing.mnng"))
+		return unwrapPathError(err)
+	}()) {
+		t.Log("note: missing-file error is wrapped; acceptable")
+	}
+}
+
+func unwrapPathError(err error) error {
+	if pe, ok := err.(*os.PathError); ok {
+		return pe
+	}
+	return err
+}
+
+func TestQuantizedSessionStillWorks(t *testing.T) {
+	g := tinyModel(t)
+	count, saved := mnn.QuantizeWeights(g)
+	if count == 0 || saved <= 0 {
+		t.Fatalf("quantize: %d, %d", count, saved)
+	}
+	var buf bytes.Buffer
+	if err := mnn.SaveModel(g, &buf); err != nil {
+		t.Fatal(err)
+	}
+	ip, err := mnn.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := ip.CreateSession(mnn.Config{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := tensor.New(1, 3, 16, 16)
+	tensor.FillRandom(tmp, 7, 1)
+	sess.Input("data").CopyFrom(tmp)
+	if err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// int8 quantization error on this tiny model should stay small.
+	ref, err := mnn.RunReference(tinyModel(t), map[string]*mnn.Tensor{"data": tmp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(ref["prob"], sess.Output("prob")); d > 0.05 {
+		t.Fatalf("quantized output error %g", d)
+	}
+}
+
+func TestSimulatedDeviceSession(t *testing.T) {
+	g := tinyModel(t)
+	sess, err := mnn.NewInterpreter(g).CreateSession(mnn.Config{
+		Type: mnn.ForwardVulkan, Threads: 2, DeviceName: "MI6", Simulate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := tensor.New(1, 3, 16, 16)
+	tensor.FillRandom(tmp, 9, 1)
+	sess.Input("data").CopyFrom(tmp)
+	sess.ResetSimulatedClock()
+	if err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sess.SimulatedMs() <= 0 {
+		t.Fatal("simulated clock must advance")
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	g := tinyModel(t)
+	ip := mnn.NewInterpreter(g)
+	if _, err := ip.CreateSession(mnn.Config{DeviceName: "NokiaBrick"}); err == nil {
+		t.Error("unknown device must fail")
+	}
+	// Metal on an Android profile must fail.
+	if _, err := ip.CreateSession(mnn.Config{Type: mnn.ForwardMetal, DeviceName: "MI6"}); err == nil {
+		t.Error("Metal on MI6 must fail")
+	}
+	// GPU forward type without a device (host has no GPU sim) must fail.
+	if _, err := ip.CreateSession(mnn.Config{Type: mnn.ForwardVulkan}); err == nil {
+		t.Error("Vulkan on host must fail")
+	}
+}
+
+func TestNetworksAndDevicesLists(t *testing.T) {
+	if len(mnn.Networks()) != 8 {
+		t.Fatalf("networks: %v", mnn.Networks())
+	}
+	found := false
+	for _, d := range mnn.Devices() {
+		if d == "Mate20" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("devices: %v", mnn.Devices())
+	}
+	if _, err := mnn.BuildNetwork("mobilenet-v1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionResizePublicAPI(t *testing.T) {
+	g := tinyModel(t)
+	sess, err := mnn.NewInterpreter(g).CreateSession(mnn.Config{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Resize(map[string][]int{"data": {1, 3, 32, 32}}); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.EqualShape(sess.Input("data").Shape(), []int{1, 3, 32, 32}) {
+		t.Fatal("resize not applied")
+	}
+	tmp := tensor.New(1, 3, 32, 32)
+	tensor.FillRandom(tmp, 11, 1)
+	sess.Input("data").CopyFrom(tmp)
+	if err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
