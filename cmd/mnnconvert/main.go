@@ -48,10 +48,7 @@ func main() {
 			f.Close()
 		}
 	case *binIn != "":
-		var ip *mnn.Interpreter
-		if ip, err = mnn.LoadModelFile(*binIn); err == nil {
-			g = ip.Graph()
-		}
+		g, err = mnn.LoadGraphFile(*binIn)
 	default:
 		fmt.Fprintln(os.Stderr, "mnnconvert: one of -net, -json or -in is required")
 		flag.Usage()

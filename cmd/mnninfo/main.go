@@ -31,10 +31,7 @@ func main() {
 	case *net != "":
 		g, err = mnn.BuildNetwork(*net)
 	case *binIn != "":
-		var ip *mnn.Interpreter
-		if ip, err = mnn.LoadModelFile(*binIn); err == nil {
-			g = ip.Graph()
-		}
+		g, err = mnn.LoadGraphFile(*binIn)
 	default:
 		fmt.Fprintln(os.Stderr, "mnninfo: -in or -net is required")
 		os.Exit(2)

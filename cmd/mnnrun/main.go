@@ -1,34 +1,42 @@
-// Command mnnrun loads a model and runs inference, reporting latency,
-// pre-inference decisions and (optionally) the Equation 5 simulated time on
-// a named device profile. With -check it also validates the engine output
-// against the naive reference interpreter.
+// Command mnnrun loads a model and runs inference through the v2 Engine
+// API, reporting latency, pre-inference decisions and (optionally) the
+// Equation 5 simulated time on a named device profile. With -check it also
+// validates the engine output against the naive reference interpreter.
 //
 //	mnnrun -in model.mnng -threads 4 -runs 10
 //	mnnrun -net mobilenet-v1 -device MI6 -forward auto -simulate
 //	mnnrun -net resnet-18 -check
+//	mnnrun -net mobilenet-v1 -pool 4 -inflight 4 -runs 16   # concurrent
+//	mnnrun -net inception-v3 -timeout 100ms                 # cancellation
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"sync"
 	"time"
 
 	"mnn"
+	"mnn/internal/loadgen"
 	"mnn/internal/tensor"
 )
 
 func main() {
 	binIn := flag.String("in", "", "binary model path")
 	net := flag.String("net", "", "built-in network name instead of -in")
-	threads := flag.Int("threads", 4, "CPU threads")
+	threads := flag.Int("threads", 4, "CPU threads per pooled session")
 	runs := flag.Int("runs", 10, "timed runs (after one warm-up, as in the paper)")
 	deviceName := flag.String("device", "", "simulated device profile (see -list-devices)")
 	forward := flag.String("forward", "cpu", "backend: auto, cpu, metal, opencl, opengl, vulkan")
 	simulate := flag.Bool("simulate", false, "report Equation 5 simulated time")
 	check := flag.Bool("check", false, "compare output against the reference interpreter")
 	profile := flag.Bool("profile", false, "print a per-operator timing breakdown")
+	pool := flag.Int("pool", 1, "prepared sessions held by the engine")
+	inflight := flag.Int("inflight", 1, "concurrent inference goroutines for the timed runs")
+	timeout := flag.Duration("timeout", 0, "per-inference deadline (0 = none)")
 	listDevices := flag.Bool("list-devices", false, "list device profiles and exit")
 	flag.Parse()
 
@@ -39,40 +47,54 @@ func main() {
 		return
 	}
 
-	var g *mnn.Graph
-	var err error
+	// -in always loads a file; a bare name only ever resolves to the zoo.
+	var model any
 	switch {
-	case *net != "":
-		g, err = mnn.BuildNetwork(*net)
 	case *binIn != "":
-		var ip *mnn.Interpreter
-		if ip, err = mnn.LoadModelFile(*binIn); err == nil {
-			g = ip.Graph()
+		g, err := mnn.LoadGraphFile(*binIn)
+		if err != nil {
+			fail(err)
 		}
+		model = g
+	case *net != "":
+		model = *net
 	default:
 		fmt.Fprintln(os.Stderr, "mnnrun: -in or -net is required")
 		os.Exit(2)
 	}
+	if *runs < 1 {
+		fail(fmt.Errorf("-runs must be >= 1, got %d", *runs))
+	}
+	if *inflight < 1 {
+		fail(fmt.Errorf("-inflight must be >= 1, got %d", *inflight))
+	}
+
+	ft, err := mnn.ParseForwardType(*forward)
 	if err != nil {
 		fail(err)
 	}
+	opts := []mnn.Option{
+		mnn.WithThreads(*threads),
+		mnn.WithForwardType(ft),
+		mnn.WithPoolSize(*pool),
+	}
+	if *deviceName != "" {
+		opts = append(opts, mnn.WithDevice(*deviceName))
+	}
+	if *simulate {
+		opts = append(opts, mnn.WithSimulatedClock())
+	}
 
-	ft := map[string]mnn.ForwardType{
-		"auto": mnn.ForwardAuto, "cpu": mnn.ForwardCPU, "metal": mnn.ForwardMetal,
-		"opencl": mnn.ForwardOpenCL, "opengl": mnn.ForwardOpenGL, "vulkan": mnn.ForwardVulkan,
-	}[strings.ToLower(*forward)]
-
-	interp := mnn.NewInterpreter(g)
 	t0 := time.Now()
-	sess, err := interp.CreateSession(mnn.Config{
-		Type: ft, Threads: *threads, DeviceName: *deviceName, Simulate: *simulate,
-	})
+	eng, err := mnn.Open(model, opts...)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("pre-inference: %.1f ms\n", float64(time.Since(t0).Microseconds())/1000)
+	defer eng.Close()
+	fmt.Printf("pre-inference: %.1f ms (%d pooled sessions)\n",
+		float64(time.Since(t0).Microseconds())/1000, eng.PoolSize())
 
-	st := sess.Stats()
+	st := eng.Stats()
 	fmt.Printf("schemes: %v\n", st.SchemeCounts)
 	backends := map[string]int{}
 	for _, b := range st.Assignment {
@@ -83,46 +105,75 @@ func main() {
 		fmt.Printf("arena[%s]: %.1f MB\n", name, float64(floats)*4/(1<<20))
 	}
 
-	// Fill inputs deterministically.
-	inputs := map[string]*mnn.Tensor{}
-	for _, name := range g.InputNames {
-		in := sess.Input(name)
-		tmp := tensor.New(in.Shape()...)
-		tensor.FillRandom(tmp, 1, 1)
-		in.CopyFrom(tmp)
-		inputs[name] = tmp
+	newCtx := func() (context.Context, context.CancelFunc) {
+		if *timeout > 0 {
+			return context.WithTimeout(context.Background(), *timeout)
+		}
+		return context.Background(), func() {}
+	}
+	infer := func(inputs map[string]*mnn.Tensor) (map[string]*mnn.Tensor, error) {
+		ctx, cancel := newCtx()
+		defer cancel()
+		return eng.Infer(ctx, inputs)
 	}
 
-	// Warm-up + timed runs (paper Section 4.1's protocol).
-	if _, err := sess.RunTimed(); err != nil {
+	// Fill inputs deterministically.
+	inputs := map[string]*mnn.Tensor{}
+	for _, name := range eng.InputNames() {
+		in := mnn.NewTensor(eng.InputShape(name)...)
+		tensor.FillRandom(in, 1, 1)
+		inputs[name] = in
+	}
+
+	// Warm-up + timed runs (paper Section 4.1's protocol), optionally with
+	// several requests in flight against the session pool.
+	if _, err := infer(inputs); err != nil {
 		fail(err)
 	}
 	if *simulate {
-		sess.ResetSimulatedClock()
+		eng.ResetSimulatedClock()
 	}
-	var total time.Duration
-	for i := 0; i < *runs; i++ {
-		d, err := sess.RunTimed()
+	var (
+		mu      sync.Mutex
+		outputs map[string]*mnn.Tensor
+	)
+	st2, err := loadgen.RunConcurrent(func() error {
+		out, err := infer(inputs)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		total += d
+		mu.Lock()
+		outputs = out
+		mu.Unlock()
+		return nil
+	}, loadgen.ConcurrentConfig{
+		InFlight: *inflight, MinQueryCount: *runs, MaxQueryCount: *runs,
+	})
+	if err != nil {
+		if errors.Is(err, mnn.ErrCancelled) {
+			fail(fmt.Errorf("inference exceeded -timeout %v: %w", *timeout, err))
+		}
+		fail(err)
 	}
-	fmt.Printf("host latency: %.2f ms (avg of %d runs)\n",
-		float64(total.Microseconds())/1000/float64(*runs), *runs)
+	fmt.Printf("host latency: %.2f ms mean, %.2f ms p90 (%d runs, %d in flight)\n",
+		float64(st2.MeanLatency.Microseconds())/1000,
+		float64(st2.P90Latency.Microseconds())/1000, st2.QueryCount, *inflight)
+	if *inflight > 1 {
+		fmt.Printf("aggregate throughput: %.2f inferences/s\n", st2.QPSWithLoadgen)
+	}
 	if *simulate {
 		fmt.Printf("simulated latency on %s: %.2f ms/run\n",
-			*deviceName, sess.SimulatedMs()/float64(*runs))
+			*deviceName, eng.SimulatedMs()/float64(*runs))
 	}
 
 	if *check {
-		ref, err := mnn.RunReference(g, inputs)
+		ref, err := mnn.RunReference(eng.Graph(), inputs)
 		if err != nil {
 			fail(err)
 		}
 		worst := 0.0
-		for _, name := range sess.OutputNames() {
-			if d := tensor.MaxAbsDiff(ref[name], sess.Output(name)); d > worst {
+		for _, name := range eng.OutputNames() {
+			if d := tensor.MaxAbsDiff(ref[name], outputs[name]); d > worst {
 				worst = d
 			}
 		}
@@ -132,16 +183,17 @@ func main() {
 		}
 	}
 	if *profile {
-		p, err := sess.RunProfiled()
+		ctx, cancel := newCtx()
+		_, p, err := eng.InferProfiled(ctx, inputs)
+		cancel()
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println()
 		p.Dump(os.Stdout, 10)
 	}
-	for _, name := range sess.OutputNames() {
-		out := sess.Output(name)
-		fmt.Printf("output %q: %v\n", name, out)
+	for _, name := range eng.OutputNames() {
+		fmt.Printf("output %q: %v\n", name, outputs[name])
 	}
 }
 

@@ -1,0 +1,384 @@
+package mnn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+
+	"mnn/internal/backend"
+	"mnn/internal/converter"
+	"mnn/internal/cpu"
+	"mnn/internal/device"
+	"mnn/internal/gpusim"
+	"mnn/internal/graph"
+	"mnn/internal/models"
+	"mnn/internal/session"
+	"mnn/internal/simclock"
+	"mnn/internal/tensor"
+)
+
+// Engine is the concurrent v2 facade over the paper's prepared-session
+// design. Open runs the full pre-inference (shape inference, Equation 4–5
+// backend selection, Equation 2–3 scheme selection, Figure 3 memory
+// planning, constant pre-computation) once per pooled session; Infer is then
+// pure compute and safe to call from any number of goroutines — each call
+// checks out a prepared session, copies the inputs in, runs, and copies the
+// outputs back out, so callers never share tensors with the engine.
+//
+//	eng, err := mnn.Open("mobilenet-v1", mnn.WithThreads(4), mnn.WithPoolSize(4))
+//	if err != nil { ... }
+//	defer eng.Close()
+//	out, err := eng.Infer(ctx, map[string]*mnn.Tensor{"data": img})
+type Engine struct {
+	g      *graph.Graph
+	cfg    engineConfig
+	clock  *simclock.Clock
+	pool   chan *session.Session
+	quit   chan struct{}
+	closed atomic.Bool
+
+	inputNames  []string
+	outputNames []string
+	inputShapes map[string][]int
+	stats       session.Stats
+}
+
+// Open prepares a concurrent inference engine. The model may be:
+//
+//   - a *Graph, already built or loaded;
+//   - a string naming a built-in network (see Networks()) or the path of a
+//     serialized .mnng model file;
+//   - an io.Reader streaming the binary model format.
+//
+// Options configure threads, backend family, simulated device, pool size and
+// the preparation ablation; see the With* functions. Open fails with
+// ErrUnknownNetwork, ErrUnknownDevice or ErrUnknownBackend (all wrap-aware).
+func Open(model any, opts ...Option) (*Engine, error) {
+	cfg := defaultEngineConfig()
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.noPrep {
+		// The ablation path re-prepares inside every run and mutates session
+		// state; a pool of them would just multiply the measurement noise.
+		cfg.poolSize = 1
+	}
+	g, err := resolveModel(model)
+	if err != nil {
+		return nil, err
+	}
+	var clock *simclock.Clock
+	if cfg.simulate {
+		clock = simclock.New()
+	}
+	e := &Engine{
+		g:     g,
+		cfg:   cfg,
+		clock: clock,
+		pool:  make(chan *session.Session, cfg.poolSize),
+		quit:  make(chan struct{}),
+	}
+	for i := 0; i < cfg.poolSize; i++ {
+		s, err := newPreparedSession(g, cfg, clock)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			e.stats = s.Stats()
+			e.inputNames = append([]string(nil), g.InputNames...)
+			e.outputNames = append([]string(nil), g.OutputNames...)
+			e.inputShapes = make(map[string][]int, len(g.InputNames))
+			for _, name := range g.InputNames {
+				if t := s.Input(name); t != nil {
+					e.inputShapes[name] = append([]int(nil), t.Shape()...)
+				}
+			}
+		}
+		e.pool <- s
+	}
+	return e, nil
+}
+
+// resolveModel turns Open's polymorphic model argument into a graph.
+func resolveModel(model any) (*graph.Graph, error) {
+	switch m := model.(type) {
+	case *graph.Graph:
+		if m == nil {
+			return nil, fmt.Errorf("%w: nil graph", ErrUnknownNetwork)
+		}
+		return m, nil
+	case string:
+		if g, err := models.ByName(m); err == nil {
+			return g, nil
+		}
+		if _, err := os.Stat(m); err == nil {
+			return LoadGraphFile(m)
+		}
+		return nil, fmt.Errorf("%w: %q is neither a built-in network (see mnn.Networks()) nor a model file", ErrUnknownNetwork, m)
+	case io.Reader:
+		return converter.Load(m)
+	default:
+		return nil, fmt.Errorf("%w: unsupported model type %T (want *mnn.Graph, string or io.Reader)", ErrUnknownNetwork, model)
+	}
+}
+
+// newBackends assembles the backend stack for one prepared session: the CPU
+// fallback plus whatever simulated GPU APIs the configuration requests. The
+// clock (may be nil) is shared across the whole pool so simulated time
+// aggregates over concurrent inferences.
+func newBackends(cfg engineConfig, clock *simclock.Clock) ([]backend.Backend, error) {
+	dev := device.Host
+	if cfg.deviceName != "" {
+		dev = device.ByName(cfg.deviceName)
+		if dev == nil {
+			return nil, fmt.Errorf("%w: %q (see mnn.Devices())", ErrUnknownDevice, cfg.deviceName)
+		}
+	}
+	backends := []backend.Backend{
+		cpu.New(cpu.Config{Threads: cfg.threads, Device: dev, Clock: clock}),
+	}
+	addGPU := func(kind backend.Kind, api device.GPUAPI) error {
+		if !dev.HasAPI(api) {
+			return fmt.Errorf("%w: device %s has no %s support", ErrUnknownBackend, dev.Name, kind)
+		}
+		b, err := gpusim.New(gpusim.Config{Kind: kind, Device: dev, Clock: clock,
+			DecoupledEncode: !cfg.noPrep, ComputeThreads: cfg.threads})
+		if err != nil {
+			return err
+		}
+		backends = append(backends, b)
+		return nil
+	}
+	switch cfg.forward {
+	case ForwardAuto:
+		if cfg.deviceName != "" {
+			for _, c := range []struct {
+				kind backend.Kind
+				api  device.GPUAPI
+			}{
+				{backend.KindMetal, device.APIMetal},
+				{backend.KindOpenCL, device.APIOpenCL},
+				{backend.KindOpenGL, device.APIOpenGL},
+				{backend.KindVulkan, device.APIVulkan},
+			} {
+				if dev.HasAPI(c.api) {
+					if err := addGPU(c.kind, c.api); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	case ForwardCPU:
+		// CPU only.
+	case ForwardMetal:
+		if err := addGPU(backend.KindMetal, device.APIMetal); err != nil {
+			return nil, err
+		}
+	case ForwardOpenCL:
+		if err := addGPU(backend.KindOpenCL, device.APIOpenCL); err != nil {
+			return nil, err
+		}
+	case ForwardOpenGL:
+		if err := addGPU(backend.KindOpenGL, device.APIOpenGL); err != nil {
+			return nil, err
+		}
+	case ForwardVulkan:
+		if err := addGPU(backend.KindVulkan, device.APIVulkan); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: forward type %d", ErrUnknownBackend, cfg.forward)
+	}
+	return backends, nil
+}
+
+// newPreparedSession builds one session, running pre-inference unless the
+// configuration disables it.
+func newPreparedSession(g *graph.Graph, cfg engineConfig, clock *simclock.Clock) (*session.Session, error) {
+	backends, err := newBackends(cfg, clock)
+	if err != nil {
+		return nil, err
+	}
+	return session.New(g, session.Config{
+		Backends:      backends,
+		InputShapes:   cfg.inputShapes,
+		NoPreparation: cfg.noPrep,
+	})
+}
+
+// Infer runs one inference. It is safe for concurrent use: up to PoolSize
+// inferences run truly in parallel, further callers queue for a session.
+// The inputs map must provide every declared graph input with the prepared
+// shape (ErrInputShape otherwise); returned tensors are fresh NCHW copies
+// owned by the caller. A cancelled or expired ctx aborts promptly — while
+// queueing, or between pipeline operators mid-run — with ErrCancelled.
+func (e *Engine) Infer(ctx context.Context, inputs map[string]*Tensor) (map[string]*Tensor, error) {
+	s, err := e.checkout(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer e.checkin(s)
+	if err := e.fillInputs(s, inputs); err != nil {
+		return nil, err
+	}
+	if err := s.Run(ctx); err != nil {
+		return nil, wrapCancel(err)
+	}
+	return e.copyOutputs(s), nil
+}
+
+// InferProfiled is Infer with a per-operator timing breakdown.
+func (e *Engine) InferProfiled(ctx context.Context, inputs map[string]*Tensor) (map[string]*Tensor, *Profile, error) {
+	s, err := e.checkout(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer e.checkin(s)
+	if err := e.fillInputs(s, inputs); err != nil {
+		return nil, nil, err
+	}
+	p, err := s.RunProfiled(ctx)
+	if err != nil {
+		return nil, nil, wrapCancel(err)
+	}
+	return e.copyOutputs(s), p, nil
+}
+
+// checkout acquires a prepared session, honouring cancellation and Close.
+func (e *Engine) checkout(ctx context.Context) (*session.Session, error) {
+	if e.closed.Load() {
+		return nil, ErrEngineClosed
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCancelled, err)
+	}
+	select {
+	case s := <-e.pool:
+		// The select picks uniformly among ready cases, so a checked-in
+		// session can win against an already-closed quit channel; re-check
+		// so queued callers never start new work after Close.
+		if e.closed.Load() {
+			return nil, ErrEngineClosed
+		}
+		return s, nil
+	case <-e.quit:
+		return nil, ErrEngineClosed
+	case <-ctx.Done():
+		return nil, fmt.Errorf("%w: %v", ErrCancelled, ctx.Err())
+	}
+}
+
+// checkin returns a session to the pool, or drops it once the engine is
+// closed so the pool drains for good.
+func (e *Engine) checkin(s *session.Session) {
+	if e.closed.Load() {
+		return
+	}
+	e.pool <- s
+}
+
+// fillInputs validates the request against the prepared shapes and copies
+// the caller's tensors into the session.
+func (e *Engine) fillInputs(s *session.Session, inputs map[string]*Tensor) error {
+	for name := range inputs {
+		if _, ok := e.inputShapes[name]; !ok {
+			return fmt.Errorf("%w: unknown input %q (model inputs: %v)", ErrInputShape, name, e.inputNames)
+		}
+	}
+	for _, name := range e.inputNames {
+		t, ok := inputs[name]
+		if !ok || t == nil {
+			return fmt.Errorf("%w: missing input %q", ErrInputShape, name)
+		}
+		dst := s.Input(name)
+		if !tensor.EqualShape(dst.Shape(), t.Shape()) {
+			return fmt.Errorf("%w: input %q has shape %v, engine prepared %v", ErrInputShape, name, t.Shape(), dst.Shape())
+		}
+		dst.CopyFrom(t)
+	}
+	return nil
+}
+
+// copyOutputs snapshots the session outputs into caller-owned NCHW tensors.
+func (e *Engine) copyOutputs(s *session.Session) map[string]*Tensor {
+	out := make(map[string]*Tensor, len(e.outputNames))
+	for _, name := range e.outputNames {
+		src := s.Output(name)
+		dst := tensor.New(src.Shape()...)
+		dst.CopyFrom(src)
+		out[name] = dst
+	}
+	return out
+}
+
+// wrapCancel maps context cancellation surfaced by session.Run onto the
+// ErrCancelled sentinel while passing other errors through.
+func wrapCancel(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %v", ErrCancelled, err)
+	}
+	return err
+}
+
+// Close marks the engine closed; subsequent and queued Infer calls return
+// ErrEngineClosed. In-flight inferences finish normally. Close is idempotent.
+func (e *Engine) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	close(e.quit)
+	// Release idle sessions so their arenas can be collected; sessions still
+	// checked out drain back into the (buffered) channel and die with it.
+	for {
+		select {
+		case <-e.pool:
+		default:
+			return nil
+		}
+	}
+}
+
+// Graph exposes the underlying graph (e.g. for inspection or export).
+func (e *Engine) Graph() *Graph { return e.g }
+
+// PoolSize reports how many prepared sessions the engine holds.
+func (e *Engine) PoolSize() int { return e.cfg.poolSize }
+
+// InputNames lists the declared graph inputs.
+func (e *Engine) InputNames() []string { return append([]string(nil), e.inputNames...) }
+
+// OutputNames lists the declared graph outputs.
+func (e *Engine) OutputNames() []string { return append([]string(nil), e.outputNames...) }
+
+// InputShape returns the prepared shape of a declared input (nil if unknown).
+func (e *Engine) InputShape(name string) []int {
+	return append([]int(nil), e.inputShapes[name]...)
+}
+
+// Stats returns pre-inference statistics (backend assignment, scheme counts,
+// arena sizes) of one pooled session; every session decides identically.
+func (e *Engine) Stats() SessionStats { return e.stats }
+
+// SimulatedMs returns the aggregate simulated time charged by every pooled
+// session (WithSimulatedClock); zero without the option.
+func (e *Engine) SimulatedMs() float64 { return e.clock.TotalMs() }
+
+// SimulatedByLabel returns the per-operator-label simulated-time breakdown.
+func (e *Engine) SimulatedByLabel() map[string]float64 { return e.clock.ByLabel() }
+
+// ResetSimulatedClock zeroes the shared simulated clock.
+func (e *Engine) ResetSimulatedClock() { e.clock.Reset() }

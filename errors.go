@@ -1,0 +1,34 @@
+package mnn
+
+import "errors"
+
+// Sentinel errors returned by the v2 Engine API. Wrap-aware: test with
+// errors.Is, e.g.
+//
+//	if errors.Is(err, mnn.ErrCancelled) { ... }
+var (
+	// ErrUnknownDevice is returned by Open/CreateSession when the requested
+	// simulated device profile does not exist (see Devices()).
+	ErrUnknownDevice = errors.New("mnn: unknown device")
+
+	// ErrUnknownNetwork is returned by Open/BuildNetwork when the requested
+	// built-in network does not exist (see Networks()).
+	ErrUnknownNetwork = errors.New("mnn: unknown network")
+
+	// ErrInputShape is returned by Engine.Infer when the input map is
+	// missing a declared graph input, names an unknown input, or provides a
+	// tensor whose shape disagrees with the prepared session.
+	ErrInputShape = errors.New("mnn: input shape mismatch")
+
+	// ErrCancelled is returned by Engine.Infer when the context is
+	// cancelled or its deadline expires, either while waiting for a pooled
+	// session or between pipeline operators mid-inference.
+	ErrCancelled = errors.New("mnn: inference cancelled")
+
+	// ErrEngineClosed is returned by Engine.Infer after Close.
+	ErrEngineClosed = errors.New("mnn: engine closed")
+
+	// ErrUnknownBackend is returned by Open/CreateSession when the forward
+	// type is unknown or the device lacks the requested GPU API.
+	ErrUnknownBackend = errors.New("mnn: unknown or unsupported backend")
+)

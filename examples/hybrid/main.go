@@ -1,5 +1,5 @@
 // Hybrid demonstrates the backend abstraction module (Section 3.4): one
-// session scheduling operators across a CPU backend and a simulated Vulkan
+// engine scheduling operators across a CPU backend and a simulated Vulkan
 // GPU on an MI6 profile. The Equation 4–5 cost model sends the convolution
 // body to the GPU while operators the GPU backend lacks (here InnerProduct)
 // fall back to the CPU, with staging copies inserted automatically —
@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
+	"time"
 
 	"mnn"
 	"mnn/internal/tensor"
@@ -27,17 +29,18 @@ func main() {
 
 	// ForwardAuto + a device profile: every API the device exposes becomes
 	// a candidate and the cheapest assignment wins.
-	sess, err := mnn.NewInterpreter(graph).CreateSession(mnn.Config{
-		Type:       mnn.ForwardAuto,
-		Threads:    4,
-		DeviceName: "MI6",
-		Simulate:   true,
-	})
+	eng, err := mnn.Open(graph,
+		mnn.WithForwardType(mnn.ForwardAuto),
+		mnn.WithThreads(4),
+		mnn.WithDevice("MI6"),
+		mnn.WithSimulatedClock(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer eng.Close()
 
-	stats := sess.Stats()
+	stats := eng.Stats()
 	perBackend := map[string]int{}
 	for _, b := range stats.Assignment {
 		perBackend[b]++
@@ -57,29 +60,31 @@ func main() {
 		fmt.Printf("arena[%s]: %.1f MB\n", name, float64(floats)*4/(1<<20))
 	}
 
-	img := tensor.New(1, 3, 224, 224)
+	img := mnn.NewTensor(1, 3, 224, 224)
 	tensor.FillRandom(img, 11, 1)
-	sess.Input("data").CopyFrom(img)
-	sess.ResetSimulatedClock()
-	wall, err := sess.RunTimed()
-	if err != nil {
+	eng.ResetSimulatedClock()
+	t0 := time.Now()
+	if _, err := eng.Infer(context.Background(), map[string]*mnn.Tensor{"data": img}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\none inference: host %.1f ms, simulated MI6 %.1f ms\n",
-		float64(wall.Microseconds())/1000, sess.SimulatedMs())
+		float64(time.Since(t0).Microseconds())/1000, eng.SimulatedMs())
 
 	// The same graph pinned to CPU, for comparison.
-	cpuSess, err := mnn.NewInterpreter(graph).CreateSession(mnn.Config{
-		Type: mnn.ForwardCPU, Threads: 4, DeviceName: "MI6", Simulate: true,
-	})
+	cpuEng, err := mnn.Open(graph,
+		mnn.WithForwardType(mnn.ForwardCPU),
+		mnn.WithThreads(4),
+		mnn.WithDevice("MI6"),
+		mnn.WithSimulatedClock(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cpuSess.Input("data").CopyFrom(img)
-	cpuSess.ResetSimulatedClock()
-	if err := cpuSess.Run(); err != nil {
+	defer cpuEng.Close()
+	cpuEng.ResetSimulatedClock()
+	if _, err := cpuEng.Infer(context.Background(), map[string]*mnn.Tensor{"data": img}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("CPU-only simulated MI6: %.1f ms — the cost model picked the faster plan\n",
-		cpuSess.SimulatedMs())
+		cpuEng.SimulatedMs())
 }

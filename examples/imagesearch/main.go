@@ -2,10 +2,13 @@
 // E-commerce main-object detector that powers search-by-image. It runs the
 // detector across the production top-5 device fleet (Table 6), measuring
 // simulated per-device latency and the host latency of the real kernels,
-// then drives a short MLPerf-style single-stream load test.
+// then drives the pooled v2 Engine with an MLPerf-style load test at
+// increasing in-flight request counts — the serving shape of the production
+// deployment.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,29 +45,38 @@ func main() {
 	}
 	fmt.Printf("  fleet spread: %.2fx — the universality the paper's Table 6 demonstrates\n", maxMs/minMs)
 
-	// --- Real inference on this host.
-	sess, err := mnn.NewInterpreter(detector).CreateSession(mnn.Config{Threads: 4})
+	// --- Real inference on this host through the pooled engine.
+	eng, err := mnn.Open(detector, mnn.WithThreads(2), mnn.WithPoolSize(4))
 	if err != nil {
 		log.Fatal(err)
 	}
-	img := tensor.New(1, 3, 300, 300)
+	defer eng.Close()
+	img := mnn.NewTensor(1, 3, 300, 300)
 	tensor.FillRandom(img, 7, 1)
-	sess.Input("data").CopyFrom(img)
-	if err := sess.Run(); err != nil {
+	out, err := eng.Infer(context.Background(), map[string]*mnn.Tensor{"data": img})
+	if err != nil {
 		log.Fatal(err)
 	}
-	box := sess.Output("box").Data()
+	box := out["box"].Data()
 	fmt.Printf("\nmain-object box (scale 1): [%.3f %.3f %.3f %.3f]\n", box[0], box[1], box[2], box[3])
 
-	// --- Single-stream load test (Appendix A's protocol, shortened).
-	stats, err := loadgen.RunSingleStream(sess.Run, loadgen.Config{MinQueryCount: 16})
-	if err != nil {
-		log.Fatal(err)
+	// --- Concurrent load test (Appendix A's protocol, lifted to the
+	// multi-stream serving regime the session pool exists for).
+	query := func() error {
+		_, err := eng.Infer(context.Background(), map[string]*mnn.Tensor{"data": img})
+		return err
 	}
-	fmt.Printf("\nload test (%d queries on this host):\n", stats.QueryCount)
-	fmt.Printf("  QPS w/ loadgen:  %6.2f\n", stats.QPSWithLoadgen)
-	fmt.Printf("  QPS w/o loadgen: %6.2f\n", stats.QPSWithoutLoadgen)
-	fmt.Printf("  latency p50/p90: %.1f / %.1f ms\n",
-		float64(stats.P50Latency.Microseconds())/1000,
-		float64(stats.P90Latency.Microseconds())/1000)
+	fmt.Printf("\nload test against a pool of %d prepared sessions:\n", eng.PoolSize())
+	fmt.Printf("%-10s %10s %12s %12s\n", "in-flight", "qps", "p50 (ms)", "p90 (ms)")
+	for _, inFlight := range []int{1, 4, 16} {
+		stats, err := loadgen.RunConcurrent(query, loadgen.ConcurrentConfig{
+			InFlight: inFlight, MinQueryCount: 16,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10d %10.2f %12.1f %12.1f\n", inFlight, stats.QPSWithLoadgen,
+			float64(stats.P50Latency.Microseconds())/1000,
+			float64(stats.P90Latency.Microseconds())/1000)
+	}
 }

@@ -1,9 +1,10 @@
-// Quickstart: build a network, run the offline optimizer, create a session
-// (which performs MNN's pre-inference), and classify one input — the
-// shortest end-to-end path through the public API.
+// Quickstart: build a network, run the offline optimizer, open an Engine
+// (which performs MNN's pre-inference once per pooled session), and classify
+// one input — the shortest end-to-end path through the v2 public API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -13,9 +14,9 @@ import (
 )
 
 func main() {
-	// 1. A model. Normally this comes from mnn.LoadModelFile("model.mnng")
-	//    after converting with cmd/mnnconvert; the built-in zoo keeps this
-	//    example self-contained.
+	// 1. A model. mnn.Open also accepts a built-in network name or a .mnng
+	//    path directly; building the graph explicitly lets us run the
+	//    offline optimizer first.
 	graph, err := mnn.BuildNetwork("squeezenet-v1.1")
 	if err != nil {
 		log.Fatal(err)
@@ -29,31 +30,33 @@ func main() {
 	}
 	fmt.Printf("optimizer: %d → %d nodes\n", before, len(graph.Nodes))
 
-	// 3. Create a session. This runs pre-inference: shape inference, cost-
+	// 3. Open the engine. This runs pre-inference: shape inference, cost-
 	//    based scheme selection per convolution (Eq. 2–3), memory planning
-	//    (Figure 3) and weight pre-transforms.
-	sess, err := mnn.NewInterpreter(graph).CreateSession(mnn.Config{Threads: 4})
+	//    (Figure 3) and weight pre-transforms. Infer is then pure compute
+	//    and safe to call from many goroutines at once.
+	eng, err := mnn.Open(graph, mnn.WithThreads(4))
 	if err != nil {
 		log.Fatal(err)
 	}
-	stats := sess.Stats()
+	defer eng.Close()
+	stats := eng.Stats()
 	fmt.Printf("schemes chosen: %v\n", stats.SchemeCounts)
 	fmt.Printf("activation arena: %.1f MB (planned once, reused every run)\n",
 		float64(stats.ArenaFloats["CPU"])*4/(1<<20))
 
-	// 4. Fill the input. A real application would decode an image into
+	// 4. An input. A real application would decode an image into
 	//    1×3×224×224 RGB; synthetic data keeps the example offline.
-	input := sess.Input("data")
-	img := tensor.New(input.Shape()...)
+	img := mnn.NewTensor(eng.InputShape("data")...)
 	tensor.FillRandom(img, 2024, 1)
-	input.CopyFrom(img)
 
-	// 5. Run and read the classification.
-	elapsed, err := sess.RunTimed()
+	// 5. Infer and read the classification. The context bounds the
+	//    inference: a cancelled or expired ctx aborts between operators
+	//    with mnn.ErrCancelled.
+	out, err := eng.Infer(context.Background(), map[string]*mnn.Tensor{"data": img})
 	if err != nil {
 		log.Fatal(err)
 	}
-	probs := sess.Output("prob").Data()
+	probs := out["prob"].Data()
 	type pair struct {
 		class int
 		p     float32
@@ -63,7 +66,6 @@ func main() {
 		top[i] = pair{i, p}
 	}
 	sort.Slice(top, func(i, j int) bool { return top[i].p > top[j].p })
-	fmt.Printf("inference: %.1f ms\n", float64(elapsed.Microseconds())/1000)
 	fmt.Println("top-5 classes (synthetic weights, so arbitrary but deterministic):")
 	for _, t := range top[:5] {
 		fmt.Printf("  class %4d  p=%.4f\n", t.class, t.p)

@@ -1,0 +1,3 @@
+module mnn
+
+go 1.24

@@ -55,6 +55,7 @@ var Experiments = []string{
 	"table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
 	"figure7", "figure8", "figure9",
 	"ablation-strassen", "ablation-layout", "ablation-memory", "ablation-tile",
+	"throughput",
 }
 
 // Run dispatches one experiment by name.
@@ -90,6 +91,8 @@ func Run(name string, opt Options) error {
 		return AblationMemory(opt)
 	case "ablation-tile":
 		return AblationTile(opt)
+	case "throughput":
+		return Throughput(opt)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (have %v)", name, Experiments)
 	}

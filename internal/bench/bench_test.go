@@ -10,7 +10,7 @@ import (
 // this is the regression net for the harness behind cmd/mnnbench.
 func TestAllExperimentsRunQuick(t *testing.T) {
 	if testing.Short() {
-		t.Skip("harness smoke test is slow")
+		t.Skip("runs every experiment end to end (~20s even in quick mode)")
 	}
 	headers := map[string]string{
 		"table1":            "Table 1",
@@ -82,7 +82,7 @@ func TestTable2ShapePreserved(t *testing.T) {
 
 func TestTable1OursTracksBest(t *testing.T) {
 	if testing.Short() {
-		t.Skip("host timing")
+		t.Skip("measures real conv kernels repeatedly (~5s)")
 	}
 	// For each Table 1 case, "ours" must be within 40% of the best fixed
 	// scheme (the paper's claim: best or comparable-to-best).

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -9,8 +10,8 @@ import (
 	"mnn/internal/cpu"
 	"mnn/internal/device"
 	"mnn/internal/engines"
-	"mnn/internal/graph"
 	"mnn/internal/gpusim"
+	"mnn/internal/graph"
 	"mnn/internal/kernels"
 	"mnn/internal/loadgen"
 	"mnn/internal/matmul"
@@ -153,19 +154,19 @@ func Table2Rows(opt Options) ([]Table2Row, error) {
 		return nil, err
 	}
 	fillSessionInput(prepared, g.InputNames[0], 3)
-	if err := prepared.Run(); err != nil {
+	if err := prepared.Run(context.Background()); err != nil {
 		return nil, err
 	}
-	withMs := ms(medianOf(reps, func() { _ = prepared.Run() }))
+	withMs := ms(medianOf(reps, func() { _ = prepared.Run(context.Background()) }))
 
 	unprepared, err := mk(true)
 	if err != nil {
 		return nil, err
 	}
-	if err := unprepared.Run(); err != nil {
+	if err := unprepared.Run(context.Background()); err != nil {
 		return nil, err
 	}
-	withoutMs := ms(medianOf(reps, func() { _ = unprepared.Run() }))
+	withoutMs := ms(medianOf(reps, func() { _ = unprepared.Run(context.Background()) }))
 
 	rows := []Table2Row{{Label: "CPU 4-thread (host)", WithoutMs: withoutMs, With: withMs,
 		PaperWithout: 30.9, PaperWith: 28.9}}
@@ -193,7 +194,7 @@ func Table2Rows(opt Options) ([]Table2Row, error) {
 			}
 			fillSessionInput(s, g.InputNames[0], 3)
 			clock.Reset() // exclude pre-inference charges
-			if err := s.Run(); err != nil {
+			if err := s.Run(context.Background()); err != nil {
 				return 0, err
 			}
 			return clock.TotalMs(), nil
@@ -243,7 +244,7 @@ func fillSessionInput(s *session.Session, name string, seed uint64) {
 
 // Table3Case is one matmul size of the paper's Table 3.
 type Table3Case struct {
-	M, K, N                  int
+	M, K, N                    int
 	PaperDirect, PaperStrassen float64
 }
 
@@ -398,14 +399,15 @@ func Table7(opt Options) error {
 		return err
 	}
 	fillSessionInput(s, "data", 5)
-	if err := s.Run(); err != nil {
+	if err := s.Run(context.Background()); err != nil {
 		return err
 	}
 	minQ := 64
 	if opt.Quick {
 		minQ = 8
 	}
-	st, err := loadgen.RunSingleStream(s.Run, loadgen.Config{MinQueryCount: minQ})
+	st, err := loadgen.RunSingleStream(func() error { return s.Run(context.Background()) },
+		loadgen.Config{MinQueryCount: minQ})
 	if err != nil {
 		return err
 	}

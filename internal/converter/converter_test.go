@@ -13,6 +13,9 @@ import (
 )
 
 func TestSaveLoadRoundTripAllNetworks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("round-trips every zoo network incl. resnet-50/inception-v3 (~19s)")
+	}
 	for _, name := range models.Names() {
 		t.Run(name, func(t *testing.T) {
 			g, err := models.ByName(name)
@@ -53,6 +56,9 @@ func TestSaveLoadRoundTripAllNetworks(t *testing.T) {
 }
 
 func TestRoundTripPreservesInference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs inference on round-tripped networks (~15s)")
+	}
 	g := models.SqueezeNetV11()
 	var buf bytes.Buffer
 	if err := Save(g, &buf); err != nil {

@@ -1,0 +1,99 @@
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ConcurrentConfig parameterizes RunConcurrent, the multi-stream counterpart
+// of the MLPerf single-stream generator: keep InFlight queries outstanding
+// at all times and measure aggregate throughput, the serving regime the
+// pooled Engine API is built for.
+type ConcurrentConfig struct {
+	// InFlight is the number of concurrently outstanding queries (1 reduces
+	// to single-stream issue order, though latencies are still measured per
+	// worker). Typical sweep: 1, 4, 16.
+	InFlight int
+	// MinQueryCount is the lower bound on issued queries (default 64).
+	MinQueryCount int
+	// MaxQueryCount caps the run. 0 means MinQueryCount, or effectively
+	// unbounded when MinDuration is set.
+	MaxQueryCount int
+	// MinDuration keeps issuing until this much time has passed.
+	MinDuration time.Duration
+}
+
+// RunConcurrent drives query() from cfg.InFlight goroutines until the query
+// budget and duration are met. The returned Stats aggregate all workers:
+// QPSWithLoadgen is wall-clock throughput, the latency percentiles are over
+// individual query latencies (which include any queueing inside query, e.g.
+// waiting for a pooled session). The first query error stops the run.
+func RunConcurrent(query func() error, cfg ConcurrentConfig) (Stats, error) {
+	if cfg.InFlight < 1 {
+		cfg.InFlight = 1
+	}
+	if cfg.MinQueryCount <= 0 {
+		cfg.MinQueryCount = 64
+	}
+	if cfg.MaxQueryCount <= 0 {
+		if cfg.MinDuration > 0 {
+			cfg.MaxQueryCount = int(^uint(0) >> 1) // duration-bounded run
+		} else {
+			cfg.MaxQueryCount = cfg.MinQueryCount
+		}
+	}
+	if cfg.MaxQueryCount < cfg.MinQueryCount {
+		return Stats{}, fmt.Errorf("loadgen: max_query_count %d < min_query_count %d", cfg.MaxQueryCount, cfg.MinQueryCount)
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		issued    int
+		firstErr  error
+	)
+	wallStart := time.Now()
+	// next reserves one query slot, honouring min/max counts and duration;
+	// it returns false once the run is over or a worker failed.
+	next := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || issued >= cfg.MaxQueryCount {
+			return false
+		}
+		if issued >= cfg.MinQueryCount && time.Since(wallStart) >= cfg.MinDuration {
+			return false
+		}
+		issued++
+		return true
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.InFlight; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for next() {
+				t0 := time.Now()
+				err := query()
+				d := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				latencies = append(latencies, d)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(wallStart)
+	if firstErr != nil {
+		return Stats{}, fmt.Errorf("loadgen: concurrent query: %w", firstErr)
+	}
+	return summarize(latencies, wall), nil
+}

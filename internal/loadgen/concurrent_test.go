@@ -1,0 +1,114 @@
+package loadgen
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRunConcurrentCounts(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	st, err := RunConcurrent(func() error {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return nil
+	}, ConcurrentConfig{InFlight: 4, MinQueryCount: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 32 || st.QueryCount != 32 {
+		t.Fatalf("calls=%d stats=%d, want 32", calls, st.QueryCount)
+	}
+	if st.QPSWithLoadgen <= 0 || st.MeanLatency <= 0 {
+		t.Fatalf("degenerate stats: %+v", st)
+	}
+}
+
+func TestRunConcurrentDefaultsAndValidation(t *testing.T) {
+	st, err := RunConcurrent(func() error { return nil }, ConcurrentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.QueryCount != 64 {
+		t.Fatalf("default min query count: %d, want 64", st.QueryCount)
+	}
+	if _, err := RunConcurrent(func() error { return nil },
+		ConcurrentConfig{MinQueryCount: 10, MaxQueryCount: 5}); err == nil {
+		t.Fatal("max < min must fail")
+	}
+}
+
+func TestRunConcurrentPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	var mu sync.Mutex
+	n := 0
+	_, err := RunConcurrent(func() error {
+		mu.Lock()
+		n++
+		me := n
+		mu.Unlock()
+		if me == 3 {
+			return boom
+		}
+		return nil
+	}, ConcurrentConfig{InFlight: 2, MinQueryCount: 1000})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if n >= 1000 {
+		t.Fatal("run must stop promptly after the first error")
+	}
+}
+
+func TestRunConcurrentMinDuration(t *testing.T) {
+	st, err := RunConcurrent(func() error {
+		time.Sleep(time.Millisecond)
+		return nil
+	}, ConcurrentConfig{InFlight: 2, MinQueryCount: 2, MaxQueryCount: 1000,
+		MinDuration: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.QueryCount < 4 {
+		t.Fatalf("duration-driven run issued only %d queries", st.QueryCount)
+	}
+	// With no explicit MaxQueryCount the duration must still govern the run
+	// instead of being cut off at the default query cap.
+	t0 := time.Now()
+	st, err = RunConcurrent(func() error { return nil },
+		ConcurrentConfig{InFlight: 2, MinQueryCount: 2, MinDuration: 15 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(t0); elapsed < 15*time.Millisecond {
+		t.Fatalf("run ended after %v, before MinDuration", elapsed)
+	}
+	if st.QueryCount <= 64 {
+		t.Fatalf("duration-bounded run stopped at the default cap (%d queries)", st.QueryCount)
+	}
+}
+
+// Sleep-bound queries overlap regardless of core count, so higher in-flight
+// must raise aggregate throughput — this pins the generator's concurrency
+// machinery without depending on host CPU parallelism.
+func TestRunConcurrentOverlapsSleepQueries(t *testing.T) {
+	run := func(inFlight int) Stats {
+		st, err := RunConcurrent(func() error {
+			time.Sleep(5 * time.Millisecond)
+			return nil
+		}, ConcurrentConfig{InFlight: inFlight, MinQueryCount: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	seq := run(1)
+	par := run(4)
+	if par.QPSWithLoadgen < 2*seq.QPSWithLoadgen {
+		t.Fatalf("in-flight 4 QPS %.1f not ≥ 2× in-flight 1 QPS %.1f",
+			par.QPSWithLoadgen, seq.QPSWithLoadgen)
+	}
+}

@@ -1,6 +1,7 @@
 package optimizer
 
 import (
+	"context"
 	"testing"
 
 	"mnn/internal/backend"
@@ -54,6 +55,9 @@ func runBoth(t *testing.T, g *graph.Graph, seed uint64) float64 {
 }
 
 func TestOptimizeResNet18PreservesOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs resnet-18 through two full sessions (~37s)")
+	}
 	g := models.ResNet18()
 	if d := runBoth(t, g, 21); d > 1e-3 {
 		t.Fatalf("optimization changed ResNet-18 output by %g", d)
@@ -81,6 +85,9 @@ func TestOptimizeFoldsAllResNetBN(t *testing.T) {
 }
 
 func TestOptimizeSqueezeNetDropsDropout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs squeezenet through a full session (~7s)")
+	}
 	g := models.SqueezeNetV11()
 	if countOps(g, graph.OpDropout) == 0 {
 		t.Fatal("net must contain dropout")
@@ -97,6 +104,9 @@ func TestOptimizeSqueezeNetDropsDropout(t *testing.T) {
 }
 
 func TestOptimizeMobileNetPreservesOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs mobilenet through two full sessions (~15s)")
+	}
 	if d := runBoth(t, models.MobileNetV1(), 23); d > 1e-4 {
 		t.Fatalf("output changed by %g", d)
 	}
@@ -180,6 +190,9 @@ func TestOptimizeShrinksNodeCount(t *testing.T) {
 }
 
 func TestOptimizedSessionMatchesUnoptimized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compares full sessions on a deep network (~20s)")
+	}
 	// End-to-end: optimized graph through the real engine equals the
 	// unoptimized graph through the reference.
 	g := models.ResNet18()
@@ -196,7 +209,7 @@ func TestOptimizedSessionMatchesUnoptimized(t *testing.T) {
 	}
 	s := newCPUSession(t, opt)
 	s.Input("data").CopyFrom(in)
-	if err := s.Run(); err != nil {
+	if err := s.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if d := tensor.MaxAbsDiff(ref["prob"], s.Output("prob")); d > 2e-3 {

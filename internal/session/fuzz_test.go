@@ -1,14 +1,15 @@
 package session
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"mnn/internal/backend"
 	"mnn/internal/cpu"
 	"mnn/internal/device"
-	"mnn/internal/graph"
 	"mnn/internal/gpusim"
+	"mnn/internal/graph"
 	"mnn/internal/simclock"
 	"mnn/internal/tensor"
 )
@@ -164,7 +165,7 @@ func TestSessionFuzzRandomGraphs(t *testing.T) {
 				t.Fatalf("session: %v", err)
 			}
 			s.Input("data").CopyFrom(in)
-			if err := s.Run(); err != nil {
+			if err := s.Run(context.Background()); err != nil {
 				t.Fatalf("run: %v", err)
 			}
 			if d := tensor.MaxAbsDiff(want["prob"], s.Output("prob")); d > 5e-3 {
@@ -172,7 +173,7 @@ func TestSessionFuzzRandomGraphs(t *testing.T) {
 			}
 			// Second run must be identical (buffer-reuse correctness).
 			first := s.Output("prob").Clone()
-			if err := s.Run(); err != nil {
+			if err := s.Run(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 			if d := tensor.MaxAbsDiff(first, s.Output("prob")); d != 0 {
@@ -213,7 +214,7 @@ func TestSessionFuzzHybridGPU(t *testing.T) {
 				t.Fatal(err)
 			}
 			s.Input("data").CopyFrom(in)
-			if err := s.Run(); err != nil {
+			if err := s.Run(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 			if d := tensor.MaxAbsDiff(want["prob"], s.Output("prob")); d > 5e-3 {

@@ -1,6 +1,7 @@
 package session
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -26,20 +27,37 @@ type Profile struct {
 }
 
 // RunProfiled executes one inference measuring every operator, the
-// equivalent of the original engine's per-op profiler tooling.
-func (s *Session) RunProfiled() (*Profile, error) {
+// equivalent of the original engine's per-op profiler tooling. Like Run it
+// checks ctx between operators; a nil ctx behaves like context.Background().
+func (s *Session) RunProfiled(ctx context.Context) (*Profile, error) {
 	if s.cfg.NoPreparation {
 		if err := s.prepareFresh(); err != nil {
 			return nil, err
 		}
+	}
+	done, err := ctxDone(ctx)
+	if err != nil {
+		return nil, err
 	}
 	p := &Profile{Entries: make([]ProfileEntry, 0, len(s.steps))}
 	start := time.Now()
 	for _, b := range s.backends {
 		b.OnExecuteBegin()
 	}
+	defer func() {
+		for _, b := range s.backends {
+			b.OnExecuteEnd()
+		}
+	}()
 	for i := range s.steps {
 		st := &s.steps[i]
+		if done != nil {
+			select {
+			case <-done:
+				return nil, fmt.Errorf("session: cancelled at node %q: %w", st.node.Name, ctx.Err())
+			default:
+			}
+		}
 		t0 := time.Now()
 		for _, c := range st.copies {
 			if err := c.via.OnCopyBuffer(c.from, c.to); err != nil {
@@ -55,9 +73,6 @@ func (s *Session) RunProfiled() (*Profile, error) {
 			Backend: s.assign[st.node.Name],
 			Wall:    time.Since(t0),
 		})
-	}
-	for _, b := range s.backends {
-		b.OnExecuteEnd()
 	}
 	p.Total = time.Since(start)
 	return p, nil

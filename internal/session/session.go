@@ -5,6 +5,7 @@
 package session
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -386,21 +387,55 @@ func (s *Session) prepareFresh() error {
 	return nil
 }
 
+// ctxDone validates a (possibly nil) context before a run and returns its
+// done channel; nil ctx behaves like context.Background().
+func ctxDone(ctx context.Context) (<-chan struct{}, error) {
+	if ctx == nil {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("session: cancelled before run: %w", err)
+	}
+	return ctx.Done(), nil
+}
+
 // Run executes one inference. With preparation decoupled (the default) this
 // is pure compute plus staging copies; with NoPreparation it interleaves
 // planning, allocation and weight packing, reproducing the "w/o" rows of
 // Table 2.
-func (s *Session) Run() error {
+//
+// Cancellation is checked between pipeline operators: a cancelled or expired
+// ctx aborts the run before the next node and returns an error wrapping
+// ctx.Err(). A nil ctx behaves like context.Background().
+func (s *Session) Run(ctx context.Context) error {
 	if s.cfg.NoPreparation {
 		if err := s.prepareFresh(); err != nil {
 			return err
 		}
 	}
+	done, err := ctxDone(ctx)
+	if err != nil {
+		return err
+	}
 	for _, b := range s.backends {
 		b.OnExecuteBegin()
 	}
+	// Keep begin/end balanced on every exit path (error, cancellation) so
+	// backends never stay mid-execute across runs.
+	defer func() {
+		for _, b := range s.backends {
+			b.OnExecuteEnd()
+		}
+	}()
 	for i := range s.steps {
 		st := &s.steps[i]
+		if done != nil {
+			select {
+			case <-done:
+				return fmt.Errorf("session: cancelled at node %q: %w", st.node.Name, ctx.Err())
+			default:
+			}
+		}
 		for _, c := range st.copies {
 			if err := c.via.OnCopyBuffer(c.from, c.to); err != nil {
 				return fmt.Errorf("session: staging for %q: %w", st.node.Name, err)
@@ -409,9 +444,6 @@ func (s *Session) Run() error {
 		if err := st.exec.Run(); err != nil {
 			return fmt.Errorf("session: node %q: %w", st.node.Name, err)
 		}
-	}
-	for _, b := range s.backends {
-		b.OnExecuteEnd()
 	}
 	return nil
 }

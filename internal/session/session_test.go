@@ -2,6 +2,8 @@ package session
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -100,7 +102,7 @@ func TestSessionMatchesReferenceCPU(t *testing.T) {
 			t.Fatal(err)
 		}
 		fillInput(s, "data", 5)
-		if err := s.Run(); err != nil {
+		if err := s.Run(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		got := s.Output("prob")
@@ -125,7 +127,7 @@ func TestSessionMatchesReferenceGPUSim(t *testing.T) {
 		t.Fatal(err)
 	}
 	fillInput(s, "data", 6)
-	if err := s.Run(); err != nil {
+	if err := s.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if d := tensor.MaxAbsDiff(want, s.Output("prob")); d > 1e-3 {
@@ -195,7 +197,7 @@ func TestSessionHybridScheduling(t *testing.T) {
 		t.Error("hybrid schedule must stage tensors across backends")
 	}
 	fillInput(s, "data", 7)
-	if err := s.Run(); err != nil {
+	if err := s.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	want := refOutput(t, g, 7)
@@ -213,7 +215,7 @@ func TestSessionPinnedAssignment(t *testing.T) {
 		t.Fatal(err)
 	}
 	fillInput(s, "data", 8)
-	if err := s.Run(); err != nil {
+	if err := s.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -235,7 +237,7 @@ func TestSessionNoPreparationMatches(t *testing.T) {
 		t.Fatal(err)
 	}
 	fillInput(s, "data", 9)
-	if err := s.Run(); err != nil {
+	if err := s.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if d := tensor.MaxAbsDiff(want, s.Output("prob")); d > 1e-3 {
@@ -250,12 +252,12 @@ func TestSessionRepeatedRunsStable(t *testing.T) {
 		t.Fatal(err)
 	}
 	fillInput(s, "data", 10)
-	if err := s.Run(); err != nil {
+	if err := s.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	first := s.Output("prob").Clone()
 	for i := 0; i < 3; i++ {
-		if err := s.Run(); err != nil {
+		if err := s.Run(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -278,7 +280,7 @@ func TestSessionResize(t *testing.T) {
 		t.Fatalf("input shape after resize: %v", in.Shape())
 	}
 	fillInput(s, "data", 11)
-	if err := s.Run(); err != nil {
+	if err := s.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Check against reference at the new size.
@@ -332,7 +334,7 @@ func TestSessionMobileNetV1EndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	fillInput(s, "data", 12)
-	if err := s.Run(); err != nil {
+	if err := s.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	out := s.Output("prob")
@@ -355,7 +357,7 @@ func TestSessionMobileNetV1EndToEnd(t *testing.T) {
 
 func TestSessionInceptionV3Correctness(t *testing.T) {
 	if testing.Short() {
-		t.Skip("full network in -short mode")
+		t.Skip("runs inception-v3 against the reference interpreter (~58s)")
 	}
 	// Inception-v3 exercises asymmetric Winograd and concat-heavy graphs;
 	// compare CPU session against the reference on a reduced input.
@@ -365,7 +367,7 @@ func TestSessionInceptionV3Correctness(t *testing.T) {
 		t.Fatal(err)
 	}
 	fillInput(s, "data", 13)
-	if err := s.Run(); err != nil {
+	if err := s.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	want := refOutput(t, g, 13)
@@ -381,7 +383,7 @@ func TestRunProfiled(t *testing.T) {
 		t.Fatal(err)
 	}
 	fillInput(s, "data", 14)
-	p, err := s.RunProfiled()
+	p, err := s.RunProfiled(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -418,10 +420,42 @@ func TestRunProfiled(t *testing.T) {
 	}
 	// Profiled output must equal the regular run's output.
 	regular := s.Output("prob").Clone()
-	if err := s.Run(); err != nil {
+	if err := s.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if d := tensor.MaxAbsDiff(regular, s.Output("prob")); d != 0 {
 		t.Fatalf("profiled run changed results by %g", d)
+	}
+}
+
+func TestRunHonoursContext(t *testing.T) {
+	g := smallCNN()
+	s, err := New(g, Config{Backends: []backend.Backend{cpu.New(cpu.Config{Threads: 1})}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillInput(s, "data", 5)
+	// nil context behaves like Background.
+	if err := s.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	// An already-cancelled context aborts before the first node.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Run(ctx); err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run(cancelled) = %v, want context.Canceled", err)
+	}
+	if _, err := s.RunProfiled(ctx); err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunProfiled(cancelled) = %v, want context.Canceled", err)
+	}
+	// An expired deadline surfaces as DeadlineExceeded.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if err := s.Run(dctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Run(expired) = %v, want DeadlineExceeded", err)
+	}
+	// The session stays usable after a cancelled run.
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -51,6 +51,9 @@ func (c *Clock) TotalMs() float64 {
 
 // ByLabel returns a copy of the per-label breakdown.
 func (c *Clock) ByLabel() map[string]float64 {
+	if c == nil {
+		return nil
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make(map[string]float64, len(c.byLabel))

@@ -64,6 +64,21 @@ func TestClockNilSafe(t *testing.T) {
 	c.Reset()
 }
 
+// Regression: every Clock method must be nil-receiver safe, because sessions
+// created without simulation hold a nil clock and still forward calls like
+// ResetSimulatedClock/SimulatedByLabel to it.
+func TestClockNilSafeAllMethods(t *testing.T) {
+	var c *Clock
+	c.Charge("x", 1)
+	c.Reset()
+	if got := c.TotalMs(); got != 0 {
+		t.Fatalf("nil TotalMs = %v", got)
+	}
+	if by := c.ByLabel(); by != nil {
+		t.Fatalf("nil ByLabel = %v, want nil map", by)
+	}
+}
+
 func TestClockConcurrent(t *testing.T) {
 	c := New()
 	var wg sync.WaitGroup

@@ -1,36 +1,35 @@
 // Package mnn is a pure-Go reproduction of MNN, the universal and efficient
 // mobile inference engine of Jiang et al. (MLSys 2020).
 //
-// The package exposes the engine's user-facing workflow:
+// The v2 API exposes the engine as a concurrent facade:
 //
-//	graph, _ := mnn.BuildNetwork("mobilenet-v1")      // or LoadModel(r)
-//	_ = mnn.Optimize(graph)                           // offline fusion passes
-//	interp := mnn.NewInterpreter(graph)
-//	sess, _ := interp.CreateSession(mnn.Config{Threads: 4})
-//	sess.Input("data").CopyFrom(img)
-//	_ = sess.Run()
-//	out := sess.Output("prob")
+//	eng, _ := mnn.Open("mobilenet-v1", mnn.WithThreads(4), mnn.WithPoolSize(4))
+//	defer eng.Close()
+//	out, _ := eng.Infer(ctx, map[string]*mnn.Tensor{"data": img})
+//	prob := out["prob"]
 //
-// Session creation runs the paper's pre-inference (Section 3.2): shape
-// inference, Equation 4–5 backend selection, Equation 2–3 computation-scheme
-// selection per convolution, Figure 3 memory planning, and constant
-// pre-computation (Winograd weight transforms, packed kernels, command
-// buffers). Run is then pure compute.
+// Open runs the paper's pre-inference (Section 3.2) — shape inference,
+// Equation 4–5 backend selection, Equation 2–3 computation-scheme selection
+// per convolution, Figure 3 memory planning, and constant pre-computation
+// (Winograd weight transforms, packed kernels, command buffers) — once per
+// pooled session. Infer is then pure compute, safe from any number of
+// goroutines, and honours context cancellation between pipeline operators.
+//
+// The v1 Interpreter/Session API remains as thin deprecated wrappers over
+// the same core.
 package mnn
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
-	"mnn/internal/backend"
 	"mnn/internal/converter"
 	"mnn/internal/core"
-	"mnn/internal/cpu"
 	"mnn/internal/device"
 	"mnn/internal/graph"
-	"mnn/internal/gpusim"
 	"mnn/internal/models"
 	"mnn/internal/optimizer"
 	"mnn/internal/quant"
@@ -41,6 +40,10 @@ import (
 
 // Tensor is the dense tensor type of the engine (see Data, Shape, CopyFrom).
 type Tensor = tensor.Tensor
+
+// NewTensor allocates a zero-filled float32 NCHW tensor — the shape Infer
+// expects for its inputs. Fill it via Data() or CopyFrom.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
 
 // Graph is a loaded or built computational graph.
 type Graph = graph.Graph
@@ -67,6 +70,9 @@ const (
 )
 
 // Config parameterizes CreateSession.
+//
+// Deprecated: use Open with functional options (WithThreads, WithDevice, …)
+// instead.
 type Config struct {
 	// Type selects the backend family (default ForwardAuto).
 	Type ForwardType
@@ -89,14 +95,33 @@ type Config struct {
 
 // Interpreter holds a model, ready to create sessions (mirrors
 // MNN::Interpreter).
+//
+// Deprecated: use Open, which prepares a concurrent Engine directly.
 type Interpreter struct {
 	g *graph.Graph
 }
 
 // NewInterpreter wraps a graph.
+//
+// Deprecated: use Open(g) instead.
 func NewInterpreter(g *Graph) *Interpreter { return &Interpreter{g: g} }
 
+// LoadGraph reads a serialized .mnng model into a graph.
+func LoadGraph(r io.Reader) (*Graph, error) { return converter.Load(r) }
+
+// LoadGraphFile reads a serialized .mnng model from disk into a graph.
+func LoadGraphFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return converter.Load(f)
+}
+
 // LoadModel reads a serialized .mnng model.
+//
+// Deprecated: use LoadGraph (for the graph) or Open (for an engine) instead.
 func LoadModel(r io.Reader) (*Interpreter, error) {
 	g, err := converter.Load(r)
 	if err != nil {
@@ -106,6 +131,8 @@ func LoadModel(r io.Reader) (*Interpreter, error) {
 }
 
 // LoadModelFile reads a serialized model from disk.
+//
+// Deprecated: use LoadGraphFile or Open(path) instead.
 func LoadModelFile(path string) (*Interpreter, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -119,87 +146,36 @@ func LoadModelFile(path string) (*Interpreter, error) {
 func (ip *Interpreter) Graph() *Graph { return ip.g }
 
 // Session is a prepared inference pipeline bound to backends.
+//
+// Deprecated: use Engine, whose Infer method is additionally safe for
+// concurrent use and context-aware.
 type Session struct {
 	s     *session.Session
 	clock *simclock.Clock
 }
 
-// CreateSession runs pre-inference for the given configuration.
+// CreateSession runs pre-inference for the given configuration. It is a
+// thin wrapper over the same core Open uses (pool size 1, no checkout).
+//
+// Deprecated: use Open with functional options instead.
 func (ip *Interpreter) CreateSession(cfg Config) (*Session, error) {
-	if cfg.Threads < 1 {
-		cfg.Threads = 1
+	ec := engineConfig{
+		forward:     cfg.Type,
+		threads:     cfg.Threads,
+		deviceName:  cfg.DeviceName,
+		simulate:    cfg.Simulate,
+		poolSize:    1,
+		inputShapes: cfg.InputShapes,
+		noPrep:      cfg.NoPreparation,
 	}
-	dev := device.Host
-	if cfg.DeviceName != "" {
-		dev = device.ByName(cfg.DeviceName)
-		if dev == nil {
-			return nil, fmt.Errorf("mnn: unknown device %q (see mnn.Devices())", cfg.DeviceName)
-		}
+	if ec.threads < 1 {
+		ec.threads = 1
 	}
 	var clock *simclock.Clock
 	if cfg.Simulate {
 		clock = simclock.New()
 	}
-	backends := []backend.Backend{
-		cpu.New(cpu.Config{Threads: cfg.Threads, Device: dev, Clock: clock}),
-	}
-	addGPU := func(kind backend.Kind, api device.GPUAPI) error {
-		if !dev.HasAPI(api) {
-			return fmt.Errorf("mnn: device %s has no %s support", dev.Name, kind)
-		}
-		b, err := gpusim.New(gpusim.Config{Kind: kind, Device: dev, Clock: clock,
-			DecoupledEncode: !cfg.NoPreparation, ComputeThreads: cfg.Threads})
-		if err != nil {
-			return err
-		}
-		backends = append(backends, b)
-		return nil
-	}
-	switch cfg.Type {
-	case ForwardAuto:
-		if cfg.DeviceName != "" {
-			for _, c := range []struct {
-				kind backend.Kind
-				api  device.GPUAPI
-			}{
-				{backend.KindMetal, device.APIMetal},
-				{backend.KindOpenCL, device.APIOpenCL},
-				{backend.KindOpenGL, device.APIOpenGL},
-				{backend.KindVulkan, device.APIVulkan},
-			} {
-				if dev.HasAPI(c.api) {
-					if err := addGPU(c.kind, c.api); err != nil {
-						return nil, err
-					}
-				}
-			}
-		}
-	case ForwardCPU:
-		// CPU only.
-	case ForwardMetal:
-		if err := addGPU(backend.KindMetal, device.APIMetal); err != nil {
-			return nil, err
-		}
-	case ForwardOpenCL:
-		if err := addGPU(backend.KindOpenCL, device.APIOpenCL); err != nil {
-			return nil, err
-		}
-	case ForwardOpenGL:
-		if err := addGPU(backend.KindOpenGL, device.APIOpenGL); err != nil {
-			return nil, err
-		}
-	case ForwardVulkan:
-		if err := addGPU(backend.KindVulkan, device.APIVulkan); err != nil {
-			return nil, err
-		}
-	default:
-		return nil, fmt.Errorf("mnn: unknown forward type %d", cfg.Type)
-	}
-	s, err := session.New(ip.g, session.Config{
-		Backends:      backends,
-		InputShapes:   cfg.InputShapes,
-		NoPreparation: cfg.NoPreparation,
-	})
+	s, err := newPreparedSession(ip.g, ec, clock)
 	if err != nil {
 		return nil, err
 	}
@@ -216,20 +192,22 @@ func (s *Session) Output(name string) *Tensor { return s.s.Output(name) }
 func (s *Session) OutputNames() []string { return s.s.OutputNames() }
 
 // Run executes one inference.
-func (s *Session) Run() error { return s.s.Run() }
+func (s *Session) Run() error { return s.s.Run(context.Background()) }
 
 // RunTimed executes one inference and returns the host wall time.
 func (s *Session) RunTimed() (time.Duration, error) {
 	t0 := time.Now()
-	err := s.s.Run()
+	err := s.s.Run(context.Background())
 	return time.Since(t0), err
 }
 
-// Profile is a per-operator timing breakdown (see Session.RunProfiled).
+// Profile is a per-operator timing breakdown (see Engine.InferProfiled).
 type Profile = session.Profile
 
 // RunProfiled executes one inference measuring every operator.
-func (s *Session) RunProfiled() (*Profile, error) { return s.s.RunProfiled() }
+func (s *Session) RunProfiled() (*Profile, error) {
+	return s.s.RunProfiled(context.Background())
+}
 
 // SimulatedMs returns the accumulated simulated time (Config.Simulate).
 func (s *Session) SimulatedMs() float64 { return s.clock.TotalMs() }
@@ -248,8 +226,14 @@ func (s *Session) Resize(shapes map[string][]int) error { return s.s.Resize(shap
 
 // BuildNetwork constructs one of the built-in benchmark networks:
 // mobilenet-v1, mobilenet-v2, squeezenet-v1.0, squeezenet-v1.1, resnet-18,
-// resnet-50, inception-v3.
-func BuildNetwork(name string) (*Graph, error) { return models.ByName(name) }
+// resnet-50, inception-v3, vgg-16. Unknown names fail with ErrUnknownNetwork.
+func BuildNetwork(name string) (*Graph, error) {
+	g, err := models.ByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q (see mnn.Networks())", ErrUnknownNetwork, name)
+	}
+	return g, nil
+}
 
 // Networks lists the built-in network names.
 func Networks() []string { return models.Names() }

@@ -1,0 +1,128 @@
+package mnn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Option configures an Engine at Open time (functional-options pattern).
+// Options replace the v1 Config struct; each validates eagerly so Open can
+// fail fast with a typed error.
+type Option func(*engineConfig) error
+
+// engineConfig is the resolved configuration an Engine is built from.
+type engineConfig struct {
+	forward     ForwardType
+	threads     int
+	deviceName  string
+	simulate    bool
+	poolSize    int
+	inputShapes map[string][]int
+	noPrep      bool
+}
+
+func defaultEngineConfig() engineConfig {
+	return engineConfig{forward: ForwardAuto, threads: 1, poolSize: 1}
+}
+
+// WithThreads sets the CPU worker count per pooled session (default 1; the
+// paper evaluates 1, 2 and 4).
+func WithThreads(n int) Option {
+	return func(c *engineConfig) error {
+		if n < 1 {
+			return fmt.Errorf("mnn: WithThreads(%d): thread count must be >= 1", n)
+		}
+		c.threads = n
+		return nil
+	}
+}
+
+// WithForwardType selects the backend family (default ForwardAuto, which
+// lets the Equation 4–5 cost model choose).
+func WithForwardType(t ForwardType) Option {
+	return func(c *engineConfig) error {
+		if t < ForwardAuto || t > ForwardVulkan {
+			return fmt.Errorf("%w: forward type %d", ErrUnknownBackend, t)
+		}
+		c.forward = t
+		return nil
+	}
+}
+
+// WithDevice selects a simulated device profile from Devices() ("MI6",
+// "Mate20", …). The empty string means the host: no GPU simulation, generic
+// cost-model constants.
+func WithDevice(name string) Option {
+	return func(c *engineConfig) error {
+		c.deviceName = name
+		return nil
+	}
+}
+
+// WithSimulatedClock attaches a simulated clock charging the paper's
+// Equation 5 costs; read it back with Engine.SimulatedMs. The clock is
+// shared by every pooled session, so under concurrent load it accumulates
+// the aggregate simulated device time.
+func WithSimulatedClock() Option {
+	return func(c *engineConfig) error {
+		c.simulate = true
+		return nil
+	}
+}
+
+// WithPoolSize sets how many prepared sessions the Engine holds (default 1).
+// Pre-inference runs once per pooled session at Open time; Infer then serves
+// up to n requests truly concurrently, with further callers queueing.
+func WithPoolSize(n int) Option {
+	return func(c *engineConfig) error {
+		if n < 1 {
+			return fmt.Errorf("mnn: WithPoolSize(%d): pool size must be >= 1", n)
+		}
+		c.poolSize = n
+		return nil
+	}
+}
+
+// WithInputShapes overrides the declared input shapes before pre-inference
+// (the v2 equivalent of Config.InputShapes / Session.Resize at open time).
+func WithInputShapes(shapes map[string][]int) Option {
+	return func(c *engineConfig) error {
+		cp := make(map[string][]int, len(shapes))
+		for name, s := range shapes {
+			cp[name] = append([]int(nil), s...)
+		}
+		c.inputShapes = cp
+		return nil
+	}
+}
+
+// WithoutPreparation disables preparation–execution decoupling (Table 2's
+// ablation): every Infer re-plans memory and re-creates kernels. It forces
+// the pool size to 1 since the ablation path mutates session state per run.
+func WithoutPreparation() Option {
+	return func(c *engineConfig) error {
+		c.noPrep = true
+		return nil
+	}
+}
+
+// ParseForwardType maps a backend name ("auto", "cpu", "metal", "opencl",
+// "opengl", "vulkan", case-insensitive) to its ForwardType, for CLI flags.
+func ParseForwardType(s string) (ForwardType, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "auto":
+		return ForwardAuto, nil
+	case "cpu":
+		return ForwardCPU, nil
+	case "metal":
+		return ForwardMetal, nil
+	case "opencl":
+		return ForwardOpenCL, nil
+	case "opengl":
+		return ForwardOpenGL, nil
+	case "vulkan":
+		return ForwardVulkan, nil
+	default:
+		return ForwardAuto, fmt.Errorf("%w: %q (want auto, cpu, metal, opencl, opengl or vulkan)", ErrUnknownBackend, s)
+	}
+}
