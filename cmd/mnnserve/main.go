@@ -1,0 +1,180 @@
+// Command mnnserve exposes a Registry of prepared engines over the
+// KServe-style /v2 HTTP protocol, with per-model dynamic micro-batching.
+//
+//	mnnserve -addr :8500 -model mobilenet=mobilenet-v1,pool=4,threads=2
+//	mnnserve -model sq=squeezenet-v1.1,maxbatch=8,maxlatency=5ms \
+//	         -model det=path/to/detector.mnng,shape=data:1x3x320x320
+//	mnnserve -model mobilenet-v1 -max-batch 4        # global batching default
+//
+// Each -model flag is name=source[,key=value...]; a bare source serves under
+// its own name. Keys: pool, threads, forward, device, maxbatch, maxlatency,
+// shape=input:AxBxC... (repeatable). Models can also be hot-loaded and
+// unloaded at runtime through POST /v2/repository/models/{name}/load and
+// /unload. SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
+// requests before closing the engines.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"mnn/serve"
+)
+
+type modelSpec struct {
+	name string
+	cfg  serve.ModelConfig
+}
+
+func main() {
+	addr := flag.String("addr", ":8500", "listen address")
+	maxBatch := flag.Int("max-batch", 0, "default micro-batch size for models that don't set maxbatch= (0 disables batching)")
+	maxLatency := flag.Duration("max-latency", serve.DefaultMaxLatency, "default micro-batch window for models that don't set maxlatency=")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "grace period for draining in-flight requests on SIGINT/SIGTERM")
+	var specs []modelSpec
+	flag.Func("model", "model to serve: name=source[,key=value...] (repeatable; see package docs)", func(v string) error {
+		s, err := parseModelSpec(v)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, s)
+		return nil
+	})
+	flag.Parse()
+	if len(specs) == 0 {
+		fail(fmt.Errorf("no models: pass at least one -model flag (or hot-load via the repository API after adding one)"))
+	}
+
+	reg := serve.NewRegistry()
+	for _, s := range specs {
+		// The global flags fill whichever knobs the spec left unset, so a
+		// per-model maxbatch= still honours the global -max-latency and
+		// vice versa.
+		if s.cfg.Batch.MaxBatch == 0 {
+			s.cfg.Batch.MaxBatch = *maxBatch
+		}
+		if s.cfg.Batch.MaxLatency <= 0 {
+			s.cfg.Batch.MaxLatency = *maxLatency
+		}
+		t0 := time.Now()
+		if err := reg.Load(s.name, s.cfg); err != nil {
+			reg.Close()
+			fail(err)
+		}
+		m, _ := reg.Get(s.name)
+		batching := "off"
+		if m.Batching() {
+			batching = fmt.Sprintf("%d within %v", s.cfg.Batch.MaxBatch, s.cfg.Batch.MaxLatency)
+		}
+		fmt.Printf("mnnserve: loaded %q (pre-inference %.0f ms, batching %s)\n",
+			s.name, float64(time.Since(t0).Milliseconds()), batching)
+	}
+
+	srv := serve.NewServer(reg)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	fmt.Printf("mnnserve: serving %v on %s\n", reg.Names(), *addr)
+
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+		fmt.Println("mnnserve: shutting down, draining in-flight requests...")
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Println("mnnserve: bye")
+}
+
+// parseModelSpec parses one -model flag value.
+func parseModelSpec(v string) (modelSpec, error) {
+	parts := strings.Split(v, ",")
+	head := parts[0]
+	name, source := head, head
+	if i := strings.Index(head, "="); i >= 0 {
+		name, source = head[:i], head[i+1:]
+	}
+	if name == "" || source == "" {
+		return modelSpec{}, fmt.Errorf("-model %q: want name=source[,key=value...]", v)
+	}
+	s := modelSpec{name: name, cfg: serve.ModelConfig{Model: source}}
+	var lo serve.LoadOptions
+	for _, kv := range parts[1:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return modelSpec{}, fmt.Errorf("-model %q: option %q is not key=value", v, kv)
+		}
+		switch key {
+		case "pool":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return modelSpec{}, fmt.Errorf("-model %q: pool=%q: %v", v, val, err)
+			}
+			lo.PoolSize = n
+		case "threads":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return modelSpec{}, fmt.Errorf("-model %q: threads=%q: %v", v, val, err)
+			}
+			lo.Threads = n
+		case "forward":
+			lo.Forward = val
+		case "device":
+			lo.Device = val
+		case "maxbatch":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return modelSpec{}, fmt.Errorf("-model %q: maxbatch=%q: %v", v, val, err)
+			}
+			s.cfg.Batch.MaxBatch = n
+		case "maxlatency":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return modelSpec{}, fmt.Errorf("-model %q: maxlatency=%q: %v", v, val, err)
+			}
+			s.cfg.Batch.MaxLatency = d
+		case "shape":
+			input, dims, ok := strings.Cut(val, ":")
+			if !ok {
+				return modelSpec{}, fmt.Errorf("-model %q: shape=%q: want input:AxBxC...", v, val)
+			}
+			var shape []int
+			for _, d := range strings.Split(dims, "x") {
+				n, err := strconv.Atoi(d)
+				if err != nil {
+					return modelSpec{}, fmt.Errorf("-model %q: shape=%q: %v", v, val, err)
+				}
+				shape = append(shape, n)
+			}
+			if lo.InputShapes == nil {
+				lo.InputShapes = make(map[string][]int)
+			}
+			lo.InputShapes[input] = shape
+		default:
+			return modelSpec{}, fmt.Errorf("-model %q: unknown option %q (want pool, threads, forward, device, maxbatch, maxlatency or shape)", v, key)
+		}
+	}
+	opts, err := lo.EngineOptions()
+	if err != nil {
+		return modelSpec{}, fmt.Errorf("-model %q: %v", v, err)
+	}
+	s.cfg.Options = opts
+	return s, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mnnserve:", err)
+	os.Exit(1)
+}

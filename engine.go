@@ -119,7 +119,10 @@ func resolveModel(model any) (*graph.Graph, error) {
 		if g, err := models.ByName(m); err == nil {
 			return g, nil
 		}
-		if _, err := os.Stat(m); err == nil {
+		if st, err := os.Stat(m); err == nil {
+			if st.IsDir() {
+				return nil, fmt.Errorf("%w: %q is a directory, not a model file", ErrUnknownNetwork, m)
+			}
 			return LoadGraphFile(m)
 		}
 		return nil, fmt.Errorf("%w: %q is neither a built-in network (see mnn.Networks()) nor a model file", ErrUnknownNetwork, m)

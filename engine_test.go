@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -216,6 +217,27 @@ func TestEngineInputValidation(t *testing.T) {
 	wrong := map[string]*mnn.Tensor{"data": tensor.New(1, 3, 8, 8)}
 	if _, err := eng.Infer(ctx, wrong); !errors.Is(err, mnn.ErrInputShape) {
 		t.Fatalf("wrong shape: %v, want ErrInputShape", err)
+	}
+	// Declared input present but nil.
+	if _, err := eng.Infer(ctx, map[string]*mnn.Tensor{"data": nil}); !errors.Is(err, mnn.ErrInputShape) {
+		t.Fatalf("nil input tensor: %v, want ErrInputShape", err)
+	}
+	// Wrong rank.
+	if _, err := eng.Infer(ctx, map[string]*mnn.Tensor{"data": tensor.New(3, 16, 16)}); !errors.Is(err, mnn.ErrInputShape) {
+		t.Fatalf("wrong rank: %v, want ErrInputShape", err)
+	}
+}
+
+func TestOpenRejectsDirectory(t *testing.T) {
+	// A directory path passes os.Stat; it must be rejected up front with
+	// ErrUnknownNetwork instead of failing deep inside LoadGraphFile.
+	dir := t.TempDir()
+	_, err := mnn.Open(dir)
+	if !errors.Is(err, mnn.ErrUnknownNetwork) {
+		t.Fatalf("Open(directory) = %v, want ErrUnknownNetwork", err)
+	}
+	if !strings.Contains(err.Error(), "directory") {
+		t.Fatalf("Open(directory) error %q does not say it is a directory", err)
 	}
 }
 

@@ -11,8 +11,10 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 )
 
@@ -22,10 +24,61 @@ type Options struct {
 	Quick bool
 	// Out receives the formatted report (default os.Stdout at callers).
 	Out io.Writer
+	// Recorder, when non-nil, additionally collects machine-readable
+	// results (mnnbench -json). Table output is unaffected.
+	Recorder *Recorder
 }
 
 func (o Options) printf(format string, args ...any) {
 	fmt.Fprintf(o.Out, format, args...)
+}
+
+// record emits one measurement into the recorder, if any.
+func (o Options) record(experiment, kase string, nsPerOp, throughputQPS float64) {
+	if o.Recorder != nil {
+		o.Recorder.Record(experiment, kase, nsPerOp, throughputQPS)
+	}
+}
+
+// Result is one machine-readable measurement row. Latency-style experiments
+// fill NsPerOp; throughput-style experiments fill ThroughputQPS; some fill
+// both. Zero means not applicable.
+type Result struct {
+	Experiment    string  `json:"experiment"`
+	Case          string  `json:"case"`
+	NsPerOp       float64 `json:"ns_per_op,omitempty"`
+	ThroughputQPS float64 `json:"throughput_qps,omitempty"`
+}
+
+// Recorder accumulates Results across experiments. Safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	results []Result
+}
+
+// Record appends one result row.
+func (r *Recorder) Record(experiment, kase string, nsPerOp, throughputQPS float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.results = append(r.results, Result{
+		Experiment: experiment, Case: kase,
+		NsPerOp: nsPerOp, ThroughputQPS: throughputQPS,
+	})
+}
+
+// Results returns a snapshot of everything recorded so far.
+func (r *Recorder) Results() []Result {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Result(nil), r.results...)
+}
+
+// WriteJSON writes the recorded results as an indented JSON array — the
+// BENCH_*.json format of the perf trajectory.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Results())
 }
 
 // medianOf runs fn reps times and returns the median duration.
@@ -55,7 +108,7 @@ var Experiments = []string{
 	"table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
 	"figure7", "figure8", "figure9",
 	"ablation-strassen", "ablation-layout", "ablation-memory", "ablation-tile",
-	"throughput",
+	"throughput", "serving",
 }
 
 // Run dispatches one experiment by name.
@@ -93,6 +146,8 @@ func Run(name string, opt Options) error {
 		return AblationTile(opt)
 	case "throughput":
 		return Throughput(opt)
+	case "serving":
+		return Serving(opt)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (have %v)", name, Experiments)
 	}

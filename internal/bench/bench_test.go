@@ -28,18 +28,30 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 		"ablation-layout":   "NC4HW4",
 		"ablation-memory":   "memory",
 		"ablation-tile":     "tile",
+		"throughput":        "Throughput",
+		"serving":           "Serving",
 	}
+	rec := &Recorder{}
 	for _, exp := range Experiments {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := Run(exp, Options{Quick: true, Out: &buf}); err != nil {
+			if err := Run(exp, Options{Quick: true, Out: &buf, Recorder: rec}); err != nil {
 				t.Fatal(err)
 			}
 			if !strings.Contains(buf.String(), headers[exp]) {
 				t.Errorf("output missing header %q:\n%s", headers[exp], buf.String())
 			}
 		})
+	}
+	// The instrumented experiments must have fed the -json recorder, and
+	// the rows must serialize.
+	if len(rec.Results()) == 0 {
+		t.Error("no experiment recorded machine-readable results")
+	}
+	var out bytes.Buffer
+	if err := rec.WriteJSON(&out); err != nil {
+		t.Errorf("WriteJSON: %v", err)
 	}
 }
 

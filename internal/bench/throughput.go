@@ -2,6 +2,7 @@ package bench
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 
 	"mnn"
@@ -48,6 +49,8 @@ func Throughput(opt Options) error {
 			}
 			opt.printf("%-10d %-10d %12.2f %12.2f %12.2f\n",
 				poolSize, inFlight, st.QPSWithLoadgen, ms(st.P50Latency), ms(st.P99Latency))
+			opt.record("throughput", fmt.Sprintf("mobilenet-v1/pool=%d/inflight=%d", poolSize, inFlight),
+				float64(st.MeanLatency.Nanoseconds()), st.QPSWithLoadgen)
 		}
 		eng.Close()
 	}

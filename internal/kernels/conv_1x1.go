@@ -86,15 +86,24 @@ func (c *Conv1x1) Run(dst, src *tensor.Tensor, threads int, workspace []float32)
 		}
 	})
 
-	// GEMM: [px, ic] × [ic, oc] → [px, oc], row blocks per thread.
-	ParallelFor(threads, px, func(start, end int) {
-		rows := end - start
-		if c.Strassen {
-			matmul.MulStrassen(out[start*c.oc:end*c.oc], in[start*c.ic:end*c.ic], c.wT, rows, c.ic, c.oc)
-		} else {
-			matmul.Mul(out[start*c.oc:end*c.oc], in[start*c.ic:end*c.ic], c.wT, rows, c.ic, c.oc)
-		}
-	})
+	// GEMM: per sample, [OH*OW, ic] × [ic, oc] → [OH*OW, oc], row blocks per
+	// thread. The Strassen recursion shape depends on the row count, so the
+	// GEMM must not span batch elements: keeping it per-sample makes a
+	// batch-N run bitwise identical to N single runs, which the serving
+	// micro-batcher relies on to split stacked outputs back per request.
+	ohw := OH * OW
+	for n := 0; n < N; n++ {
+		base := n * ohw
+		ParallelFor(threads, ohw, func(start, end int) {
+			rows := end - start
+			s0, e0 := base+start, base+end
+			if c.Strassen {
+				matmul.MulStrassen(out[s0*c.oc:e0*c.oc], in[s0*c.ic:e0*c.ic], c.wT, rows, c.ic, c.oc)
+			} else {
+				matmul.Mul(out[s0*c.oc:e0*c.oc], in[s0*c.ic:e0*c.ic], c.wT, rows, c.ic, c.oc)
+			}
+		})
+	}
 
 	// Repack [pixels, oc] → NC4HW4 with bias + activation.
 	ParallelFor(threads, px, func(start, end int) {

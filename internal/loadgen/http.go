@@ -1,0 +1,70 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"mnn/internal/tensor"
+	"mnn/serve"
+)
+
+// HTTPConfig points a load generator at a serve.Server speaking the
+// KServe-style protocol, so the same RunSingleStream/RunConcurrent harness
+// that measures in-process Engine.Infer can measure the network path
+// end-to-end (JSON encode, HTTP, micro-batching, JSON decode).
+type HTTPConfig struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8500".
+	BaseURL string
+	// Model is the registry name to infer against.
+	Model string
+	// Client is the HTTP client to use. The default client keeps a deep
+	// idle pool (http.DefaultClient only retains 2 idle conns per host,
+	// which would re-dial constantly at in-flight ≥4 and skew the
+	// measurement with TCP handshakes).
+	Client *http.Client
+}
+
+// defaultClient keeps enough idle keep-alive connections for the deepest
+// in-flight sweeps the bench harness runs.
+var defaultClient = &http.Client{Transport: &http.Transport{
+	MaxIdleConns:        128,
+	MaxIdleConnsPerHost: 64,
+}}
+
+// NewHTTPQuery pre-encodes one inference request for the given inputs and
+// returns a query func for the load generators: each call POSTs the body,
+// requires HTTP 200, and drains the response so connections are reused.
+func NewHTTPQuery(cfg HTTPConfig, inputs map[string]*tensor.Tensor) (func() error, error) {
+	if cfg.BaseURL == "" || cfg.Model == "" {
+		return nil, fmt.Errorf("loadgen: HTTPConfig needs BaseURL and Model")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = defaultClient
+	}
+	req := serve.InferRequest{}
+	for name, t := range inputs {
+		req.Inputs = append(req.Inputs, serve.EncodeTensor(name, t))
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: encoding infer request: %w", err)
+	}
+	url := cfg.BaseURL + "/v2/models/" + cfg.Model + "/infer"
+	return func() error {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("loadgen: %s: %w", url, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			blob, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+			return fmt.Errorf("loadgen: %s: HTTP %d: %s", url, resp.StatusCode, blob)
+		}
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}, nil
+}

@@ -1,0 +1,82 @@
+package loadgen
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"mnn"
+	"mnn/internal/tensor"
+	"mnn/serve"
+)
+
+const tinyHTTPModel = `{
+  "name": "tiny",
+  "inputs": ["data"],
+  "outputs": ["prob"],
+  "nodes": [
+    {"name": "data", "op": "Input", "attrs": {"shape": [1, 3, 8, 8]}},
+    {"name": "conv1", "op": "Conv2D", "inputs": ["data"], "weights": ["w1", "b1"],
+     "attrs": {"kernel": [3], "pad": [1], "outputs": 4, "relu": true}},
+    {"name": "gap", "op": "Pool", "inputs": ["conv1"], "attrs": {"type": "avg", "global": true}},
+    {"name": "flat", "op": "Flatten", "inputs": ["gap"], "attrs": {"axis": 1}},
+    {"name": "prob", "op": "Softmax", "inputs": ["flat"], "attrs": {"axis": 1}}
+  ],
+  "weights": [
+    {"name": "w1", "shape": [4, 3, 3, 3], "init": "random", "seed": 1, "scale": 0.3},
+    {"name": "b1", "shape": [4], "init": "random", "seed": 2, "scale": 0.1}
+  ]
+}`
+
+// TestHTTPQueryDrivesServer runs the concurrent generator against a live
+// serve.Server over loopback HTTP — the bench harness's end-to-end path.
+func TestHTTPQueryDrivesServer(t *testing.T) {
+	g, err := mnn.ParseJSONModel(strings.NewReader(tinyHTTPModel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := serve.NewRegistry()
+	if err := reg.Load("tiny", serve.ModelConfig{Model: g, Options: []mnn.Option{mnn.WithPoolSize(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(reg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Shutdown(t.Context()) })
+
+	in := tensor.New(1, 3, 8, 8)
+	tensor.FillRandom(in, 3, 1)
+	query, err := NewHTTPQuery(HTTPConfig{
+		BaseURL: "http://" + l.Addr().String(),
+		Model:   "tiny",
+	}, map[string]*tensor.Tensor{"data": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := RunConcurrent(query, ConcurrentConfig{InFlight: 4, MinQueryCount: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.QueryCount < 16 || st.QPSWithLoadgen <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// A query against a missing model reports the HTTP status and body.
+	bad, err := NewHTTPQuery(HTTPConfig{
+		BaseURL: "http://" + l.Addr().String(),
+		Model:   "ghost",
+	}, map[string]*tensor.Tensor{"data": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad(); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("missing model query = %v, want HTTP 404 error", err)
+	}
+
+	if _, err := NewHTTPQuery(HTTPConfig{}, nil); err == nil {
+		t.Fatal("empty HTTPConfig must be rejected")
+	}
+}

@@ -1,0 +1,281 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mnn"
+	"mnn/internal/tensor"
+)
+
+// batcher implements dynamic micro-batching for one model: concurrent
+// single-sample requests are queued, coalesced, stacked along N and run
+// through a second engine prepared at batch size maxBatch. A flush happens
+// when the batch fills or when the oldest queued request has waited
+// maxLatency. Full batches run on the batched engine; partial flushes and
+// requests whose shapes don't match the stackable single-sample shape fall
+// through to the unbatched engine.
+type batcher struct {
+	eng        *mnn.Engine // prepared at batch size maxBatch
+	fallback   *mnn.Engine // the model's unbatched engine (not owned)
+	maxBatch   int
+	maxLatency time.Duration
+
+	// perShape / perLen describe one request's slot inside the stacked
+	// input tensors; outShape / outLen the slot inside the outputs.
+	inputNames  []string
+	perShape    map[string][]int
+	perLen      map[string]int
+	batchShape  map[string][]int
+	outputNames []string
+	outShape    map[string][]int // per-request output shape (dim0 == 1)
+	outLen      map[string]int
+
+	reqs chan *batchReq
+	quit chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup // outstanding flush runs
+}
+
+type batchReq struct {
+	inputs map[string]*mnn.Tensor
+	resp   chan batchResp
+}
+
+type batchResp struct {
+	outputs map[string]*mnn.Tensor
+	err     error
+}
+
+// newBatcher opens the batched engine (the model's options with input
+// shapes overridden to batch size) and probes it once so output shapes are
+// known to be splittable along N before any traffic arrives.
+func newBatcher(cfg ModelConfig, fallback *mnn.Engine) (*batcher, error) {
+	b := &batcher{
+		fallback:   fallback,
+		maxBatch:   cfg.Batch.MaxBatch,
+		maxLatency: cfg.Batch.MaxLatency,
+		inputNames: fallback.InputNames(),
+		perShape:   make(map[string][]int),
+		perLen:     make(map[string]int),
+		batchShape: make(map[string][]int),
+		outShape:   make(map[string][]int),
+		outLen:     make(map[string]int),
+		reqs:       make(chan *batchReq),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	if b.maxLatency <= 0 {
+		b.maxLatency = DefaultMaxLatency
+	}
+	shapes := make(map[string][]int, len(b.inputNames))
+	for _, name := range b.inputNames {
+		s := fallback.InputShape(name)
+		if len(s) == 0 || s[0] != 1 {
+			return nil, fmt.Errorf("input %q has shape %v: batching needs a leading batch dim of 1", name, s)
+		}
+		batched := append([]int{b.maxBatch}, s[1:]...)
+		b.perShape[name] = s
+		b.perLen[name] = tensor.NumElements(s)
+		b.batchShape[name] = batched
+		shapes[name] = batched
+	}
+	eng, err := mnn.Open(cfg.Model, append(append([]mnn.Option(nil), cfg.Options...),
+		mnn.WithInputShapes(shapes), mnn.WithPoolSize(1))...)
+	if err != nil {
+		return nil, fmt.Errorf("opening batch-%d engine: %w", b.maxBatch, err)
+	}
+	// Probe with zeros: learn the batched output shapes and verify every
+	// output really carries the batch along dim 0.
+	probe := make(map[string]*mnn.Tensor, len(b.inputNames))
+	for _, name := range b.inputNames {
+		probe[name] = tensor.New(b.batchShape[name]...)
+	}
+	out, err := eng.Infer(context.Background(), probe)
+	if err != nil {
+		eng.Close()
+		return nil, fmt.Errorf("probing batch-%d engine: %w", b.maxBatch, err)
+	}
+	b.outputNames = fallback.OutputNames()
+	for _, name := range b.outputNames {
+		s := out[name].Shape()
+		if len(s) == 0 || s[0] != b.maxBatch {
+			eng.Close()
+			return nil, fmt.Errorf("output %q has batched shape %v: cannot split %d requests along dim 0", name, s, b.maxBatch)
+		}
+		per := append([]int{1}, s[1:]...)
+		b.outShape[name] = per
+		b.outLen[name] = tensor.NumElements(per)
+	}
+	b.eng = eng
+	go b.loop()
+	return b, nil
+}
+
+// infer submits one request. Requests that aren't stackable (wrong shape,
+// unknown or missing inputs) fall through to the unbatched engine, which
+// reports the precise validation error.
+func (b *batcher) infer(ctx context.Context, inputs map[string]*mnn.Tensor) (map[string]*mnn.Tensor, error) {
+	if !b.stackable(inputs) {
+		return b.fallback.Infer(ctx, inputs)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rq := &batchReq{inputs: inputs, resp: make(chan batchResp, 1)}
+	select {
+	case b.reqs <- rq:
+	case <-b.quit:
+		return b.fallback.Infer(ctx, inputs)
+	case <-ctx.Done():
+		return nil, fmt.Errorf("%w: %v", mnn.ErrCancelled, ctx.Err())
+	}
+	select {
+	case resp := <-rq.resp:
+		return resp.outputs, resp.err
+	case <-ctx.Done():
+		// The flush still runs; the buffered channel absorbs its result.
+		return nil, fmt.Errorf("%w: %v", mnn.ErrCancelled, ctx.Err())
+	}
+}
+
+// stackable reports whether the request exactly matches the single-sample
+// prepared shapes, i.e. can occupy one slot of a stacked batch.
+func (b *batcher) stackable(inputs map[string]*mnn.Tensor) bool {
+	if len(inputs) != len(b.inputNames) {
+		return false
+	}
+	for _, name := range b.inputNames {
+		t, ok := inputs[name]
+		if !ok || t == nil || !tensor.EqualShape(t.Shape(), b.perShape[name]) {
+			return false
+		}
+	}
+	return true
+}
+
+// loop owns the pending queue: it fills batches, arms the latency timer on
+// the first queued request, and hands full or timed-out batches to flush.
+func (b *batcher) loop() {
+	defer close(b.done)
+	var (
+		pending []*batchReq
+		timer   *time.Timer
+		timerC  <-chan time.Time
+	)
+	disarm := func() {
+		if timer != nil && !timer.Stop() {
+			<-timer.C
+		}
+		timer, timerC = nil, nil
+	}
+	for {
+		select {
+		case rq := <-b.reqs:
+			pending = append(pending, rq)
+			if len(pending) == 1 {
+				timer = time.NewTimer(b.maxLatency)
+				timerC = timer.C
+			}
+			if len(pending) >= b.maxBatch {
+				disarm()
+				b.flush(pending)
+				pending = nil
+			}
+		case <-timerC:
+			timer, timerC = nil, nil
+			b.flush(pending)
+			pending = nil
+		case <-b.quit:
+			disarm()
+			// Drain whatever raced in, then flush the remainder so every
+			// accepted request gets an answer before the engines close.
+			for {
+				select {
+				case rq := <-b.reqs:
+					pending = append(pending, rq)
+					continue
+				default:
+				}
+				break
+			}
+			if len(pending) > 0 {
+				b.flush(pending)
+			}
+			return
+		}
+	}
+}
+
+// flush dispatches one batch asynchronously so the loop keeps coalescing
+// the next one while this one computes.
+func (b *batcher) flush(reqs []*batchReq) {
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		if len(reqs) == b.maxBatch {
+			b.runBatched(reqs)
+			return
+		}
+		// Partial flush: the batched engine is prepared at exactly
+		// maxBatch, so odd-sized batches run unbatched — concurrently,
+		// against the fallback engine's session pool.
+		var wg sync.WaitGroup
+		for _, rq := range reqs {
+			wg.Add(1)
+			go func(rq *batchReq) {
+				defer wg.Done()
+				out, err := b.fallback.Infer(context.Background(), rq.inputs)
+				rq.resp <- batchResp{outputs: out, err: err}
+			}(rq)
+		}
+		wg.Wait()
+	}()
+}
+
+// runBatched stacks the requests along dim 0, runs the batched engine once,
+// and splits every output back into per-request tensors.
+func (b *batcher) runBatched(reqs []*batchReq) {
+	stacked := make(map[string]*mnn.Tensor, len(b.inputNames))
+	for _, name := range b.inputNames {
+		dst := tensor.New(b.batchShape[name]...)
+		per := b.perLen[name]
+		for i, rq := range reqs {
+			// A view over request i's slot; CopyFrom converts layout if the
+			// caller handed us a non-NCHW tensor.
+			slot := tensor.FromData(dst.Data()[i*per:(i+1)*per], b.perShape[name]...)
+			slot.CopyFrom(rq.inputs[name])
+		}
+		stacked[name] = dst
+	}
+	out, err := b.eng.Infer(context.Background(), stacked)
+	if err != nil {
+		for _, rq := range reqs {
+			rq.resp <- batchResp{err: err}
+		}
+		return
+	}
+	for i, rq := range reqs {
+		outputs := make(map[string]*mnn.Tensor, len(b.outputNames))
+		for _, name := range b.outputNames {
+			src := out[name].ToLayout(tensor.NCHW)
+			per := b.outLen[name]
+			dst := tensor.New(b.outShape[name]...)
+			copy(dst.Data(), src.Data()[i*per:(i+1)*per])
+			outputs[name] = dst
+		}
+		rq.resp <- batchResp{outputs: outputs}
+	}
+}
+
+// close stops accepting requests, waits for the loop to drain its queue and
+// for outstanding flushes to finish, then closes the batched engine. The
+// fallback engine belongs to the Model and is closed by it.
+func (b *batcher) close() {
+	close(b.quit)
+	<-b.done
+	b.wg.Wait()
+	b.eng.Close()
+}

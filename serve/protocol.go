@@ -1,0 +1,195 @@
+// Package serve turns the in-process Engine API into a network serving
+// tier: a Registry of named models (each an independently configured
+// mnn.Engine with hot load/unload), a per-model dynamic micro-batcher that
+// coalesces concurrent single requests into one batched run, and an HTTP
+// server speaking a KServe-V2-inspired JSON inference protocol.
+//
+// The protocol mirrors the KServe "Open Inference Protocol" (v2) routes:
+//
+//	GET  /v2                                  server metadata
+//	GET  /v2/health/live                      liveness
+//	GET  /v2/health/ready                     readiness
+//	GET  /v2/models                           list loaded models
+//	GET  /v2/models/{name}                    model metadata
+//	GET  /v2/models/{name}/ready              per-model readiness
+//	POST /v2/models/{name}/infer              run inference
+//	POST   /v2/repository/models/{name}/load    hot-load a model
+//	POST   /v2/repository/models/{name}/unload  hot-unload a model
+//	DELETE /v2/repository/models/{name}         alias for unload
+//
+// Tensors travel as named JSON objects with an explicit shape and a flat
+// float32 data array ("FP32"), matching how Engine.Infer consumes and
+// produces dense NCHW tensors.
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"mnn"
+	"mnn/internal/tensor"
+)
+
+// DatatypeFP32 is the only wire datatype the engine computes in.
+const DatatypeFP32 = "FP32"
+
+// Sentinel errors of the serving tier. Wrap-aware: test with errors.Is.
+var (
+	// ErrModelNotFound is returned by Registry lookups and mapped to HTTP
+	// 404 by the server.
+	ErrModelNotFound = errors.New("serve: model not found")
+
+	// ErrBadRequest marks a malformed protocol body (bad tensor encoding,
+	// unknown datatype, shape/data disagreement) and maps to HTTP 400.
+	ErrBadRequest = errors.New("serve: bad request")
+
+	// ErrServerClosed is returned by Server.Serve after Shutdown.
+	ErrServerClosed = errors.New("serve: server closed")
+)
+
+// TensorMetadata describes one model input or output in metadata responses.
+type TensorMetadata struct {
+	Name     string `json:"name"`
+	Datatype string `json:"datatype"`
+	Shape    []int  `json:"shape"`
+}
+
+// ModelMetadata is the GET /v2/models/{name} response body.
+type ModelMetadata struct {
+	Name     string           `json:"name"`
+	Platform string           `json:"platform"`
+	Inputs   []TensorMetadata `json:"inputs"`
+	Outputs  []TensorMetadata `json:"outputs,omitempty"`
+}
+
+// ServerMetadata is the GET /v2 response body.
+type ServerMetadata struct {
+	Name       string   `json:"name"`
+	Version    string   `json:"version"`
+	Extensions []string `json:"extensions"`
+}
+
+// ModelList is the GET /v2/models response body.
+type ModelList struct {
+	Models []string `json:"models"`
+}
+
+// InferTensor is one named tensor on the wire: an explicit shape plus the
+// flat float32 data in NCHW (row-major) order.
+type InferTensor struct {
+	Name     string    `json:"name"`
+	Shape    []int     `json:"shape"`
+	Datatype string    `json:"datatype"`
+	Data     []float32 `json:"data"`
+}
+
+// InferRequest is the POST /v2/models/{name}/infer request body.
+type InferRequest struct {
+	ID     string        `json:"id,omitempty"`
+	Inputs []InferTensor `json:"inputs"`
+	// Outputs optionally restricts which model outputs are returned.
+	Outputs []RequestedOutput `json:"outputs,omitempty"`
+}
+
+// RequestedOutput names one output the client wants back.
+type RequestedOutput struct {
+	Name string `json:"name"`
+}
+
+// InferResponse is the POST /v2/models/{name}/infer response body.
+type InferResponse struct {
+	ModelName string        `json:"model_name"`
+	ID        string        `json:"id,omitempty"`
+	Outputs   []InferTensor `json:"outputs"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx protocol response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// EncodeTensor converts an engine tensor into its wire form, copying the
+// logical contents out in NCHW order.
+func EncodeTensor(name string, t *mnn.Tensor) InferTensor {
+	nchw := t.ToLayout(tensor.NCHW)
+	data := make([]float32, nchw.NumElements())
+	copy(data, nchw.Data())
+	return InferTensor{
+		Name:     name,
+		Shape:    append([]int(nil), t.Shape()...),
+		Datatype: DatatypeFP32,
+		Data:     data,
+	}
+}
+
+// DecodeTensor validates a wire tensor and converts it into an engine
+// tensor. The returned tensor owns its own buffer. Every failure wraps
+// ErrBadRequest.
+func (it InferTensor) DecodeTensor() (*mnn.Tensor, error) {
+	if it.Name == "" {
+		return nil, fmt.Errorf("%w: tensor with empty name", ErrBadRequest)
+	}
+	if it.Datatype != DatatypeFP32 {
+		return nil, fmt.Errorf("%w: tensor %q has datatype %q (only %s is supported)",
+			ErrBadRequest, it.Name, it.Datatype, DatatypeFP32)
+	}
+	if len(it.Shape) == 0 {
+		return nil, fmt.Errorf("%w: tensor %q has no shape", ErrBadRequest, it.Name)
+	}
+	n := 1
+	for _, d := range it.Shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("%w: tensor %q has non-positive dim in shape %v",
+				ErrBadRequest, it.Name, it.Shape)
+		}
+		n *= d
+	}
+	if len(it.Data) != n {
+		return nil, fmt.Errorf("%w: tensor %q shape %v wants %d elements, got %d",
+			ErrBadRequest, it.Name, it.Shape, n, len(it.Data))
+	}
+	data := append([]float32(nil), it.Data...)
+	return tensor.FromData(data, it.Shape...), nil
+}
+
+// DecodeInputs converts a request's input list into the map Engine.Infer
+// consumes, rejecting duplicates and empty input lists.
+func (r *InferRequest) DecodeInputs() (map[string]*mnn.Tensor, error) {
+	if len(r.Inputs) == 0 {
+		return nil, fmt.Errorf("%w: request has no inputs", ErrBadRequest)
+	}
+	inputs := make(map[string]*mnn.Tensor, len(r.Inputs))
+	for _, it := range r.Inputs {
+		t, err := it.DecodeTensor()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := inputs[it.Name]; dup {
+			return nil, fmt.Errorf("%w: duplicate input tensor %q", ErrBadRequest, it.Name)
+		}
+		inputs[it.Name] = t
+	}
+	return inputs, nil
+}
+
+// EncodeOutputs converts an Engine.Infer result into a response body,
+// honouring the request's optional output selection. Outputs are emitted in
+// the engine's declared order for deterministic bodies.
+func (r *InferRequest) EncodeOutputs(modelName string, order []string, outputs map[string]*mnn.Tensor) (*InferResponse, error) {
+	want := order
+	if len(r.Outputs) > 0 {
+		want = make([]string, len(r.Outputs))
+		for i, o := range r.Outputs {
+			want[i] = o.Name
+		}
+	}
+	resp := &InferResponse{ModelName: modelName, ID: r.ID, Outputs: make([]InferTensor, 0, len(want))}
+	for _, name := range want {
+		t, ok := outputs[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown output %q (model outputs: %v)", ErrBadRequest, name, order)
+		}
+		resp.Outputs = append(resp.Outputs, EncodeTensor(name, t))
+	}
+	return resp, nil
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"mnn"
+	"mnn/internal/tensor"
+)
+
+// TestTensorRoundTrip encodes a tensor to the wire form, through JSON,
+// back to a tensor, and out again: every hop must be lossless, including
+// float32 values that need shortest-round-trip formatting.
+func TestTensorRoundTrip(t *testing.T) {
+	src := tensor.New(2, 3, 4, 5)
+	tensor.FillRandom(src, 42, 1)
+	src.Data()[0] = 0.0010925309 // a value whose decimal form is non-trivial
+	wire := EncodeTensor("data", src)
+	if wire.Datatype != DatatypeFP32 || !tensor.EqualShape(wire.Shape, []int{2, 3, 4, 5}) {
+		t.Fatalf("wire header = %+v", wire)
+	}
+	blob, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed InferTensor
+	if err := json.Unmarshal(blob, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := parsed.DecodeTensor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.EqualShape(dec.Shape(), src.Shape()) {
+		t.Fatalf("decoded shape %v != %v", dec.Shape(), src.Shape())
+	}
+	for i, v := range dec.Data() {
+		if v != src.Data()[i] {
+			t.Fatalf("elem %d: %v != %v after round trip", i, v, src.Data()[i])
+		}
+	}
+	// encode(decode(encode(x))) == encode(x).
+	again := EncodeTensor("data", dec)
+	blob2, err := json.Marshal(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatalf("second encode differs:\n%s\n%s", blob, blob2)
+	}
+}
+
+// TestTensorRoundTripNC4HW4 checks that packed-layout tensors are exported
+// in logical NCHW order, not physical padded order.
+func TestTensorRoundTripNC4HW4(t *testing.T) {
+	packed := tensor.NewWithLayout(tensor.NC4HW4, 1, 3, 2, 2) // 3 channels → one padded
+	want := make([]float32, 0, 12)
+	for c := 0; c < 3; c++ {
+		for h := 0; h < 2; h++ {
+			for w := 0; w < 2; w++ {
+				v := float32(c*10 + h*2 + w)
+				packed.Set(0, c, h, w, v)
+				want = append(want, v)
+			}
+		}
+	}
+	wire := EncodeTensor("x", packed)
+	if len(wire.Data) != 12 {
+		t.Fatalf("wire data has %d elements (padding leaked?)", len(wire.Data))
+	}
+	for i, v := range wire.Data {
+		if v != want[i] {
+			t.Fatalf("elem %d = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestDecodeTensorErrors(t *testing.T) {
+	cases := []struct {
+		label string
+		in    InferTensor
+	}{
+		{"empty name", InferTensor{Datatype: DatatypeFP32, Shape: []int{1}, Data: []float32{1}}},
+		{"bad datatype", InferTensor{Name: "x", Datatype: "INT64", Shape: []int{1}, Data: []float32{1}}},
+		{"no shape", InferTensor{Name: "x", Datatype: DatatypeFP32, Data: []float32{1}}},
+		{"non-positive dim", InferTensor{Name: "x", Datatype: DatatypeFP32, Shape: []int{1, -4}, Data: []float32{1}}},
+		{"short data", InferTensor{Name: "x", Datatype: DatatypeFP32, Shape: []int{2, 2}, Data: []float32{1, 2, 3}}},
+		{"long data", InferTensor{Name: "x", Datatype: DatatypeFP32, Shape: []int{2}, Data: []float32{1, 2, 3}}},
+	}
+	for _, c := range cases {
+		if _, err := c.in.DecodeTensor(); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: err = %v, want ErrBadRequest", c.label, err)
+		}
+	}
+}
+
+func TestDecodeInputsErrors(t *testing.T) {
+	empty := &InferRequest{}
+	if _, err := empty.DecodeInputs(); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("no inputs: %v, want ErrBadRequest", err)
+	}
+	one := InferTensor{Name: "data", Datatype: DatatypeFP32, Shape: []int{1}, Data: []float32{1}}
+	dup := &InferRequest{Inputs: []InferTensor{one, one}}
+	if _, err := dup.DecodeInputs(); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("duplicate input: %v, want ErrBadRequest", err)
+	}
+}
+
+func TestEncodeOutputsSelection(t *testing.T) {
+	outs := map[string]*mnn.Tensor{
+		"a": tensor.FromData([]float32{1}, 1),
+		"b": tensor.FromData([]float32{2}, 1),
+	}
+	req := &InferRequest{ID: "q1", Outputs: []RequestedOutput{{Name: "b"}}}
+	resp, err := req.EncodeOutputs("m", []string{"a", "b"}, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != "q1" || len(resp.Outputs) != 1 || resp.Outputs[0].Name != "b" {
+		t.Fatalf("selection response = %+v", resp)
+	}
+	all, err := (&InferRequest{}).EncodeOutputs("m", []string{"b", "a"}, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Outputs) != 2 || all.Outputs[0].Name != "b" || all.Outputs[1].Name != "a" {
+		t.Fatalf("default response not in declared order: %+v", all.Outputs)
+	}
+	bad := &InferRequest{Outputs: []RequestedOutput{{Name: "nope"}}}
+	if _, err := bad.EncodeOutputs("m", []string{"a", "b"}, outs); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("unknown output: %v, want ErrBadRequest", err)
+	}
+}
+
+func TestErrorResponseBody(t *testing.T) {
+	blob, err := json.Marshal(ErrorResponse{Error: "serve: model not found: \"x\""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ErrorResponse
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Error == "" {
+		t.Fatal("error body lost its message")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled lets the end-to-end test shrink the served input shapes: the
+// race detector multiplies convolution cost ~20×, and the scenario is about
+// serving behaviour, not ImageNet-sized compute.
+const raceEnabled = true

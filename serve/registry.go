@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"mnn"
+)
+
+// BatchConfig tunes the per-model dynamic micro-batcher.
+type BatchConfig struct {
+	// MaxBatch is the largest number of single requests coalesced into one
+	// batched run (and the batch size the second engine is prepared at).
+	// Values <= 1 disable batching: every request runs on the unbatched
+	// engine directly.
+	MaxBatch int
+	// MaxLatency bounds how long the first queued request waits for the
+	// batch to fill before a partial flush (default 2ms when batching is
+	// enabled). Larger values trade tail latency for bigger batches.
+	MaxLatency time.Duration
+}
+
+// DefaultMaxLatency is the batching window used when BatchConfig enables
+// batching without choosing one.
+const DefaultMaxLatency = 2 * time.Millisecond
+
+// ModelConfig describes one model for Registry.Load.
+type ModelConfig struct {
+	// Model is what mnn.Open accepts: a *mnn.Graph, a built-in network name
+	// or model file path, or an io.Reader of the binary format.
+	Model any
+	// Options configure the unbatched engine (pool size, threads, forward
+	// type, prepared input shapes, …). The batched engine, when enabled,
+	// reuses them with only the input shapes overridden to batch size.
+	Options []mnn.Option
+	// Batch enables and tunes dynamic micro-batching.
+	Batch BatchConfig
+}
+
+// Model is one loaded entry of a Registry: the unbatched engine plus an
+// optional micro-batcher in front of a second, batch-prepared engine.
+type Model struct {
+	name    string
+	eng     *mnn.Engine
+	batcher *batcher
+}
+
+// Registry owns named models with hot load/unload. All methods are safe for
+// concurrent use; Infer traffic against other models is never blocked by a
+// Load (engine preparation happens outside the lock).
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]*Model
+	closed bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{models: make(map[string]*Model)}
+}
+
+// Load opens the model's engine(s) and publishes them under name, replacing
+// (and closing) any previous model with the same name — a hot swap: requests
+// already inside the old engine finish, new requests see the new one.
+func (r *Registry) Load(name string, cfg ModelConfig) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty model name", ErrBadRequest)
+	}
+	if rdr, ok := cfg.Model.(io.Reader); ok {
+		// The batcher opens the model a second time; a stream can only be
+		// consumed once, so resolve it to a graph up front.
+		g, err := mnn.LoadGraph(rdr)
+		if err != nil {
+			return fmt.Errorf("serve: load %q: %w", name, err)
+		}
+		cfg.Model = g
+	}
+	eng, err := mnn.Open(cfg.Model, cfg.Options...)
+	if err != nil {
+		return fmt.Errorf("serve: load %q: %w", name, err)
+	}
+	m := &Model{name: name, eng: eng}
+	if cfg.Batch.MaxBatch > 1 {
+		b, err := newBatcher(cfg, eng)
+		if err != nil {
+			eng.Close()
+			return fmt.Errorf("serve: load %q: %w", name, err)
+		}
+		m.batcher = b
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		m.close()
+		return ErrServerClosed
+	}
+	old := r.models[name]
+	r.models[name] = m
+	r.mu.Unlock()
+	if old != nil {
+		old.close()
+	}
+	return nil
+}
+
+// Unload removes and closes a model. In-flight inferences against it finish
+// normally; later requests get ErrModelNotFound.
+func (r *Registry) Unload(name string) error {
+	r.mu.Lock()
+	m, ok := r.models[name]
+	delete(r.models, name)
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrModelNotFound, name)
+	}
+	m.close()
+	return nil
+}
+
+// Get looks up a loaded model.
+func (r *Registry) Get(name string) (*Model, error) {
+	r.mu.RLock()
+	m, ok := r.models[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrModelNotFound, name)
+	}
+	return m, nil
+}
+
+// Names lists the loaded model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.models))
+	for name := range r.models {
+		names = append(names, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Close unloads every model and rejects further Loads.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	models := r.models
+	r.models = make(map[string]*Model)
+	r.closed = true
+	r.mu.Unlock()
+	for _, m := range models {
+		m.close()
+	}
+	return nil
+}
+
+// Name returns the registry name of the model.
+func (m *Model) Name() string { return m.name }
+
+// Engine exposes the unbatched engine (e.g. for direct in-process calls).
+func (m *Model) Engine() *mnn.Engine { return m.eng }
+
+// Batching reports whether the dynamic micro-batcher is active.
+func (m *Model) Batching() bool { return m.batcher != nil }
+
+// Infer runs one logical request. With batching enabled, single-sample
+// requests matching the prepared shape are coalesced into batched runs;
+// everything else falls through to the unbatched engine.
+func (m *Model) Infer(ctx context.Context, inputs map[string]*mnn.Tensor) (map[string]*mnn.Tensor, error) {
+	if m.batcher != nil {
+		return m.batcher.infer(ctx, inputs)
+	}
+	return m.eng.Infer(ctx, inputs)
+}
+
+// Metadata assembles the protocol metadata from the engine's declared
+// inputs and outputs. Output shapes are not reported: they depend on the
+// request and the engine only exposes prepared input shapes.
+func (m *Model) Metadata() ModelMetadata {
+	md := ModelMetadata{Name: m.name, Platform: "mnn-go"}
+	for _, in := range m.eng.InputNames() {
+		md.Inputs = append(md.Inputs, TensorMetadata{
+			Name: in, Datatype: DatatypeFP32, Shape: m.eng.InputShape(in),
+		})
+	}
+	for _, out := range m.eng.OutputNames() {
+		md.Outputs = append(md.Outputs, TensorMetadata{Name: out, Datatype: DatatypeFP32})
+	}
+	return md
+}
+
+// close tears down the batcher (draining its queue) before the engines.
+func (m *Model) close() {
+	if m.batcher != nil {
+		m.batcher.close()
+	}
+	m.eng.Close()
+}

@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"mnn"
+)
+
+// Version is reported in GET /v2 server metadata.
+const Version = "0.1.0"
+
+// MaxBodyBytes caps infer/load request bodies (256 MiB — far above any
+// realistic batch-1 tensor payload) so one client cannot OOM the server.
+const MaxBodyBytes = 256 << 20
+
+// LoadOptions is the JSON form of the engine options a client may set when
+// hot-loading a model through the repository API. The zero value means the
+// engine defaults. It is also what cmd/mnnserve parses its -model flags into.
+type LoadOptions struct {
+	PoolSize    int              `json:"pool_size,omitempty"`
+	Threads     int              `json:"threads,omitempty"`
+	Forward     string           `json:"forward,omitempty"`
+	Device      string           `json:"device,omitempty"`
+	InputShapes map[string][]int `json:"input_shapes,omitempty"`
+}
+
+// EngineOptions converts the wire form into mnn.Open options.
+func (o LoadOptions) EngineOptions() ([]mnn.Option, error) {
+	var opts []mnn.Option
+	if o.PoolSize > 0 {
+		opts = append(opts, mnn.WithPoolSize(o.PoolSize))
+	}
+	if o.Threads > 0 {
+		opts = append(opts, mnn.WithThreads(o.Threads))
+	}
+	if o.Forward != "" {
+		ft, err := mnn.ParseForwardType(o.Forward)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		opts = append(opts, mnn.WithForwardType(ft))
+	}
+	if o.Device != "" {
+		opts = append(opts, mnn.WithDevice(o.Device))
+	}
+	if len(o.InputShapes) > 0 {
+		opts = append(opts, mnn.WithInputShapes(o.InputShapes))
+	}
+	return opts, nil
+}
+
+// LoadRequest is the POST /v2/repository/models/{name}/load request body.
+type LoadRequest struct {
+	// Model is a built-in network name (see mnn.Networks()) or the path of
+	// a serialized .mnng model file on the server.
+	Model   string      `json:"model"`
+	Options LoadOptions `json:"options"`
+	// MaxBatch > 1 enables the dynamic micro-batcher at that batch size.
+	MaxBatch int `json:"max_batch,omitempty"`
+	// MaxLatencyMs is the batching window in milliseconds (default 2).
+	MaxLatencyMs float64 `json:"max_latency_ms,omitempty"`
+}
+
+// ModelConfig converts the wire form into a registry load.
+func (r LoadRequest) ModelConfig() (ModelConfig, error) {
+	if r.Model == "" {
+		return ModelConfig{}, fmt.Errorf("%w: load request missing \"model\"", ErrBadRequest)
+	}
+	opts, err := r.Options.EngineOptions()
+	if err != nil {
+		return ModelConfig{}, err
+	}
+	return ModelConfig{
+		Model:   r.Model,
+		Options: opts,
+		Batch: BatchConfig{
+			MaxBatch:   r.MaxBatch,
+			MaxLatency: time.Duration(r.MaxLatencyMs * float64(time.Millisecond)),
+		},
+	}, nil
+}
+
+// Server is the HTTP front of a Registry. Create with NewServer, start with
+// Serve or ListenAndServe, stop with Shutdown (which drains in-flight
+// requests before closing the registry's engines).
+type Server struct {
+	reg      *Registry
+	http     *http.Server
+	notReady atomic.Bool
+}
+
+// NewServer wraps a registry. The server takes ownership of the registry:
+// Shutdown closes it.
+func NewServer(reg *Registry) *Server {
+	s := &Server{reg: reg}
+	s.http = &http.Server{Handler: s.Handler()}
+	return s
+}
+
+// Handler builds the protocol routing table. It can be mounted into an
+// existing mux; the paths are absolute.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v2", s.handleServerMetadata)
+	mux.HandleFunc("GET /v2/health/live", s.handleLive)
+	mux.HandleFunc("GET /v2/health/ready", s.handleReady)
+	mux.HandleFunc("GET /v2/models", s.handleModelList)
+	mux.HandleFunc("GET /v2/models/{name}", s.handleModelMetadata)
+	mux.HandleFunc("GET /v2/models/{name}/ready", s.handleModelReady)
+	mux.HandleFunc("POST /v2/models/{name}/infer", s.handleInfer)
+	mux.HandleFunc("POST /v2/repository/models/{name}/load", s.handleLoad)
+	mux.HandleFunc("POST /v2/repository/models/{name}/unload", s.handleUnload)
+	mux.HandleFunc("DELETE /v2/repository/models/{name}", s.handleUnload)
+	return mux
+}
+
+// Registry exposes the registry (e.g. to pre-load models before serving).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Serve accepts connections on l until Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	err := s.http.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return ErrServerClosed
+	}
+	return err
+}
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown gracefully stops the server: readiness flips to 503, listeners
+// close, in-flight requests drain (bounded by ctx), and only then are the
+// registry's engines closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.notReady.Store(true)
+	err := s.http.Shutdown(ctx)
+	if cerr := s.reg.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (s *Server) handleServerMetadata(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ServerMetadata{
+		Name:       "mnnserve",
+		Version:    Version,
+		Extensions: []string{"model_repository"},
+	})
+}
+
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"live": true})
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.notReady.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+}
+
+func (s *Server) handleModelList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ModelList{Models: s.reg.Names()})
+}
+
+func (s *Server) handleModelMetadata(w http.ResponseWriter, r *http.Request) {
+	m, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, m.Metadata())
+}
+
+func (s *Server) handleModelReady(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.reg.Get(r.PathValue("name")); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	m, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req InferRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("%w: decoding infer request: %v", ErrBadRequest, err))
+		return
+	}
+	inputs, err := req.DecodeInputs()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	outputs, err := m.Infer(r.Context(), inputs)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := req.EncodeOutputs(m.Name(), m.Engine().OutputNames(), outputs)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req LoadRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("%w: decoding load request: %v", ErrBadRequest, err))
+		return
+	}
+	cfg, err := req.ModelConfig()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.reg.Load(r.PathValue("name"), cfg); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"name": r.PathValue("name"), "state": "loaded"})
+}
+
+func (s *Server) handleUnload(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Unload(r.PathValue("name")); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"name": r.PathValue("name"), "state": "unloaded"})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps typed errors onto protocol status codes with a JSON body.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrModelNotFound), errors.Is(err, mnn.ErrUnknownNetwork):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrBadRequest), errors.Is(err, mnn.ErrInputShape),
+		errors.Is(err, mnn.ErrUnknownDevice), errors.Is(err, mnn.ErrUnknownBackend):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrServerClosed), errors.Is(err, mnn.ErrEngineClosed):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, mnn.ErrCancelled):
+		// The client usually went away; 499-style, but stay standard.
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
