@@ -1,0 +1,62 @@
+package mnn_test
+
+// Regression tests for the zero-allocation steady state: after pre-inference
+// has planned every activation AND every kernel workspace into the arena and
+// the persistent worker pool is up, an Engine.InferInto call must not touch
+// the allocator at all, and neither must any prepared conv kernel's Run.
+// A regression here silently reintroduces GC pressure under serving load.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"mnn"
+	"mnn/internal/tensor"
+)
+
+// inferAllocs measures allocations per steady-state InferInto on a built-in
+// network.
+func inferAllocs(t *testing.T, network string, threads int) float64 {
+	t.Helper()
+	eng, err := mnn.Open(network, mnn.WithThreads(threads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	inputs := map[string]*mnn.Tensor{}
+	for _, name := range eng.InputNames() {
+		in := mnn.NewTensor(eng.InputShape(name)...)
+		tensor.FillRandom(in, 1, 1)
+		inputs[name] = in
+	}
+	out, err := eng.Infer(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Reuse the first Infer's outputs as the destination buffers.
+	if err := eng.InferInto(ctx, inputs, out); err != nil {
+		t.Fatal(err)
+	}
+	return testing.AllocsPerRun(3, func() {
+		if err := eng.InferInto(ctx, inputs, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestInferIntoZeroAllocSteadyState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-network inference in -short mode")
+	}
+	for _, network := range []string{"mobilenet-v1", "squeezenet-v1.1"} {
+		for _, threads := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/t%d", network, threads), func(t *testing.T) {
+				if allocs := inferAllocs(t, network, threads); allocs != 0 {
+					t.Errorf("steady-state InferInto allocated %.1f objects/op, want 0", allocs)
+				}
+			})
+		}
+	}
+}

@@ -7,6 +7,7 @@ package mnn_test
 // data as paper-shaped tables.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -272,4 +273,44 @@ func fillInput(b *testing.B, sess *mnn.Session, name string) {
 	tmp := tensor.New(in.Shape()...)
 	tensor.FillRandom(tmp, 1, 1)
 	in.CopyFrom(tmp)
+}
+
+// --- Engine.Infer steady state (PR 3's throughput headline) ---------------
+
+// BenchmarkEngineInfer measures the concurrent-facade hot path end to end:
+// checkout → input copy → pure-compute run on the persistent worker pool →
+// output copy. InferInto reuses caller buffers and must report 0 allocs/op;
+// Infer adds only the caller-owned output copies.
+func BenchmarkEngineInfer(b *testing.B) {
+	for _, threads := range []int{1, 4} {
+		eng, err := mnn.Open("mobilenet-v1", mnn.WithThreads(threads))
+		if err != nil {
+			b.Fatal(err)
+		}
+		in := tensor.New(1, 3, 224, 224)
+		tensor.FillRandom(in, 1, 1)
+		inputs := map[string]*mnn.Tensor{"data": in}
+		ctx := context.Background()
+		outputs, err := eng.Infer(ctx, inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("Infer/t%d", threads), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Infer(ctx, inputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("InferInto/t%d", threads), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := eng.InferInto(ctx, inputs, outputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		eng.Close()
+	}
 }

@@ -18,6 +18,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registered on the default mux, served only via -pprof
 	"os"
 	"os/signal"
 	"strconv"
@@ -35,6 +37,7 @@ type modelSpec struct {
 
 func main() {
 	addr := flag.String("addr", ":8500", "listen address")
+	pprofAddr := flag.String("pprof", "", "optional net/http/pprof listen address (e.g. localhost:6060); keep it off public interfaces")
 	maxBatch := flag.Int("max-batch", 0, "default micro-batch size for models that don't set maxbatch= (0 disables batching)")
 	maxLatency := flag.Duration("max-latency", serve.DefaultMaxLatency, "default micro-batch window for models that don't set maxlatency=")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "grace period for draining in-flight requests on SIGINT/SIGTERM")
@@ -75,6 +78,17 @@ func main() {
 		}
 		fmt.Printf("mnnserve: loaded %q (pre-inference %.0f ms, batching %s)\n",
 			s.name, float64(time.Since(t0).Milliseconds()), batching)
+	}
+
+	if *pprofAddr != "" {
+		// Worker-pool scheduling, GC behaviour and goroutine counts under
+		// load are all visible here (/debug/pprof/); see README "Profiling".
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "mnnserve: pprof:", err)
+			}
+		}()
+		fmt.Printf("mnnserve: pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
 	srv := serve.NewServer(reg)

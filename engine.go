@@ -15,6 +15,7 @@ import (
 	"mnn/internal/gpusim"
 	"mnn/internal/graph"
 	"mnn/internal/models"
+	"mnn/internal/sched"
 	"mnn/internal/session"
 	"mnn/internal/simclock"
 	"mnn/internal/tensor"
@@ -65,6 +66,9 @@ func Open(model any, opts ...Option) (*Engine, error) {
 		if err := o(&cfg); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.threads == 0 {
+		cfg.threads = DefaultThreads()
 	}
 	if cfg.noPrep {
 		// The ablation path re-prepares inside every run and mutates session
@@ -145,8 +149,12 @@ func newBackends(cfg engineConfig, clock *simclock.Clock) ([]backend.Backend, er
 			return nil, fmt.Errorf("%w: %q (see mnn.Devices())", ErrUnknownDevice, cfg.deviceName)
 		}
 	}
+	// Each session owns one persistent worker pool; every kernel of every
+	// operator dispatches onto it, so steady-state inference spawns no
+	// goroutines. Session.Close (via Engine.Close) releases the workers.
 	backends := []backend.Backend{
-		cpu.New(cpu.Config{Threads: cfg.threads, Device: dev, Clock: clock}),
+		cpu.New(cpu.Config{Threads: cfg.threads, Device: dev, Clock: clock,
+			Pool: sched.New(cfg.threads)}),
 	}
 	addGPU := func(kind backend.Kind, api device.GPUAPI) error {
 		if !dev.HasAPI(api) {
@@ -238,6 +246,40 @@ func (e *Engine) Infer(ctx context.Context, inputs map[string]*Tensor) (map[stri
 	return e.copyOutputs(s), nil
 }
 
+// InferInto is Infer writing results into caller-provided output tensors
+// instead of allocating fresh copies: outputs must map every declared graph
+// output to a tensor of the produced shape (any layout). Together with the
+// planner-backed workspaces and the persistent worker pool this makes
+// steady-state inference fully allocation-free — the serving tier reuses
+// response buffers across requests instead of feeding the GC.
+func (e *Engine) InferInto(ctx context.Context, inputs, outputs map[string]*Tensor) error {
+	s, err := e.checkout(ctx)
+	if err != nil {
+		return err
+	}
+	defer e.checkin(s)
+	if err := e.fillInputs(s, inputs); err != nil {
+		return err
+	}
+	for _, name := range e.outputNames {
+		dst := outputs[name]
+		if dst == nil {
+			return fmt.Errorf("%w: missing output tensor %q (model outputs: %v)", ErrInputShape, name, e.outputNames)
+		}
+		if !tensor.EqualShape(dst.Shape(), s.Output(name).Shape()) {
+			return fmt.Errorf("%w: output %q has shape %v, engine produces %v",
+				ErrInputShape, name, dst.Shape(), s.Output(name).Shape())
+		}
+	}
+	if err := s.Run(ctx); err != nil {
+		return wrapCancel(err)
+	}
+	for _, name := range e.outputNames {
+		outputs[name].CopyFrom(s.Output(name))
+	}
+	return nil
+}
+
 // InferProfiled is Infer with a per-operator timing breakdown.
 func (e *Engine) InferProfiled(ctx context.Context, inputs map[string]*Tensor) (map[string]*Tensor, *Profile, error) {
 	s, err := e.checkout(ctx)
@@ -270,8 +312,11 @@ func (e *Engine) checkout(ctx context.Context) (*session.Session, error) {
 	case s := <-e.pool:
 		// The select picks uniformly among ready cases, so a checked-in
 		// session can win against an already-closed quit channel; re-check
-		// so queued callers never start new work after Close.
+		// so queued callers never start new work after Close. The dropped
+		// session must be released here — Close may have drained the pool
+		// already, and parked pool workers are never garbage-collected.
 		if e.closed.Load() {
+			s.Close()
 			return nil, ErrEngineClosed
 		}
 		return s, nil
@@ -282,13 +327,33 @@ func (e *Engine) checkout(ctx context.Context) (*session.Session, error) {
 	}
 }
 
-// checkin returns a session to the pool, or drops it once the engine is
+// checkin returns a session to the pool, or releases it once the engine is
 // closed so the pool drains for good.
 func (e *Engine) checkin(s *session.Session) {
 	if e.closed.Load() {
+		s.Close()
 		return
 	}
 	e.pool <- s
+	// Close may have set closed and drained the pool between the check and
+	// the send, which would park this session (and its worker goroutines)
+	// forever; re-check and re-drain. Both sides draining is fine —
+	// session.Close is idempotent.
+	if e.closed.Load() {
+		e.drainPool()
+	}
+}
+
+// drainPool releases every idle session currently parked in the pool.
+func (e *Engine) drainPool() {
+	for {
+		select {
+		case s := <-e.pool:
+			s.Close()
+		default:
+			return
+		}
+	}
 }
 
 // fillInputs validates the request against the prepared shapes and copies
@@ -344,15 +409,10 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	close(e.quit)
-	// Release idle sessions so their arenas can be collected; sessions still
-	// checked out drain back into the (buffered) channel and die with it.
-	for {
-		select {
-		case <-e.pool:
-		default:
-			return nil
-		}
-	}
+	// Release idle sessions — their worker pools shut down and their arenas
+	// can be collected; sessions still checked out are released by checkin.
+	e.drainPool()
+	return nil
 }
 
 // Graph exposes the underlying graph (e.g. for inspection or export).
@@ -360,6 +420,10 @@ func (e *Engine) Graph() *Graph { return e.g }
 
 // PoolSize reports how many prepared sessions the engine holds.
 func (e *Engine) PoolSize() int { return e.cfg.poolSize }
+
+// Threads reports the resolved CPU worker count per pooled session (the
+// WithThreads value, or DefaultThreads() when left at auto).
+func (e *Engine) Threads() int { return e.cfg.threads }
 
 // InputNames lists the declared graph inputs.
 func (e *Engine) InputNames() []string { return append([]string(nil), e.inputNames...) }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -69,8 +70,8 @@ func TestEngineOpenVariants(t *testing.T) {
 }
 
 func TestEngineOptionValidation(t *testing.T) {
-	if _, err := mnn.Open(tinyModel(t), mnn.WithThreads(0)); err == nil {
-		t.Error("WithThreads(0) must fail")
+	if _, err := mnn.Open(tinyModel(t), mnn.WithThreads(-1)); err == nil {
+		t.Error("WithThreads(-1) must fail")
 	}
 	if _, err := mnn.Open(tinyModel(t), mnn.WithPoolSize(0)); err == nil {
 		t.Error("WithPoolSize(0) must fail")
@@ -391,5 +392,30 @@ func TestParseForwardType(t *testing.T) {
 	}
 	if _, err := mnn.ParseForwardType("cuda"); !errors.Is(err, mnn.ErrUnknownBackend) {
 		t.Error("ParseForwardType(cuda) must fail with ErrUnknownBackend")
+	}
+}
+
+func TestDefaultThreadsResolution(t *testing.T) {
+	want := runtime.GOMAXPROCS(0)
+	if want > 4 {
+		want = 4
+	}
+	if got := mnn.DefaultThreads(); got != want {
+		t.Fatalf("DefaultThreads() = %d, want min(GOMAXPROCS, 4) = %d", got, want)
+	}
+	// No WithThreads → auto.
+	eng := openTiny(t)
+	if got := eng.Threads(); got != want {
+		t.Errorf("default engine threads = %d, want %d", got, want)
+	}
+	// WithThreads(0) → auto, not an error and not 1.
+	eng0 := openTiny(t, mnn.WithThreads(0))
+	if got := eng0.Threads(); got != want {
+		t.Errorf("WithThreads(0) threads = %d, want %d", got, want)
+	}
+	// Explicit counts are preserved.
+	eng2 := openTiny(t, mnn.WithThreads(2))
+	if got := eng2.Threads(); got != 2 {
+		t.Errorf("WithThreads(2) threads = %d, want 2", got)
 	}
 }

@@ -113,6 +113,25 @@ type Backend interface {
 	ScheduleOverheadMs() float64
 }
 
+// WorkspaceSizer is implemented by backends whose kernels need transient
+// scratch (GEMM workspaces, Strassen temporaries, Winograd tile buffers,
+// layout-staging copies). During the pre-inference walk the session asks
+// for each node's requirement and plans it into the reuse arena with a
+// single-step lifetime, so OnCreate can bind planner-backed slices and the
+// hot path never calls the allocator (the paper's Figure 3 extended from
+// activations to all transients).
+type WorkspaceSizer interface {
+	// NodeWorkspaceFloats returns the float32 count of scratch the backend
+	// will want for this node, given the inferred input/output shapes.
+	// Zero means no workspace.
+	NodeWorkspaceFloats(n *graph.Node, inputShapes, outputShapes [][]int) int
+}
+
+// WorkspaceKey names a node's planned workspace buffer inside its backend's
+// arena ("ws@" + node name; node names never collide with it because
+// tensor buffers are keyed by output-tensor name).
+func WorkspaceKey(node string) string { return "ws@" + node }
+
 // BufferTracker implements the acquire/release/allocate protocol on top of
 // the memory planner; concrete backends embed it.
 type BufferTracker struct {
@@ -189,6 +208,20 @@ func (bt *BufferTracker) OnClearBuffer() {
 	bt.arena = nil
 	bt.plan = nil
 	bt.lastStep = 0
+}
+
+// PlannedBuffer returns the backing slice of a planned or static buffer,
+// or nil when the name was never planned (e.g. a backend used outside a
+// session's pre-inference walk). Unlike Buffer it never panics, so
+// OnCreate can fall back to a private allocation.
+func (bt *BufferTracker) PlannedBuffer(name string) []float32 {
+	if s, ok := bt.statics[name]; ok {
+		return s
+	}
+	if bt.arena != nil && bt.arena.Has(name) {
+		return bt.arena.Buffer(name)
+	}
+	return nil
 }
 
 // Buffer returns a planned or static buffer.

@@ -75,14 +75,14 @@ func AblationLayout(opt Options) error {
 	src4 := src.ToLayout(tensor.NC4HW4)
 	dst4 := tensor.NewWithLayout(tensor.NC4HW4, 1, 64, size, size)
 	sc := kernels.PrepareSliding(weight, bias, a)
-	sc.Run(dst4, src4, 1)
-	packed := medianOf(reps, func() { sc.Run(dst4, src4, 1) })
+	sc.Run(dst4, src4, nil)
+	packed := medianOf(reps, func() { sc.Run(dst4, src4, nil) })
 
 	im := kernels.PrepareIm2col(weight, bias, a)
 	dst := tensor.New(1, 64, size, size)
 	ws := make([]float32, im.WorkspaceSize(size, size))
-	im.Run(dst, src, 1, ws)
-	unpacked := medianOf(reps, func() { im.Run(dst, src, 1, ws) })
+	im.Run(dst, src, nil, ws)
+	unpacked := medianOf(reps, func() { im.Run(dst, src, nil, ws) })
 
 	opt.printf("Ablation — NC4HW4 packed sliding vs NCHW im2col (64ch 3×3 @ %d×%d, host)\n", size, size)
 	opt.printf("NC4HW4 sliding: %8.2f ms\n", ms(packed))
@@ -183,8 +183,8 @@ func AblationTile(opt Options) error {
 				return err
 			}
 			ws := make([]float32, wc.WorkspaceSize())
-			wc.Run(dst, src, 1, ws)
-			d := medianOf(reps, func() { wc.Run(dst, src, 1, ws) })
+			wc.Run(dst, src, nil, ws)
+			d := medianOf(reps, func() { wc.Run(dst, src, nil, ws) })
 			opt.printf(" %8.1f", ms(d))
 		}
 		dec := core.SelectConvScheme(a, src.Shape())

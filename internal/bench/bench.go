@@ -41,13 +41,16 @@ func (o Options) record(experiment, kase string, nsPerOp, throughputQPS float64)
 }
 
 // Result is one machine-readable measurement row. Latency-style experiments
-// fill NsPerOp; throughput-style experiments fill ThroughputQPS; some fill
-// both. Zero means not applicable.
+// fill NsPerOp; throughput-style experiments fill ThroughputQPS; the allocs
+// experiment fills AllocsPerOp (where 0 is meaningful, AllocsMeasured is
+// set). Zero means not applicable.
 type Result struct {
-	Experiment    string  `json:"experiment"`
-	Case          string  `json:"case"`
-	NsPerOp       float64 `json:"ns_per_op,omitempty"`
-	ThroughputQPS float64 `json:"throughput_qps,omitempty"`
+	Experiment     string  `json:"experiment"`
+	Case           string  `json:"case"`
+	NsPerOp        float64 `json:"ns_per_op,omitempty"`
+	ThroughputQPS  float64 `json:"throughput_qps,omitempty"`
+	AllocsPerOp    float64 `json:"allocs_per_op,omitempty"`
+	AllocsMeasured bool    `json:"allocs_measured,omitempty"`
 }
 
 // Recorder accumulates Results across experiments. Safe for concurrent use.
@@ -63,6 +66,17 @@ func (r *Recorder) Record(experiment, kase string, nsPerOp, throughputQPS float6
 	r.results = append(r.results, Result{
 		Experiment: experiment, Case: kase,
 		NsPerOp: nsPerOp, ThroughputQPS: throughputQPS,
+	})
+}
+
+// RecordAllocs appends one allocation-measurement row (with optional
+// latency), marking zero allocations as a real measurement.
+func (r *Recorder) RecordAllocs(experiment, kase string, allocsPerOp, nsPerOp float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.results = append(r.results, Result{
+		Experiment: experiment, Case: kase,
+		NsPerOp: nsPerOp, AllocsPerOp: allocsPerOp, AllocsMeasured: true,
 	})
 }
 
@@ -108,7 +122,7 @@ var Experiments = []string{
 	"table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
 	"figure7", "figure8", "figure9",
 	"ablation-strassen", "ablation-layout", "ablation-memory", "ablation-tile",
-	"throughput", "serving",
+	"throughput", "serving", "allocs",
 }
 
 // Run dispatches one experiment by name.
@@ -148,6 +162,8 @@ func Run(name string, opt Options) error {
 		return Throughput(opt)
 	case "serving":
 		return Serving(opt)
+	case "allocs":
+		return Allocs(opt)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (have %v)", name, Experiments)
 	}

@@ -155,7 +155,7 @@ func Figure8(opt Options) error {
 
 // Figure9Nets pairs the networks of Figure 9 with the paper's numbers.
 var Figure9Nets = []struct {
-	Name              string
+	Name               string
 	PaperMNN, PaperTVM float64
 }{
 	{"mobilenet-v1", 22.9, 33.4},

@@ -16,6 +16,7 @@ import (
 	"mnn/internal/loadgen"
 	"mnn/internal/matmul"
 	"mnn/internal/models"
+	"mnn/internal/sched"
 	"mnn/internal/session"
 	"mnn/internal/simclock"
 	"mnn/internal/tensor"
@@ -55,11 +56,13 @@ func Table1Measure(c Table1Case, scheme string, threads, reps int) (time.Duratio
 	}
 	dst := tensor.NewWithLayout(tensor.NC4HW4, 1, c.OC, oh, ow)
 
+	pool := sched.New(threads)
+	defer pool.Close()
 	var run func()
 	switch scheme {
 	case "sliding":
 		sc := kernels.PrepareSliding(weight, bias, a)
-		run = func() { sc.Run(dst, src, threads) }
+		run = func() { sc.Run(dst, src, pool) }
 	case "wino2", "wino6":
 		tile := 2
 		if scheme == "wino6" {
@@ -70,7 +73,7 @@ func Table1Measure(c Table1Case, scheme string, threads, reps int) (time.Duratio
 			return 0, err
 		}
 		ws := make([]float32, wc.WorkspaceSize()*threads)
-		run = func() { wc.Run(dst, src, threads, ws) }
+		run = func() { wc.Run(dst, src, pool, ws) }
 	case "ours":
 		dec := core.SelectConvScheme(a, src.Shape())
 		switch dec.Scheme {
@@ -80,10 +83,10 @@ func Table1Measure(c Table1Case, scheme string, threads, reps int) (time.Duratio
 				return 0, err
 			}
 			ws := make([]float32, wc.WorkspaceSize()*threads)
-			run = func() { wc.Run(dst, src, threads, ws) }
+			run = func() { wc.Run(dst, src, pool, ws) }
 		default:
 			sc := kernels.PrepareSliding(weight, bias, a)
-			run = func() { sc.Run(dst, src, threads) }
+			run = func() { sc.Run(dst, src, pool) }
 		}
 	default:
 		return 0, fmt.Errorf("bench: unknown scheme %q", scheme)

@@ -12,6 +12,7 @@ import (
 	"mnn/internal/core"
 	"mnn/internal/device"
 	"mnn/internal/graph"
+	"mnn/internal/sched"
 	"mnn/internal/simclock"
 	"mnn/internal/tensor"
 )
@@ -37,12 +38,17 @@ type Config struct {
 	ForceScheme func(n *graph.Node, dec core.ConvDecision) core.ConvDecision
 	// DisableStrassen falls back to direct GEMM inside 1×1 convolutions.
 	DisableStrassen bool
+	// Pool is the persistent worker pool kernels dispatch onto. Nil makes
+	// the backend create (and own) one sized to Threads; either way Close
+	// releases it.
+	Pool *sched.Pool
 }
 
 // Backend is the CPU implementation of the Figure 5 interface.
 type Backend struct {
 	*backend.BufferTracker
-	cfg Config
+	cfg  Config
+	pool *sched.Pool
 }
 
 // New creates a CPU backend.
@@ -53,8 +59,22 @@ func New(cfg Config) *Backend {
 	if cfg.Device == nil {
 		cfg.Device = device.Host
 	}
-	return &Backend{BufferTracker: backend.NewBufferTracker(), cfg: cfg}
+	pool := cfg.Pool
+	if pool == nil {
+		pool = sched.New(cfg.Threads)
+	}
+	return &Backend{BufferTracker: backend.NewBufferTracker(), cfg: cfg, pool: pool}
 }
+
+// Close releases the worker pool. Safe to call more than once; the backend
+// keeps working afterwards with inline (single-lane) execution.
+func (b *Backend) Close() error {
+	b.pool.Close()
+	return nil
+}
+
+// Pool exposes the worker pool kernels dispatch onto.
+func (b *Backend) Pool() *sched.Pool { return b.pool }
 
 // Kind implements backend.Backend.
 func (b *Backend) Kind() backend.Kind { return backend.KindCPU }

@@ -10,17 +10,124 @@ import (
 	"mnn/internal/tensor"
 )
 
-// execFunc adapts a closure to backend.Execution.
+// execFunc adapts a closure to backend.Execution. The closures are built
+// once during pre-inference and capture only prepared state, so invoking
+// them is allocation-free.
 type execFunc func() error
 
 func (f execFunc) Run() error { return f() }
 
+// workspace returns the planner-provided scratch slab for a node, falling
+// back to a private allocation when the backend is used outside a session's
+// pre-inference walk (unit tests, gpusim's internal compute backend).
+func (b *Backend) workspace(node string, need int) []float32 {
+	if need == 0 {
+		return nil
+	}
+	if buf := b.PlannedBuffer(backend.WorkspaceKey(node)); len(buf) >= need {
+		return buf[:need]
+	}
+	return make([]float32, need)
+}
+
+// NodeWorkspaceFloats implements backend.WorkspaceSizer: the transient
+// float32 requirement of each operator, declared during the pre-inference
+// walk so the Figure 3 planner lays workspaces into the reuse arena
+// alongside activations. Every formula mirrors what OnCreate binds; sizing
+// uses the pool's lane count (the single source of truth kernels dispatch
+// over), which may differ from cfg.Threads when a pool was injected.
+func (b *Backend) NodeWorkspaceFloats(n *graph.Node, inputShapes, outputShapes [][]int) int {
+	lanes := b.pool.Lanes()
+	var in0, out0 []int
+	if len(inputShapes) > 0 {
+		in0 = inputShapes[0]
+	}
+	if len(outputShapes) > 0 {
+		out0 = outputShapes[0]
+	}
+	switch n.Op {
+	case graph.OpConv2D:
+		if len(in0) != 4 || len(out0) != 4 {
+			return 0
+		}
+		a := n.Attrs.(*graph.Conv2DAttrs)
+		dec := core.SelectConvScheme(a, in0)
+		if b.cfg.ForceScheme != nil {
+			dec = b.cfg.ForceScheme(n, dec)
+		}
+		ic, oc := in0[1], out0[1]
+		N, OH, OW := out0[0], out0[2], out0[3]
+		switch dec.Scheme {
+		case core.SchemeWinograd:
+			return kernels.WinogradWorkspaceFloats(a, dec.TileH, dec.TileW, ic, oc, lanes)
+		case core.SchemeStrassen1x1:
+			return kernels.Conv1x1WorkspaceFloats(ic, oc, N, OH, OW, lanes)
+		case core.SchemeIm2col:
+			// im2col computes in NCHW: the patch/product matrices plus the
+			// two layout-staging copies.
+			return kernels.Im2colWorkspaceFloats(a, ic, oc, OH, OW) +
+				tensor.NumElements(in0) + tensor.NumElements(out0)
+		default:
+			return 0
+		}
+
+	case graph.OpDeconv2D:
+		// Reference deconv stages through NCHW temporaries.
+		return tensor.NumElements(in0) + tensor.NumElements(out0)
+
+	case graph.OpInnerProduct:
+		// NC4HW4 inputs are unpacked into a flat [batch, features] matrix.
+		if len(in0) == 4 {
+			return tensor.NumElements(in0)
+		}
+		return 0
+
+	case graph.OpSoftmax:
+		// NC4HW4 inputs stage through NCHW in/out temporaries.
+		if len(in0) == 4 {
+			return tensor.NumElements(in0) + tensor.NumElements(out0)
+		}
+		return 0
+
+	case graph.OpFlatten, graph.OpReshape, graph.OpDropout:
+		// A packed source that changes shape is unpacked through an NCHW
+		// staging buffer.
+		if len(in0) == 4 && !tensor.EqualShape(in0, out0) {
+			return tensor.NumElements(in0)
+		}
+		return 0
+
+	case graph.OpConcat:
+		a := n.Attrs.(*graph.ConcatAttrs)
+		if a.Axis == 1 && len(out0) == 4 {
+			return 0 // channel concat runs in place on NC4HW4
+		}
+		total := tensor.NumElements(out0)
+		for _, s := range inputShapes {
+			total += tensor.NumElements(s)
+		}
+		return total
+	}
+	return 0
+}
+
+// carveTensor wraps the next PhysicalLen floats of buf as a tensor and
+// returns the remainder. Falls back to a fresh tensor when buf is short.
+func carveTensor(buf []float32, layout tensor.Layout, shape []int) (*tensor.Tensor, []float32) {
+	need := tensor.PhysicalLen(layout, shape)
+	if len(buf) < need {
+		return tensor.NewWithLayout(layout, shape...), buf
+	}
+	return tensor.WrapBuffer(buf[:need], layout, shape...), buf[need:]
+}
+
 // OnCreate implements backend.Backend: it binds tensors, runs scheme
-// selection (for convolutions), transforms/packs weights, pre-allocates
-// workspaces and returns a pure-compute Execution. This is the
-// "preparation" half of the paper's preparation–execution decoupling.
+// selection (for convolutions), transforms/packs weights, and binds
+// planner-provided workspaces, returning a pure-compute Execution. This is
+// the "preparation" half of the paper's preparation–execution decoupling;
+// the executions it returns are allocation-free in steady state.
 func (b *Backend) OnCreate(n *graph.Node, inputs, outputs []*tensor.Tensor, weights backend.WeightSource) (backend.Execution, error) {
-	threads := b.cfg.Threads
+	pool := b.pool
 	switch n.Op {
 	case graph.OpInput:
 		return execFunc(func() error { return nil }), nil
@@ -34,9 +141,10 @@ func (b *Backend) OnCreate(n *graph.Node, inputs, outputs []*tensor.Tensor, weig
 	case graph.OpPool:
 		a := n.Attrs.(*graph.PoolAttrs)
 		in, out := inputs[0], outputs[0]
+		op := kernels.NewPoolOp(out, in, a)
 		muls := int64(out.NumElements()) / 2
 		return execFunc(func() error {
-			kernels.PoolNC4(out, in, a, threads)
+			op.Run(pool)
 			b.charge("Pool", muls, n, "pool")
 			return nil
 		}), nil
@@ -49,10 +157,11 @@ func (b *Backend) OnCreate(n *graph.Node, inputs, outputs []*tensor.Tensor, weig
 			graph.OpTanh:    kernels.ActTanh,
 		}[n.Op]
 		in, out := inputs[0], outputs[0]
+		op := kernels.NewActivationOp(out, in, kind)
 		muls := int64(out.NumElements()) / 4
 		label := n.Op.String()
 		return execFunc(func() error {
-			kernels.Activation(out, in, kind, threads)
+			op.Run(pool)
 			b.charge(label, muls, n, "activation")
 			return nil
 		}), nil
@@ -70,9 +179,10 @@ func (b *Backend) OnCreate(n *graph.Node, inputs, outputs []*tensor.Tensor, weig
 		// Figure 2).
 		scale, shift := kernels.FoldBatchNorm(gamma.Data(), beta.Data(), mean.Data(), variance.Data(), a.Eps)
 		in, out := inputs[0], outputs[0]
+		op := kernels.NewScaleOp(out, in, scale, shift)
 		muls := int64(out.NumElements())
 		return execFunc(func() error {
-			kernels.ScaleNC4(out, in, scale, shift, threads)
+			op.Run(pool)
 			b.charge("BatchNorm", muls, n, "scale")
 			return nil
 		}), nil
@@ -85,9 +195,10 @@ func (b *Backend) OnCreate(n *graph.Node, inputs, outputs []*tensor.Tensor, weig
 			shift = weights(n.WeightNames[1]).Data()
 		}
 		in, out := inputs[0], outputs[0]
+		op := kernels.NewScaleOp(out, in, scale, shift)
 		muls := int64(out.NumElements())
 		return execFunc(func() error {
-			kernels.ScaleNC4(out, in, scale, shift, threads)
+			op.Run(pool)
 			b.charge("Scale", muls, n, "scale")
 			return nil
 		}), nil
@@ -95,10 +206,10 @@ func (b *Backend) OnCreate(n *graph.Node, inputs, outputs []*tensor.Tensor, weig
 	case graph.OpEltwise:
 		a := n.Attrs.(*graph.EltwiseAttrs)
 		out := outputs[0]
-		ins := append([]*tensor.Tensor(nil), inputs...)
+		op := kernels.NewEltwiseOp(out, inputs, a)
 		muls := int64(out.NumElements()) / 4
 		return execFunc(func() error {
-			kernels.Eltwise(out, ins, a, threads)
+			op.Run(pool)
 			b.charge("Eltwise", muls, n, "eltwise")
 			return nil
 		}), nil
@@ -115,12 +226,18 @@ func (b *Backend) OnCreate(n *graph.Node, inputs, outputs []*tensor.Tensor, weig
 				return nil
 			}), nil
 		}
-		// Generic axis: stage through NCHW temporaries (pre-allocated).
+		// Generic axis: stage through NCHW temporaries from the planned
+		// workspace.
+		wsNeed := out.NumElements()
+		for _, in := range ins {
+			wsNeed += in.NumElements()
+		}
+		buf := b.workspace(n.Name, wsNeed)
 		tmpIns := make([]*tensor.Tensor, len(ins))
 		for i, in := range ins {
-			tmpIns[i] = tensor.New(in.Shape()...)
+			tmpIns[i], buf = carveTensor(buf, tensor.NCHW, in.Shape())
 		}
-		tmpOut := tensor.New(out.Shape()...)
+		tmpOut, _ := carveTensor(buf, tensor.NCHW, out.Shape())
 		return execFunc(func() error {
 			for i, in := range ins {
 				tmpIns[i].CopyFrom(in)
@@ -148,20 +265,25 @@ func (b *Backend) OnCreate(n *graph.Node, inputs, outputs []*tensor.Tensor, weig
 			w2 = weight.Reshape(a.OutputCount, features)
 		}
 		ip := kernels.PrepareInnerProduct(w2, bias, a)
-		flat := tensor.New(batch, features)
 		muls := int64(batch) * int64(features) * int64(a.OutputCount)
-		needsConvert := in.Layout() == tensor.NC4HW4
-		return execFunc(func() error {
-			src := in
-			if needsConvert {
-				// Unpack via logical copy into the flat NCHW buffer.
-				flat4 := flat.Reshape(in.Shape()...)
+		if in.Layout() == tensor.NC4HW4 {
+			// Unpack via logical copy into a planner-backed flat buffer;
+			// flat4 is the rank-4 view the copy goes through.
+			flat, _ := carveTensor(b.workspace(n.Name, batch*features), tensor.NCHW, []int{batch, features})
+			flat4 := flat.Reshape(in.Shape()...)
+			return execFunc(func() error {
 				flat4.CopyFrom(in)
-				src = flat
-			} else if in.Rank() != 2 {
-				src = in.Reshape(batch, features)
-			}
-			ip.Run(out, src, threads)
+				ip.Run(out, flat, pool)
+				b.charge("InnerProduct", muls, n, "gemm")
+				return nil
+			}), nil
+		}
+		src := in
+		if in.Rank() != 2 {
+			src = in.Reshape(batch, features)
+		}
+		return execFunc(func() error {
+			ip.Run(out, src, pool)
 			b.charge("InnerProduct", muls, n, "gemm")
 			return nil
 		}), nil
@@ -177,8 +299,9 @@ func (b *Backend) OnCreate(n *graph.Node, inputs, outputs []*tensor.Tensor, weig
 				return nil
 			}), nil
 		}
-		tmpIn := tensor.New(in.Shape()...)
-		tmpOut := tensor.New(out.Shape()...)
+		buf := b.workspace(n.Name, in.NumElements()+out.NumElements())
+		tmpIn, buf := carveTensor(buf, tensor.NCHW, in.Shape())
+		tmpOut, _ := carveTensor(buf, tensor.NCHW, out.Shape())
 		return execFunc(func() error {
 			tmpIn.CopyFrom(in)
 			kernels.SoftmaxRef(tmpOut, tmpIn, a.Axis)
@@ -191,8 +314,9 @@ func (b *Backend) OnCreate(n *graph.Node, inputs, outputs []*tensor.Tensor, weig
 		in, out := inputs[0], outputs[0]
 		muls := int64(out.NumElements()) / 8
 		label := n.Op.String()
+		run := b.createReinterpret(n, out, in)
 		return execFunc(func() error {
-			copyReinterpret(out, in)
+			run()
 			b.charge(label, muls, n, "copy")
 			return nil
 		}), nil
@@ -200,9 +324,10 @@ func (b *Backend) OnCreate(n *graph.Node, inputs, outputs []*tensor.Tensor, weig
 	case graph.OpPadding:
 		a := n.Attrs.(*graph.PaddingAttrs)
 		in, out := inputs[0], outputs[0]
+		op := kernels.NewPadOp(out, in, a)
 		muls := int64(out.NumElements()) / 8
 		return execFunc(func() error {
-			kernels.PaddingNC4(out, in, a, threads)
+			op.Run(pool)
 			b.charge("Padding", muls, n, "copy")
 			return nil
 		}), nil
@@ -210,27 +335,29 @@ func (b *Backend) OnCreate(n *graph.Node, inputs, outputs []*tensor.Tensor, weig
 	return nil, fmt.Errorf("cpu: unsupported op %v", n.Op)
 }
 
-// copyReinterpret copies src into dst when shapes differ only by
-// reinterpretation (Flatten/Reshape). Data order is NCHW-logical.
-func copyReinterpret(dst, src *tensor.Tensor) {
+// createReinterpret prepares the copy for shapes that differ only by
+// reinterpretation (Flatten/Reshape/Dropout). All views and staging buffers
+// are bound here so the returned closure is allocation-free.
+func (b *Backend) createReinterpret(n *graph.Node, dst, src *tensor.Tensor) func() {
 	if tensor.EqualShape(dst.Shape(), src.Shape()) {
-		dst.CopyFrom(src)
-		return
+		return func() { dst.CopyFrom(src) }
 	}
-	// Unpack src logically, then copy flat.
-	flatSrc := src
 	if src.Layout() == tensor.NC4HW4 {
-		flatSrc = src.ToLayout(tensor.NCHW)
+		// Unpack through a planner-backed NCHW staging buffer, then copy
+		// flat via the pre-built reshaped view.
+		staging, _ := carveTensor(b.workspace(n.Name, src.NumElements()), tensor.NCHW, src.Shape())
+		view := staging.Reshape(dst.Shape()...)
+		return func() {
+			staging.CopyFrom(src)
+			dst.CopyFrom(view)
+		}
 	}
-	if dst.Layout() == tensor.NC4HW4 {
-		dst.CopyFrom(flatSrc.Reshape(dst.Shape()...))
-		return
-	}
-	copy(dst.Data(), flatSrc.Data())
+	view := src.Reshape(dst.Shape()...)
+	return func() { dst.CopyFrom(view) }
 }
 
 // createConv runs scheme selection (Equations 2–3) and prepares the chosen
-// kernel.
+// kernel with its planner-backed workspace.
 func (b *Backend) createConv(n *graph.Node, in, out *tensor.Tensor, weights backend.WeightSource) (backend.Execution, error) {
 	a := n.Attrs.(*graph.Conv2DAttrs)
 	weight := weights(n.WeightNames[0])
@@ -242,7 +369,8 @@ func (b *Backend) createConv(n *graph.Node, in, out *tensor.Tensor, weights back
 	if b.cfg.ForceScheme != nil {
 		dec = b.cfg.ForceScheme(n, dec)
 	}
-	threads := b.cfg.Threads
+	pool := b.pool
+	lanes := pool.Lanes()
 
 	switch dec.Scheme {
 	case core.SchemeWinograd:
@@ -250,10 +378,10 @@ func (b *Backend) createConv(n *graph.Node, in, out *tensor.Tensor, weights back
 		if err != nil {
 			return nil, fmt.Errorf("cpu: conv %q: %w", n.Name, err)
 		}
-		ws := make([]float32, wc.WorkspaceSize()*threads)
+		ws := b.workspace(n.Name, wc.WorkspaceSize()*lanes)
 		scheme := dec.Scheme.String()
 		return execFunc(func() error {
-			wc.Run(out, in, threads, ws)
+			wc.Run(out, in, pool, ws)
 			b.charge("Conv2D", dec.EffMULs, n, scheme)
 			return nil
 		}), nil
@@ -263,10 +391,11 @@ func (b *Backend) createConv(n *graph.Node, in, out *tensor.Tensor, weights back
 		if b.cfg.DisableStrassen {
 			c.Strassen = false
 		}
-		ws := make([]float32, c.WorkspaceSize(in.Batch(), in.Height(), in.Width()))
+		ws := b.workspace(n.Name, kernels.Conv1x1WorkspaceFloats(
+			in.Channels(), out.Channels(), out.Batch(), out.Height(), out.Width(), lanes))
 		scheme := dec.Scheme.String()
 		return execFunc(func() error {
-			c.Run(out, in, threads, ws)
+			c.Run(out, in, pool, ws)
 			b.charge("Conv2D", dec.EffMULs, n, scheme)
 			return nil
 		}), nil
@@ -275,21 +404,28 @@ func (b *Backend) createConv(n *graph.Node, in, out *tensor.Tensor, weights back
 		dc := kernels.PrepareDepthwise(weight, bias, a)
 		scheme := dec.Scheme.String()
 		return execFunc(func() error {
-			dc.Run(out, in, threads)
+			dc.Run(out, in, pool)
 			b.charge("Conv2D", dec.EffMULs, n, scheme)
 			return nil
 		}), nil
 
 	case core.SchemeIm2col:
 		c := kernels.PrepareIm2col(weight, bias, a)
-		ws := make([]float32, c.WorkspaceSize(in.Height(), in.Width()))
-		// im2col computes in NCHW; stage through pre-allocated temps.
-		tmpIn := tensor.New(in.Shape()...)
-		tmpOut := tensor.New(out.Shape()...)
+		gemmWS := kernels.Im2colWorkspaceFloats(a, in.Channels(), out.Channels(), out.Height(), out.Width())
+		buf := b.workspace(n.Name, gemmWS+in.NumElements()+out.NumElements())
+		var ws []float32
+		if len(buf) >= gemmWS {
+			ws, buf = buf[:gemmWS], buf[gemmWS:]
+		} else {
+			ws = make([]float32, gemmWS)
+		}
+		// im2col computes in NCHW; stage through planner-backed temps.
+		tmpIn, buf := carveTensor(buf, tensor.NCHW, in.Shape())
+		tmpOut, _ := carveTensor(buf, tensor.NCHW, out.Shape())
 		scheme := dec.Scheme.String()
 		return execFunc(func() error {
 			tmpIn.CopyFrom(in)
-			c.Run(tmpOut, tmpIn, threads, ws)
+			c.Run(tmpOut, tmpIn, pool, ws)
 			out.CopyFrom(tmpOut)
 			b.charge("Conv2D", dec.EffMULs, n, scheme)
 			return nil
@@ -299,7 +435,7 @@ func (b *Backend) createConv(n *graph.Node, in, out *tensor.Tensor, weights back
 		sc := kernels.PrepareSliding(weight, bias, a)
 		scheme := dec.Scheme.String()
 		return execFunc(func() error {
-			sc.Run(out, in, threads)
+			sc.Run(out, in, pool)
 			b.charge("Conv2D", dec.EffMULs, n, scheme)
 			return nil
 		}), nil
@@ -313,8 +449,9 @@ func (b *Backend) createDeconv(n *graph.Node, in, out *tensor.Tensor, weights ba
 	if len(n.WeightNames) > 1 {
 		bias = weights(n.WeightNames[1])
 	}
-	tmpIn := tensor.New(in.Shape()...)
-	tmpOut := tensor.New(out.Shape()...)
+	buf := b.workspace(n.Name, in.NumElements()+out.NumElements())
+	tmpIn, buf := carveTensor(buf, tensor.NCHW, in.Shape())
+	tmpOut, _ := carveTensor(buf, tensor.NCHW, out.Shape())
 	muls := int64(in.NumElements()) * int64(a.OutputCount) * int64(a.KernelH) * int64(a.KernelW)
 	return execFunc(func() error {
 		tmpIn.CopyFrom(in)

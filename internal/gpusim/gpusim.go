@@ -131,6 +131,9 @@ func New(cfg Config) (*Backend, error) {
 	}, nil
 }
 
+// Close releases the internal compute backend's worker pool.
+func (b *Backend) Close() error { return b.compute.Close() }
+
 // Kind implements backend.Backend.
 func (b *Backend) Kind() backend.Kind { return b.cfg.Kind }
 

@@ -28,9 +28,10 @@ func BenchmarkConvSliding3x3(b *testing.B) {
 			src, w, bias, a := benchConvSetup(64, 64, 56, 3)
 			sc := PrepareSliding(w, bias, a)
 			dst := tensor.NewWithLayout(tensor.NC4HW4, 1, 64, 56, 56)
+			pool := testPool(b, threads)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				sc.Run(dst, src, threads)
+				sc.Run(dst, src, pool)
 			}
 		})
 	}
@@ -47,9 +48,10 @@ func BenchmarkConvWinograd3x3(b *testing.B) {
 				}
 				ws := make([]float32, wc.WorkspaceSize()*threads)
 				dst := tensor.NewWithLayout(tensor.NC4HW4, 1, 64, 56, 56)
+				pool := testPool(b, threads)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					wc.Run(dst, src, threads, ws)
+					wc.Run(dst, src, pool, ws)
 				}
 			})
 		}
@@ -61,11 +63,12 @@ func BenchmarkConv1x1Strassen(b *testing.B) {
 		b.Run(fmt.Sprintf("t%d", threads), func(b *testing.B) {
 			src, w, bias, a := benchConvSetup(256, 256, 28, 1)
 			c := PrepareConv1x1(w, bias, a)
-			ws := make([]float32, c.WorkspaceSize(1, 28, 28))
+			ws := make([]float32, c.WorkspaceSize(1, 28, 28, threads))
 			dst := tensor.NewWithLayout(tensor.NC4HW4, 1, 256, 28, 28)
+			pool := testPool(b, threads)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				c.Run(dst, src, threads, ws)
+				c.Run(dst, src, pool, ws)
 			}
 		})
 	}
@@ -79,9 +82,10 @@ func BenchmarkConvDepthwise3x3(b *testing.B) {
 	w := tensor.NewRandom(2, 0.2, 256, 1, 3, 3)
 	dc := PrepareDepthwise(w, nil, a)
 	dst := tensor.NewWithLayout(tensor.NC4HW4, 1, 256, 28, 28)
+	pool := testPool(b, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		dc.Run(dst, src, 4)
+		dc.Run(dst, src, pool)
 	}
 }
 
@@ -93,9 +97,10 @@ func BenchmarkConvIm2col3x3(b *testing.B) {
 	c := PrepareIm2col(w, nil, a)
 	ws := make([]float32, c.WorkspaceSize(56, 56))
 	dst := tensor.New(1, 64, 56, 56)
+	pool := testPool(b, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.Run(dst, src, 4, ws)
+		c.Run(dst, src, pool, ws)
 	}
 }
 
@@ -111,9 +116,10 @@ func BenchmarkConvAsymmetric1x7Winograd(b *testing.B) {
 	}
 	ws := make([]float32, wc.WorkspaceSize()*4)
 	dst := tensor.NewWithLayout(tensor.NC4HW4, 1, 128, 17, 17)
+	pool := testPool(b, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		wc.Run(dst, src, 4, ws)
+		wc.Run(dst, src, pool, ws)
 	}
 }
 
@@ -122,8 +128,10 @@ func BenchmarkPoolGlobal(b *testing.B) {
 	tensor.FillRandom(src, 1, 1)
 	dst := tensor.NewWithLayout(tensor.NC4HW4, 1, 1024, 1, 1)
 	a := &graph.PoolAttrs{Type: graph.AvgPool, Global: true}
+	op := NewPoolOp(dst, src, a)
+	pool := testPool(b, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		PoolNC4(dst, src, a, 4)
+		op.Run(pool)
 	}
 }

@@ -3,6 +3,7 @@ package kernels
 import (
 	"mnn/internal/graph"
 	"mnn/internal/matmul"
+	"mnn/internal/sched"
 	"mnn/internal/tensor"
 )
 
@@ -10,14 +11,35 @@ import (
 // one large matrix multiplication accelerated with Strassen's algorithm
 // (paper Sections 3.2 and 3.3.2). The pixel matrix is laid out [pixels, ic]
 // so each thread multiplies a contiguous row block, and the weight is stored
-// transposed as [ic, oc].
+// transposed as [ic, oc] — both raw (Strassen right operand) and packed into
+// 64-byte panels (direct-GEMM fast path).
 type Conv1x1 struct {
 	attrs    graph.Conv2DAttrs
 	ic, oc   int
-	wT       []float32 // [ic][oc]
+	wT       []float32       // [ic][oc]
+	packed   *matmul.PackedB // wT in 64-byte panels for the non-recursing path
 	bias     []float32
-	Strassen bool // use MulStrassen for the pixel GEMM (MNN's choice)
+	Strassen bool // use Strassen recursion for large pixel GEMMs (MNN's choice)
+
+	rs      conv1x1Run
+	unpackT conv1x1Unpack
+	gemmT   conv1x1Gemm
+	packT   conv1x1Pack
 }
+
+type conv1x1Run struct {
+	s, d             []float32
+	H, W, OH, OW     int
+	sh, sw, ic4, oc4 int
+	px, ohw, base    int
+	in, out          []float32 // workspace views: [px,ic] and [px,oc]
+	scratch          []float32 // per-worker Strassen temporaries
+	scratchPer       int
+}
+
+type conv1x1Unpack struct{ c *Conv1x1 }
+type conv1x1Gemm struct{ c *Conv1x1 }
+type conv1x1Pack struct{ c *Conv1x1 }
 
 // PrepareConv1x1 packs weights for the 1×1 kernel. weight is [oc, ic, 1, 1].
 func PrepareConv1x1(weight, bias *tensor.Tensor, a *graph.Conv2DAttrs) *Conv1x1 {
@@ -30,97 +52,159 @@ func PrepareConv1x1(weight, bias *tensor.Tensor, a *graph.Conv2DAttrs) *Conv1x1 
 			c.wT[i*oc+o] = w[o*ic+i]
 		}
 	}
+	c.packed = matmul.PackB(c.wT, ic, oc)
 	c.bias = make([]float32, oc)
 	if bias != nil {
 		copy(c.bias, bias.Data())
 	}
+	c.unpackT.c, c.gemmT.c, c.packT.c = c, c, c
 	return c
 }
 
+// gemmChunk is the deterministic row-block size of the per-sample pixel
+// GEMM: one equal chunk per lane, exactly the static split the Strassen
+// recursion shape has always been keyed off. It must not depend on which
+// worker runs a chunk, so batched and unbatched runs stay bitwise equal.
+func gemmChunk(ohw, lanes int) int { return sched.Chunk(ohw, lanes, 1) }
+
 // WorkspaceSize returns the per-run scratch requirement in float32s for a
-// given source size: the unpacked [pixels, ic] matrix plus the [pixels, oc]
-// product.
-func (c *Conv1x1) WorkspaceSize(n, h, w int) int {
+// given source size and lane count: the unpacked [pixels, ic] matrix, the
+// [pixels, oc] product, and one Strassen temporary slab per lane sized for
+// the largest per-sample GEMM row block.
+func (c *Conv1x1) WorkspaceSize(n, h, w, lanes int) int {
 	oh := tensor.UpDiv(h, strideOr1(c.attrs.StrideH))
 	ow := tensor.UpDiv(w, strideOr1(c.attrs.StrideW))
-	px := n * oh * ow
-	return px * (c.ic + c.oc)
+	return Conv1x1WorkspaceFloats(c.ic, c.oc, n, oh, ow, lanes)
 }
 
-// Run executes the convolution. src and dst must be NC4HW4. workspace may be
-// nil or at least WorkspaceSize floats.
-func (c *Conv1x1) Run(dst, src *tensor.Tensor, threads int, workspace []float32) {
+// Run executes the convolution on the pool. src and dst must be NC4HW4.
+// workspace may be nil or at least WorkspaceSize(n, h, w, p.Lanes()) floats;
+// with a planner-provided workspace, steady-state calls are allocation-free.
+func (c *Conv1x1) Run(dst, src *tensor.Tensor, p *sched.Pool, workspace []float32) {
 	a := &c.attrs
 	N, H, W := src.Batch(), src.Height(), src.Width()
 	OH, OW := dst.Height(), dst.Width()
-	sh, sw := strideOr1(a.StrideH), strideOr1(a.StrideW)
-	ic4 := tensor.UpDiv(c.ic, 4)
-	oc4 := tensor.UpDiv(c.oc, 4)
+	lanes := p.Lanes()
 	px := N * OH * OW
-	if workspace == nil {
-		workspace = make([]float32, px*(c.ic+c.oc))
+	ohw := OH * OW
+	per := matmul.StrassenScratch(gemmChunk(ohw, lanes), c.ic, c.oc)
+	need := px*(c.ic+c.oc) + lanes*per // == Conv1x1WorkspaceFloats(...)
+	if len(workspace) < need {
+		workspace = make([]float32, need)
 	}
-	in := workspace[:px*c.ic]
-	out := workspace[px*c.ic : px*(c.ic+c.oc)]
-	s := src.Data()
-	d := dst.Data()
+	c.rs = conv1x1Run{
+		s: src.Data(), d: dst.Data(),
+		H: H, W: W, OH: OH, OW: OW,
+		sh: strideOr1(a.StrideH), sw: strideOr1(a.StrideW),
+		ic4: tensor.UpDiv(c.ic, 4), oc4: tensor.UpDiv(c.oc, 4),
+		px: px, ohw: ohw,
+		in:         workspace[:px*c.ic],
+		out:        workspace[px*c.ic : px*(c.ic+c.oc)],
+		scratch:    workspace[px*(c.ic+c.oc) : need],
+		scratchPer: per,
+	}
 
 	// Unpack NC4HW4 → [pixels, ic] rows (applying stride).
-	ParallelFor(threads, px, func(start, end int) {
-		for p := start; p < end; p++ {
-			n := p / (OH * OW)
-			rem := p % (OH * OW)
-			iy := (rem / OW) * sh
-			ix := (rem % OW) * sw
-			row := in[p*c.ic : (p+1)*c.ic]
-			for cz := 0; cz < ic4; cz++ {
-				so := (((n*ic4+cz)*H+iy)*W + ix) * 4
-				lim := c.ic - cz*4
-				if lim > 4 {
-					lim = 4
-				}
-				for l := 0; l < lim; l++ {
-					row[cz*4+l] = s[so+l]
-				}
-			}
-		}
-	})
+	p.Run(px, sched.Chunk(px, lanes, elemChunksPerLane), &c.unpackT)
 
 	// GEMM: per sample, [OH*OW, ic] × [ic, oc] → [OH*OW, oc], row blocks per
-	// thread. The Strassen recursion shape depends on the row count, so the
+	// lane. The Strassen recursion shape depends on the row count, so the
 	// GEMM must not span batch elements: keeping it per-sample makes a
 	// batch-N run bitwise identical to N single runs, which the serving
 	// micro-batcher relies on to split stacked outputs back per request.
-	ohw := OH * OW
 	for n := 0; n < N; n++ {
-		base := n * ohw
-		ParallelFor(threads, ohw, func(start, end int) {
-			rows := end - start
-			s0, e0 := base+start, base+end
-			if c.Strassen {
-				matmul.MulStrassen(out[s0*c.oc:e0*c.oc], in[s0*c.ic:e0*c.ic], c.wT, rows, c.ic, c.oc)
-			} else {
-				matmul.Mul(out[s0*c.oc:e0*c.oc], in[s0*c.ic:e0*c.ic], c.wT, rows, c.ic, c.oc)
-			}
-		})
+		c.rs.base = n * ohw
+		p.Run(ohw, gemmChunk(ohw, lanes), &c.gemmT)
 	}
 
 	// Repack [pixels, oc] → NC4HW4 with bias + activation.
-	ParallelFor(threads, px, func(start, end int) {
-		for p := start; p < end; p++ {
-			n := p / (OH * OW)
-			rem := p % (OH * OW)
-			row := out[p*c.oc : (p+1)*c.oc]
-			for o := 0; o < c.oc; o++ {
+	p.Run(px, sched.Chunk(px, lanes, elemChunksPerLane), &c.packT)
+}
+
+func (t *conv1x1Unpack) RunChunk(_, start, end int) {
+	c := t.c
+	r := &c.rs
+	s := r.s
+	// Pixel coordinates advance incrementally — no per-pixel div/mod.
+	n := start / r.ohw
+	rem := start % r.ohw
+	py := rem / r.OW
+	px := rem % r.OW
+	hw := r.H * r.W
+	for p := start; p < end; p++ {
+		row := r.in[p*c.ic : (p+1)*c.ic]
+		srcBase := n*r.ic4*hw + py*r.sh*r.W + px*r.sw
+		for cz := 0; cz < r.ic4; cz++ {
+			so := (srcBase + cz*hw) * 4
+			lim := c.ic - cz*4
+			if lim > 4 {
+				lim = 4
+			}
+			for l := 0; l < lim; l++ {
+				row[cz*4+l] = s[so+l]
+			}
+		}
+		px++
+		if px == r.OW {
+			px = 0
+			py++
+			if py == r.OH {
+				py = 0
+				n++
+			}
+		}
+	}
+}
+
+func (t *conv1x1Gemm) RunChunk(worker, start, end int) {
+	c := t.c
+	r := &c.rs
+	rows := end - start
+	s0 := r.base + start
+	a := r.in[s0*c.ic : (s0+rows)*c.ic]
+	d := r.out[s0*c.oc : (s0+rows)*c.oc]
+	if c.Strassen && matmul.ShouldRecurse(rows, c.ic, c.oc) {
+		scratch := r.scratch[worker*r.scratchPer : (worker+1)*r.scratchPer]
+		matmul.MulStrassenScratch(d, a, c.wT, rows, c.ic, c.oc, scratch)
+	} else {
+		// Non-recursing shapes take the packed-panel kernel, which is
+		// bitwise-identical to the direct GEMM the recursion bottoms out in.
+		c.packed.MulInto(d, a, rows)
+	}
+}
+
+func (t *conv1x1Pack) RunChunk(_, start, end int) {
+	c := t.c
+	r := &c.rs
+	a := &c.attrs
+	d := r.d
+	n := start / r.ohw
+	rem := start % r.ohw
+	for p := start; p < end; p++ {
+		row := r.out[p*c.oc : (p+1)*c.oc]
+		base := (n*r.oc4*r.ohw + rem) * 4
+		o := 0
+		for oz := 0; oz < r.oc4; oz++ {
+			lim := c.oc - oz*4
+			if lim > 4 {
+				lim = 4
+			}
+			do := base + oz*r.ohw*4
+			for ol := 0; ol < lim; ol++ {
 				v := row[o] + c.bias[o]
 				if a.ReLU6 {
 					v = relu6(v)
 				} else if a.ReLU {
 					v = relu(v)
 				}
-				oz, ol := o/4, o%4
-				d[(((n*oc4+oz)*OH*OW)+rem)*4+ol] = v
+				d[do+ol] = v
+				o++
 			}
 		}
-	})
+		rem++
+		if rem == r.ohw {
+			rem = 0
+			n++
+		}
+	}
 }

@@ -2,6 +2,7 @@ package kernels
 
 import (
 	"mnn/internal/graph"
+	"mnn/internal/sched"
 	"mnn/internal/tensor"
 )
 
@@ -14,6 +15,16 @@ type DepthwiseConv struct {
 	c      int
 	packed []float32 // [c4][kh][kw][4]
 	bias   []float32 // length c4*4
+
+	rs depthwiseRun
+}
+
+type depthwiseRun struct {
+	s, d                   []float32
+	H, W, OH, OW, c4       int
+	kh, kw, sh, sw, dh, dw int
+	ph, pw                 int
+	relu, relu6            bool
 }
 
 // PrepareDepthwise packs weights for the depthwise kernel.
@@ -41,39 +52,79 @@ func PrepareDepthwise(weight, bias *tensor.Tensor, a *graph.Conv2DAttrs) *Depthw
 	return dc
 }
 
-// Run executes the depthwise convolution. src and dst must be NC4HW4.
-func (dc *DepthwiseConv) Run(dst, src *tensor.Tensor, threads int) {
+// Run executes the depthwise convolution on the pool. src and dst must be
+// NC4HW4. Steady-state calls are allocation-free.
+func (dc *DepthwiseConv) Run(dst, src *tensor.Tensor, p *sched.Pool) {
 	a := &dc.attrs
 	N, H, W := src.Batch(), src.Height(), src.Width()
-	OH, OW := dst.Height(), dst.Width()
-	c4 := tensor.UpDiv(dc.c, 4)
-	kh, kw := a.KernelH, a.KernelW
-	sh, sw := strideOr1(a.StrideH), strideOr1(a.StrideW)
-	dh, dw := dilOr1(a.DilationH), dilOr1(a.DilationW)
 	ph, pw := graph.ConvPadding(H, W, a)
-	s := src.Data()
-	d := dst.Data()
+	dc.rs = depthwiseRun{
+		s: src.Data(), d: dst.Data(),
+		H: H, W: W, OH: dst.Height(), OW: dst.Width(),
+		c4: tensor.UpDiv(dc.c, 4),
+		kh: a.KernelH, kw: a.KernelW,
+		sh: strideOr1(a.StrideH), sw: strideOr1(a.StrideW),
+		dh: dilOr1(a.DilationH), dw: dilOr1(a.DilationW),
+		ph: ph, pw: pw, relu: a.ReLU, relu6: a.ReLU6,
+	}
+	total := N * dc.rs.c4
+	p.Run(total, sched.Chunk(total, p.Lanes(), elemChunksPerLane), dc)
+}
 
-	ParallelFor(threads, N*c4, func(start, end int) {
-		for item := start; item < end; item++ {
-			n, cz := item/c4, item%c4
-			b0, b1, b2, b3 := dc.bias[cz*4], dc.bias[cz*4+1], dc.bias[cz*4+2], dc.bias[cz*4+3]
-			srcCZ := ((n*c4 + cz) * H) * W * 4
-			dstCZ := ((n*c4 + cz) * OH) * OW * 4
-			wCZ := cz * kh * kw * 4
-			for oy := 0; oy < OH; oy++ {
-				for ox := 0; ox < OW; ox++ {
-					acc0, acc1, acc2, acc3 := b0, b1, b2, b3
-					for ky := 0; ky < kh; ky++ {
-						iy := oy*sh - ph + ky*dh
-						if iy < 0 || iy >= H {
+// RunChunk implements sched.Task: one (batch, channel-block) per item.
+// Interior output pixels — where the kernel window cannot cross the image
+// border — take a fast path with no per-tap bounds checks; the tap order
+// (and thus the accumulation order) is identical to the generic path, so
+// results are bitwise equal.
+func (dc *DepthwiseConv) RunChunk(_, start, end int) {
+	r := &dc.rs
+	s, d := r.s, r.d
+	// Interior ox range: ox·sw−pw ≥ 0 and ox·sw−pw+(kw−1)·dw ≤ W−1.
+	oxLo := (r.pw + r.sw - 1) / r.sw
+	oxHi := -1 // no interior columns unless the window fits at all
+	if num := r.W - 1 - (r.kw-1)*r.dw + r.pw; num >= 0 {
+		oxHi = num / r.sw
+	}
+	if oxHi > r.OW-1 {
+		oxHi = r.OW - 1
+	}
+	for item := start; item < end; item++ {
+		n, cz := item/r.c4, item%r.c4
+		b0, b1, b2, b3 := dc.bias[cz*4], dc.bias[cz*4+1], dc.bias[cz*4+2], dc.bias[cz*4+3]
+		srcCZ := ((n*r.c4 + cz) * r.H) * r.W * 4
+		dstCZ := ((n*r.c4 + cz) * r.OH) * r.OW * 4
+		wCZ := cz * r.kh * r.kw * 4
+		for oy := 0; oy < r.OH; oy++ {
+			iy0 := oy*r.sh - r.ph
+			rowInterior := iy0 >= 0 && iy0+(r.kh-1)*r.dh < r.H
+			for ox := 0; ox < r.OW; ox++ {
+				acc0, acc1, acc2, acc3 := b0, b1, b2, b3
+				if rowInterior && ox >= oxLo && ox <= oxHi {
+					base := srcCZ + iy0*r.W*4 + (ox*r.sw-r.pw)*4
+					wo := wCZ
+					for ky := 0; ky < r.kh; ky++ {
+						so := base + ky*r.dh*r.W*4
+						for kx := 0; kx < r.kw; kx++ {
+							wp := dc.packed[wo : wo+4]
+							acc0 += s[so] * wp[0]
+							acc1 += s[so+1] * wp[1]
+							acc2 += s[so+2] * wp[2]
+							acc3 += s[so+3] * wp[3]
+							so += r.dw * 4
+							wo += 4
+						}
+					}
+				} else {
+					for ky := 0; ky < r.kh; ky++ {
+						iy := iy0 + ky*r.dh
+						if iy < 0 || iy >= r.H {
 							continue
 						}
-						rowOff := srcCZ + iy*W*4
-						wKY := wCZ + ky*kw*4
-						for kx := 0; kx < kw; kx++ {
-							ix := ox*sw - pw + kx*dw
-							if ix < 0 || ix >= W {
+						rowOff := srcCZ + iy*r.W*4
+						wKY := wCZ + ky*r.kw*4
+						for kx := 0; kx < r.kw; kx++ {
+							ix := ox*r.sw - r.pw + kx*r.dw
+							if ix < 0 || ix >= r.W {
 								continue
 							}
 							so := rowOff + ix*4
@@ -84,18 +135,18 @@ func (dc *DepthwiseConv) Run(dst, src *tensor.Tensor, threads int) {
 							acc3 += s[so+3] * dc.packed[wo+3]
 						}
 					}
-					if a.ReLU6 {
-						acc0, acc1, acc2, acc3 = relu6(acc0), relu6(acc1), relu6(acc2), relu6(acc3)
-					} else if a.ReLU {
-						acc0, acc1, acc2, acc3 = relu(acc0), relu(acc1), relu(acc2), relu(acc3)
-					}
-					do := dstCZ + (oy*OW+ox)*4
-					d[do] = acc0
-					d[do+1] = acc1
-					d[do+2] = acc2
-					d[do+3] = acc3
 				}
+				if r.relu6 {
+					acc0, acc1, acc2, acc3 = relu6(acc0), relu6(acc1), relu6(acc2), relu6(acc3)
+				} else if r.relu {
+					acc0, acc1, acc2, acc3 = relu(acc0), relu(acc1), relu(acc2), relu(acc3)
+				}
+				do := dstCZ + (oy*r.OW+ox)*4
+				d[do] = acc0
+				d[do+1] = acc1
+				d[do+2] = acc2
+				d[do+3] = acc3
 			}
 		}
-	})
+	}
 }

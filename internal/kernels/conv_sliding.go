@@ -2,6 +2,7 @@ package kernels
 
 import (
 	"mnn/internal/graph"
+	"mnn/internal/sched"
 	"mnn/internal/tensor"
 )
 
@@ -15,6 +16,20 @@ type SlidingConv struct {
 	ic, oc int
 	packed []float32 // [oc4][ic4][kh][kw][4][4]
 	bias   []float32 // length oc4*4
+
+	// rs is the bound per-run geometry. Prepared kernels are owned by one
+	// session and sessions run exclusively, so a single slot suffices; it
+	// lets RunChunk execute on pool workers without any per-run closure.
+	rs slidingRun
+}
+
+type slidingRun struct {
+	s, d                   []float32
+	H, W, OH, OW           int
+	ic4, oc4               int
+	kh, kw, sh, sw, dh, dw int
+	ph, pw                 int
+	relu, relu6            bool
 }
 
 // PrepareSliding packs weights for the sliding-window kernel.
@@ -48,68 +63,75 @@ func PrepareSliding(weight, bias *tensor.Tensor, a *graph.Conv2DAttrs) *SlidingC
 	return sc
 }
 
-// Run executes the convolution. src and dst must be NC4HW4.
-func (sc *SlidingConv) Run(dst, src *tensor.Tensor, threads int) {
+// Run executes the convolution on the pool. src and dst must be NC4HW4.
+// Steady-state calls are allocation-free.
+func (sc *SlidingConv) Run(dst, src *tensor.Tensor, p *sched.Pool) {
 	a := &sc.attrs
 	N, H, W := src.Batch(), src.Height(), src.Width()
-	OH, OW := dst.Height(), dst.Width()
-	ic4 := tensor.UpDiv(sc.ic, 4)
-	oc4 := tensor.UpDiv(sc.oc, 4)
-	kh, kw := a.KernelH, a.KernelW
-	sh, sw := strideOr1(a.StrideH), strideOr1(a.StrideW)
-	dh, dw := dilOr1(a.DilationH), dilOr1(a.DilationW)
 	ph, pw := graph.ConvPadding(H, W, a)
-	s := src.Data()
-	d := dst.Data()
+	sc.rs = slidingRun{
+		s: src.Data(), d: dst.Data(),
+		H: H, W: W, OH: dst.Height(), OW: dst.Width(),
+		ic4: tensor.UpDiv(sc.ic, 4), oc4: tensor.UpDiv(sc.oc, 4),
+		kh: a.KernelH, kw: a.KernelW,
+		sh: strideOr1(a.StrideH), sw: strideOr1(a.StrideW),
+		dh: dilOr1(a.DilationH), dw: dilOr1(a.DilationW),
+		ph: ph, pw: pw, relu: a.ReLU, relu6: a.ReLU6,
+	}
+	total := N * sc.rs.oc4
+	p.Run(total, sched.Chunk(total, p.Lanes(), elemChunksPerLane), sc)
+}
 
-	// One (batch, output-channel-block) pair per work item.
-	ParallelFor(threads, N*oc4, func(start, end int) {
-		for item := start; item < end; item++ {
-			n, oz := item/oc4, item%oc4
-			bias0, bias1, bias2, bias3 := sc.bias[oz*4], sc.bias[oz*4+1], sc.bias[oz*4+2], sc.bias[oz*4+3]
-			dstBase := ((n*oc4 + oz) * OH) * OW * 4
-			for oy := 0; oy < OH; oy++ {
-				for ox := 0; ox < OW; ox++ {
-					acc0, acc1, acc2, acc3 := bias0, bias1, bias2, bias3
-					for cz := 0; cz < ic4; cz++ {
-						srcCZ := ((n*ic4 + cz) * H) * W * 4
-						wCZ := ((oz*ic4 + cz) * kh) * kw * 16
-						for ky := 0; ky < kh; ky++ {
-							iy := oy*sh - ph + ky*dh
-							if iy < 0 || iy >= H {
+// RunChunk implements sched.Task: one (batch, output-channel-block) pair
+// per work item.
+func (sc *SlidingConv) RunChunk(_, start, end int) {
+	r := &sc.rs
+	s, d := r.s, r.d
+	for item := start; item < end; item++ {
+		n, oz := item/r.oc4, item%r.oc4
+		bias0, bias1, bias2, bias3 := sc.bias[oz*4], sc.bias[oz*4+1], sc.bias[oz*4+2], sc.bias[oz*4+3]
+		dstBase := ((n*r.oc4 + oz) * r.OH) * r.OW * 4
+		for oy := 0; oy < r.OH; oy++ {
+			for ox := 0; ox < r.OW; ox++ {
+				acc0, acc1, acc2, acc3 := bias0, bias1, bias2, bias3
+				for cz := 0; cz < r.ic4; cz++ {
+					srcCZ := ((n*r.ic4 + cz) * r.H) * r.W * 4
+					wCZ := ((oz*r.ic4 + cz) * r.kh) * r.kw * 16
+					for ky := 0; ky < r.kh; ky++ {
+						iy := oy*r.sh - r.ph + ky*r.dh
+						if iy < 0 || iy >= r.H {
+							continue
+						}
+						rowOff := srcCZ + iy*r.W*4
+						wKY := wCZ + ky*r.kw*16
+						for kx := 0; kx < r.kw; kx++ {
+							ix := ox*r.sw - r.pw + kx*r.dw
+							if ix < 0 || ix >= r.W {
 								continue
 							}
-							rowOff := srcCZ + iy*W*4
-							wKY := wCZ + ky*kw*16
-							for kx := 0; kx < kw; kx++ {
-								ix := ox*sw - pw + kx*dw
-								if ix < 0 || ix >= W {
-									continue
-								}
-								so := rowOff + ix*4
-								s0, s1, s2, s3 := s[so], s[so+1], s[so+2], s[so+3]
-								wb := sc.packed[wKY+kx*16 : wKY+kx*16+16]
-								acc0 += s0*wb[0] + s1*wb[4] + s2*wb[8] + s3*wb[12]
-								acc1 += s0*wb[1] + s1*wb[5] + s2*wb[9] + s3*wb[13]
-								acc2 += s0*wb[2] + s1*wb[6] + s2*wb[10] + s3*wb[14]
-								acc3 += s0*wb[3] + s1*wb[7] + s2*wb[11] + s3*wb[15]
-							}
+							so := rowOff + ix*4
+							s0, s1, s2, s3 := s[so], s[so+1], s[so+2], s[so+3]
+							wb := sc.packed[wKY+kx*16 : wKY+kx*16+16]
+							acc0 += s0*wb[0] + s1*wb[4] + s2*wb[8] + s3*wb[12]
+							acc1 += s0*wb[1] + s1*wb[5] + s2*wb[9] + s3*wb[13]
+							acc2 += s0*wb[2] + s1*wb[6] + s2*wb[10] + s3*wb[14]
+							acc3 += s0*wb[3] + s1*wb[7] + s2*wb[11] + s3*wb[15]
 						}
 					}
-					if a.ReLU6 {
-						acc0, acc1, acc2, acc3 = relu6(acc0), relu6(acc1), relu6(acc2), relu6(acc3)
-					} else if a.ReLU {
-						acc0, acc1, acc2, acc3 = relu(acc0), relu(acc1), relu(acc2), relu(acc3)
-					}
-					do := dstBase + (oy*OW+ox)*4
-					d[do] = acc0
-					d[do+1] = acc1
-					d[do+2] = acc2
-					d[do+3] = acc3
 				}
+				if r.relu6 {
+					acc0, acc1, acc2, acc3 = relu6(acc0), relu6(acc1), relu6(acc2), relu6(acc3)
+				} else if r.relu {
+					acc0, acc1, acc2, acc3 = relu(acc0), relu(acc1), relu(acc2), relu(acc3)
+				}
+				do := dstBase + (oy*r.OW+ox)*4
+				d[do] = acc0
+				d[do+1] = acc1
+				d[do+2] = acc2
+				d[do+3] = acc3
 			}
 		}
-	})
+	}
 }
 
 func relu(v float32) float32 {

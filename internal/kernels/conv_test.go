@@ -6,19 +6,28 @@ import (
 	"testing/quick"
 
 	"mnn/internal/graph"
+	"mnn/internal/sched"
 	"mnn/internal/tensor"
 )
 
+// testPool returns a worker pool with n lanes, closed when the test ends.
+func testPool(tb testing.TB, n int) *sched.Pool {
+	tb.Helper()
+	p := sched.New(n)
+	tb.Cleanup(p.Close)
+	return p
+}
+
 // convCase describes one convolution configuration under test.
 type convCase struct {
-	name             string
-	n, ic, h, w, oc  int
-	kh, kw           int
-	sh, sw           int
-	dh, dw           int
-	ph, pw           int
-	group            int
-	relu, relu6      bool
+	name            string
+	n, ic, h, w, oc int
+	kh, kw          int
+	sh, sw          int
+	dh, dw          int
+	ph, pw          int
+	group           int
+	relu, relu6     bool
 }
 
 func (cc convCase) attrs() *graph.Conv2DAttrs {
@@ -72,7 +81,7 @@ func TestSlidingConvMatchesRef(t *testing.T) {
 				sc := PrepareSliding(weight, bias, cc.attrs())
 				src4 := src.ToLayout(tensor.NC4HW4)
 				dst4 := tensor.NewWithLayout(tensor.NC4HW4, want.Shape()...)
-				sc.Run(dst4, src4, threads)
+				sc.Run(dst4, src4, testPool(t, threads))
 				if d := tensor.MaxAbsDiff(want, dst4); d > 1e-3 {
 					t.Fatalf("max diff %g", d)
 				}
@@ -96,7 +105,7 @@ func TestDepthwiseConvMatchesRef(t *testing.T) {
 				dc := PrepareDepthwise(weight, bias, cc.attrs())
 				src4 := src.ToLayout(tensor.NC4HW4)
 				dst4 := tensor.NewWithLayout(tensor.NC4HW4, want.Shape()...)
-				dc.Run(dst4, src4, threads)
+				dc.Run(dst4, src4, testPool(t, threads))
 				if d := tensor.MaxAbsDiff(want, dst4); d > 1e-3 {
 					t.Fatalf("max diff %g", d)
 				}
@@ -133,7 +142,7 @@ func TestWinogradConvMatchesRef(t *testing.T) {
 				}
 				src4 := src.ToLayout(tensor.NC4HW4)
 				dst4 := tensor.NewWithLayout(tensor.NC4HW4, want.Shape()...)
-				wc.Run(dst4, src4, threads, nil)
+				wc.Run(dst4, src4, testPool(t, threads), nil)
 				if d := tensor.MaxAbsDiff(want, dst4); d > 5e-3 {
 					t.Fatalf("max diff %g", d)
 				}
@@ -153,7 +162,7 @@ func TestWinogradSmallTileBlock(t *testing.T) {
 	wc.tileBlock = 4 // 100 tiles → 25 blocks
 	src4 := src.ToLayout(tensor.NC4HW4)
 	dst4 := tensor.NewWithLayout(tensor.NC4HW4, want.Shape()...)
-	wc.Run(dst4, src4, 3, nil)
+	wc.Run(dst4, src4, testPool(t, 3), nil)
 	if d := tensor.MaxAbsDiff(want, dst4); d > 5e-3 {
 		t.Fatalf("max diff %g", d)
 	}
@@ -192,7 +201,7 @@ func TestConv1x1MatchesRef(t *testing.T) {
 				c := PrepareConv1x1(weight, bias, cc.attrs())
 				src4 := src.ToLayout(tensor.NC4HW4)
 				dst4 := tensor.NewWithLayout(tensor.NC4HW4, want.Shape()...)
-				c.Run(dst4, src4, threads, nil)
+				c.Run(dst4, src4, testPool(t, threads), nil)
 				if d := tensor.MaxAbsDiff(want, dst4); d > 5e-3 {
 					t.Fatalf("max diff %g", d)
 				}
@@ -208,11 +217,11 @@ func TestConv1x1DirectVsStrassen(t *testing.T) {
 
 	c := PrepareConv1x1(weight, bias, cc.attrs())
 	dstS := tensor.NewWithLayout(tensor.NC4HW4, 1, 64, 14, 14)
-	c.Run(dstS, src4, 1, nil)
+	c.Run(dstS, src4, nil, nil)
 
 	c.Strassen = false
 	dstD := tensor.NewWithLayout(tensor.NC4HW4, 1, 64, 14, 14)
-	c.Run(dstD, src4, 1, nil)
+	c.Run(dstD, src4, nil, nil)
 
 	if d := tensor.MaxAbsDiff(dstS, dstD); d > 1e-3 {
 		t.Fatalf("strassen vs direct 1x1 differ by %g", d)
@@ -233,7 +242,7 @@ func TestIm2colConvMatchesRef(t *testing.T) {
 				src, weight, bias, want := runRef(t, cc, 31)
 				c := PrepareIm2col(weight, bias, cc.attrs())
 				dst := tensor.New(want.Shape()...)
-				c.Run(dst, src, threads, nil)
+				c.Run(dst, src, testPool(t, threads), nil)
 				if d := tensor.MaxAbsDiff(want, dst); d > 1e-3 {
 					t.Fatalf("max diff %g", d)
 				}
@@ -245,6 +254,7 @@ func TestIm2colConvMatchesRef(t *testing.T) {
 // Property test: the three optimized general-conv implementations agree with
 // the oracle on random configurations.
 func TestConvImplementationsAgreeProperty(t *testing.T) {
+	pool := testPool(t, 2)
 	f := func(seed uint64, icR, ocR, hR, kR uint8) bool {
 		ic := int(icR)%7 + 1
 		oc := int(ocR)%9 + 1
@@ -266,14 +276,14 @@ func TestConvImplementationsAgreeProperty(t *testing.T) {
 
 		sc := PrepareSliding(weight, nil, a)
 		dstS := tensor.NewWithLayout(tensor.NC4HW4, 1, oc, oh, ow)
-		sc.Run(dstS, src4, 2)
+		sc.Run(dstS, src4, pool)
 		if tensor.MaxAbsDiff(want, dstS) > 1e-2 {
 			return false
 		}
 
 		im := PrepareIm2col(weight, nil, a)
 		dstI := tensor.New(1, oc, oh, ow)
-		im.Run(dstI, src, 2, nil)
+		im.Run(dstI, src, pool, nil)
 		if tensor.MaxAbsDiff(want, dstI) > 1e-2 {
 			return false
 		}
@@ -284,7 +294,7 @@ func TestConvImplementationsAgreeProperty(t *testing.T) {
 				return false
 			}
 			dstW := tensor.NewWithLayout(tensor.NC4HW4, 1, oc, oh, ow)
-			wc.Run(dstW, src4, 2, nil)
+			wc.Run(dstW, src4, pool, nil)
 			if tensor.MaxAbsDiff(want, dstW) > 5e-2 {
 				return false
 			}

@@ -5,6 +5,7 @@ import (
 
 	"mnn/internal/graph"
 	"mnn/internal/matmul"
+	"mnn/internal/sched"
 	"mnn/internal/tensor"
 	"mnn/internal/winograd"
 )
@@ -29,13 +30,29 @@ type WinogradConv struct {
 
 	// wT holds transformed weights: [mh*mw][ic][oc] flattened, one ic×oc
 	// matrix per transform position (the right operand of Figure 4's
-	// per-position matmul).
-	wT   []float32
-	bias []float32
+	// per-position matmul); packedW is the same data in 64-byte GEMM
+	// panels, one PackedB per transform position.
+	wT      []float32
+	packedW []*matmul.PackedB
+	bias    []float32
 
 	// tileBlock is U in Figure 4: how many tiles are gathered into one
 	// matmul batch.
 	tileBlock int
+
+	rs winogradRun
+}
+
+type winogradRun struct {
+	s, d          []float32
+	H, W, OH, OW  int
+	ph, pw        int
+	ic4, oc4      int
+	tilesX        int
+	tilesPerImage int
+	totalTiles    int
+	workspace     []float32
+	wsPer         int
 }
 
 // DefaultTileBlock is the default number of Winograd tiles batched into one
@@ -87,8 +104,9 @@ func PrepareWinograd(weight, bias *tensor.Tensor, a *graph.Conv2DAttrs, nh, nw i
 	w := weight.Data()
 	// Transform each output channel's filters in parallel: for wide layers
 	// (512×512) this is millions of small transforms and dominates
-	// pre-inference time otherwise.
-	ParallelFor(4, oc, func(start, end int) {
+	// pre-inference time otherwise. One-shot goroutines are fine here —
+	// this is pre-inference, not the hot path.
+	sched.Spawn(4, oc, func(_, start, end int) {
 		kTile := make([]float32, kh*kw)
 		tTile := make([]float32, mh*mw)
 		scratch := make([]float32, mh*kw)
@@ -103,6 +121,10 @@ func PrepareWinograd(weight, bias *tensor.Tensor, a *graph.Conv2DAttrs, nh, nw i
 			}
 		}
 	})
+	wc.packedW = make([]*matmul.PackedB, mh*mw)
+	for p := 0; p < mh*mw; p++ {
+		wc.packedW[p] = matmul.PackB(wc.wT[p*ic*oc:(p+1)*ic*oc], ic, oc)
+	}
 	wc.bias = make([]float32, tensor.AlignUp(oc, 4))
 	if bias != nil {
 		copy(wc.bias, bias.Data())
@@ -145,8 +167,9 @@ func rectTransform(dst, src, l, r []float32, lm, lk, rk, rm int, scratch []float
 }
 
 // WorkspaceSize returns the float32 count of the scratch workspace one
-// worker needs for the given source spatial size. The pre-inference memory
-// planner allocates this from the arena (Section 3.2 of the paper).
+// worker lane needs for the given source spatial size. The pre-inference
+// memory planner allocates Lanes() of these from the arena (Section 3.2 of
+// the paper).
 func (wc *WinogradConv) WorkspaceSize() int {
 	mm := wc.mh * wc.mw
 	u := wc.tileBlock
@@ -154,128 +177,137 @@ func (wc *WinogradConv) WorkspaceSize() int {
 	return mm*u*wc.ic + mm*u*wc.oc + 2*mm + mm
 }
 
-// Run executes the convolution. src and dst must be NC4HW4.
+// Run executes the convolution on the pool. src and dst must be NC4HW4.
 // workspace may be nil (allocated internally) or a slice of at least
-// WorkspaceSize()*threads floats.
-func (wc *WinogradConv) Run(dst, src *tensor.Tensor, threads int, workspace []float32) {
+// WorkspaceSize()*p.Lanes() floats; with a planner-provided workspace,
+// steady-state calls are allocation-free.
+func (wc *WinogradConv) Run(dst, src *tensor.Tensor, p *sched.Pool, workspace []float32) {
 	a := &wc.attrs
 	N, H, W := src.Batch(), src.Height(), src.Width()
 	OH, OW := dst.Height(), dst.Width()
 	ph, pw := graph.ConvPadding(H, W, a)
-	ic4 := tensor.UpDiv(wc.ic, 4)
-	oc4 := tensor.UpDiv(wc.oc, 4)
-	s := src.Data()
-	d := dst.Data()
+	lanes := p.Lanes()
 
-	nh, nw, mh, mw := wc.nh, wc.nw, wc.mh, wc.mw
-	mm := mh * mw
-	tilesY := tensor.UpDiv(OH, nh)
-	tilesX := tensor.UpDiv(OW, nw)
+	tilesY := tensor.UpDiv(OH, wc.nh)
+	tilesX := tensor.UpDiv(OW, wc.nw)
 	tilesPerImage := tilesY * tilesX
 	totalTiles := N * tilesPerImage
-	u := wc.tileBlock
-	blocks := tensor.UpDiv(totalTiles, u)
+	blocks := tensor.UpDiv(totalTiles, wc.tileBlock)
 
 	wsPer := wc.WorkspaceSize()
-	if workspace == nil {
-		if threads < 1 {
-			threads = 1
-		}
-		workspace = make([]float32, wsPer*threads)
+	if len(workspace) < wsPer*lanes {
+		workspace = make([]float32, wsPer*lanes)
 	}
+	wc.rs = winogradRun{
+		s: src.Data(), d: dst.Data(),
+		H: H, W: W, OH: OH, OW: OW, ph: ph, pw: pw,
+		ic4: tensor.UpDiv(wc.ic, 4), oc4: tensor.UpDiv(wc.oc, 4),
+		tilesX: tilesX, tilesPerImage: tilesPerImage, totalTiles: totalTiles,
+		workspace: workspace, wsPer: wsPer,
+	}
+	// Tile blocks feed the chunked queue; finer-than-static chunks let the
+	// atomic cursor rebalance uneven blocks across lanes.
+	p.Run(blocks, sched.Chunk(blocks, lanes, elemChunksPerLane), wc)
+}
 
-	ParallelForWorker(threads, blocks, func(worker, start, end int) {
-		ws := workspace[worker*wsPer : (worker+1)*wsPer]
-		srcT := ws[:mm*u*wc.ic]
-		dstT := ws[mm*u*wc.ic : mm*u*(wc.ic+wc.oc)]
-		tile := ws[mm*u*(wc.ic+wc.oc) : mm*u*(wc.ic+wc.oc)+mm]
-		tileT := ws[mm*u*(wc.ic+wc.oc)+mm : mm*u*(wc.ic+wc.oc)+2*mm]
-		scratch := ws[mm*u*(wc.ic+wc.oc)+2*mm:]
+// RunChunk implements sched.Task over tile-block indices.
+func (wc *WinogradConv) RunChunk(worker, start, end int) {
+	r := &wc.rs
+	a := &wc.attrs
+	s, d := r.s, r.d
+	nh, nw, mh, mw := wc.nh, wc.nw, wc.mh, wc.mw
+	mm := mh * mw
+	u := wc.tileBlock
 
-		for blk := start; blk < end; blk++ {
-			t0 := blk * u
-			t1 := t0 + u
-			if t1 > totalTiles {
-				t1 = totalTiles
-			}
-			cnt := t1 - t0
+	ws := r.workspace[worker*r.wsPer : (worker+1)*r.wsPer]
+	srcT := ws[:mm*u*wc.ic]
+	dstT := ws[mm*u*wc.ic : mm*u*(wc.ic+wc.oc)]
+	tile := ws[mm*u*(wc.ic+wc.oc) : mm*u*(wc.ic+wc.oc)+mm]
+	tileT := ws[mm*u*(wc.ic+wc.oc)+mm : mm*u*(wc.ic+wc.oc)+2*mm]
+	scratch := ws[mm*u*(wc.ic+wc.oc)+2*mm:]
 
-			// ---- Input transform: fill srcT[p][u][ic].
-			for t := t0; t < t1; t++ {
-				ti := t - t0
-				n := t / tilesPerImage
-				rem := t % tilesPerImage
-				ty, tx := rem/tilesX, rem%tilesX
-				y0 := ty*nh - ph
-				x0 := tx*nw - pw
-				for c := 0; c < wc.ic; c++ {
-					cz, cl := c/4, c%4
-					base := ((n*ic4 + cz) * H) * W * 4
-					// Gather mh×mw patch with zero padding.
-					for yy := 0; yy < mh; yy++ {
-						iy := y0 + yy
-						for xx := 0; xx < mw; xx++ {
-							ix := x0 + xx
-							if iy < 0 || iy >= H || ix < 0 || ix >= W {
-								tile[yy*mw+xx] = 0
-							} else {
-								tile[yy*mw+xx] = s[base+(iy*W+ix)*4+cl]
-							}
+	for blk := start; blk < end; blk++ {
+		t0 := blk * u
+		t1 := t0 + u
+		if t1 > r.totalTiles {
+			t1 = r.totalTiles
+		}
+		cnt := t1 - t0
+
+		// ---- Input transform: fill srcT[p][u][ic].
+		for t := t0; t < t1; t++ {
+			ti := t - t0
+			n := t / r.tilesPerImage
+			rem := t % r.tilesPerImage
+			ty, tx := rem/r.tilesX, rem%r.tilesX
+			y0 := ty*nh - r.ph
+			x0 := tx*nw - r.pw
+			for c := 0; c < wc.ic; c++ {
+				cz, cl := c/4, c%4
+				base := ((n*r.ic4 + cz) * r.H) * r.W * 4
+				// Gather mh×mw patch with zero padding.
+				for yy := 0; yy < mh; yy++ {
+					iy := y0 + yy
+					for xx := 0; xx < mw; xx++ {
+						ix := x0 + xx
+						if iy < 0 || iy >= r.H || ix < 0 || ix >= r.W {
+							tile[yy*mw+xx] = 0
+						} else {
+							tile[yy*mw+xx] = s[base+(iy*r.W+ix)*4+cl]
 						}
 					}
-					// X' = BT_h · X · B_w  (B_w applied as · BT_wᵀ).
-					rectTransform(tileT, tile, wc.matsH.BT, wc.matsW.BT, mh, mh, mw, mw, scratch)
-					for p := 0; p < mm; p++ {
-						srcT[(p*u+ti)*wc.ic+c] = tileT[p]
-					}
+				}
+				// X' = BT_h · X · B_w  (B_w applied as · BT_wᵀ).
+				rectTransform(tileT, tile, wc.matsH.BT, wc.matsW.BT, mh, mh, mw, mw, scratch)
+				for p := 0; p < mm; p++ {
+					srcT[(p*u+ti)*wc.ic+c] = tileT[p]
 				}
 			}
+		}
 
-			// ---- Per-position matmul (Figure 4): Y'[p] = X'[p] · W'[p].
-			for p := 0; p < mm; p++ {
-				matmul.Mul(dstT[p*u*wc.oc:(p*u+cnt)*wc.oc],
-					srcT[p*u*wc.ic:(p*u+cnt)*wc.ic],
-					wc.wT[p*wc.ic*wc.oc:(p+1)*wc.ic*wc.oc],
-					cnt, wc.ic, wc.oc)
-			}
+		// ---- Per-position matmul (Figure 4): Y'[p] = X'[p] · W'[p], on
+		// the pre-packed panels (bitwise-identical to the direct GEMM).
+		for p := 0; p < mm; p++ {
+			wc.packedW[p].MulInto(dstT[p*u*wc.oc:(p*u+cnt)*wc.oc],
+				srcT[p*u*wc.ic:(p*u+cnt)*wc.ic], cnt)
+		}
 
-			// ---- Output transform: Y = AT_h · Y' · A_w, then bias+act+write.
-			for t := t0; t < t1; t++ {
-				ti := t - t0
-				n := t / tilesPerImage
-				rem := t % tilesPerImage
-				ty, tx := rem/tilesX, rem%tilesX
-				oy0 := ty * nh
-				ox0 := tx * nw
-				for o := 0; o < wc.oc; o++ {
-					oz, ol := o/4, o%4
-					for p := 0; p < mm; p++ {
-						tile[p] = dstT[(p*u+ti)*wc.oc+o]
+		// ---- Output transform: Y = AT_h · Y' · A_w, then bias+act+write.
+		for t := t0; t < t1; t++ {
+			ti := t - t0
+			n := t / r.tilesPerImage
+			rem := t % r.tilesPerImage
+			ty, tx := rem/r.tilesX, rem%r.tilesX
+			oy0 := ty * nh
+			ox0 := tx * nw
+			for o := 0; o < wc.oc; o++ {
+				oz, ol := o/4, o%4
+				for p := 0; p < mm; p++ {
+					tile[p] = dstT[(p*u+ti)*wc.oc+o]
+				}
+				rectTransform(tileT, tile, wc.matsH.AT, wc.matsW.AT, nh, mh, mw, nw, scratch)
+				bv := wc.bias[o]
+				base := ((n*r.oc4 + oz) * r.OH) * r.OW * 4
+				for yy := 0; yy < nh; yy++ {
+					oy := oy0 + yy
+					if oy >= r.OH {
+						break
 					}
-					rectTransform(tileT, tile, wc.matsH.AT, wc.matsW.AT, nh, mh, mw, nw, scratch)
-					bv := wc.bias[o]
-					base := ((n*oc4 + oz) * OH) * OW * 4
-					for yy := 0; yy < nh; yy++ {
-						oy := oy0 + yy
-						if oy >= OH {
+					for xx := 0; xx < nw; xx++ {
+						ox := ox0 + xx
+						if ox >= r.OW {
 							break
 						}
-						for xx := 0; xx < nw; xx++ {
-							ox := ox0 + xx
-							if ox >= OW {
-								break
-							}
-							v := tileT[yy*nw+xx] + bv
-							if a.ReLU6 {
-								v = relu6(v)
-							} else if a.ReLU {
-								v = relu(v)
-							}
-							d[base+(oy*OW+ox)*4+ol] = v
+						v := tileT[yy*nw+xx] + bv
+						if a.ReLU6 {
+							v = relu6(v)
+						} else if a.ReLU {
+							v = relu(v)
 						}
+						d[base+(oy*r.OW+ox)*4+ol] = v
 					}
 				}
 			}
 		}
-	})
+	}
 }

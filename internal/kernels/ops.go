@@ -5,91 +5,118 @@ import (
 
 	"mnn/internal/graph"
 	"mnn/internal/matmul"
+	"mnn/internal/sched"
 	"mnn/internal/tensor"
 )
 
-// PoolNC4 executes max/average pooling on NC4HW4 tensors, processing the
-// four packed channels of a block lane-parallel.
-func PoolNC4(dst, src *tensor.Tensor, a *graph.PoolAttrs, threads int) {
-	N, C, H, W := src.Batch(), src.Channels(), src.Height(), src.Width()
-	OH, OW := dst.Height(), dst.Width()
-	c4 := tensor.UpDiv(C, 4)
-	kh, kw := a.KernelH, a.KernelW
-	sh, sw := strideOr1(a.StrideH), strideOr1(a.StrideW)
-	if a.Global {
-		kh, kw, sh, sw = H, W, 1, 1
+// The operators in this file follow one pattern: a New*Op constructor binds
+// tensors and derives geometry once (pre-inference), and Run dispatches the
+// op's RunChunk onto the persistent worker pool — no closures, no per-run
+// allocation. The loose function forms at the bottom keep the seed API for
+// reference kernels and tests; they construct a throwaway op per call.
+
+// PoolOp is the prepared max/average pooling execution on NC4HW4 tensors,
+// processing the four packed channels of a block lane-parallel.
+type PoolOp struct {
+	a              graph.PoolAttrs
+	s, d           []float32
+	H, W, OH, OW   int
+	c4, n          int
+	kh, kw, sh, sw int
+	ph, pw         int
+}
+
+// NewPoolOp binds a pooling execution.
+func NewPoolOp(dst, src *tensor.Tensor, a *graph.PoolAttrs) *PoolOp {
+	o := &PoolOp{
+		a: *a, s: src.Data(), d: dst.Data(),
+		H: src.Height(), W: src.Width(), OH: dst.Height(), OW: dst.Width(),
+		c4: tensor.UpDiv(src.Channels(), 4), n: src.Batch(),
+		kh: a.KernelH, kw: a.KernelW,
+		sh: strideOr1(a.StrideH), sw: strideOr1(a.StrideW),
 	}
-	ph, pw := graph.PoolPadding(H, W, a)
 	if a.Global {
-		ph, pw = 0, 0
+		o.kh, o.kw, o.sh, o.sw = o.H, o.W, 1, 1
 	}
-	s := src.Data()
-	d := dst.Data()
-	ParallelFor(threads, N*c4, func(start, end int) {
-		for item := start; item < end; item++ {
-			srcOff := item * H * W * 4
-			dstOff := item * OH * OW * 4
-			for oy := 0; oy < OH; oy++ {
-				for ox := 0; ox < OW; ox++ {
-					y0, x0 := oy*sh-ph, ox*sw-pw
-					var m0, m1, m2, m3 float32
-					var a0, a1, a2, a3 float64
-					m0, m1, m2, m3 = float32(math.Inf(-1)), float32(math.Inf(-1)), float32(math.Inf(-1)), float32(math.Inf(-1))
-					count := 0
-					for ky := 0; ky < kh; ky++ {
-						iy := y0 + ky
-						if iy < 0 || iy >= H {
+	o.ph, o.pw = graph.PoolPadding(o.H, o.W, a)
+	if a.Global {
+		o.ph, o.pw = 0, 0
+	}
+	return o
+}
+
+// Run executes the pooling on the pool.
+func (o *PoolOp) Run(p *sched.Pool) {
+	total := o.n * o.c4
+	p.Run(total, sched.Chunk(total, p.Lanes(), elemChunksPerLane), o)
+}
+
+// RunChunk implements sched.Task over (batch, channel-block) items.
+func (o *PoolOp) RunChunk(_, start, end int) {
+	s, d := o.s, o.d
+	for item := start; item < end; item++ {
+		srcOff := item * o.H * o.W * 4
+		dstOff := item * o.OH * o.OW * 4
+		for oy := 0; oy < o.OH; oy++ {
+			for ox := 0; ox < o.OW; ox++ {
+				y0, x0 := oy*o.sh-o.ph, ox*o.sw-o.pw
+				var m0, m1, m2, m3 float32
+				var a0, a1, a2, a3 float64
+				m0, m1, m2, m3 = float32(math.Inf(-1)), float32(math.Inf(-1)), float32(math.Inf(-1)), float32(math.Inf(-1))
+				count := 0
+				for ky := 0; ky < o.kh; ky++ {
+					iy := y0 + ky
+					if iy < 0 || iy >= o.H {
+						continue
+					}
+					for kx := 0; kx < o.kw; kx++ {
+						ix := x0 + kx
+						if ix < 0 || ix >= o.W {
 							continue
 						}
-						for kx := 0; kx < kw; kx++ {
-							ix := x0 + kx
-							if ix < 0 || ix >= W {
-								continue
+						so := srcOff + (iy*o.W+ix)*4
+						v0, v1, v2, v3 := s[so], s[so+1], s[so+2], s[so+3]
+						if o.a.Type == graph.MaxPool {
+							if v0 > m0 {
+								m0 = v0
 							}
-							so := srcOff + (iy*W+ix)*4
-							v0, v1, v2, v3 := s[so], s[so+1], s[so+2], s[so+3]
-							if a.Type == graph.MaxPool {
-								if v0 > m0 {
-									m0 = v0
-								}
-								if v1 > m1 {
-									m1 = v1
-								}
-								if v2 > m2 {
-									m2 = v2
-								}
-								if v3 > m3 {
-									m3 = v3
-								}
-							} else {
-								a0 += float64(v0)
-								a1 += float64(v1)
-								a2 += float64(v2)
-								a3 += float64(v3)
+							if v1 > m1 {
+								m1 = v1
 							}
-							count++
+							if v2 > m2 {
+								m2 = v2
+							}
+							if v3 > m3 {
+								m3 = v3
+							}
+						} else {
+							a0 += float64(v0)
+							a1 += float64(v1)
+							a2 += float64(v2)
+							a3 += float64(v3)
 						}
+						count++
 					}
-					do := dstOff + (oy*OW+ox)*4
-					if a.Type == graph.MaxPool {
-						d[do], d[do+1], d[do+2], d[do+3] = m0, m1, m2, m3
-					} else {
-						div := float64(count)
-						if a.CountIncludePad {
-							div = float64(kh * kw)
-						}
-						if div == 0 {
-							div = 1
-						}
-						d[do] = float32(a0 / div)
-						d[do+1] = float32(a1 / div)
-						d[do+2] = float32(a2 / div)
-						d[do+3] = float32(a3 / div)
+				}
+				do := dstOff + (oy*o.OW+ox)*4
+				if o.a.Type == graph.MaxPool {
+					d[do], d[do+1], d[do+2], d[do+3] = m0, m1, m2, m3
+				} else {
+					div := float64(count)
+					if o.a.CountIncludePad {
+						div = float64(o.kh * o.kw)
 					}
+					if div == 0 {
+						div = 1
+					}
+					d[do] = float32(a0 / div)
+					d[do+1] = float32(a1 / div)
+					d[do+2] = float32(a2 / div)
+					d[do+3] = float32(a3 / div)
 				}
 			}
 		}
-	})
+	}
 }
 
 // ActivationKind enumerates unary activations.
@@ -102,75 +129,194 @@ const (
 	ActTanh
 )
 
-// Activation applies a unary activation elementwise over the physical
-// buffer. For NC4HW4 tensors the padding lanes are transformed too, which is
-// harmless: they are never read logically and ReLU/ReLU6 keep them zero.
-func Activation(dst, src *tensor.Tensor, kind ActivationKind, threads int) {
-	s := src.Data()
-	d := dst.Data()
-	ParallelFor(threads, len(s), func(start, end int) {
-		switch kind {
-		case ActReLU:
-			for i := start; i < end; i++ {
-				d[i] = relu(s[i])
-			}
-		case ActReLU6:
-			for i := start; i < end; i++ {
-				d[i] = relu6(s[i])
-			}
-		case ActSigmoid:
-			for i := start; i < end; i++ {
-				d[i] = float32(1 / (1 + math.Exp(-float64(s[i]))))
-			}
-		case ActTanh:
-			for i := start; i < end; i++ {
-				d[i] = float32(math.Tanh(float64(s[i])))
-			}
-		}
-	})
+// ActivationOp is the prepared elementwise activation execution. For
+// NC4HW4 tensors the padding lanes are transformed too, which is harmless:
+// they are never read logically and ReLU/ReLU6 keep them zero.
+type ActivationOp struct {
+	kind ActivationKind
+	s, d []float32
 }
 
-// Eltwise applies a binary elementwise reduction over ≥2 inputs with
-// identical shapes and layouts, writing into dst (which may alias inputs[0]).
-func Eltwise(dst *tensor.Tensor, inputs []*tensor.Tensor, a *graph.EltwiseAttrs, threads int) {
-	d := dst.Data()
-	first := inputs[0].Data()
-	ParallelFor(threads, len(d), func(start, end int) {
-		copy(d[start:end], first[start:end])
-		for _, in := range inputs[1:] {
-			s := in.Data()
-			switch a.Type {
-			case graph.EltSum:
-				for i := start; i < end; i++ {
-					d[i] += s[i]
-				}
-			case graph.EltProd:
-				for i := start; i < end; i++ {
-					d[i] *= s[i]
-				}
-			case graph.EltMax:
-				for i := start; i < end; i++ {
-					if s[i] > d[i] {
-						d[i] = s[i]
-					}
-				}
-			case graph.EltSub:
-				for i := start; i < end; i++ {
-					d[i] -= s[i]
-				}
-			}
+// NewActivationOp binds an activation execution.
+func NewActivationOp(dst, src *tensor.Tensor, kind ActivationKind) *ActivationOp {
+	return &ActivationOp{kind: kind, s: src.Data(), d: dst.Data()}
+}
+
+// Run executes the activation on the pool.
+func (o *ActivationOp) Run(p *sched.Pool) {
+	p.Run(len(o.s), sched.Chunk(len(o.s), p.Lanes(), elemChunksPerLane), o)
+}
+
+// RunChunk implements sched.Task over flat element indices.
+func (o *ActivationOp) RunChunk(_, start, end int) {
+	s, d := o.s, o.d
+	switch o.kind {
+	case ActReLU:
+		for i := start; i < end; i++ {
+			d[i] = relu(s[i])
 		}
-		if a.ReLU {
+	case ActReLU6:
+		for i := start; i < end; i++ {
+			d[i] = relu6(s[i])
+		}
+	case ActSigmoid:
+		for i := start; i < end; i++ {
+			d[i] = float32(1 / (1 + math.Exp(-float64(s[i]))))
+		}
+	case ActTanh:
+		for i := start; i < end; i++ {
+			d[i] = float32(math.Tanh(float64(s[i])))
+		}
+	}
+}
+
+// EltwiseOp is the prepared binary elementwise reduction over ≥2 inputs
+// with identical shapes and layouts; dst may alias inputs[0].
+type EltwiseOp struct {
+	a   graph.EltwiseAttrs
+	d   []float32
+	ins [][]float32
+}
+
+// NewEltwiseOp binds an eltwise execution.
+func NewEltwiseOp(dst *tensor.Tensor, inputs []*tensor.Tensor, a *graph.EltwiseAttrs) *EltwiseOp {
+	o := &EltwiseOp{a: *a, d: dst.Data(), ins: make([][]float32, len(inputs))}
+	for i, in := range inputs {
+		o.ins[i] = in.Data()
+	}
+	return o
+}
+
+// Run executes the reduction on the pool.
+func (o *EltwiseOp) Run(p *sched.Pool) {
+	p.Run(len(o.d), sched.Chunk(len(o.d), p.Lanes(), elemChunksPerLane), o)
+}
+
+// RunChunk implements sched.Task over flat element indices.
+func (o *EltwiseOp) RunChunk(_, start, end int) {
+	d := o.d
+	copy(d[start:end], o.ins[0][start:end])
+	for _, s := range o.ins[1:] {
+		switch o.a.Type {
+		case graph.EltSum:
 			for i := start; i < end; i++ {
-				d[i] = relu(d[i])
+				d[i] += s[i]
+			}
+		case graph.EltProd:
+			for i := start; i < end; i++ {
+				d[i] *= s[i]
+			}
+		case graph.EltMax:
+			for i := start; i < end; i++ {
+				if s[i] > d[i] {
+					d[i] = s[i]
+				}
+			}
+		case graph.EltSub:
+			for i := start; i < end; i++ {
+				d[i] -= s[i]
 			}
 		}
-	})
+	}
+	if o.a.ReLU {
+		for i := start; i < end; i++ {
+			d[i] = relu(d[i])
+		}
+	}
+}
+
+// ScaleOp is the prepared per-channel y = x·scale + shift execution on an
+// NC4HW4 tensor; BatchNorm folds into this form at prepare time. The
+// parameters are packed to padded channel blocks once at creation (the seed
+// re-packed them on every run).
+type ScaleOp struct {
+	s, d   []float32
+	ps, pb []float32 // padded-lane-safe packed parameters
+	c4, n  int
+	hw     int
+}
+
+// NewScaleOp binds a scale execution.
+func NewScaleOp(dst, src *tensor.Tensor, scale, shift []float32) *ScaleOp {
+	c4 := tensor.UpDiv(src.Channels(), 4)
+	o := &ScaleOp{
+		s: src.Data(), d: dst.Data(),
+		ps: make([]float32, c4*4), pb: make([]float32, c4*4),
+		c4: c4, n: src.Batch(), hw: src.Height() * src.Width(),
+	}
+	copy(o.ps, scale)
+	if shift != nil {
+		copy(o.pb, shift)
+	}
+	return o
+}
+
+// Run executes the scale on the pool.
+func (o *ScaleOp) Run(p *sched.Pool) {
+	total := o.n * o.c4
+	p.Run(total, sched.Chunk(total, p.Lanes(), elemChunksPerLane), o)
+}
+
+// RunChunk implements sched.Task over (batch, channel-block) items.
+func (o *ScaleOp) RunChunk(_, start, end int) {
+	s, d := o.s, o.d
+	for item := start; item < end; item++ {
+		cz := item % o.c4
+		s0, s1, s2, s3 := o.ps[cz*4], o.ps[cz*4+1], o.ps[cz*4+2], o.ps[cz*4+3]
+		b0, b1, b2, b3 := o.pb[cz*4], o.pb[cz*4+1], o.pb[cz*4+2], o.pb[cz*4+3]
+		off := item * o.hw * 4
+		for p := 0; p < o.hw; p++ {
+			i := off + p*4
+			d[i] = s[i]*s0 + b0
+			d[i+1] = s[i+1]*s1 + b1
+			d[i+2] = s[i+2]*s2 + b2
+			d[i+3] = s[i+3]*s3 + b3
+		}
+	}
+}
+
+// PadOp is the prepared spatial zero-padding execution on NC4HW4 tensors.
+type PadOp struct {
+	a            graph.PaddingAttrs
+	s, d         []float32
+	H, W, OH, OW int
+	c4, n        int
+	dst          *tensor.Tensor
+}
+
+// NewPadOp binds a padding execution.
+func NewPadOp(dst, src *tensor.Tensor, a *graph.PaddingAttrs) *PadOp {
+	return &PadOp{
+		a: *a, s: src.Data(), d: dst.Data(), dst: dst,
+		H: src.Height(), W: src.Width(), OH: dst.Height(), OW: dst.Width(),
+		c4: tensor.UpDiv(src.Channels(), 4), n: src.Batch(),
+	}
+}
+
+// Run executes the padding on the pool.
+func (o *PadOp) Run(p *sched.Pool) {
+	o.dst.Zero()
+	total := o.n * o.c4
+	p.Run(total, sched.Chunk(total, p.Lanes(), elemChunksPerLane), o)
+}
+
+// RunChunk implements sched.Task over (batch, channel-block) items.
+func (o *PadOp) RunChunk(_, start, end int) {
+	s, d := o.s, o.d
+	for item := start; item < end; item++ {
+		srcOff := item * o.H * o.W * 4
+		dstOff := item * o.OH * o.OW * 4
+		for y := 0; y < o.H; y++ {
+			srcRow := srcOff + y*o.W*4
+			dstRow := dstOff + ((y+o.a.Top)*o.OW+o.a.Left)*4
+			copy(d[dstRow:dstRow+o.W*4], s[srcRow:srcRow+o.W*4])
+		}
+	}
 }
 
 // ConcatChannel concatenates along the channel axis. When every input's
 // channel count is a multiple of the pack factor, blocks are copied
-// wholesale; otherwise a generic per-element path repacks.
+// wholesale; otherwise a generic per-element path repacks. Allocation-free.
 func ConcatChannel(dst *tensor.Tensor, inputs []*tensor.Tensor) {
 	if dst.Layout() == tensor.NC4HW4 {
 		allAligned := true
@@ -245,37 +391,6 @@ func ConcatAxis(dst *tensor.Tensor, inputs []*tensor.Tensor, axis int) {
 	}
 }
 
-// ScaleNC4 applies per-channel y = x·scale + shift on an NC4HW4 tensor.
-// BatchNorm folds into this form at prepare time.
-func ScaleNC4(dst, src *tensor.Tensor, scale, shift []float32, threads int) {
-	N, C, H, W := src.Batch(), src.Channels(), src.Height(), src.Width()
-	c4 := tensor.UpDiv(C, 4)
-	s := src.Data()
-	d := dst.Data()
-	// Padded-lane-safe packed parameters.
-	ps := make([]float32, c4*4)
-	pb := make([]float32, c4*4)
-	copy(ps, scale)
-	if shift != nil {
-		copy(pb, shift)
-	}
-	ParallelFor(threads, N*c4, func(start, end int) {
-		for item := start; item < end; item++ {
-			cz := item % c4
-			s0, s1, s2, s3 := ps[cz*4], ps[cz*4+1], ps[cz*4+2], ps[cz*4+3]
-			b0, b1, b2, b3 := pb[cz*4], pb[cz*4+1], pb[cz*4+2], pb[cz*4+3]
-			off := item * H * W * 4
-			for p := 0; p < H*W; p++ {
-				o := off + p*4
-				d[o] = s[o]*s0 + b0
-				d[o+1] = s[o+1]*s1 + b1
-				d[o+2] = s[o+2]*s2 + b2
-				d[o+3] = s[o+3]*s3 + b3
-			}
-		}
-	})
-}
-
 // FoldBatchNorm converts BatchNorm constants into (scale, shift) pairs:
 // y = gamma·(x-mean)/sqrt(var+eps) + beta = x·s + b.
 func FoldBatchNorm(gamma, beta, mean, variance []float32, eps float32) (scale, shift []float32) {
@@ -291,15 +406,24 @@ func FoldBatchNorm(gamma, beta, mean, variance []float32, eps float32) (scale, s
 }
 
 // InnerProduct is the prepared fully-connected kernel: a [batch, features] ×
-// [features, out] GEMM on the transposed weight.
+// [features, out] GEMM on the transposed, panel-packed weight.
 type InnerProduct struct {
 	attrs    graph.InnerProductAttrs
 	features int
 	wT       []float32
+	packed   *matmul.PackedB
 	bias     []float32
+
+	rs ipRun
 }
 
-// PrepareInnerProduct transposes the [out, features] weight.
+type ipRun struct {
+	s, d  []float32
+	batch int
+}
+
+// PrepareInnerProduct transposes the [out, features] weight and packs it
+// into GEMM panels.
 func PrepareInnerProduct(weight, bias *tensor.Tensor, a *graph.InnerProductAttrs) *InnerProduct {
 	out := weight.Dim(0)
 	features := weight.Dim(1)
@@ -311,6 +435,7 @@ func PrepareInnerProduct(weight, bias *tensor.Tensor, a *graph.InnerProductAttrs
 			ip.wT[i*out+o] = w[o*features+i]
 		}
 	}
+	ip.packed = matmul.PackB(ip.wT, features, out)
 	ip.bias = make([]float32, out)
 	if bias != nil {
 		copy(ip.bias, bias.Data())
@@ -319,45 +444,55 @@ func PrepareInnerProduct(weight, bias *tensor.Tensor, a *graph.InnerProductAttrs
 }
 
 // Run executes the FC layer on NCHW buffers (src flattened per batch).
-func (ip *InnerProduct) Run(dst, src *tensor.Tensor, threads int) {
-	batch := src.Dim(0)
+func (ip *InnerProduct) Run(dst, src *tensor.Tensor, p *sched.Pool) {
+	ip.rs = ipRun{s: src.Data(), d: dst.Data(), batch: src.Dim(0)}
+	p.Run(ip.rs.batch, sched.Chunk(ip.rs.batch, p.Lanes(), 1), ip)
+}
+
+// RunChunk implements sched.Task over batch rows: the row-block GEMM plus
+// the (row-local) bias and activation.
+func (ip *InnerProduct) RunChunk(_, start, end int) {
+	r := &ip.rs
 	out := ip.attrs.OutputCount
-	s := src.Data()
-	d := dst.Data()
-	ParallelFor(threads, batch, func(start, end int) {
-		rows := end - start
-		matmul.Mul(d[start*out:end*out], s[start*ip.features:end*ip.features], ip.wT, rows, ip.features, out)
-	})
-	ParallelFor(threads, batch, func(start, end int) {
-		for n := start; n < end; n++ {
-			for o := 0; o < out; o++ {
-				v := d[n*out+o] + ip.bias[o]
-				if ip.attrs.ReLU && v < 0 {
-					v = 0
-				}
-				d[n*out+o] = v
+	rows := end - start
+	d := r.d[start*out : end*out]
+	ip.packed.MulInto(d, r.s[start*ip.features:end*ip.features], rows)
+	for n := 0; n < rows; n++ {
+		for o := 0; o < out; o++ {
+			v := d[n*out+o] + ip.bias[o]
+			if ip.attrs.ReLU && v < 0 {
+				v = 0
 			}
+			d[n*out+o] = v
 		}
-	})
+	}
+}
+
+// --- seed-compatible function forms (reference kernels, tests) -----------
+
+// PoolNC4 executes max/average pooling on NC4HW4 tensors.
+func PoolNC4(dst, src *tensor.Tensor, a *graph.PoolAttrs, p *sched.Pool) {
+	NewPoolOp(dst, src, a).Run(p)
+}
+
+// Activation applies a unary activation elementwise over the physical
+// buffer.
+func Activation(dst, src *tensor.Tensor, kind ActivationKind, p *sched.Pool) {
+	NewActivationOp(dst, src, kind).Run(p)
+}
+
+// Eltwise applies a binary elementwise reduction over ≥2 inputs with
+// identical shapes and layouts, writing into dst (which may alias inputs[0]).
+func Eltwise(dst *tensor.Tensor, inputs []*tensor.Tensor, a *graph.EltwiseAttrs, p *sched.Pool) {
+	NewEltwiseOp(dst, inputs, a).Run(p)
+}
+
+// ScaleNC4 applies per-channel y = x·scale + shift on an NC4HW4 tensor.
+func ScaleNC4(dst, src *tensor.Tensor, scale, shift []float32, p *sched.Pool) {
+	NewScaleOp(dst, src, scale, shift).Run(p)
 }
 
 // PaddingNC4 zero-pads spatial dims on NC4HW4 tensors.
-func PaddingNC4(dst, src *tensor.Tensor, a *graph.PaddingAttrs, threads int) {
-	N, C, H, W := src.Batch(), src.Channels(), src.Height(), src.Width()
-	OW := dst.Width()
-	c4 := tensor.UpDiv(C, 4)
-	s := src.Data()
-	d := dst.Data()
-	dst.Zero()
-	ParallelFor(threads, N*c4, func(start, end int) {
-		for item := start; item < end; item++ {
-			srcOff := item * H * W * 4
-			dstOff := item * dst.Height() * OW * 4
-			for y := 0; y < H; y++ {
-				srcRow := srcOff + y*W*4
-				dstRow := dstOff + ((y+a.Top)*OW+a.Left)*4
-				copy(d[dstRow:dstRow+W*4], s[srcRow:srcRow+W*4])
-			}
-		}
-	})
+func PaddingNC4(dst, src *tensor.Tensor, a *graph.PaddingAttrs, p *sched.Pool) {
+	NewPadOp(dst, src, a).Run(p)
 }

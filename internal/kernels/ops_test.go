@@ -6,13 +6,14 @@ import (
 	"testing"
 
 	"mnn/internal/graph"
+	"mnn/internal/sched"
 	"mnn/internal/tensor"
 )
 
 func TestPoolNC4MatchesRef(t *testing.T) {
 	cases := []struct {
-		name string
-		a    graph.PoolAttrs
+		name    string
+		a       graph.PoolAttrs
 		c, h, w int
 	}{
 		{"max2x2s2", graph.PoolAttrs{Type: graph.MaxPool, KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2}, 8, 8, 8},
@@ -40,7 +41,7 @@ func TestPoolNC4MatchesRef(t *testing.T) {
 				PoolRef(want, src, &tc.a)
 				src4 := src.ToLayout(tensor.NC4HW4)
 				got := tensor.NewWithLayout(tensor.NC4HW4, 1, tc.c, oh, ow)
-				PoolNC4(got, src4, &tc.a, threads)
+				PoolNC4(got, src4, &tc.a, testPool(t, threads))
 				if d := tensor.MaxAbsDiff(want, got); d > 1e-5 {
 					t.Fatalf("max diff %g", d)
 				}
@@ -53,7 +54,7 @@ func TestActivationKinds(t *testing.T) {
 	src := tensor.FromData([]float32{-3, -0.5, 0, 0.5, 3, 7}, 6)
 	check := func(kind ActivationKind, want []float32) {
 		dst := tensor.New(6)
-		Activation(dst, src, kind, 1)
+		Activation(dst, src, kind, nil)
 		for i := range want {
 			if math.Abs(float64(dst.Data()[i]-want[i])) > 1e-5 {
 				t.Errorf("kind %d elem %d: got %v want %v", kind, i, dst.Data()[i], want[i])
@@ -81,7 +82,7 @@ func TestEltwiseOps(t *testing.T) {
 		{graph.EltSub, []float32{-4, 8, -4, 12}},
 	} {
 		dst := tensor.New(4)
-		Eltwise(dst, []*tensor.Tensor{a, b}, &graph.EltwiseAttrs{Type: tc.typ}, 1)
+		Eltwise(dst, []*tensor.Tensor{a, b}, &graph.EltwiseAttrs{Type: tc.typ}, nil)
 		for i := range tc.want {
 			if dst.Data()[i] != tc.want[i] {
 				t.Errorf("%v: got %v want %v", tc.typ, dst.Data(), tc.want)
@@ -91,7 +92,7 @@ func TestEltwiseOps(t *testing.T) {
 	}
 	// Fused ReLU.
 	dst := tensor.New(4)
-	Eltwise(dst, []*tensor.Tensor{a, b}, &graph.EltwiseAttrs{Type: graph.EltSum, ReLU: true}, 1)
+	Eltwise(dst, []*tensor.Tensor{a, b}, &graph.EltwiseAttrs{Type: graph.EltSum, ReLU: true}, nil)
 	want := []float32{6, 0, 10, 0}
 	for i := range want {
 		if dst.Data()[i] != want[i] {
@@ -100,7 +101,7 @@ func TestEltwiseOps(t *testing.T) {
 	}
 	// Three inputs.
 	dst3 := tensor.New(4)
-	Eltwise(dst3, []*tensor.Tensor{a, a, a}, &graph.EltwiseAttrs{Type: graph.EltSum}, 2)
+	Eltwise(dst3, []*tensor.Tensor{a, a, a}, &graph.EltwiseAttrs{Type: graph.EltSum}, testPool(t, 2))
 	for i, v := range []float32{3, 6, 9, 12} {
 		if dst3.Data()[i] != v {
 			t.Fatalf("3-input sum: %v", dst3.Data())
@@ -164,7 +165,7 @@ func TestScaleNC4MatchesRef(t *testing.T) {
 	ScaleRef(want, src, tensor.FromData(scale, 6), tensor.FromData(shift, 6))
 	src4 := src.ToLayout(tensor.NC4HW4)
 	got := tensor.NewWithLayout(tensor.NC4HW4, 1, 6, 4, 4)
-	ScaleNC4(got, src4, scale, shift, 2)
+	ScaleNC4(got, src4, scale, shift, testPool(t, 2))
 	if d := tensor.MaxAbsDiff(want, got); d > 1e-5 {
 		t.Fatalf("max diff %g", d)
 	}
@@ -191,7 +192,7 @@ func TestFoldBatchNormMatchesRef(t *testing.T) {
 	scale, shift := FoldBatchNorm(gamma, beta, mean, variance, 1e-5)
 	src4 := src.ToLayout(tensor.NC4HW4)
 	got := tensor.NewWithLayout(tensor.NC4HW4, 1, c, 3, 3)
-	ScaleNC4(got, src4, scale, shift, 1)
+	ScaleNC4(got, src4, scale, shift, nil)
 	if d := tensor.MaxAbsDiff(want, got); d > 1e-4 {
 		t.Fatalf("folded BN differs from reference by %g", d)
 	}
@@ -207,7 +208,7 @@ func TestInnerProductMatchesRef(t *testing.T) {
 	InnerProductRef(want, src, weight, bias, a)
 	ip := PrepareInnerProduct(weight, bias, a)
 	got := tensor.New(batch, out)
-	ip.Run(got, src, 2)
+	ip.Run(got, src, testPool(t, 2))
 	if d := tensor.MaxAbsDiff(want, got); d > 1e-4 {
 		t.Fatalf("max diff %g", d)
 	}
@@ -217,7 +218,7 @@ func TestInnerProductMatchesRef(t *testing.T) {
 	InnerProductRef(wantR, src, weight, bias, aR)
 	ipR := PrepareInnerProduct(weight, bias, aR)
 	gotR := tensor.New(batch, out)
-	ipR.Run(gotR, src, 1)
+	ipR.Run(gotR, src, nil)
 	if d := tensor.MaxAbsDiff(wantR, gotR); d > 1e-4 {
 		t.Fatalf("relu max diff %g", d)
 	}
@@ -278,7 +279,7 @@ func TestPaddingNC4(t *testing.T) {
 	}
 	src4 := src.ToLayout(tensor.NC4HW4)
 	got := tensor.NewWithLayout(tensor.NC4HW4, 1, 5, 6, 7)
-	PaddingNC4(got, src4, a, 2)
+	PaddingNC4(got, src4, a, testPool(t, 2))
 	if d := tensor.MaxAbsDiff(want, got); d > 0 {
 		t.Fatalf("padding diff %g", d)
 	}
@@ -289,7 +290,8 @@ func TestParallelForCoverage(t *testing.T) {
 		n := 37
 		seen := make([]int32, n)
 		var hits [100]bool
-		ParallelForWorker(threads, n, func(w, s, e int) {
+		pool := sched.New(threads)
+		ParallelForWorker(pool, n, func(w, s, e int) {
 			hits[w] = true
 			for i := s; i < e; i++ {
 				seen[i]++
@@ -317,7 +319,7 @@ func TestParallelForCoverage(t *testing.T) {
 	}
 	// Zero-length range must not call fn.
 	called := false
-	ParallelFor(4, 0, func(s, e int) { called = true })
+	ParallelFor(sched.New(4), 0, func(s, e int) { called = true })
 	if called {
 		t.Fatal("fn called for empty range")
 	}

@@ -106,18 +106,54 @@ type Stats struct {
 	BaseCalls  int // number of direct GEMM leaf calls
 }
 
+// StrassenScratch returns the float32 count of temporary storage one
+// MulStrassenScratch call of the given shape needs: per recursion level the
+// 4 S-matrices [m/2,k/2], 4 T-matrices [k/2,n/2] and 9 product/U matrices
+// [m/2,n/2], plus whatever the (sequential, scratch-sharing) sub-multiplies
+// need one level down. The pre-inference memory planner sizes per-worker
+// scratch slabs with this so steady-state GEMMs never touch the allocator.
+// The result tracks the current MinSplitDim cutoff.
+func StrassenScratch(m, k, n int) int {
+	if !ShouldRecurse(m, k, n) {
+		return 0
+	}
+	m2, k2, n2 := m/2, k/2, n/2
+	return 4*m2*k2 + 4*k2*n2 + 9*m2*n2 + StrassenScratch(m2, k2, n2)
+}
+
 // MulStrassen computes dst = a·b using the Winograd variant of Strassen's
 // algorithm (7 multiplications, 15 additions) recursing per Equation 9.
 // Odd dimensions are handled by peeling the last row/column strips and
-// fixing them up with direct GEMM, so any shape is accepted.
+// fixing them up with direct GEMM, so any shape is accepted. Temporaries
+// are heap-allocated; prepared kernels use MulStrassenScratch instead.
 func MulStrassen(dst, a, b []float32, m, k, n int) Stats {
+	return MulStrassenScratch(dst, a, b, m, k, n, make([]float32, StrassenScratch(m, k, n)))
+}
+
+// MulStrassenScratch is MulStrassen computing all temporaries inside the
+// caller-provided scratch slab (at least StrassenScratch(m, k, n) floats; a
+// short slab falls back to allocating the shortfall). Results are bitwise
+// identical to MulStrassen: the scratch only changes where the temporaries
+// live, not the operation order.
+func MulStrassenScratch(dst, a, b []float32, m, k, n int, scratch []float32) Stats {
 	checkDims(dst, a, b, m, k, n)
 	var st Stats
-	strassen(view{dst, m, n, n}, view{a, m, k, k}, view{b, k, n, n}, &st)
+	strassen(view{dst, m, n, n}, view{a, m, k, k}, view{b, k, n, n}, &st, scratch)
 	return st
 }
 
-func strassen(dst, a, b view, st *Stats) {
+// carve slices an r×c matrix off the front of scratch, falling back to the
+// allocator when the slab runs short (e.g. MinSplitDim was lowered between
+// planning and running).
+func carve(scratch []float32, r, c int) (view, []float32) {
+	sz := r * c
+	if len(scratch) < sz {
+		return view{make([]float32, sz), r, c, c}, scratch
+	}
+	return view{scratch[:sz], r, c, c}, scratch[sz:]
+}
+
+func strassen(dst, a, b view, st *Stats, scratch []float32) {
 	m, k, n := a.rows, a.cols, b.cols
 	if !ShouldRecurse(m, k, n) {
 		st.BaseCalls++
@@ -141,53 +177,53 @@ func strassen(dst, a, b view, st *Stats) {
 	c21 := dst.sub(m2, 0, m2, n2)
 	c22 := dst.sub(m2, n2, m2, n2)
 
-	newMat := func(r, c int) view { return view{make([]float32, r*c), r, c, c} }
-
 	// Winograd's variant: 4 S-additions on [m/2,k/2], 4 T-additions on
 	// [k/2,n/2], 7 U-additions on [m/2,n/2] — the exact counts in Eq. 9.
-	s1 := newMat(m2, k2)
-	s2 := newMat(m2, k2)
-	s3 := newMat(m2, k2)
-	s4 := newMat(m2, k2)
-	addInto(s1, a21, a22)  // S1 = A21 + A22
-	subInto(s2, s1, a11)   // S2 = S1 - A11
-	subInto(s3, a11, a21)  // S3 = A11 - A21
-	subInto(s4, a12, s2)   // S4 = A12 - S2
+	// All temporaries carve sequentially off the scratch slab; the seven
+	// sub-multiplies run one after another and share the remainder.
+	s1, scratch := carve(scratch, m2, k2)
+	s2, scratch := carve(scratch, m2, k2)
+	s3, scratch := carve(scratch, m2, k2)
+	s4, scratch := carve(scratch, m2, k2)
+	addInto(s1, a21, a22) // S1 = A21 + A22
+	subInto(s2, s1, a11)  // S2 = S1 - A11
+	subInto(s3, a11, a21) // S3 = A11 - A21
+	subInto(s4, a12, s2)  // S4 = A12 - S2
 
-	t1 := newMat(k2, n2)
-	t2 := newMat(k2, n2)
-	t3 := newMat(k2, n2)
-	t4 := newMat(k2, n2)
+	t1, scratch := carve(scratch, k2, n2)
+	t2, scratch := carve(scratch, k2, n2)
+	t3, scratch := carve(scratch, k2, n2)
+	t4, scratch := carve(scratch, k2, n2)
 	subInto(t1, b12, b11) // T1 = B12 - B11
 	subInto(t2, b22, t1)  // T2 = B22 - T1
 	subInto(t3, b22, b12) // T3 = B22 - B12
 	subInto(t4, t2, b21)  // T4 = T2 - B21
 
-	m1 := newMat(m2, n2)
-	m2m := newMat(m2, n2)
-	m3 := newMat(m2, n2)
-	m4 := newMat(m2, n2)
-	m5 := newMat(m2, n2)
-	m6 := newMat(m2, n2)
-	m7 := newMat(m2, n2)
-	strassen(m1, a11, b11, st)  // M1 = A11·B11
-	strassen(m2m, a12, b21, st) // M2 = A12·B21
-	strassen(m3, s4, b22, st)   // M3 = S4·B22
-	strassen(m4, a22, t4, st)   // M4 = A22·T4
-	strassen(m5, s1, t1, st)    // M5 = S1·T1
-	strassen(m6, s2, t2, st)    // M6 = S2·T2
-	strassen(m7, s3, t3, st)    // M7 = S3·T3
+	m1, scratch := carve(scratch, m2, n2)
+	m2m, scratch := carve(scratch, m2, n2)
+	m3, scratch := carve(scratch, m2, n2)
+	m4, scratch := carve(scratch, m2, n2)
+	m5, scratch := carve(scratch, m2, n2)
+	m6, scratch := carve(scratch, m2, n2)
+	m7, scratch := carve(scratch, m2, n2)
+	strassen(m1, a11, b11, st, scratch)  // M1 = A11·B11
+	strassen(m2m, a12, b21, st, scratch) // M2 = A12·B21
+	strassen(m3, s4, b22, st, scratch)   // M3 = S4·B22
+	strassen(m4, a22, t4, st, scratch)   // M4 = A22·T4
+	strassen(m5, s1, t1, st, scratch)    // M5 = S1·T1
+	strassen(m6, s2, t2, st, scratch)    // M6 = S2·T2
+	strassen(m7, s3, t3, st, scratch)    // M7 = S3·T3
 
 	// U-phase (7 additions on [m/2,n/2]):
 	addInto(c11, m1, m2m) // C11 = M1 + M2
-	u2 := newMat(m2, n2)
+	u2, scratch := carve(scratch, m2, n2)
 	addInto(u2, m1, m6) // U2 = M1 + M6
-	u3 := newMat(m2, n2)
-	addInto(u3, u2, m7)   // U3 = U2 + M7
-	addInto(u2, u2, m5)   // U4 = U2 + M5 (reuse u2)
-	addInto(c12, u2, m3)  // C12 = U4 + M3
-	subInto(c21, u3, m4)  // C21 = U3 - M4
-	addInto(c22, u3, m5)  // C22 = U3 + M5
+	u3, _ := carve(scratch, m2, n2)
+	addInto(u3, u2, m7)  // U3 = U2 + M7
+	addInto(u2, u2, m5)  // U4 = U2 + M5 (reuse u2)
+	addInto(c12, u2, m3) // C12 = U4 + M3
+	subInto(c21, u3, m4) // C21 = U3 - M4
+	addInto(c22, u3, m5) // C22 = U3 + M5
 
 	// Peel fixups for odd dimensions.
 	if k%2 == 1 {

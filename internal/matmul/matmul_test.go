@@ -44,8 +44,8 @@ func maxDiff(a, b []float32) float64 {
 }
 
 func TestMulSmall(t *testing.T) {
-	a := []float32{1, 2, 3, 4, 5, 6}       // 2×3
-	b := []float32{7, 8, 9, 10, 11, 12}    // 3×2
+	a := []float32{1, 2, 3, 4, 5, 6}    // 2×3
+	b := []float32{7, 8, 9, 10, 11, 12} // 3×2
 	dst := make([]float32, 4)
 	Mul(dst, a, b, 2, 3, 2)
 	want := []float32{58, 64, 139, 154}
@@ -227,4 +227,106 @@ func BenchmarkStrassen256(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		MulStrassen(dst, a, bb, 256, 256, 256)
 	}
+}
+
+// --- PR 3: scratch-backed Strassen and packed panels ---------------------
+
+func TestMulStrassenScratchMatchesMulStrassen(t *testing.T) {
+	for _, c := range []struct{ m, k, n int }{
+		{64, 64, 64}, {127, 129, 63}, {256, 256, 256}, {100, 500, 30},
+	} {
+		a := randMat(11, c.m, c.k)
+		b := randMat(12, c.k, c.n)
+		want := make([]float32, c.m*c.n)
+		MulStrassen(want, a, b, c.m, c.k, c.n)
+		got := make([]float32, c.m*c.n)
+		scratch := make([]float32, StrassenScratch(c.m, c.k, c.n))
+		for i := range scratch {
+			scratch[i] = -12345 // prove every temporary is overwritten before read
+		}
+		MulStrassenScratch(got, a, b, c.m, c.k, c.n, scratch)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%dx%dx%d: scratch result differs at %d: %v vs %v",
+					c.m, c.k, c.n, i, got[i], want[i])
+			}
+		}
+		// A short slab must still be correct (falls back to allocating).
+		got2 := make([]float32, c.m*c.n)
+		MulStrassenScratch(got2, a, b, c.m, c.k, c.n, scratch[:len(scratch)/3])
+		for i := range want {
+			if want[i] != got2[i] {
+				t.Fatalf("%dx%dx%d: short-scratch result differs at %d", c.m, c.k, c.n, i)
+			}
+		}
+	}
+}
+
+func TestMulStrassenScratchZeroAlloc(t *testing.T) {
+	const m, k, n = 256, 256, 256
+	a := randMat(13, m, k)
+	b := randMat(14, k, n)
+	dst := make([]float32, m*n)
+	scratch := make([]float32, StrassenScratch(m, k, n))
+	if len(scratch) == 0 {
+		t.Skip("shape does not recurse under current MinSplitDim")
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		MulStrassenScratch(dst, a, b, m, k, n, scratch)
+	})
+	if allocs != 0 {
+		t.Errorf("MulStrassenScratch allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestPackedMulMatchesMulBitwise(t *testing.T) {
+	for _, c := range []struct{ m, k, n int }{
+		{1, 8, 16}, {7, 33, 50}, {64, 128, 96}, {5, 100, 1000}, {3, 17, 15},
+	} {
+		a := randMat(11, c.m, c.k)
+		b := randMat(12, c.k, c.n)
+		a[0] = 0 // exercise the zero-skip path on both sides
+		want := make([]float32, c.m*c.n)
+		Mul(want, a, b, c.m, c.k, c.n)
+		pb := PackB(b, c.k, c.n)
+		got := make([]float32, c.m*c.n)
+		pb.MulInto(got, a, c.m)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%dx%dx%d: packed result differs at %d: %v vs %v",
+					c.m, c.k, c.n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPackedMulZeroAlloc(t *testing.T) {
+	const m, k, n = 64, 128, 96
+	a := randMat(15, m, k)
+	pb := PackB(randMat(16, k, n), k, n)
+	dst := make([]float32, m*n)
+	allocs := testing.AllocsPerRun(5, func() {
+		pb.MulInto(dst, a, m)
+	})
+	if allocs != 0 {
+		t.Errorf("PackedB.MulInto allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkPackedVsDirect(b *testing.B) {
+	const m, k, n = 256, 256, 256
+	a := randMat(17, m, k)
+	bm := randMat(18, k, n)
+	dst := make([]float32, m*n)
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Mul(dst, a, bm, m, k, n)
+		}
+	})
+	pb := PackB(bm, k, n)
+	b.Run("packed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pb.MulInto(dst, a, m)
+		}
+	})
 }

@@ -1,0 +1,136 @@
+package matmul
+
+// PanelWidth is the column width of a packed GEMM panel in float32
+// elements: 16 floats = 64 bytes = one cache line = four NC4HW4 channel
+// packs. The packed right-hand operand stores each panel's K rows
+// contiguously, so the inner kernel streams one cache line per fused
+// multiply-add group instead of striding across a full row-major row.
+const PanelWidth = 16
+
+// PackedB is a pre-packed right-hand GEMM operand: the K×N row-major
+// matrix rearranged into ceil(N/PanelWidth) panels of layout [K][PanelWidth]
+// (zero-padded in the last panel). Weights are packed once at pre-inference
+// time (they never change), making every steady-state multiply
+// allocation-free and cache-blocked.
+type PackedB struct {
+	K, N int
+	data []float32 // [panels][K][PanelWidth]
+	raw  []float32 // the original row-major matrix, for the tiny-K fallback
+}
+
+// PackB packs the row-major k×n matrix b.
+func PackB(b []float32, k, n int) *PackedB {
+	if len(b) < k*n {
+		panic("matmul: PackB buffer too small for declared dimensions")
+	}
+	panels := (n + PanelWidth - 1) / PanelWidth
+	pb := &PackedB{K: k, N: n, data: make([]float32, panels*k*PanelWidth), raw: b[:k*n]}
+	for jp := 0; jp < panels; jp++ {
+		j0 := jp * PanelWidth
+		lim := n - j0
+		if lim > PanelWidth {
+			lim = PanelWidth
+		}
+		for p := 0; p < k; p++ {
+			dst := pb.data[(jp*k+p)*PanelWidth:]
+			src := b[p*n+j0:]
+			for l := 0; l < lim; l++ {
+				dst[l] = src[l]
+			}
+		}
+	}
+	return pb
+}
+
+// MulInto computes dst = a·B for the m×K row-major a, writing the m×N
+// row-major product. The accumulation order per output element is identical
+// to Mul's (ascending p with the same zero-skip), so the packed and direct
+// kernels produce bitwise-equal results — prepared kernels may pick either
+// per chunk without breaking the batched≡unbatched serving guarantee.
+func (pb *PackedB) MulInto(dst, a []float32, m int) {
+	k, n := pb.K, pb.N
+	if len(a) < m*k || len(dst) < m*n {
+		panic("matmul: buffer too small for declared dimensions")
+	}
+	if k < PanelWidth {
+		// A depth this shallow cannot amortize the micro-kernel's
+		// accumulator setup (e.g. Winograd positions of an ic=3 stem
+		// layer); the direct kernel is faster and bitwise-identical.
+		Mul(dst, a, pb.raw, m, k, n)
+		return
+	}
+	panels := (n + PanelWidth - 1) / PanelWidth
+	// Register blocking: four rows of a share each streamed panel line,
+	// quartering the panel traffic — the 4×16 micro-kernel shape NEON GEMMs
+	// use, in scalar Go. Accumulation order per output element is unchanged
+	// (ascending p), so results stay bitwise equal to Mul's up to the sign
+	// of an all-zero dot product.
+	var acc0, acc1, acc2, acc3 [PanelWidth]float32
+	for jp := 0; jp < panels; jp++ {
+		j0 := jp * PanelWidth
+		lim := n - j0
+		if lim > PanelWidth {
+			lim = PanelWidth
+		}
+		panel := pb.data[jp*k*PanelWidth : (jp+1)*k*PanelWidth]
+		i := 0
+		for ; i+4 <= m; i += 4 {
+			a0 := a[i*k : (i+1)*k]
+			a1 := a[(i+1)*k : (i+2)*k]
+			a2 := a[(i+2)*k : (i+3)*k]
+			a3 := a[(i+3)*k : (i+4)*k]
+			for l := range acc0 {
+				acc0[l] = 0
+				acc1[l] = 0
+				acc2[l] = 0
+				acc3[l] = 0
+			}
+			for p := 0; p < k; p++ {
+				av0, av1, av2, av3 := a0[p], a1[p], a2[p], a3[p]
+				// Post-ReLU activations are sparse and spatially
+				// correlated: the four adjacent pixels of this row block
+				// are often zero together, so the skip fires for real.
+				if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
+					continue
+				}
+				bp := panel[p*PanelWidth : p*PanelWidth+PanelWidth]
+				for l := 0; l < PanelWidth; l++ {
+					v := bp[l]
+					acc0[l] += av0 * v
+					acc1[l] += av1 * v
+					acc2[l] += av2 * v
+					acc3[l] += av3 * v
+				}
+			}
+			d0 := dst[i*n+j0:]
+			d1 := dst[(i+1)*n+j0:]
+			d2 := dst[(i+2)*n+j0:]
+			d3 := dst[(i+3)*n+j0:]
+			for l := 0; l < lim; l++ {
+				d0[l] = acc0[l]
+				d1[l] = acc1[l]
+				d2[l] = acc2[l]
+				d3[l] = acc3[l]
+			}
+		}
+		for ; i < m; i++ {
+			ai := a[i*k : (i+1)*k]
+			for l := range acc0 {
+				acc0[l] = 0
+			}
+			for p, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bp := panel[p*PanelWidth : p*PanelWidth+PanelWidth]
+				for l := 0; l < PanelWidth; l++ {
+					acc0[l] += av * bp[l]
+				}
+			}
+			di := dst[i*n+j0:]
+			for l := 0; l < lim; l++ {
+				di[l] = acc0[l]
+			}
+		}
+	}
+}

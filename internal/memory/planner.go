@@ -1,8 +1,31 @@
 // Package memory implements the pre-inference memory planner of Figure 3 in
 // the paper: because input sizes are fixed, the engine virtually walks the
-// graph once, records every allocation and free, and lays all activations
-// (and per-operator workspaces) out in a single arena that following
-// inference sessions reuse without ever calling the allocator.
+// graph once, records every allocation and free as (size, defStep,
+// lastStep) lifetimes, replays that stream through a best-fit free-list
+// simulation, and lays everything out in a single arena that following
+// inference sessions alias into without ever calling the allocator.
+//
+// Figure 3 mapping:
+//
+//   - the "virtual walk" is session.prepare's lifetime analysis feeding
+//     Backend.OnAcquireBuffer/OnReleaseBuffer (one Item per buffer);
+//   - "memory pool reuse" is PlanItems' free-list simulation — an item
+//     freed at step s can back another defined at s+1, so the arena is the
+//     high-water mark of live bytes, not the sum (NoReuseSize keeps the
+//     naive figure for the ablation benchmark);
+//   - "execute with pre-allocated memory" is Arena.Buffer handing out
+//     aliased sub-slices during Run.
+//
+// Coverage: the arena holds the activations AND every kernel workspace.
+// Each backend that computes (the CPU backend, via backend.WorkspaceSizer)
+// declares per-node transient needs during the walk — GEMM pixel/product
+// matrices, per-worker-lane Strassen scratch slabs, Winograd tile buffers,
+// im2col panels, layout-staging copies — with single-step lifetimes, so
+// workspaces share bytes with dead activations and with other steps'
+// workspaces. Together with the persistent worker pool (internal/sched)
+// this makes steady-state inference fully allocation-free; the
+// testing.AllocsPerRun regression tests and `mnnbench -exp allocs` hold
+// that line.
 package memory
 
 import (

@@ -62,7 +62,7 @@ func RunReference(g *graph.Graph, inputs map[string]*tensor.Tensor) (map[string]
 				graph.OpTanh:    kernels.ActTanh,
 			}[n.Op]
 			out := tensor.New(shapes[n.Outputs[0]]...)
-			kernels.Activation(out, vals[n.Inputs[0]], kind, 1)
+			kernels.Activation(out, vals[n.Inputs[0]], kind, nil)
 			vals[n.Outputs[0]] = out
 		case graph.OpBatchNorm:
 			a := n.Attrs.(*graph.BatchNormAttrs)
@@ -85,7 +85,7 @@ func RunReference(g *graph.Graph, inputs map[string]*tensor.Tensor) (map[string]
 			for i, name := range n.Inputs {
 				ins[i] = vals[name]
 			}
-			kernels.Eltwise(out, ins, a, 1)
+			kernels.Eltwise(out, ins, a, nil)
 			vals[n.Outputs[0]] = out
 		case graph.OpConcat:
 			a := n.Attrs.(*graph.ConcatAttrs)

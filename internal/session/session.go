@@ -253,6 +253,33 @@ func (s *Session) prepare() error {
 		}
 	}
 
+	// ---- Workspace planning: every kernel declares its transient needs
+	// (GEMM panels, Strassen temporaries, Winograd tile buffers, staging
+	// copies) up front, and the Figure 3 planner lays them into the same
+	// reuse arena as the activations — a workspace lives only during its
+	// node's step, so it shares bytes with dead activations and other
+	// steps' workspaces. Steady-state Run then never touches the allocator.
+	for i, n := range g.Nodes {
+		bk := nodeBackend(n)
+		sizer, ok := bk.(backend.WorkspaceSizer)
+		if !ok {
+			continue
+		}
+		ins := make([][]int, len(n.Inputs))
+		for j, name := range n.Inputs {
+			ins[j] = shapes[name]
+		}
+		outs := make([][]int, len(n.Outputs))
+		for j, name := range n.Outputs {
+			outs[j] = shapes[name]
+		}
+		if size := sizer.NodeWorkspaceFloats(n, ins, outs); size > 0 {
+			key := backend.WorkspaceKey(n.Name)
+			bk.OnAcquireBuffer(key, size, i, backend.StorageDynamic)
+			bk.OnReleaseBuffer(key, i)
+		}
+	}
+
 	// ---- Materialize arenas and wrap tensors.
 	s.stats.ArenaFloats = map[string]int{}
 	s.stats.NoReuseFloats = map[string]int{}
@@ -443,6 +470,23 @@ func (s *Session) Run(ctx context.Context) error {
 		}
 		if err := st.exec.Run(); err != nil {
 			return fmt.Errorf("session: node %q: %w", st.node.Name, err)
+		}
+	}
+	return nil
+}
+
+// Close releases backend-owned resources (persistent worker pools). The
+// session remains usable afterwards with inline execution; Close is
+// idempotent and safe on a nil session.
+func (s *Session) Close() error {
+	if s == nil {
+		return nil
+	}
+	for _, b := range s.backends {
+		if c, ok := b.(interface{ Close() error }); ok {
+			if err := c.Close(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

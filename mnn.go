@@ -194,6 +194,10 @@ func (s *Session) OutputNames() []string { return s.s.OutputNames() }
 // Run executes one inference.
 func (s *Session) Run() error { return s.s.Run(context.Background()) }
 
+// Close releases the session's persistent worker pool. The session keeps
+// working afterwards with inline (single-threaded) execution. Idempotent.
+func (s *Session) Close() error { return s.s.Close() }
+
 // RunTimed executes one inference and returns the host wall time.
 func (s *Session) RunTimed() (time.Duration, error) {
 	t0 := time.Now()

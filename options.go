@@ -2,6 +2,7 @@ package mnn
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 )
 
@@ -22,15 +23,30 @@ type engineConfig struct {
 }
 
 func defaultEngineConfig() engineConfig {
-	return engineConfig{forward: ForwardAuto, threads: 1, poolSize: 1}
+	return engineConfig{forward: ForwardAuto, threads: 0, poolSize: 1}
 }
 
-// WithThreads sets the CPU worker count per pooled session (default 1; the
-// paper evaluates 1, 2 and 4).
+// DefaultThreads is the CPU worker count used when none is configured:
+// min(runtime.GOMAXPROCS(0), 4). Four is the paper's largest evaluated
+// thread count (big-core clusters rarely go wider), and capping at
+// GOMAXPROCS avoids oversubscribing small hosts.
+func DefaultThreads() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 4 {
+		n = 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// WithThreads sets the CPU worker count per pooled session. Zero (the
+// default) resolves to DefaultThreads(); the paper evaluates 1, 2 and 4.
 func WithThreads(n int) Option {
 	return func(c *engineConfig) error {
-		if n < 1 {
-			return fmt.Errorf("mnn: WithThreads(%d): thread count must be >= 1", n)
+		if n < 0 {
+			return fmt.Errorf("mnn: WithThreads(%d): thread count must be >= 0 (0 = auto)", n)
 		}
 		c.threads = n
 		return nil

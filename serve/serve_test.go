@@ -521,3 +521,32 @@ func TestServerErrorBodies(t *testing.T) {
 	code, blob = doJSON(t, http.MethodDelete, base+"/v2/repository/models/ghost", nil)
 	assertErr("delete unknown model", http.StatusNotFound, code, blob)
 }
+
+func TestLoadOptionsDefaultThreads(t *testing.T) {
+	// A model loaded without threads= must resolve to the engine's auto
+	// default (min(GOMAXPROCS, 4)), not silently 1.
+	reg := NewRegistry()
+	defer reg.Close()
+	if err := reg.Load("tiny", ModelConfig{Model: tinyGraph(t)}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := reg.Get("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.Engine().Threads(), mnn.DefaultThreads(); got != want {
+		t.Errorf("default-loaded model threads = %d, want DefaultThreads() = %d", got, want)
+	}
+	// An explicit threads option is preserved.
+	opts, err := LoadOptions{Threads: 1}.EngineOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Load("one", ModelConfig{Model: tinyGraph(t), Options: opts}); err != nil {
+		t.Fatal(err)
+	}
+	one, _ := reg.Get("one")
+	if got := one.Engine().Threads(); got != 1 {
+		t.Errorf("threads=1 model resolved to %d", got)
+	}
+}

@@ -24,7 +24,11 @@ const MaxBodyBytes = 256 << 20
 // hot-loading a model through the repository API. The zero value means the
 // engine defaults. It is also what cmd/mnnserve parses its -model flags into.
 type LoadOptions struct {
-	PoolSize    int              `json:"pool_size,omitempty"`
+	PoolSize int `json:"pool_size,omitempty"`
+	// Threads is the CPU worker-pool width per pooled session; 0 resolves
+	// to mnn.DefaultThreads() = min(GOMAXPROCS, 4). Total worker
+	// goroutines for a model ≈ PoolSize × Threads, held parked between
+	// requests by the persistent scheduler.
 	Threads     int              `json:"threads,omitempty"`
 	Forward     string           `json:"forward,omitempty"`
 	Device      string           `json:"device,omitempty"`
