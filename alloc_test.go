@@ -17,9 +17,9 @@ import (
 
 // inferAllocs measures allocations per steady-state InferInto on a built-in
 // network.
-func inferAllocs(t *testing.T, network string, threads int) float64 {
+func inferAllocs(t *testing.T, network string, threads int, opts ...mnn.Option) float64 {
 	t.Helper()
-	eng, err := mnn.Open(network, mnn.WithThreads(threads))
+	eng, err := mnn.Open(network, append([]mnn.Option{mnn.WithThreads(threads)}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,6 +55,25 @@ func TestInferIntoZeroAllocSteadyState(t *testing.T) {
 			t.Run(fmt.Sprintf("%s/t%d", network, threads), func(t *testing.T) {
 				if allocs := inferAllocs(t, network, threads); allocs != 0 {
 					t.Errorf("steady-state InferInto allocated %.1f objects/op, want 0", allocs)
+				}
+			})
+		}
+	}
+}
+
+// TestInferIntoZeroAllocSteadyStateInt8: the quantized path plans its int8
+// panels and int32 accumulators into the same arena, so an int8 engine's
+// steady state must be equally allocation-free — with dynamic per-sample
+// scales here (no calibration), the strictly harder case.
+func TestInferIntoZeroAllocSteadyStateInt8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-network inference in -short mode")
+	}
+	for _, network := range []string{"mobilenet-v1", "squeezenet-v1.1"} {
+		for _, threads := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/t%d", network, threads), func(t *testing.T) {
+				if allocs := inferAllocs(t, network, threads, mnn.WithPrecision(mnn.PrecisionInt8)); allocs != 0 {
+					t.Errorf("steady-state int8 InferInto allocated %.1f objects/op, want 0", allocs)
 				}
 			})
 		}

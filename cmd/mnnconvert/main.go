@@ -5,6 +5,7 @@
 //
 //	mnnconvert -net mobilenet-v1 -o mobilenet.mnng
 //	mnnconvert -json model.json -quantize -o model.mnng
+//	mnnconvert -net mobilenet-v1 -quantize -calibrate 8 -o mobilenet-int8.mnng
 //	mnnconvert -in model.mnng -export-json model.json
 package main
 
@@ -25,6 +26,8 @@ func main() {
 	exportJSON := flag.String("export-json", "", "write the graph back out as frontend JSON")
 	optimize := flag.Bool("optimize", true, "run the offline graph optimizer")
 	quantize := flag.Bool("quantize", false, "int8-quantize conv/FC weights")
+	calibrate := flag.Int("calibrate", 0, "record per-tensor activation scales from this many synthetic samples (enables fixed-scale int8 execution)")
+	calibSeed := flag.Uint64("calibrate-seed", 1, "deterministic seed for the synthetic calibration samples")
 	prune := flag.Float64("prune", 0, "magnitude-prune conv/FC weights to this sparsity (0–1)")
 	listNets := flag.Bool("list-nets", false, "list built-in networks and exit")
 	flag.Parse()
@@ -69,6 +72,16 @@ func main() {
 		// Prune before quantizing so magnitudes are still float32.
 		sp := mnn.PruneWeights(g, *prune)
 		fmt.Printf("pruner: %.1f%% of conv/FC weights zeroed\n", sp*100)
+	}
+	if *calibrate > 0 {
+		// Calibration runs fp32 inference, so it happens after pruning (the
+		// shipped weights determine the activation ranges) but before weight
+		// quantization mutates the graph.
+		scales, err := mnn.CalibrateSynthetic(g, *calibrate, *calibSeed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("calibrator: %d activation scales from %d samples\n", len(scales), *calibrate)
 	}
 	if *quantize {
 		count, saved := mnn.QuantizeWeights(g)

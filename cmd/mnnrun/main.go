@@ -31,6 +31,7 @@ func main() {
 	runs := flag.Int("runs", 10, "timed runs (after one warm-up, as in the paper)")
 	deviceName := flag.String("device", "", "simulated device profile (see -list-devices)")
 	forward := flag.String("forward", "cpu", "backend: auto, cpu, metal, opencl, opengl, vulkan")
+	precision := flag.String("precision", "fp32", "execution precision: fp32 or int8")
 	simulate := flag.Bool("simulate", false, "report Equation 5 simulated time")
 	check := flag.Bool("check", false, "compare output against the reference interpreter")
 	profile := flag.Bool("profile", false, "print a per-operator timing breakdown")
@@ -73,10 +74,15 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	prec, err := mnn.ParsePrecision(*precision)
+	if err != nil {
+		fail(err)
+	}
 	opts := []mnn.Option{
 		mnn.WithThreads(*threads),
 		mnn.WithForwardType(ft),
 		mnn.WithPoolSize(*pool),
+		mnn.WithPrecision(prec),
 	}
 	if *deviceName != "" {
 		opts = append(opts, mnn.WithDevice(*deviceName))

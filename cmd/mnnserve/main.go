@@ -7,8 +7,8 @@
 //	mnnserve -model mobilenet-v1 -max-batch 4        # global batching default
 //
 // Each -model flag is name=source[,key=value...]; a bare source serves under
-// its own name. Keys: pool, threads, forward, device, maxbatch, maxlatency,
-// shape=input:AxBxC... (repeatable). Models can also be hot-loaded and
+// its own name. Keys: pool, threads, forward, device, precision (fp32/int8),
+// maxbatch, maxlatency, shape=input:AxBxC... (repeatable). Models can also be hot-loaded and
 // unloaded at runtime through POST /v2/repository/models/{name}/load and
 // /unload. SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
 // requests before closing the engines.
@@ -147,6 +147,8 @@ func parseModelSpec(v string) (modelSpec, error) {
 			lo.Forward = val
 		case "device":
 			lo.Device = val
+		case "precision":
+			lo.Precision = val
 		case "maxbatch":
 			n, err := strconv.Atoi(val)
 			if err != nil {
@@ -177,7 +179,7 @@ func parseModelSpec(v string) (modelSpec, error) {
 			}
 			lo.InputShapes[input] = shape
 		default:
-			return modelSpec{}, fmt.Errorf("-model %q: unknown option %q (want pool, threads, forward, device, maxbatch, maxlatency or shape)", v, key)
+			return modelSpec{}, fmt.Errorf("-model %q: unknown option %q (want pool, threads, forward, device, precision, maxbatch, maxlatency or shape)", v, key)
 		}
 	}
 	opts, err := lo.EngineOptions()

@@ -15,6 +15,7 @@ import (
 	"mnn/internal/gpusim"
 	"mnn/internal/graph"
 	"mnn/internal/models"
+	"mnn/internal/optimizer"
 	"mnn/internal/sched"
 	"mnn/internal/session"
 	"mnn/internal/simclock"
@@ -78,6 +79,21 @@ func Open(model any, opts ...Option) (*Engine, error) {
 	g, err := resolveModel(model)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.precision == PrecisionInt8 {
+		// The int8 kernels are CPU-only; an explicit GPU forward type is a
+		// configuration error, ForwardAuto just schedules on the CPU.
+		if cfg.forward != ForwardAuto && cfg.forward != ForwardCPU {
+			return nil, fmt.Errorf("%w: int8 precision requires the CPU backend", ErrUnknownBackend)
+		}
+		cfg.forward = ForwardCPU
+		plan, err := optimizer.PlanInt8(g, cfg.inputShapes)
+		if err != nil {
+			return nil, err
+		}
+		cfg.int8Plan = plan.Int8
+		cfg.nonNegActs = plan.NonNegActs
+		cfg.actScales = g.ActScales
 	}
 	var clock *simclock.Clock
 	if cfg.simulate {
@@ -154,7 +170,9 @@ func newBackends(cfg engineConfig, clock *simclock.Clock) ([]backend.Backend, er
 	// goroutines. Session.Close (via Engine.Close) releases the workers.
 	backends := []backend.Backend{
 		cpu.New(cpu.Config{Threads: cfg.threads, Device: dev, Clock: clock,
-			Pool: sched.New(cfg.threads)}),
+			Pool: sched.New(cfg.threads),
+			Int8: cfg.precision == PrecisionInt8, QuantPlan: cfg.int8Plan,
+			ActScales: cfg.actScales, NonNegActs: cfg.nonNegActs}),
 	}
 	addGPU := func(kind backend.Kind, api device.GPUAPI) error {
 		if !dev.HasAPI(api) {
@@ -424,6 +442,9 @@ func (e *Engine) PoolSize() int { return e.cfg.poolSize }
 // Threads reports the resolved CPU worker count per pooled session (the
 // WithThreads value, or DefaultThreads() when left at auto).
 func (e *Engine) Threads() int { return e.cfg.threads }
+
+// Precision reports the execution precision the engine was opened with.
+func (e *Engine) Precision() Precision { return e.cfg.precision }
 
 // InputNames lists the declared graph inputs.
 func (e *Engine) InputNames() []string { return append([]string(nil), e.inputNames...) }

@@ -35,37 +35,47 @@ func Allocs(opt Options) error {
 		}
 	}
 
-	// --- Engine.InferInto on mobilenet-v1, the throughput headline.
+	// --- Engine.InferInto on mobilenet-v1, the throughput headline — at
+	// both precisions: the int8 path plans its panels and accumulators into
+	// the same arena, so its steady state must be equally allocation-free.
 	for _, threads := range []int{1, 4} {
-		eng, err := mnn.Open("mobilenet-v1", mnn.WithThreads(threads))
-		if err != nil {
-			return err
-		}
-		in := tensor.New(1, 3, 224, 224)
-		tensor.FillRandom(in, 1, 1)
-		inputs := map[string]*mnn.Tensor{"data": in}
-		ctx := context.Background()
-		outputs, err := eng.Infer(ctx, inputs)
-		if err != nil {
-			eng.Close()
-			return err
-		}
-		if err := eng.InferInto(ctx, inputs, outputs); err != nil { // warm
-			eng.Close()
-			return err
-		}
-		allocs := testing.AllocsPerRun(reps, func() {
-			if err := eng.InferInto(ctx, inputs, outputs); err != nil {
-				panic(err)
+		for _, precision := range []mnn.Precision{mnn.PrecisionFP32, mnn.PrecisionInt8} {
+			eng, err := mnn.Open("mobilenet-v1", mnn.WithThreads(threads), mnn.WithPrecision(precision))
+			if err != nil {
+				return err
 			}
-		})
-		d := medianOf(reps, func() {
-			if err := eng.InferInto(ctx, inputs, outputs); err != nil {
-				panic(err)
+			in := tensor.New(1, 3, 224, 224)
+			tensor.FillRandom(in, 1, 1)
+			inputs := map[string]*mnn.Tensor{"data": in}
+			ctx := context.Background()
+			outputs, err := eng.Infer(ctx, inputs)
+			if err != nil {
+				eng.Close()
+				return err
 			}
-		})
-		row(fmt.Sprintf("mobilenet-v1/InferInto/t%d", threads), allocs, d)
-		eng.Close()
+			if err := eng.InferInto(ctx, inputs, outputs); err != nil { // warm
+				eng.Close()
+				return err
+			}
+			allocs := testing.AllocsPerRun(reps, func() {
+				if err := eng.InferInto(ctx, inputs, outputs); err != nil {
+					panic(err)
+				}
+			})
+			d := medianOf(reps, func() {
+				if err := eng.InferInto(ctx, inputs, outputs); err != nil {
+					panic(err)
+				}
+			})
+			// The fp32 case keeps its PR-3 name so the perf trajectory stays
+			// comparable across BENCH_pr*.json files.
+			kase := fmt.Sprintf("mobilenet-v1/InferInto/t%d", threads)
+			if precision == mnn.PrecisionInt8 {
+				kase = fmt.Sprintf("mobilenet-v1/InferInto-int8/t%d", threads)
+			}
+			row(kase, allocs, d)
+			eng.Close()
+		}
 	}
 
 	// --- Prepared conv kernels with planner-style workspaces.

@@ -51,6 +51,12 @@ type Result struct {
 	ThroughputQPS  float64 `json:"throughput_qps,omitempty"`
 	AllocsPerOp    float64 `json:"allocs_per_op,omitempty"`
 	AllocsMeasured bool    `json:"allocs_measured,omitempty"`
+	// MaxAbsErr is the accuracy cost of a lossy path (the quant experiment's
+	// int8-vs-fp32 output deviation).
+	MaxAbsErr float64 `json:"max_abs_err,omitempty"`
+	// Speedup is the ratio of a baseline latency to this case's latency
+	// (the quant experiment's fp32/int8 ratio; > 1 means faster).
+	Speedup float64 `json:"speedup,omitempty"`
 }
 
 // Recorder accumulates Results across experiments. Safe for concurrent use.
@@ -77,6 +83,17 @@ func (r *Recorder) RecordAllocs(experiment, kase string, allocsPerOp, nsPerOp fl
 	r.results = append(r.results, Result{
 		Experiment: experiment, Case: kase,
 		NsPerOp: nsPerOp, AllocsPerOp: allocsPerOp, AllocsMeasured: true,
+	})
+}
+
+// RecordQuant appends one quant-experiment row: latency plus the speed-up
+// over the fp32 baseline and the max-abs output deviation from it.
+func (r *Recorder) RecordQuant(experiment, kase string, nsPerOp, speedup, maxAbsErr float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.results = append(r.results, Result{
+		Experiment: experiment, Case: kase,
+		NsPerOp: nsPerOp, Speedup: speedup, MaxAbsErr: maxAbsErr,
 	})
 }
 
@@ -122,7 +139,7 @@ var Experiments = []string{
 	"table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
 	"figure7", "figure8", "figure9",
 	"ablation-strassen", "ablation-layout", "ablation-memory", "ablation-tile",
-	"throughput", "serving", "allocs",
+	"throughput", "serving", "allocs", "quant",
 }
 
 // Run dispatches one experiment by name.
@@ -164,6 +181,8 @@ func Run(name string, opt Options) error {
 		return Serving(opt)
 	case "allocs":
 		return Allocs(opt)
+	case "quant":
+		return Quant(opt)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (have %v)", name, Experiments)
 	}

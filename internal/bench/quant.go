@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mnn"
+	"mnn/internal/optimizer"
+	"mnn/internal/tensor"
+)
+
+// Quant measures the end-to-end int8 execution path (Section 3.1 made a
+// runtime precision): per network and thread count it calibrates the graph
+// with synthetic samples, opens an fp32 and an int8 engine, and reports the
+// steady-state InferInto latency of both, the int8 speed-up, and the
+// max-abs deviation of the int8 outputs from fp32.
+func Quant(opt Options) error {
+	reps := 7
+	networks := []string{"mobilenet-v1", "squeezenet-v1.1"}
+	threadCounts := []int{1, 4}
+	if opt.Quick {
+		reps = 3
+		networks = networks[:1]
+		threadCounts = []int{4}
+	}
+	opt.printf("Quant — int8 execution path vs fp32 (host, steady-state InferInto)\n")
+	opt.printf("%-28s %12s %12s %9s %12s\n", "case", "fp32 ms/op", "int8 ms/op", "speedup", "max-abs err")
+
+	ctx := context.Background()
+	for _, network := range networks {
+		g, err := mnn.BuildNetwork(network)
+		if err != nil {
+			return err
+		}
+		if _, err := mnn.CalibrateSynthetic(g, 2, 1); err != nil {
+			return err
+		}
+		plan, err := optimizer.PlanInt8(g, nil)
+		if err != nil {
+			return err
+		}
+		opt.printf("%s plan: %d int8 nodes, %d fp32, %d quant / %d dequant boundaries, %d calibrated\n",
+			network, plan.Int8Nodes, plan.FP32Nodes, plan.QuantBoundaries, plan.DequantBoundaries, plan.Calibrated)
+
+		for _, threads := range threadCounts {
+			var latency [2]time.Duration
+			var outputs [2]map[string]*mnn.Tensor
+			for i, precision := range []mnn.Precision{mnn.PrecisionFP32, mnn.PrecisionInt8} {
+				eng, err := mnn.Open(g, mnn.WithThreads(threads), mnn.WithPrecision(precision))
+				if err != nil {
+					return err
+				}
+				inputs := map[string]*mnn.Tensor{}
+				for _, name := range eng.InputNames() {
+					in := mnn.NewTensor(eng.InputShape(name)...)
+					tensor.FillRandom(in, 42, 1)
+					inputs[name] = in
+				}
+				out, err := eng.Infer(ctx, inputs)
+				if err != nil {
+					eng.Close()
+					return err
+				}
+				outputs[i] = out
+				latency[i] = medianOf(reps, func() {
+					if err := eng.InferInto(ctx, inputs, out); err != nil {
+						panic(err)
+					}
+				})
+				eng.Close()
+			}
+			var maxErr float64
+			for name, ref := range outputs[0] {
+				if d := tensor.MaxAbsDiff(ref, outputs[1][name]); d > maxErr {
+					maxErr = d
+				}
+			}
+			speedup := float64(latency[0]) / float64(latency[1])
+			kase := fmt.Sprintf("%s/t%d", network, threads)
+			opt.printf("%-28s %12.2f %12.2f %8.2fx %12.2e\n",
+				kase, ms(latency[0]), ms(latency[1]), speedup, maxErr)
+			if opt.Recorder != nil {
+				opt.Recorder.Record("quant", kase+"/fp32", float64(latency[0].Nanoseconds()), 0)
+				opt.Recorder.RecordQuant("quant", kase+"/int8", float64(latency[1].Nanoseconds()), speedup, maxErr)
+			}
+		}
+	}
+	opt.printf("\n")
+	return nil
+}

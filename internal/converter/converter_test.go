@@ -140,6 +140,43 @@ func TestQuantizedModelRoundTrip(t *testing.T) {
 	}
 }
 
+// TestActScalesRoundTrip: calibrated activation scales (format v2) must
+// survive serialization exactly, and a scale-free graph must round-trip to a
+// nil table.
+func TestActScalesRoundTrip(t *testing.T) {
+	g := models.SqueezeNetV11()
+	g.ActScales = map[string]float32{"conv1": 0.125, "pool10": 3.5e-3, "prob": 1}
+	var buf bytes.Buffer
+	if err := Save(g, &buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.ActScales) != len(g.ActScales) {
+		t.Fatalf("got %d scales, want %d", len(g2.ActScales), len(g.ActScales))
+	}
+	for name, v := range g.ActScales {
+		if g2.ActScales[name] != v {
+			t.Fatalf("scale %q: got %v want %v", name, g2.ActScales[name], v)
+		}
+	}
+
+	plain := models.SqueezeNetV11()
+	buf.Reset()
+	if err := Save(plain, &buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.ActScales != nil {
+		t.Fatalf("uncalibrated graph round-tripped %d scales", len(p2.ActScales))
+	}
+}
+
 const tinyJSON = `{
   "name": "tiny",
   "inputs": ["data"],

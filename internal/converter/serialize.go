@@ -11,15 +11,18 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"mnn/internal/graph"
 	"mnn/internal/tensor"
 )
 
-// Magic and version of the binary format.
+// Magic and version of the binary format. Version 2 appends the calibrated
+// activation-scale table (quant.Calibrate) after the weights; version-1
+// files load fine with no scales.
 const (
 	Magic   = 0x4D4E4E47 // "MNNG"
-	Version = 1
+	Version = 2
 )
 
 type writer struct {
@@ -182,6 +185,19 @@ func Save(g *graph.Graph, out io.Writer) error {
 			return fmt.Errorf("converter: cannot serialize dtype %v", t.DType())
 		}
 	}
+
+	// Calibrated activation scales (version 2), in sorted order for
+	// deterministic output.
+	scaleNames := make([]string, 0, len(g.ActScales))
+	for name := range g.ActScales {
+		scaleNames = append(scaleNames, name)
+	}
+	sort.Strings(scaleNames)
+	w.u32(uint32(len(scaleNames)))
+	for _, name := range scaleNames {
+		w.str(name)
+		w.f32(g.ActScales[name])
+	}
 	if w.err != nil {
 		return w.err
 	}
@@ -193,13 +209,7 @@ func sortedWeightNames(g *graph.Graph) []string {
 	for name := range g.Weights {
 		names = append(names, name)
 	}
-	// insertion sort (small n, avoids importing sort for one call site —
-	// kept simple and allocation-free)
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && names[j] < names[j-1]; j-- {
-			names[j], names[j-1] = names[j-1], names[j]
-		}
-	}
+	sort.Strings(names)
 	return names
 }
 
@@ -212,8 +222,9 @@ func Load(in io.Reader) (*graph.Graph, error) {
 		}
 		return nil, fmt.Errorf("converter: bad magic %#x", m)
 	}
-	if v := r.u32(); v != Version {
-		return nil, fmt.Errorf("converter: unsupported version %d", v)
+	version := r.u32()
+	if version < 1 || version > Version {
+		return nil, fmt.Errorf("converter: unsupported version %d", version)
 	}
 	g := graph.New(r.str())
 	g.InputNames = r.strs()
@@ -254,6 +265,9 @@ func Load(in io.Reader) (*graph.Graph, error) {
 		if r.err != nil {
 			return nil, r.err
 		}
+		if err := checkWeightShape(name, shape); err != nil {
+			return nil, err
+		}
 		switch dt {
 		case tensor.Float32:
 			t := tensor.New(shape...)
@@ -277,6 +291,23 @@ func Load(in io.Reader) (*graph.Graph, error) {
 			return nil, fmt.Errorf("converter: weight %q has unsupported dtype %v", name, dt)
 		}
 	}
+
+	if version >= 2 {
+		nScales := r.u32()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if nScales > 1<<20 {
+			return nil, fmt.Errorf("converter: activation-scale count %d too large", nScales)
+		}
+		if nScales > 0 {
+			g.ActScales = make(map[string]float32, nScales)
+			for i := uint32(0); i < nScales; i++ {
+				name := r.str()
+				g.ActScales[name] = r.f32()
+			}
+		}
+	}
 	if r.err != nil {
 		return nil, r.err
 	}
@@ -284,6 +315,23 @@ func Load(in io.Reader) (*graph.Graph, error) {
 		return nil, fmt.Errorf("converter: loaded graph invalid: %w", err)
 	}
 	return g, nil
+}
+
+// checkWeightShape rejects corrupt weight shapes before tensor allocation:
+// negative dims would panic makeslice and absurd element counts would OOM
+// on untrusted model files.
+func checkWeightShape(name string, shape []int) error {
+	elems := int64(1)
+	for _, d := range shape {
+		if d < 0 {
+			return fmt.Errorf("converter: weight %q has negative dim in shape %v", name, shape)
+		}
+		elems *= int64(d)
+		if elems > 1<<28 {
+			return fmt.Errorf("converter: weight %q shape %v too large", name, shape)
+		}
+	}
+	return nil
 }
 
 func writeAttrs(w *writer, n *graph.Node) {

@@ -68,6 +68,24 @@ type ConvDecision struct {
 	CostPerPixel float64
 }
 
+// Int8ConvSupported reports whether the prepared int8 kernel set covers a
+// convolution decision: depthwise convolutions, and group-1 convolutions
+// whose scheme lowers to a GEMM (1×1 Strassen, im2col). Winograd- and
+// sliding-scheme convolutions stay fp32 — Winograd's algorithmic savings
+// (2–4× fewer multiplies) dwarf what the int8 GEMM wins per multiply, and
+// sliding shapes are too small to amortize quantization. Both the offline
+// int8 planner (optimizer.PlanInt8) and the CPU backend's dispatch consult
+// this single predicate so the partition can never drift between them.
+func Int8ConvSupported(a *graph.Conv2DAttrs, dec ConvDecision) bool {
+	if a.IsDepthwise() {
+		return true
+	}
+	if a.Group > 1 {
+		return false
+	}
+	return dec.Scheme == SchemeStrassen1x1 || dec.Scheme == SchemeIm2col
+}
+
 // winoTileCandidates are the output tile sizes considered for n̂ (Eq. 2).
 // MNN's implementation bounds the transform size; beyond n=6 the float32
 // transforms lose too much precision to be useful.

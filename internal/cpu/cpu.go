@@ -42,6 +42,22 @@ type Config struct {
 	// the backend create (and own) one sized to Threads; either way Close
 	// releases it.
 	Pool *sched.Pool
+	// Int8 enables the quantized execution path: eligible convolutions
+	// (core.Int8ConvSupported) and fully-connected layers run the prepared
+	// int8 kernels; everything else falls back to fp32 transparently.
+	Int8 bool
+	// QuantPlan optionally restricts which nodes run int8 (the
+	// optimizer.PlanInt8 partition, keyed by node name); nil quantizes every
+	// eligible node.
+	QuantPlan map[string]bool
+	// ActScales maps activation tensor name → calibrated scale
+	// (quant.Calibrate). Int8 kernels whose input has no entry derive a
+	// per-sample max-abs scale at run time instead.
+	ActScales map[string]float32
+	// NonNegActs marks activation tensors proven non-negative by the int8
+	// planner's dataflow pass; int8 kernels consuming them quantize unsigned
+	// (restoring the GEMM's zero skip on post-ReLU sparsity).
+	NonNegActs map[string]bool
 }
 
 // Backend is the CPU implementation of the Figure 5 interface.

@@ -57,6 +57,12 @@ func (b *Backend) NodeWorkspaceFloats(n *graph.Node, inputShapes, outputShapes [
 		}
 		ic, oc := in0[1], out0[1]
 		N, OH, OW := out0[0], out0[2], out0[3]
+		if b.int8Node(n) && core.Int8ConvSupported(a, dec) {
+			if a.IsDepthwise() {
+				return kernels.QuantDepthwiseWorkspaceFloats(in0[2], in0[3], lanes)
+			}
+			return kernels.QuantConvWorkspaceFloats(a, ic, oc, OH, OW)
+		}
 		switch dec.Scheme {
 		case core.SchemeWinograd:
 			return kernels.WinogradWorkspaceFloats(a, dec.TileH, dec.TileW, ic, oc, lanes)
@@ -77,10 +83,17 @@ func (b *Backend) NodeWorkspaceFloats(n *graph.Node, inputShapes, outputShapes [
 
 	case graph.OpInnerProduct:
 		// NC4HW4 inputs are unpacked into a flat [batch, features] matrix.
+		staging := 0
 		if len(in0) == 4 {
-			return tensor.NumElements(in0)
+			staging = tensor.NumElements(in0)
 		}
-		return 0
+		if b.int8Node(n) {
+			a := n.Attrs.(*graph.InnerProductAttrs)
+			batch := in0[0]
+			features := tensor.NumElements(in0) / batch
+			return staging + kernels.QuantInnerProductWorkspaceFloats(batch, features, a.OutputCount)
+		}
+		return staging
 
 	case graph.OpSoftmax:
 		// NC4HW4 inputs stage through NCHW in/out temporaries.
@@ -109,6 +122,21 @@ func (b *Backend) NodeWorkspaceFloats(n *graph.Node, inputShapes, outputShapes [
 		return total
 	}
 	return 0
+}
+
+// int8Node reports whether the quantized path applies to a node: the
+// backend runs int8 and the plan (when present) includes the node.
+func (b *Backend) int8Node(n *graph.Node) bool {
+	return b.cfg.Int8 && (b.cfg.QuantPlan == nil || b.cfg.QuantPlan[n.Name])
+}
+
+// actScale resolves the calibrated scale of a node's first input (0 = none,
+// kernels fall back to per-sample dynamic scales).
+func (b *Backend) actScale(n *graph.Node) float32 {
+	if len(n.Inputs) == 0 {
+		return 0
+	}
+	return b.cfg.ActScales[n.Inputs[0]]
 }
 
 // carveTensor wraps the next PhysicalLen floats of buf as a tensor and
@@ -264,6 +292,9 @@ func (b *Backend) OnCreate(n *graph.Node, inputs, outputs []*tensor.Tensor, weig
 		if weight.Rank() != 2 {
 			w2 = weight.Reshape(a.OutputCount, features)
 		}
+		if b.int8Node(n) {
+			return b.createQuantInnerProduct(n, in, out, w2, bias, a)
+		}
 		ip := kernels.PrepareInnerProduct(w2, bias, a)
 		muls := int64(batch) * int64(features) * int64(a.OutputCount)
 		if in.Layout() == tensor.NC4HW4 {
@@ -371,6 +402,10 @@ func (b *Backend) createConv(n *graph.Node, in, out *tensor.Tensor, weights back
 	}
 	pool := b.pool
 	lanes := pool.Lanes()
+
+	if b.int8Node(n) && core.Int8ConvSupported(a, dec) {
+		return b.createQuantConv(n, in, out, weight, bias, dec)
+	}
 
 	switch dec.Scheme {
 	case core.SchemeWinograd:

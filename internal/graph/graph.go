@@ -27,6 +27,12 @@ type Graph struct {
 	// InputNames / OutputNames define the session interface.
 	InputNames  []string
 	OutputNames []string
+	// ActScales holds calibrated per-tensor activation scales (symmetric
+	// int8: real ≈ q·scale), keyed by activation tensor name. Populated by
+	// quant.Calibrate, persisted by the converter, and consumed by the int8
+	// execution path; nil/missing entries make quantized kernels fall back
+	// to dynamic per-sample scales.
+	ActScales map[string]float32
 }
 
 // New creates an empty named graph.
@@ -272,6 +278,12 @@ func (g *Graph) Clone() *Graph {
 	out.OutputNames = append([]string(nil), g.OutputNames...)
 	for k, v := range g.Weights {
 		out.Weights[k] = v
+	}
+	if g.ActScales != nil {
+		out.ActScales = make(map[string]float32, len(g.ActScales))
+		for k, v := range g.ActScales {
+			out.ActScales[k] = v
+		}
 	}
 	for _, n := range g.Nodes {
 		out.Nodes = append(out.Nodes, cloneNode(n))

@@ -100,6 +100,64 @@ func TestConvKernelsZeroAllocAfterPrepare(t *testing.T) {
 	}
 }
 
+// TestQuantKernelsZeroAllocAfterPrepare: every prepared int8 kernel must be
+// allocation-free after Prepare when handed its planned workspace — in both
+// scale modes (calibrated and dynamic per-sample) and both quantization
+// modes (signed and unsigned).
+func TestQuantKernelsZeroAllocAfterPrepare(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		pool := testPool(t, threads)
+		lanes := pool.Lanes()
+		for _, inputScale := range []float32{0, 0.01} {
+			mode := "dynamic"
+			if inputScale > 0 {
+				mode = "calibrated"
+			}
+
+			t.Run(fmt.Sprintf("quantconv/t%d/%s", threads, mode), func(t *testing.T) {
+				a := &graph.Conv2DAttrs{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1,
+					PadH: 1, PadW: 1, Group: 1, InputCount: 16, OutputCount: 16, ReLU: true}
+				w := tensor.NewRandom(21, 0.2, 16, 16, 3, 3)
+				qc := PrepareQuantConv(w, nil, a, inputScale)
+				qc.Unsigned = inputScale > 0
+				src := tensor.NewWithLayout(tensor.NC4HW4, 1, 16, 24, 24)
+				tensor.FillRandom(src, 22, 1)
+				dst := tensor.NewWithLayout(tensor.NC4HW4, 1, 16, 24, 24)
+				ws := make([]float32, qc.WorkspaceSize(24, 24))
+				assertZeroAllocs(t, "QuantConv.Run",
+					func() { qc.Run(dst, src, pool, ws) },
+					func() { qc.Run(dst, src, pool, ws) })
+			})
+
+			t.Run(fmt.Sprintf("quantdepthwise/t%d/%s", threads, mode), func(t *testing.T) {
+				a := &graph.Conv2DAttrs{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1,
+					PadH: 1, PadW: 1, Group: 16, InputCount: 16, OutputCount: 16, ReLU6: true}
+				w := tensor.NewRandom(23, 0.2, 16, 1, 3, 3)
+				dc := PrepareQuantDepthwise(w, nil, a, inputScale)
+				src := tensor.NewWithLayout(tensor.NC4HW4, 1, 16, 24, 24)
+				tensor.FillRandom(src, 24, 1)
+				dst := tensor.NewWithLayout(tensor.NC4HW4, 1, 16, 24, 24)
+				ws := make([]float32, QuantDepthwiseWorkspaceFloats(24, 24, lanes))
+				assertZeroAllocs(t, "QuantDepthwiseConv.Run",
+					func() { dc.Run(dst, src, pool, ws) },
+					func() { dc.Run(dst, src, pool, ws) })
+			})
+
+			t.Run(fmt.Sprintf("quantfc/t%d/%s", threads, mode), func(t *testing.T) {
+				ip := PrepareQuantInnerProduct(tensor.NewRandom(25, 0.2, 10, 64), nil,
+					&graph.InnerProductAttrs{OutputCount: 10}, inputScale)
+				ip.Unsigned = inputScale > 0
+				flat := tensor.NewRandom(26, 1, 2, 64)
+				out := tensor.New(2, 10)
+				ws := make([]float32, QuantInnerProductWorkspaceFloats(2, 64, 10))
+				assertZeroAllocs(t, "QuantInnerProduct.Run",
+					func() { ip.Run(out, flat, pool, ws) },
+					func() { ip.Run(out, flat, pool, ws) })
+			})
+		}
+	}
+}
+
 func TestPreparedOpsZeroAlloc(t *testing.T) {
 	pool := testPool(t, 4)
 	src := tensor.NewWithLayout(tensor.NC4HW4, 1, 16, 16, 16)

@@ -1,0 +1,353 @@
+package matmul
+
+// Int8 GEMM for the quantized inference path (paper Section 3.1): symmetric
+// int8 operands, int32 accumulation, requantization done by the caller.
+//
+// A scalar CPU gives int8 no free speed: one int32 multiply costs the same
+// issue slot as one float32 multiply (and on most x86 cores integer multiply
+// has *half* the throughput of float multiply). The kernel therefore packs
+// two columns per 64-bit word and multiplies both with a single integer
+// multiply — the SWAR analogue of the SMLAL/SDOT pairing the paper's NEON
+// int8 kernels use:
+//
+//	both operands are biased to unsigned (a+128 ∈ [0,255], b+128 ∈ [0,255]),
+//	so every partial product fits in 17 bits and two column accumulators can
+//	share one uint64 (bits 0..31 and 32..63) without cross-lane carries for
+//	K up to 66051. The bias is undone at the end with the row/column sums:
+//	Σ(a+128)(b+128) = Σab + 128·ΣA + 128·ΣB + 16384·K.
+//
+// Column sums are precomputed at pack time (weights never change); row sums
+// are one cheap prepass over the activation block into a caller-provided
+// scratch. Accumulation is exact integer arithmetic, so results are
+// bitwise-identical to the reference GEMM under any chunking.
+const PanelWidthInt8 = 16 // columns per packed panel (8 uint64 words per K step)
+
+// maxSWARDepth is the largest K for which the biased dual-lane accumulation
+// cannot overflow a 32-bit lane: 255·255·K ≤ 2^32−1 ⇒ K ≤ 66051.
+const maxSWARDepth = 66051
+
+// PackedBInt8 is a pre-packed right-hand int8 GEMM operand: the K×N
+// row-major matrix rearranged into ceil(N/PanelWidthInt8) panels whose rows
+// hold 8 uint64 words of two biased 16→32-bit column lanes each, plus the
+// per-column sums the bias correction needs. Quantized weights are packed
+// once at pre-inference time, so steady-state multiplies are allocation-free.
+type PackedBInt8 struct {
+	K, N    int
+	data    []uint64
+	colSums []int32 // Σ_p b[p][j], padded to the panel grid
+	raw     []int8  // original row-major matrix, for the fallback path
+}
+
+// PackBInt8 packs the row-major k×n int8 matrix b.
+func PackBInt8(b []int8, k, n int) *PackedBInt8 {
+	if len(b) < k*n {
+		panic("matmul: PackBInt8 buffer too small for declared dimensions")
+	}
+	words := PanelWidthInt8 / 2
+	panels := (n + PanelWidthInt8 - 1) / PanelWidthInt8
+	pb := &PackedBInt8{
+		K: k, N: n,
+		data:    make([]uint64, panels*k*words),
+		colSums: make([]int32, panels*PanelWidthInt8),
+		// Own a copy: the fallback path must not read through a caller
+		// buffer that may be reused after packing.
+		raw: append([]int8(nil), b[:k*n]...),
+	}
+	for jp := 0; jp < panels; jp++ {
+		j0 := jp * PanelWidthInt8
+		for p := 0; p < k; p++ {
+			row := pb.data[(jp*k+p)*words : (jp*k+p+1)*words]
+			for w := 0; w < words; w++ {
+				var lo, hi int32 // biased lanes; columns past n stay 0 (bias -128)
+				if j := j0 + 2*w; j < n {
+					lo = int32(b[p*n+j]) + 128
+					pb.colSums[j] += int32(b[p*n+j])
+				}
+				if j := j0 + 2*w + 1; j < n {
+					hi = int32(b[p*n+j]) + 128
+					pb.colSums[j] += int32(b[p*n+j])
+				}
+				row[w] = uint64(uint32(lo)) | uint64(uint32(hi))<<32
+			}
+		}
+	}
+	return pb
+}
+
+// MulInt8Ref computes the reference int8×int8→int32 GEMM dst = a·b with
+// int32 accumulation: a is m×k, b is k×n, both row-major. It is the oracle
+// the packed kernel (and the fuzz suite) verifies against.
+func MulInt8Ref(dst []int32, a, b []int8, m, k, n int) {
+	if len(a) < m*k || len(b) < k*n || len(dst) < m*n {
+		panic("matmul: MulInt8Ref buffer too small for declared dimensions")
+	}
+	for i := 0; i < m; i++ {
+		di := dst[i*n : (i+1)*n]
+		for j := range di {
+			di[j] = 0
+		}
+		ai := a[i*k : (i+1)*k]
+		for p, av := range ai {
+			if av == 0 {
+				continue
+			}
+			avi := int32(av)
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				di[j] += avi * int32(bv)
+			}
+		}
+	}
+}
+
+// Int8GemmScratch returns the int32 scratch length MulInto needs for an
+// m-row multiply (the row-sum prepass buffer).
+func Int8GemmScratch(m int) int { return m }
+
+// MulInto computes dst = a·B for the m×K row-major int8 a, writing the m×N
+// row-major int32 product. rowSums must provide at least Int8GemmScratch(m)
+// int32 elements of scratch (planner-backed in prepared kernels; its
+// contents are overwritten). The result is bitwise-identical to MulInt8Ref
+// regardless of row chunking, so prepared kernels may split m across worker
+// chunks without affecting the batched≡unbatched serving guarantee.
+func (pb *PackedBInt8) MulInto(dst []int32, a []int8, m int, rowSums []int32) {
+	k, n := pb.K, pb.N
+	if len(a) < m*k || len(dst) < m*n {
+		panic("matmul: buffer too small for declared dimensions")
+	}
+	if k < PanelWidthInt8 || k > maxSWARDepth {
+		// Too shallow to amortize the micro-kernel setup (an ic=3 stem
+		// layer), or deep enough to overflow the packed lanes; the direct
+		// kernel handles both and is exactly equal.
+		MulInt8Ref(dst, a, pb.raw, m, k, n)
+		return
+	}
+	if len(rowSums) < m {
+		panic("matmul: int8 GEMM rowSums scratch too small (need Int8GemmScratch(m))")
+	}
+	// Row-sum prepass for the bias correction: one pass over the block.
+	for i := 0; i < m; i++ {
+		ai := a[i*k : (i+1)*k]
+		var s int32
+		for _, v := range ai {
+			s += int32(v)
+		}
+		rowSums[i] = s
+	}
+	const words = PanelWidthInt8 / 2
+	biasK := int64(16384) * int64(k) // 128·128·K term of the bias correction
+	panels := (n + PanelWidthInt8 - 1) / PanelWidthInt8
+	var acc [2 * words]uint64
+	for jp := 0; jp < panels; jp++ {
+		j0 := jp * PanelWidthInt8
+		lim := n - j0
+		if lim > PanelWidthInt8 {
+			lim = PanelWidthInt8
+		}
+		panel := pb.data[jp*k*words : (jp+1)*k*words]
+		cs := pb.colSums[j0 : j0+PanelWidthInt8]
+		i := 0
+		// 2×16 blocking with explicit accumulator locals so they stay in
+		// registers: two rows of a share each streamed panel line, and each
+		// uint64 multiply-accumulate advances two columns of one row.
+		for ; i+2 <= m; i += 2 {
+			a0 := a[i*k : (i+1)*k]
+			a1 := a[(i+1)*k : (i+2)*k]
+			var c00, c01, c02, c03, c04, c05, c06, c07 uint64
+			var c10, c11, c12, c13, c14, c15, c16, c17 uint64
+			for p := 0; p < k; p++ {
+				av0 := uint64(uint32(int32(a0[p]) + 128))
+				av1 := uint64(uint32(int32(a1[p]) + 128))
+				bp := panel[p*words : p*words+words : p*words+words]
+				v0, v1, v2, v3 := bp[0], bp[1], bp[2], bp[3]
+				v4, v5, v6, v7 := bp[4], bp[5], bp[6], bp[7]
+				c00 += av0 * v0
+				c01 += av0 * v1
+				c02 += av0 * v2
+				c03 += av0 * v3
+				c04 += av0 * v4
+				c05 += av0 * v5
+				c06 += av0 * v6
+				c07 += av0 * v7
+				c10 += av1 * v0
+				c11 += av1 * v1
+				c12 += av1 * v2
+				c13 += av1 * v3
+				c14 += av1 * v4
+				c15 += av1 * v5
+				c16 += av1 * v6
+				c17 += av1 * v7
+			}
+			acc[0], acc[1], acc[2], acc[3] = c00, c01, c02, c03
+			acc[4], acc[5], acc[6], acc[7] = c04, c05, c06, c07
+			unbias(dst[i*n+j0:], acc[:words], rowSums[i], cs, biasK, lim)
+			acc[0], acc[1], acc[2], acc[3] = c10, c11, c12, c13
+			acc[4], acc[5], acc[6], acc[7] = c14, c15, c16, c17
+			unbias(dst[(i+1)*n+j0:], acc[:words], rowSums[i+1], cs, biasK, lim)
+		}
+		for ; i < m; i++ {
+			ai := a[i*k : (i+1)*k]
+			var c0, c1, c2, c3, c4, c5, c6, c7 uint64
+			for p := 0; p < k; p++ {
+				av := uint64(uint32(int32(ai[p]) + 128))
+				bp := panel[p*words : p*words+words : p*words+words]
+				c0 += av * bp[0]
+				c1 += av * bp[1]
+				c2 += av * bp[2]
+				c3 += av * bp[3]
+				c4 += av * bp[4]
+				c5 += av * bp[5]
+				c6 += av * bp[6]
+				c7 += av * bp[7]
+			}
+			acc[0], acc[1], acc[2], acc[3] = c0, c1, c2, c3
+			acc[4], acc[5], acc[6], acc[7] = c4, c5, c6, c7
+			unbias(dst[i*n+j0:], acc[:words], rowSums[i], cs, biasK, lim)
+		}
+	}
+}
+
+// unbias splits the dual-lane accumulators back into columns and removes the
+// +128 operand biases: true = lane − 128·ΣA − 128·ΣB_j − 16384·K.
+func unbias(dst []int32, acc []uint64, rowSum int32, colSums []int32, biasK int64, lim int) {
+	rowTerm := biasK + 128*int64(rowSum)
+	for j := 0; j < lim; j++ {
+		lane := uint32(acc[j/2] >> (uint(j&1) * 32))
+		dst[j] = int32(int64(lane) - rowTerm - 128*int64(colSums[j]))
+	}
+}
+
+// MulIntoU8 is MulInto for a non-negative left operand: a holds unsigned
+// byte values (0..255), the case of every post-ReLU activation tensor. With
+// a ≥ 0 only the right operand needs the +128 bias, so a zero activation
+// contributes exactly zero to every lane — the correlated-zero skip of the
+// float32 kernel works again (quantized post-ReLU activations keep their
+// exact zeros, and sparsity is precisely why int8 GEMM pays off), and the
+// bias correction shrinks to the row sums: true = lane − 128·Σa_row.
+// Results are bitwise-identical to MulInt8Ref on the widened values under
+// any row chunking.
+func (pb *PackedBInt8) MulIntoU8(dst []int32, a []uint8, m int, rowSums []int32) {
+	k, n := pb.K, pb.N
+	if len(a) < m*k || len(dst) < m*n {
+		panic("matmul: buffer too small for declared dimensions")
+	}
+	if k < PanelWidthInt8 || k > maxSWARDepth {
+		mulU8Ref(dst, a, pb.raw, m, k, n)
+		return
+	}
+	if len(rowSums) < m {
+		panic("matmul: int8 GEMM rowSums scratch too small (need Int8GemmScratch(m))")
+	}
+	for i := 0; i < m; i++ {
+		ai := a[i*k : (i+1)*k]
+		var s int32
+		for _, v := range ai {
+			s += int32(v)
+		}
+		rowSums[i] = s
+	}
+	const words = PanelWidthInt8 / 2
+	panels := (n + PanelWidthInt8 - 1) / PanelWidthInt8
+	var acc [words]uint64
+	for jp := 0; jp < panels; jp++ {
+		j0 := jp * PanelWidthInt8
+		lim := n - j0
+		if lim > PanelWidthInt8 {
+			lim = PanelWidthInt8
+		}
+		panel := pb.data[jp*k*words : (jp+1)*k*words]
+		i := 0
+		for ; i+2 <= m; i += 2 {
+			a0 := a[i*k : (i+1)*k]
+			a1 := a[(i+1)*k : (i+2)*k]
+			var c00, c01, c02, c03, c04, c05, c06, c07 uint64
+			var c10, c11, c12, c13, c14, c15, c16, c17 uint64
+			for p := 0; p < k; p++ {
+				av0 := uint64(a0[p])
+				av1 := uint64(a1[p])
+				if av0|av1 == 0 {
+					continue
+				}
+				bp := panel[p*words : p*words+words : p*words+words]
+				v0, v1, v2, v3 := bp[0], bp[1], bp[2], bp[3]
+				v4, v5, v6, v7 := bp[4], bp[5], bp[6], bp[7]
+				c00 += av0 * v0
+				c01 += av0 * v1
+				c02 += av0 * v2
+				c03 += av0 * v3
+				c04 += av0 * v4
+				c05 += av0 * v5
+				c06 += av0 * v6
+				c07 += av0 * v7
+				c10 += av1 * v0
+				c11 += av1 * v1
+				c12 += av1 * v2
+				c13 += av1 * v3
+				c14 += av1 * v4
+				c15 += av1 * v5
+				c16 += av1 * v6
+				c17 += av1 * v7
+			}
+			acc[0], acc[1], acc[2], acc[3] = c00, c01, c02, c03
+			acc[4], acc[5], acc[6], acc[7] = c04, c05, c06, c07
+			unbiasU8(dst[i*n+j0:], acc[:], rowSums[i], lim)
+			acc[0], acc[1], acc[2], acc[3] = c10, c11, c12, c13
+			acc[4], acc[5], acc[6], acc[7] = c14, c15, c16, c17
+			unbiasU8(dst[(i+1)*n+j0:], acc[:], rowSums[i+1], lim)
+		}
+		for ; i < m; i++ {
+			ai := a[i*k : (i+1)*k]
+			var c0, c1, c2, c3, c4, c5, c6, c7 uint64
+			for p := 0; p < k; p++ {
+				av := uint64(ai[p])
+				if av == 0 {
+					continue
+				}
+				bp := panel[p*words : p*words+words : p*words+words]
+				c0 += av * bp[0]
+				c1 += av * bp[1]
+				c2 += av * bp[2]
+				c3 += av * bp[3]
+				c4 += av * bp[4]
+				c5 += av * bp[5]
+				c6 += av * bp[6]
+				c7 += av * bp[7]
+			}
+			acc[0], acc[1], acc[2], acc[3] = c0, c1, c2, c3
+			acc[4], acc[5], acc[6], acc[7] = c4, c5, c6, c7
+			unbiasU8(dst[i*n+j0:], acc[:], rowSums[i], lim)
+		}
+	}
+}
+
+// unbiasU8 removes the right-operand bias of the unsigned-A path:
+// true = lane − 128·Σa_row.
+func unbiasU8(dst []int32, acc []uint64, rowSum int32, lim int) {
+	rowTerm := 128 * int64(rowSum)
+	for j := 0; j < lim; j++ {
+		lane := uint32(acc[j/2] >> (uint(j&1) * 32))
+		dst[j] = int32(int64(lane) - rowTerm)
+	}
+}
+
+// mulU8Ref is the reference unsigned-A × signed-B GEMM for the shapes the
+// SWAR kernel does not cover.
+func mulU8Ref(dst []int32, a []uint8, b []int8, m, k, n int) {
+	for i := 0; i < m; i++ {
+		di := dst[i*n : (i+1)*n]
+		for j := range di {
+			di[j] = 0
+		}
+		ai := a[i*k : (i+1)*k]
+		for p, av := range ai {
+			if av == 0 {
+				continue
+			}
+			avi := int32(av)
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				di[j] += avi * int32(bv)
+			}
+		}
+	}
+}

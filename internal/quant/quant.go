@@ -1,7 +1,24 @@
-// Package quant implements the post-training model quantization that the
-// paper's offline converter applies (Section 3.1): symmetric per-tensor
-// int8 quantization of convolution and fully-connected weights for 4×
-// model-size compression, plus an int8 GEMM kernel for quantized execution.
+// Package quant implements the paper's Section 3.1 model quantization, both
+// halves of it:
+//
+//   - the offline tool: symmetric per-tensor int8 quantization of
+//     convolution and fully-connected weights (QuantizeWeights) for 4×
+//     model-size compression, and a calibration pass (Calibrate) that runs
+//     sample inputs through an fp32 session and records per-tensor
+//     activation scales into the graph, where the converter persists them;
+//
+//   - the runtime contract: engines opened with int8 precision
+//     (mnn.WithPrecision) execute calibrated graphs on the prepared int8
+//     kernels in internal/kernels (im2col conv, depthwise conv and FC over
+//     the packed int8 GEMM in internal/matmul), quantizing activations at
+//     kernel entry with the calibrated scales — or per-sample max-abs when
+//     a tensor was never calibrated — and requantizing fused with bias and
+//     activation on the way out. Operators without an int8 kernel fall back
+//     to fp32 transparently (optimizer.PlanInt8 decides the partition).
+//
+// QuantizedConv in this package is the self-contained reference form of the
+// quantized convolution; the engine path uses the pooled, planner-backed
+// kernels instead.
 package quant
 
 import (
@@ -13,7 +30,8 @@ import (
 )
 
 // QuantizeTensor converts a float32 tensor to symmetric int8:
-// q = round(x / scale) with scale = maxAbs/127.
+// q = round(x / scale) with scale = tensor.QuantScale(maxAbs) — maxAbs/127,
+// where an all-zero tensor keeps scale 1 so exact zeros round-trip exactly.
 func QuantizeTensor(t *tensor.Tensor) *tensor.Tensor {
 	d := t.Data()
 	var maxAbs float64
@@ -23,10 +41,7 @@ func QuantizeTensor(t *tensor.Tensor) *tensor.Tensor {
 			maxAbs = a
 		}
 	}
-	scale := float32(maxAbs / 127)
-	if scale == 0 {
-		scale = 1
-	}
+	scale := tensor.QuantScale(maxAbs)
 	q := tensor.NewInt8(tensor.QuantParams{Scale: scale}, t.Shape()...)
 	qd := q.Int8Data()
 	for i, v := range d {
@@ -42,18 +57,14 @@ func QuantizeTensor(t *tensor.Tensor) *tensor.Tensor {
 	return q
 }
 
-// Dequantize converts an int8 tensor back to float32.
-func Dequantize(q *tensor.Tensor) *tensor.Tensor {
-	if q.DType() != tensor.Int8 {
-		panic("quant: Dequantize on non-int8 tensor")
+// Dequantize converts an int8 tensor back to float32. Non-int8 input is an
+// error, not a panic: the model-load path feeds this untrusted data.
+func Dequantize(q *tensor.Tensor) (*tensor.Tensor, error) {
+	t, err := q.Dequantize()
+	if err != nil {
+		return nil, fmt.Errorf("quant: %w", err)
 	}
-	out := tensor.New(q.Shape()...)
-	scale := q.Quant.Scale
-	d := out.Data()
-	for i, v := range q.Int8Data() {
-		d[i] = float32(v) * scale
-	}
-	return out
+	return t, nil
 }
 
 // QuantizeWeights replaces every Conv2D/InnerProduct filter in the graph
@@ -84,10 +95,16 @@ func QuantizeWeights(g *graph.Graph) (count int, savedBytes int64) {
 func DequantizeWeights(g *graph.Graph) int {
 	count := 0
 	for name, w := range g.Weights {
-		if w.DType() == tensor.Int8 {
-			g.Weights[name] = Dequantize(w)
-			count++
+		if w.DType() != tensor.Int8 {
+			continue
 		}
+		d, err := Dequantize(w)
+		if err != nil {
+			// Unreachable: guarded by the dtype check above.
+			continue
+		}
+		g.Weights[name] = d
+		count++
 	}
 	return count
 }
@@ -95,7 +112,12 @@ func DequantizeWeights(g *graph.Graph) int {
 // MaxQuantError returns the worst absolute error introduced by quantizing
 // and dequantizing t.
 func MaxQuantError(t *tensor.Tensor) float64 {
-	return tensor.MaxAbsDiff(t, Dequantize(QuantizeTensor(t)))
+	d, err := Dequantize(QuantizeTensor(t))
+	if err != nil {
+		// Unreachable: QuantizeTensor always yields int8.
+		panic(err)
+	}
+	return tensor.MaxAbsDiff(t, d)
 }
 
 // MulInt8 computes the int8×int8→int32 GEMM dst = a·b with int32

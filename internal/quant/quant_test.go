@@ -18,17 +18,45 @@ func TestQuantizeRoundTripError(t *testing.T) {
 	}
 }
 
+// TestQuantizeZeroTensor pins the zero-scale handling: an exact-zero tensor
+// quantizes at scale 1 (not 0) and round-trips back to exact zeros.
 func TestQuantizeZeroTensor(t *testing.T) {
 	z := tensor.New(4, 4)
 	q := QuantizeTensor(z)
 	if q.Quant.Scale != 1 {
-		t.Fatalf("zero tensor scale %v", q.Quant.Scale)
+		t.Fatalf("zero tensor scale %v, want 1 (scale 0 would lose the exact round trip)", q.Quant.Scale)
 	}
-	d := Dequantize(q)
+	for _, qv := range q.Int8Data() {
+		if qv != 0 {
+			t.Fatal("zero tensor must quantize to exact zeros")
+		}
+	}
+	d, err := Dequantize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, v := range d.Data() {
 		if v != 0 {
 			t.Fatal("zero tensor must stay zero")
 		}
+	}
+	if e := MaxQuantError(z); e != 0 {
+		t.Fatalf("zero tensor round-trip error %g, want exactly 0", e)
+	}
+}
+
+// TestDequantizeRejectsNonInt8 pins the error (not panic) contract on the
+// untrusted model-load path.
+func TestDequantizeRejectsNonInt8(t *testing.T) {
+	if _, err := Dequantize(tensor.New(2, 2)); err == nil {
+		t.Fatal("Dequantize(float32) must error")
+	}
+	if _, err := Dequantize(tensor.NewInt32(2, 2)); err == nil {
+		t.Fatal("Dequantize(int32) must error")
+	}
+	q := QuantizeTensor(tensor.NewRandom(1, 0.5, 2, 2))
+	if _, err := Dequantize(q); err != nil {
+		t.Fatalf("Dequantize(int8) must succeed: %v", err)
 	}
 }
 

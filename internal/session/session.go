@@ -12,7 +12,6 @@ import (
 	"mnn/internal/backend"
 	"mnn/internal/core"
 	"mnn/internal/graph"
-	"mnn/internal/quant"
 	"mnn/internal/tensor"
 )
 
@@ -43,6 +42,7 @@ type runStep struct {
 	copies []copyOp
 	exec   backend.Execution
 	node   *graph.Node
+	outs   []*tensor.Tensor // bound output tensors, for RunObserved
 }
 
 // Stats summarizes what pre-inference decided.
@@ -311,7 +311,11 @@ func (s *Session) prepare() error {
 		if d, ok := dequantized[name]; ok {
 			return d
 		}
-		d := quant.Dequantize(t)
+		d, err := t.Dequantize()
+		if err != nil {
+			// Unreachable: guarded by the dtype check above.
+			return t
+		}
 		dequantized[name] = d
 		return d
 	}
@@ -352,7 +356,7 @@ func (s *Session) prepare() error {
 		if err != nil {
 			return fmt.Errorf("session: node %q on %s: %w", n.Name, bk.Name(), err)
 		}
-		s.steps = append(s.steps, runStep{copies: copies, exec: exec, node: n})
+		s.steps = append(s.steps, runStep{copies: copies, exec: exec, node: n, outs: outs})
 	}
 
 	// ---- Bind graph inputs and outputs.
@@ -435,6 +439,15 @@ func ctxDone(ctx context.Context) (<-chan struct{}, error) {
 // ctx aborts the run before the next node and returns an error wrapping
 // ctx.Err(). A nil ctx behaves like context.Background().
 func (s *Session) Run(ctx context.Context) error {
+	return s.RunObserved(ctx, nil)
+}
+
+// RunObserved is Run with a per-node observation hook: after each node
+// executes, observe is called with the node and its bound output tensors
+// (still backend-resident, in the backend's preferred layout — read, don't
+// retain: the arena recycles them as the run proceeds). The calibration pass
+// uses this to record activation ranges without disabling memory reuse.
+func (s *Session) RunObserved(ctx context.Context, observe func(n *graph.Node, outputs []*tensor.Tensor)) error {
 	if s.cfg.NoPreparation {
 		if err := s.prepareFresh(); err != nil {
 			return err
@@ -447,8 +460,6 @@ func (s *Session) Run(ctx context.Context) error {
 	for _, b := range s.backends {
 		b.OnExecuteBegin()
 	}
-	// Keep begin/end balanced on every exit path (error, cancellation) so
-	// backends never stay mid-execute across runs.
 	defer func() {
 		for _, b := range s.backends {
 			b.OnExecuteEnd()
@@ -470,6 +481,9 @@ func (s *Session) Run(ctx context.Context) error {
 		}
 		if err := st.exec.Run(); err != nil {
 			return fmt.Errorf("session: node %q: %w", st.node.Name, err)
+		}
+		if observe != nil {
+			observe(st.node, st.outs)
 		}
 	}
 	return nil

@@ -270,6 +270,108 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	return &Tensor{shape: cloneInts(shape), layout: NCHW, dtype: t.dtype, f32: t.f32, i8: t.i8, i32: t.i32, Quant: t.Quant}
 }
 
+// MinNormalScale is the smallest normal float32 (0x1p-126), the floor for
+// symmetric int8 quantization scales: a subnormal scale loses mantissa
+// precision and breaks the error ≤ scale/2 round-trip bound.
+const MinNormalScale = 1.1754943508222875e-38
+
+// QuantScale derives the symmetric int8 quantization scale from a max-abs
+// range observation: maxAbs/127, where an all-zero range yields scale 1 (so
+// exact zeros round-trip exactly) and subnormal results clamp to
+// MinNormalScale. Every scale producer — the offline quantizer, the
+// calibration pass, and the runtime kernels' dynamic per-sample path — must
+// derive scales through this one function so calibrated and dynamic
+// quantization can never diverge on the same data.
+func QuantScale(maxAbs float64) float32 {
+	scale := float32(maxAbs / 127)
+	if scale == 0 {
+		return 1
+	}
+	if scale < MinNormalScale {
+		return MinNormalScale
+	}
+	return scale
+}
+
+// MaxAbs returns the largest absolute value among the logical elements of
+// t. NC4HW4 padding lanes are excluded: arena-backed buffers recycle bytes
+// across steps, so pad lanes can hold stale values that must not leak into
+// range observations (quantization scales, calibration).
+func (t *Tensor) MaxAbs() float64 {
+	if t.layout != NC4HW4 || len(t.shape) != 4 || t.shape[1]%Pack == 0 {
+		// No pad lanes: the physical buffer is exactly the logical content.
+		var m float32
+		for _, v := range t.f32 {
+			if v < 0 {
+				v = -v
+			}
+			if v > m {
+				m = v
+			}
+		}
+		return float64(m)
+	}
+	N, C, H, W := t.shape[0], t.shape[1], t.shape[2], t.shape[3]
+	c4 := UpDiv(C, Pack)
+	full := C / Pack // fully-used channel blocks
+	hw := H * W
+	var m float32
+	for n := 0; n < N; n++ {
+		base := n * c4 * hw * Pack
+		for _, v := range t.f32[base : base+full*hw*Pack] {
+			if v < 0 {
+				v = -v
+			}
+			if v > m {
+				m = v
+			}
+		}
+		rem := C - full*Pack
+		tail := t.f32[base+full*hw*Pack : base+c4*hw*Pack]
+		for p := 0; p < hw; p++ {
+			for l := 0; l < rem; l++ {
+				v := tail[p*Pack+l]
+				if v < 0 {
+					v = -v
+				}
+				if v > m {
+					m = v
+				}
+			}
+		}
+	}
+	return float64(m)
+}
+
+// Dequantize converts a symmetric int8 tensor back to a fresh float32
+// tensor using its Quant scale. It errors on non-int8 input (use the tensor
+// directly) so callers on the model-load path can reject corrupt data
+// instead of panicking.
+func (t *Tensor) Dequantize() (*Tensor, error) {
+	if t.dtype != Int8 {
+		return nil, fmt.Errorf("tensor: Dequantize on %s tensor (want int8)", t.dtype)
+	}
+	scale := float64(1)
+	if t.Quant != nil {
+		scale = float64(t.Quant.Scale)
+	}
+	out := New(t.shape...)
+	d := out.Data()
+	for i, v := range t.i8 {
+		// Compute in float64 and clamp: for a tensor whose max-abs sits at
+		// the top of the float32 range, 127·scale can round past MaxFloat32
+		// and a float32 multiply would overflow the round trip to ±Inf.
+		x := float64(v) * scale
+		if x > math.MaxFloat32 {
+			x = math.MaxFloat32
+		} else if x < -math.MaxFloat32 {
+			x = -math.MaxFloat32
+		}
+		d[i] = float32(x)
+	}
+	return out, nil
+}
+
 // Clone deep-copies the tensor.
 func (t *Tensor) Clone() *Tensor {
 	out := &Tensor{shape: cloneInts(t.shape), layout: t.layout, dtype: t.dtype}

@@ -268,6 +268,21 @@ func ParseJSONModel(r io.Reader) (*Graph, error) { return converter.ParseJSON(r)
 // returning the number of tensors quantized and bytes saved.
 func QuantizeWeights(g *Graph) (count int, savedBytes int64) { return quant.QuantizeWeights(g) }
 
+// Calibrate runs the sample inputs through an fp32 CPU session and records
+// symmetric per-tensor activation scales (max-abs observer) into the graph,
+// where SaveModel persists them. Engines opened from the calibrated graph
+// with WithPrecision(PrecisionInt8) then quantize activations with fixed
+// scales instead of deriving them per sample.
+func Calibrate(g *Graph, samples []map[string]*Tensor) (map[string]float32, error) {
+	return quant.Calibrate(g, samples)
+}
+
+// CalibrateSynthetic calibrates with n deterministic random samples shaped
+// from the graph's declared inputs (mnnconvert -calibrate).
+func CalibrateSynthetic(g *Graph, n int, seed uint64) (map[string]float32, error) {
+	return quant.CalibrateSynthetic(g, n, seed)
+}
+
 // PruneWeights magnitude-prunes conv/FC filters to the target sparsity
 // (the model-slimming tool of the paper's future work), returning the
 // achieved zero fraction.

@@ -20,6 +20,12 @@ type engineConfig struct {
 	poolSize    int
 	inputShapes map[string][]int
 	noPrep      bool
+	precision   Precision
+	// int8Plan, nonNegActs and actScales are derived from the graph at Open
+	// time when precision is int8 (optimizer.PlanInt8 / graph.ActScales).
+	int8Plan   map[string]bool
+	nonNegActs map[string]bool
+	actScales  map[string]float32
 }
 
 func defaultEngineConfig() engineConfig {
@@ -96,6 +102,58 @@ func WithPoolSize(n int) Option {
 		}
 		c.poolSize = n
 		return nil
+	}
+}
+
+// Precision selects the numeric precision engines execute in.
+type Precision int
+
+const (
+	// PrecisionFP32 is the default float32 execution.
+	PrecisionFP32 Precision = iota
+	// PrecisionInt8 runs eligible convolutions and fully-connected layers on
+	// the prepared int8 kernels (symmetric per-channel weight quantization,
+	// int32 accumulation), using calibrated activation scales when the model
+	// carries them (quant.Calibrate / mnnconvert -calibrate) and per-sample
+	// dynamic scales otherwise. Unsupported operators fall back to fp32.
+	PrecisionInt8
+)
+
+func (p Precision) String() string {
+	switch p {
+	case PrecisionFP32:
+		return "fp32"
+	case PrecisionInt8:
+		return "int8"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
+// WithPrecision selects the execution precision (default PrecisionFP32).
+// PrecisionInt8 requires the CPU backend: combined with an explicit GPU
+// forward type, Open fails with ErrUnknownBackend; with ForwardAuto the
+// engine simply schedules everything on the CPU.
+func WithPrecision(p Precision) Option {
+	return func(c *engineConfig) error {
+		if p < PrecisionFP32 || p > PrecisionInt8 {
+			return fmt.Errorf("mnn: WithPrecision(%d): unknown precision", p)
+		}
+		c.precision = p
+		return nil
+	}
+}
+
+// ParsePrecision maps a precision name ("fp32"/"float32", "int8",
+// case-insensitive) to its Precision, for CLI flags and the serving tier.
+func ParsePrecision(s string) (Precision, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "fp32", "float32", "float":
+		return PrecisionFP32, nil
+	case "int8", "i8":
+		return PrecisionInt8, nil
+	default:
+		return PrecisionFP32, fmt.Errorf("mnn: unknown precision %q (want fp32 or int8)", s)
 	}
 }
 

@@ -1,0 +1,122 @@
+package mnn_test
+
+// Engine-level precision plumbing: option validation, precision parsing for
+// CLI/serving flags, the CPU-only constraint of the int8 path, and the
+// model-file route (mnnconvert -quantize -calibrate → Open → int8 infer).
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"mnn"
+	"mnn/internal/tensor"
+)
+
+func TestParsePrecision(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want mnn.Precision
+		ok   bool
+	}{
+		{"fp32", mnn.PrecisionFP32, true},
+		{"FLOAT32", mnn.PrecisionFP32, true},
+		{"", mnn.PrecisionFP32, true},
+		{" int8 ", mnn.PrecisionInt8, true},
+		{"I8", mnn.PrecisionInt8, true},
+		{"int4", 0, false},
+		{"quantum", 0, false},
+	} {
+		got, err := mnn.ParsePrecision(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParsePrecision(%q): err=%v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParsePrecision(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if mnn.PrecisionFP32.String() != "fp32" || mnn.PrecisionInt8.String() != "int8" {
+		t.Errorf("Precision.String: %q, %q", mnn.PrecisionFP32, mnn.PrecisionInt8)
+	}
+}
+
+func TestWithPrecisionValidation(t *testing.T) {
+	if _, err := mnn.Open("squeezenet-v1.1", mnn.WithPrecision(mnn.Precision(42))); err == nil {
+		t.Fatal("unknown precision must fail Open")
+	}
+	// Int8 is CPU-only: an explicit GPU forward type is a config error...
+	_, err := mnn.Open("squeezenet-v1.1", mnn.WithPrecision(mnn.PrecisionInt8),
+		mnn.WithForwardType(mnn.ForwardMetal), mnn.WithDevice("MI6"))
+	if !errors.Is(err, mnn.ErrUnknownBackend) {
+		t.Fatalf("int8 + Metal: got %v, want ErrUnknownBackend", err)
+	}
+	// ...but ForwardAuto with a GPU-capable device just schedules on CPU.
+	eng, err := mnn.Open("squeezenet-v1.1", mnn.WithPrecision(mnn.PrecisionInt8),
+		mnn.WithDevice("MI6"), mnn.WithThreads(1),
+		mnn.WithInputShapes(map[string][]int{"data": {1, 3, 32, 32}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.Precision() != mnn.PrecisionInt8 {
+		t.Fatalf("engine precision %v", eng.Precision())
+	}
+	if _, err := eng.Infer(context.Background(), map[string]*mnn.Tensor{
+		"data": tensor.NewRandom(1, 1, 1, 3, 32, 32)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantizedModelFileInt8Infer drives the full offline→runtime loop the
+// README documents: build, calibrate, quantize weights, save; then Open the
+// file at int8 precision and infer within the conformance budget of the
+// original fp32 graph.
+func TestQuantizedModelFileInt8Infer(t *testing.T) {
+	g, err := mnn.BuildNetwork("squeezenet-v1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.NewRandom(3, 1, 1, 3, 64, 64)
+	shapes := map[string][]int{"data": {1, 3, 64, 64}}
+	ref, err := mnn.Open(g, mnn.WithThreads(1), mnn.WithInputShapes(shapes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want, err := ref.Infer(context.Background(), map[string]*mnn.Tensor{"data": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := mnn.Calibrate(g, []map[string]*mnn.Tensor{{"data": in}}); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := mnn.QuantizeWeights(g); n == 0 {
+		t.Fatal("no weights quantized")
+	}
+	path := filepath.Join(t.TempDir(), "sq-int8.mnng")
+	if err := mnn.SaveModelFile(g, path); err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := mnn.Open(path, mnn.WithThreads(1), mnn.WithInputShapes(shapes),
+		mnn.WithPrecision(mnn.PrecisionInt8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	got, err := eng.Infer(context.Background(), map[string]*mnn.Tensor{"data": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, w := range want {
+		// Weight quantization (offline) + activation quantization (runtime)
+		// both contribute here, so the budget is looser than the pure
+		// runtime conformance budget.
+		if d := tensor.MaxAbsDiff(w, got[name]); d > 5e-3 {
+			t.Errorf("output %q deviates %.3e from fp32 through the quantized model file", name, d)
+		}
+	}
+}

@@ -25,13 +25,22 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"mnn"
 	"mnn/internal/tensor"
 )
 
-// DatatypeFP32 is the only wire datatype the engine computes in.
+// DatatypeFP32 is the engine's native wire datatype: responses are always
+// FP32, requests usually are.
 const DatatypeFP32 = "FP32"
+
+// DatatypeINT8 is the quantized request datatype: data carries integer
+// values in [-127, 127] and the optional "scale" field dequantizes them
+// (real = value·scale, scale 1 when omitted). The engine computes on the
+// dequantized fp32 tensor — per-model int8 execution is selected at load
+// time with the "precision" option, not per request.
+const DatatypeINT8 = "INT8"
 
 // Sentinel errors of the serving tier. Wrap-aware: test with errors.Is.
 var (
@@ -56,10 +65,13 @@ type TensorMetadata struct {
 
 // ModelMetadata is the GET /v2/models/{name} response body.
 type ModelMetadata struct {
-	Name     string           `json:"name"`
-	Platform string           `json:"platform"`
-	Inputs   []TensorMetadata `json:"inputs"`
-	Outputs  []TensorMetadata `json:"outputs,omitempty"`
+	Name     string `json:"name"`
+	Platform string `json:"platform"`
+	// Precision is the execution precision the model was loaded with
+	// ("fp32" or "int8"); the wire tensors stay FP32 either way.
+	Precision string           `json:"precision,omitempty"`
+	Inputs    []TensorMetadata `json:"inputs"`
+	Outputs   []TensorMetadata `json:"outputs,omitempty"`
 }
 
 // ServerMetadata is the GET /v2 response body.
@@ -75,12 +87,15 @@ type ModelList struct {
 }
 
 // InferTensor is one named tensor on the wire: an explicit shape plus the
-// flat float32 data in NCHW (row-major) order.
+// flat data in NCHW (row-major) order. FP32 tensors use Data as-is; INT8
+// tensors carry quantized integers in Data with an optional Scale.
 type InferTensor struct {
 	Name     string    `json:"name"`
 	Shape    []int     `json:"shape"`
 	Datatype string    `json:"datatype"`
 	Data     []float32 `json:"data"`
+	// Scale dequantizes INT8 data (real = value·scale); 0/omitted means 1.
+	Scale float32 `json:"scale,omitempty"`
 }
 
 // InferRequest is the POST /v2/models/{name}/infer request body.
@@ -129,9 +144,9 @@ func (it InferTensor) DecodeTensor() (*mnn.Tensor, error) {
 	if it.Name == "" {
 		return nil, fmt.Errorf("%w: tensor with empty name", ErrBadRequest)
 	}
-	if it.Datatype != DatatypeFP32 {
-		return nil, fmt.Errorf("%w: tensor %q has datatype %q (only %s is supported)",
-			ErrBadRequest, it.Name, it.Datatype, DatatypeFP32)
+	if it.Datatype != DatatypeFP32 && it.Datatype != DatatypeINT8 {
+		return nil, fmt.Errorf("%w: tensor %q has datatype %q (want %s or %s)",
+			ErrBadRequest, it.Name, it.Datatype, DatatypeFP32, DatatypeINT8)
 	}
 	if len(it.Shape) == 0 {
 		return nil, fmt.Errorf("%w: tensor %q has no shape", ErrBadRequest, it.Name)
@@ -148,7 +163,36 @@ func (it InferTensor) DecodeTensor() (*mnn.Tensor, error) {
 		return nil, fmt.Errorf("%w: tensor %q shape %v wants %d elements, got %d",
 			ErrBadRequest, it.Name, it.Shape, n, len(it.Data))
 	}
+	if it.Datatype == DatatypeINT8 {
+		return it.decodeInt8(n)
+	}
 	data := append([]float32(nil), it.Data...)
+	return tensor.FromData(data, it.Shape...), nil
+}
+
+// decodeInt8 validates a quantized wire tensor — every value an integer in
+// the symmetric int8 range, a finite positive scale — and dequantizes it
+// into the fp32 tensor the engine consumes. Every failure wraps
+// ErrBadRequest; malformed payloads must never panic (the protocol fuzz
+// suite pins this).
+func (it InferTensor) decodeInt8(n int) (*mnn.Tensor, error) {
+	scale := it.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	if scale < 0 || math.IsNaN(float64(scale)) || math.IsInf(float64(scale), 0) {
+		return nil, fmt.Errorf("%w: tensor %q has invalid int8 scale %v", ErrBadRequest, it.Name, it.Scale)
+	}
+	data := make([]float32, n)
+	for i, v := range it.Data {
+		if v != float32(int32(v)) || v < -127 || v > 127 {
+			// Catches fractions, NaN, ±Inf and out-of-range values alike:
+			// NaN fails the equality, ±Inf fails the range check.
+			return nil, fmt.Errorf("%w: tensor %q datum %d (%v) is not an int8 value in [-127, 127]",
+				ErrBadRequest, it.Name, i, v)
+		}
+		data[i] = v * scale
+	}
 	return tensor.FromData(data, it.Shape...), nil
 }
 

@@ -180,7 +180,7 @@ func (m *Model) Infer(ctx context.Context, inputs map[string]*mnn.Tensor) (map[s
 // inputs and outputs. Output shapes are not reported: they depend on the
 // request and the engine only exposes prepared input shapes.
 func (m *Model) Metadata() ModelMetadata {
-	md := ModelMetadata{Name: m.name, Platform: "mnn-go"}
+	md := ModelMetadata{Name: m.name, Platform: "mnn-go", Precision: m.eng.Precision().String()}
 	for _, in := range m.eng.InputNames() {
 		md.Inputs = append(md.Inputs, TensorMetadata{
 			Name: in, Datatype: DatatypeFP32, Shape: m.eng.InputShape(in),

@@ -522,6 +522,33 @@ func TestServerErrorBodies(t *testing.T) {
 	assertErr("delete unknown model", http.StatusNotFound, code, blob)
 }
 
+// TestLoadOptionsPrecision: precision="int8" loads an int8-precision engine
+// (reported in metadata), and an unknown precision is a bad request.
+func TestLoadOptionsPrecision(t *testing.T) {
+	reg := NewRegistry()
+	defer reg.Close()
+	opts, err := LoadOptions{Threads: 1, Precision: "int8"}.EngineOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Load("q", ModelConfig{Model: tinyGraph(t), Options: opts}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := reg.Get("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Engine().Precision() != mnn.PrecisionInt8 {
+		t.Errorf("engine precision %v, want int8", m.Engine().Precision())
+	}
+	if md := m.Metadata(); md.Precision != "int8" {
+		t.Errorf("metadata precision %q, want int8", md.Precision)
+	}
+	if _, err := (LoadOptions{Precision: "int4"}).EngineOptions(); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("precision=int4: got %v, want ErrBadRequest", err)
+	}
+}
+
 func TestLoadOptionsDefaultThreads(t *testing.T) {
 	// A model loaded without threads= must resolve to the engine's auto
 	// default (min(GOMAXPROCS, 4)), not silently 1.

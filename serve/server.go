@@ -29,9 +29,12 @@ type LoadOptions struct {
 	// to mnn.DefaultThreads() = min(GOMAXPROCS, 4). Total worker
 	// goroutines for a model ≈ PoolSize × Threads, held parked between
 	// requests by the persistent scheduler.
-	Threads     int              `json:"threads,omitempty"`
-	Forward     string           `json:"forward,omitempty"`
-	Device      string           `json:"device,omitempty"`
+	Threads int    `json:"threads,omitempty"`
+	Forward string `json:"forward,omitempty"`
+	Device  string `json:"device,omitempty"`
+	// Precision selects the execution precision ("fp32" default, "int8"
+	// runs the quantized kernel path — see mnn.WithPrecision).
+	Precision   string           `json:"precision,omitempty"`
 	InputShapes map[string][]int `json:"input_shapes,omitempty"`
 }
 
@@ -53,6 +56,13 @@ func (o LoadOptions) EngineOptions() ([]mnn.Option, error) {
 	}
 	if o.Device != "" {
 		opts = append(opts, mnn.WithDevice(o.Device))
+	}
+	if o.Precision != "" {
+		p, err := mnn.ParsePrecision(o.Precision)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		opts = append(opts, mnn.WithPrecision(p))
 	}
 	if len(o.InputShapes) > 0 {
 		opts = append(opts, mnn.WithInputShapes(o.InputShapes))
