@@ -9,6 +9,7 @@ package mnn_test
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"testing"
 
 	"mnn"
@@ -58,6 +59,39 @@ func TestInferIntoZeroAllocSteadyState(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestInferIntoZeroAllocSteadyStateTuned: tuning changes which kernels are
+// prepared, not how they run — a measured-mode engine (opened warm from the
+// tuning cache) must hold the same zero-allocation steady state, with the
+// tuner's decisions resolved entirely at prepare time.
+func TestInferIntoZeroAllocSteadyStateTuned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured tuning pass in -short mode")
+	}
+	cache := filepath.Join(t.TempDir(), "tuned.json")
+	opts := []mnn.Option{
+		mnn.WithInputShapes(map[string][]int{"data": {1, 3, 64, 64}}),
+		mnn.WithTuning(mnn.TuningMeasured),
+		mnn.WithTuningCache(cache),
+	}
+	// First opens measure and fill the cache; cache entries are keyed per
+	// lane count, so each tested thread width needs its own warm pass. The
+	// measured engines below then open warm, the steady deployment state.
+	for _, threads := range []int{1, 4} {
+		warmup, err := mnn.Open("mobilenet-v1", append([]mnn.Option{mnn.WithThreads(threads)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmup.Close()
+	}
+	for _, threads := range []int{1, 4} {
+		t.Run(fmt.Sprintf("mobilenet-v1/t%d", threads), func(t *testing.T) {
+			if allocs := inferAllocs(t, "mobilenet-v1", threads, opts...); allocs != 0 {
+				t.Errorf("steady-state tuned InferInto allocated %.1f objects/op, want 0", allocs)
+			}
+		})
 	}
 }
 

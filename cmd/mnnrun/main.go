@@ -8,6 +8,7 @@
 //	mnnrun -net resnet-18 -check
 //	mnnrun -net mobilenet-v1 -pool 4 -inflight 4 -runs 16   # concurrent
 //	mnnrun -net inception-v3 -timeout 100ms                 # cancellation
+//	mnnrun -net resnet-18 -tuning measured -tuning-cache /tmp/rn18.tuning
 package main
 
 import (
@@ -32,6 +33,8 @@ func main() {
 	deviceName := flag.String("device", "", "simulated device profile (see -list-devices)")
 	forward := flag.String("forward", "cpu", "backend: auto, cpu, metal, opencl, opengl, vulkan")
 	precision := flag.String("precision", "fp32", "execution precision: fp32 or int8")
+	tuning := flag.String("tuning", "heuristic", "kernel search: heuristic, cost or measured")
+	tuningCache := flag.String("tuning-cache", "", "persistent tuning-cache file for -tuning measured")
 	simulate := flag.Bool("simulate", false, "report Equation 5 simulated time")
 	check := flag.Bool("check", false, "compare output against the reference interpreter")
 	profile := flag.Bool("profile", false, "print a per-operator timing breakdown")
@@ -78,11 +81,17 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	tm, err := mnn.ParseTuningMode(*tuning)
+	if err != nil {
+		fail(err)
+	}
 	opts := []mnn.Option{
 		mnn.WithThreads(*threads),
 		mnn.WithForwardType(ft),
 		mnn.WithPoolSize(*pool),
 		mnn.WithPrecision(prec),
+		mnn.WithTuning(tm),
+		mnn.WithTuningCache(*tuningCache),
 	}
 	if *deviceName != "" {
 		opts = append(opts, mnn.WithDevice(*deviceName))
@@ -102,6 +111,11 @@ func main() {
 
 	st := eng.Stats()
 	fmt.Printf("schemes: %v\n", st.SchemeCounts)
+	if tm != mnn.TuningHeuristic {
+		ts := eng.TuningStats()
+		fmt.Printf("tuning: %s — %d conv ops, %d unique shapes, %d cache hits, %d measured\n",
+			ts.Mode, ts.ConvOps, ts.Unique, ts.CacheHits, ts.Measured)
+	}
 	backends := map[string]int{}
 	for _, b := range st.Assignment {
 		backends[b]++

@@ -8,7 +8,8 @@
 //
 // Each -model flag is name=source[,key=value...]; a bare source serves under
 // its own name. Keys: pool, threads, forward, device, precision (fp32/int8),
-// maxbatch, maxlatency, shape=input:AxBxC... (repeatable). Models can also be hot-loaded and
+// tuning (heuristic/cost/measured), tuningcache (persistent tuning-cache
+// path), maxbatch, maxlatency, shape=input:AxBxC... (repeatable). Models can also be hot-loaded and
 // unloaded at runtime through POST /v2/repository/models/{name}/load and
 // /unload. SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
 // requests before closing the engines.
@@ -27,12 +28,17 @@ import (
 	"syscall"
 	"time"
 
+	"mnn"
 	"mnn/serve"
 )
 
 type modelSpec struct {
 	name string
 	cfg  serve.ModelConfig
+	// tuning/tuningCache are kept for the batching+measured validation in
+	// main, which runs after the global -max-batch default is applied.
+	tuning      string
+	tuningCache string
 }
 
 func main() {
@@ -65,6 +71,15 @@ func main() {
 		}
 		if s.cfg.Batch.MaxLatency <= 0 {
 			s.cfg.Batch.MaxLatency = *maxLatency
+		}
+		// Measured picks only repeat across the batched and unbatched
+		// engines through a shared cache; without one the micro-batcher
+		// could commit different algorithms and break the batched≡unbatched
+		// bitwise guarantee.
+		if mode, err := mnn.ParseTuningMode(s.tuning); err == nil &&
+			mode == mnn.TuningMeasured && s.cfg.Batch.MaxBatch > 1 && s.tuningCache == "" {
+			reg.Close()
+			fail(fmt.Errorf("-model %q: tuning=measured with batching requires tuningcache=", s.name))
 		}
 		t0 := time.Now()
 		if err := reg.Load(s.name, s.cfg); err != nil {
@@ -149,6 +164,10 @@ func parseModelSpec(v string) (modelSpec, error) {
 			lo.Device = val
 		case "precision":
 			lo.Precision = val
+		case "tuning":
+			lo.Tuning = val
+		case "tuningcache":
+			lo.TuningCache = val
 		case "maxbatch":
 			n, err := strconv.Atoi(val)
 			if err != nil {
@@ -179,7 +198,7 @@ func parseModelSpec(v string) (modelSpec, error) {
 			}
 			lo.InputShapes[input] = shape
 		default:
-			return modelSpec{}, fmt.Errorf("-model %q: unknown option %q (want pool, threads, forward, device, precision, maxbatch, maxlatency or shape)", v, key)
+			return modelSpec{}, fmt.Errorf("-model %q: unknown option %q (want pool, threads, forward, device, precision, tuning, tuningcache, maxbatch, maxlatency or shape)", v, key)
 		}
 	}
 	opts, err := lo.EngineOptions()
@@ -187,6 +206,8 @@ func parseModelSpec(v string) (modelSpec, error) {
 		return modelSpec{}, fmt.Errorf("-model %q: %v", v, err)
 	}
 	s.cfg.Options = opts
+	s.tuning = lo.Tuning
+	s.tuningCache = lo.TuningCache
 	return s, nil
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"mnn/internal/backend"
 	"mnn/internal/converter"
+	"mnn/internal/core"
 	"mnn/internal/cpu"
 	"mnn/internal/device"
 	"mnn/internal/gpusim"
@@ -20,6 +21,7 @@ import (
 	"mnn/internal/session"
 	"mnn/internal/simclock"
 	"mnn/internal/tensor"
+	"mnn/internal/tuner"
 )
 
 // Engine is the concurrent v2 facade over the paper's prepared-session
@@ -80,6 +82,25 @@ func Open(model any, opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	var tunedShapes graph.ShapeMap
+	if cfg.tuning != TuningHeuristic {
+		// Run the kernel search once; every pooled session shares the plan.
+		var err error
+		tunedShapes, err = graph.InferShapes(g, cfg.inputShapes)
+		if err != nil {
+			return nil, err
+		}
+		cfg.tuningPlan, err = tuner.New(g, tunedShapes, tuner.Config{
+			Mode:      cfg.tuning,
+			Threads:   cfg.threads,
+			Int8:      cfg.precision == PrecisionInt8,
+			CachePath: cfg.tuningCache,
+			ModelKey:  tuningModelKey(g),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	if cfg.precision == PrecisionInt8 {
 		// The int8 kernels are CPU-only; an explicit GPU forward type is a
 		// configuration error, ForwardAuto just schedules on the CPU.
@@ -87,13 +108,26 @@ func Open(model any, opts ...Option) (*Engine, error) {
 			return nil, fmt.Errorf("%w: int8 precision requires the CPU backend", ErrUnknownBackend)
 		}
 		cfg.forward = ForwardCPU
-		plan, err := optimizer.PlanInt8(g, cfg.inputShapes)
+		// The partition must follow the schemes that will actually run:
+		// Int8ConvSupported depends on the chosen algorithm, so a tuned
+		// engine plans from the tuner's decisions.
+		plan, err := optimizer.PlanInt8With(g, cfg.inputShapes, schemeResolver(cfg.tuningPlan))
 		if err != nil {
 			return nil, err
 		}
 		cfg.int8Plan = plan.Int8
 		cfg.nonNegActs = plan.NonNegActs
 		cfg.actScales = g.ActScales
+	}
+	if cfg.tuningPlan != nil && cfg.deviceName != "" && cfg.forward != ForwardCPU {
+		// Score the backend schedule once; sessions share it (after the int8
+		// block, which may have pinned the forward type to CPU). Without a
+		// device profile no GPU backend can exist, so the common CPU-only
+		// Open skips the throwaway provider stack entirely.
+		cfg.assignment, cfg.backendCosts, err = scoredAssignment(g, tunedShapes, cfg)
+		if err != nil {
+			return nil, err
+		}
 	}
 	var clock *simclock.Clock
 	if cfg.simulate {
@@ -125,6 +159,27 @@ func Open(model any, opts ...Option) (*Engine, error) {
 		e.pool <- s
 	}
 	return e, nil
+}
+
+// tuningModelKey identifies a graph inside the tuning cache. Decisions are
+// re-validated against the legality predicates on load, so a key collision
+// can cost performance but never correctness; the node count guards the
+// common collision (two differently-sized graphs sharing a name).
+func tuningModelKey(g *graph.Graph) string {
+	name := g.Name
+	if name == "" {
+		name = "unnamed"
+	}
+	return fmt.Sprintf("%s+%dnodes", name, len(g.Nodes))
+}
+
+// schemeResolver adapts a (possibly nil) tuning plan to the optimizer's
+// scheme-resolver hook; nil keeps the heuristic.
+func schemeResolver(p *tuner.Plan) func(n *graph.Node, inShape []int) core.ConvDecision {
+	if p == nil {
+		return nil
+	}
+	return p.SchemeFor
 }
 
 // resolveModel turns Open's polymorphic model argument into a graph.
@@ -168,10 +223,15 @@ func newBackends(cfg engineConfig, clock *simclock.Clock) ([]backend.Backend, er
 	// Each session owns one persistent worker pool; every kernel of every
 	// operator dispatches onto it, so steady-state inference spawns no
 	// goroutines. Session.Close (via Engine.Close) releases the workers.
+	var force func(*graph.Node, core.ConvDecision) core.ConvDecision
+	if cfg.tuningPlan != nil {
+		force = cfg.tuningPlan.ForceScheme
+	}
 	backends := []backend.Backend{
 		cpu.New(cpu.Config{Threads: cfg.threads, Device: dev, Clock: clock,
-			Pool: sched.New(cfg.threads),
-			Int8: cfg.precision == PrecisionInt8, QuantPlan: cfg.int8Plan,
+			Pool:        sched.New(cfg.threads),
+			ForceScheme: force,
+			Int8:        cfg.precision == PrecisionInt8, QuantPlan: cfg.int8Plan,
 			ActScales: cfg.actScales, NonNegActs: cfg.nonNegActs}),
 	}
 	addGPU := func(kind backend.Kind, api device.GPUAPI) error {
@@ -179,7 +239,8 @@ func newBackends(cfg engineConfig, clock *simclock.Clock) ([]backend.Backend, er
 			return fmt.Errorf("%w: device %s has no %s support", ErrUnknownBackend, dev.Name, kind)
 		}
 		b, err := gpusim.New(gpusim.Config{Kind: kind, Device: dev, Clock: clock,
-			DecoupledEncode: !cfg.noPrep, ComputeThreads: cfg.threads})
+			DecoupledEncode: !cfg.noPrep, ComputeThreads: cfg.threads,
+			ForceScheme: force})
 		if err != nil {
 			return err
 		}
@@ -238,9 +299,40 @@ func newPreparedSession(g *graph.Graph, cfg engineConfig, clock *simclock.Clock)
 	}
 	return session.New(g, session.Config{
 		Backends:      backends,
+		Assignment:    cfg.assignment,
+		BackendCosts:  cfg.backendCosts,
 		InputShapes:   cfg.inputShapes,
 		NoPreparation: cfg.noPrep,
 	})
+}
+
+// scoredAssignment runs the tuner's per-node backend scoring (compute +
+// t_schedule + staging transfers instead of the whole-graph Equation 4
+// argmin) against a throwaway backend stack, once per Open; every pooled
+// session reuses the assignment and its per-backend cost totals. Returns
+// nils (keep the built-in selection) when only the CPU backend is
+// configured.
+func scoredAssignment(g *graph.Graph, shapes graph.ShapeMap, cfg engineConfig) (core.Assignment, core.BackendCosts, error) {
+	backends, err := newBackends(cfg, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer func() {
+		for _, b := range backends {
+			if c, ok := b.(interface{ Close() error }); ok {
+				c.Close()
+			}
+		}
+	}()
+	if len(backends) < 2 {
+		return nil, nil, nil
+	}
+	providers := make([]core.CostProvider, len(backends))
+	for i, b := range backends {
+		providers[i] = b
+	}
+	assign, costs := tuner.ScoreBackends(g, shapes, providers)
+	return assign, costs, nil
 }
 
 // Infer runs one inference. It is safe for concurrent use: up to PoolSize
@@ -445,6 +537,20 @@ func (e *Engine) Threads() int { return e.cfg.threads }
 
 // Precision reports the execution precision the engine was opened with.
 func (e *Engine) Precision() Precision { return e.cfg.precision }
+
+// Tuning reports the kernel-search mode the engine was opened with.
+func (e *Engine) Tuning() TuningMode { return e.cfg.tuning }
+
+// TuningStats summarizes what the kernel search did during Open: how many
+// convolutions it covered, how many unique signatures it saw, how many were
+// resolved from the tuning cache, and how many candidates were actually
+// micro-benchmarked. With TuningHeuristic (the default) only Mode is set.
+func (e *Engine) TuningStats() TuningStats {
+	if e.cfg.tuningPlan == nil {
+		return TuningStats{Mode: e.cfg.tuning.String()}
+	}
+	return e.cfg.tuningPlan.Report
+}
 
 // InputNames lists the declared graph inputs.
 func (e *Engine) InputNames() []string { return append([]string(nil), e.inputNames...) }

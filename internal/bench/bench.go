@@ -139,7 +139,7 @@ var Experiments = []string{
 	"table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
 	"figure7", "figure8", "figure9",
 	"ablation-strassen", "ablation-layout", "ablation-memory", "ablation-tile",
-	"throughput", "serving", "allocs", "quant",
+	"throughput", "serving", "allocs", "quant", "tuning",
 }
 
 // Run dispatches one experiment by name.
@@ -183,6 +183,8 @@ func Run(name string, opt Options) error {
 		return Allocs(opt)
 	case "quant":
 		return Quant(opt)
+	case "tuning":
+		return Tuning(opt)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (have %v)", name, Experiments)
 	}

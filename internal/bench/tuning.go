@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mnn"
+	"mnn/internal/tensor"
+)
+
+// Tuning compares the three kernel-search depths end to end: the built-in
+// Equation 2–3 heuristic, the analytic cost model over every legal
+// candidate, and on-device measured picks (micro-benchmarks at Open time,
+// persisted in a tuning cache). Per network it reports steady-state
+// InferInto latency, the prepare cost of each mode (cold and warm-cache for
+// measured), and the scheme mix each mode committed.
+func Tuning(opt Options) error {
+	reps := 7
+	networks := []string{"mobilenet-v1", "squeezenet-v1.1", "resnet-18"}
+	threads := 4
+	if opt.Quick {
+		reps = 3
+		threads = 2
+	}
+	cacheDir, err := os.MkdirTemp("", "mnn-tuning-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cacheDir)
+
+	opt.printf("Tuning — kernel search: heuristic vs cost model vs measured (host, steady-state InferInto, t%d)\n", threads)
+	opt.printf("%-32s %12s %12s %10s   %s\n", "case", "ms/op", "open ms", "vs heur", "schemes")
+
+	ctx := context.Background()
+	for _, network := range networks {
+		cache := filepath.Join(cacheDir, network+".tuning.json")
+		var heuristic time.Duration
+		for _, mode := range []mnn.TuningMode{mnn.TuningHeuristic, mnn.TuningCost, mnn.TuningMeasured} {
+			if mode == mnn.TuningMeasured {
+				// Cold open measures and fills the cache; the timed engine
+				// below opens warm, which is the steady deployment state.
+				eng, err := mnn.Open(network, mnn.WithThreads(threads),
+					mnn.WithTuning(mode), mnn.WithTuningCache(cache))
+				if err != nil {
+					return err
+				}
+				eng.Close()
+			}
+			t0 := time.Now()
+			eng, err := mnn.Open(network, mnn.WithThreads(threads),
+				mnn.WithTuning(mode), mnn.WithTuningCache(cache))
+			if err != nil {
+				return err
+			}
+			openMs := ms(time.Since(t0))
+			inputs := map[string]*mnn.Tensor{}
+			for _, name := range eng.InputNames() {
+				in := mnn.NewTensor(eng.InputShape(name)...)
+				tensor.FillRandom(in, 42, 1)
+				inputs[name] = in
+			}
+			out, err := eng.Infer(ctx, inputs)
+			if err != nil {
+				eng.Close()
+				return err
+			}
+			latency := medianOf(reps, func() {
+				if err := eng.InferInto(ctx, inputs, out); err != nil {
+					panic(err)
+				}
+			})
+			if mode == mnn.TuningHeuristic {
+				heuristic = latency
+			}
+			ratio := float64(latency) / float64(heuristic)
+			kase := fmt.Sprintf("%s/%s", network, mode)
+			opt.printf("%-32s %12.2f %12.1f %9.3fx   %v\n",
+				kase, ms(latency), openMs, ratio, eng.Stats().SchemeCounts)
+			opt.record("tuning", kase, float64(latency.Nanoseconds()), 0)
+			if mode == mnn.TuningMeasured {
+				ts := eng.TuningStats()
+				opt.printf("%-32s warm cache: %d/%d signatures hit, %d measured\n",
+					"", ts.CacheHits, ts.Unique, ts.Measured)
+			}
+			eng.Close()
+		}
+	}
+	opt.printf("\n")
+	return nil
+}

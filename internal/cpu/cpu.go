@@ -117,6 +117,18 @@ func (b *Backend) PreferredLayout(rank int) tensor.Layout {
 // fallback and runs every operator.
 func (b *Backend) Supports(n *graph.Node) bool { return true }
 
+// ConvSchemeFor implements core.ConvSchemer: the Equation 2–3 heuristic
+// decision with any configured override (tuner decisions, fixed-scheme
+// baselines) applied. Workspace sizing, kernel creation, the int8 partition
+// and session statistics all flow through this single decision point.
+func (b *Backend) ConvSchemeFor(n *graph.Node, inShape []int) core.ConvDecision {
+	dec := core.SelectConvScheme(n.Attrs.(*graph.Conv2DAttrs), inShape)
+	if b.cfg.ForceScheme != nil {
+		dec = b.cfg.ForceScheme(n, dec)
+	}
+	return dec
+}
+
 // OnExecuteBegin implements backend.Backend (no-op on CPU).
 func (b *Backend) OnExecuteBegin() {}
 

@@ -51,10 +51,7 @@ func (b *Backend) NodeWorkspaceFloats(n *graph.Node, inputShapes, outputShapes [
 			return 0
 		}
 		a := n.Attrs.(*graph.Conv2DAttrs)
-		dec := core.SelectConvScheme(a, in0)
-		if b.cfg.ForceScheme != nil {
-			dec = b.cfg.ForceScheme(n, dec)
-		}
+		dec := b.ConvSchemeFor(n, in0)
 		ic, oc := in0[1], out0[1]
 		N, OH, OW := out0[0], out0[2], out0[3]
 		if b.int8Node(n) && core.Int8ConvSupported(a, dec) {
@@ -396,10 +393,7 @@ func (b *Backend) createConv(n *graph.Node, in, out *tensor.Tensor, weights back
 	if len(n.WeightNames) > 1 {
 		bias = weights(n.WeightNames[1])
 	}
-	dec := core.SelectConvScheme(a, in.Shape())
-	if b.cfg.ForceScheme != nil {
-		dec = b.cfg.ForceScheme(n, dec)
-	}
+	dec := b.ConvSchemeFor(n, in.Shape())
 	pool := b.pool
 	lanes := pool.Lanes()
 

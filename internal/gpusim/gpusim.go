@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"mnn/internal/backend"
+	"mnn/internal/core"
 	"mnn/internal/cpu"
 	"mnn/internal/device"
 	"mnn/internal/graph"
@@ -47,6 +48,10 @@ type Config struct {
 	Clock *simclock.Clock
 	// Efficiency adjusts simulated compute cost per op; nil means 1.0.
 	Efficiency cpu.EfficiencyModel
+	// ForceScheme overrides pre-inference conv scheme selection in the
+	// internal compute backend (tuner decisions apply to GPU-assigned
+	// convolutions too); nil keeps the cost-model choice.
+	ForceScheme func(n *graph.Node, dec core.ConvDecision) core.ConvDecision
 	// Supported restricts the op set (Table 4: GPU backends cover fewer
 	// operators than CPU). Nil uses the default set for Kind.
 	Supported map[graph.OpType]bool
@@ -127,7 +132,7 @@ func New(cfg Config) (*Backend, error) {
 	return &Backend{
 		BufferTracker: backend.NewBufferTracker(),
 		cfg:           cfg,
-		compute:       cpu.New(cpu.Config{Threads: cfg.ComputeThreads}),
+		compute:       cpu.New(cpu.Config{Threads: cfg.ComputeThreads, ForceScheme: cfg.ForceScheme}),
 	}, nil
 }
 
@@ -172,6 +177,12 @@ func (b *Backend) PreferredLayout(rank int) tensor.Layout {
 
 // Supports implements backend.Backend per the configured op coverage.
 func (b *Backend) Supports(n *graph.Node) bool { return b.cfg.Supported[n.Op] }
+
+// ConvSchemeFor implements core.ConvSchemer by delegating to the internal
+// compute backend, which runs the real arithmetic for this simulated GPU.
+func (b *Backend) ConvSchemeFor(n *graph.Node, inShape []int) core.ConvDecision {
+	return b.compute.ConvSchemeFor(n, inShape)
+}
 
 // OnExecuteBegin opens a fresh command stream for one inference.
 func (b *Backend) OnExecuteBegin() { b.inFlight = 0 }

@@ -41,9 +41,23 @@ type Int8Plan struct {
 // overrides) — scheme selection, and therefore the partition, depends on
 // the shapes the session will actually run.
 func PlanInt8(g *graph.Graph, inputShapes map[string][]int) (*Int8Plan, error) {
+	return PlanInt8With(g, inputShapes, nil)
+}
+
+// PlanInt8With is PlanInt8 with an explicit per-convolution scheme resolver.
+// When a tuner overrides the Equation 2–3 heuristic, the int8 partition must
+// be computed from the schemes that will actually run — Int8ConvSupported
+// depends on the algorithm — or the offline plan and the runtime dispatch
+// would drift. A nil schemeFor falls back to core.SelectConvScheme.
+func PlanInt8With(g *graph.Graph, inputShapes map[string][]int, schemeFor func(n *graph.Node, inShape []int) core.ConvDecision) (*Int8Plan, error) {
 	shapes, err := graph.InferShapes(g, inputShapes)
 	if err != nil {
 		return nil, fmt.Errorf("optimizer: int8 plan: %w", err)
+	}
+	if schemeFor == nil {
+		schemeFor = func(n *graph.Node, inShape []int) core.ConvDecision {
+			return core.SelectConvScheme(n.Attrs.(*graph.Conv2DAttrs), inShape)
+		}
 	}
 	plan := &Int8Plan{Int8: map[string]bool{}, NonNegActs: nonNegActs(g)}
 	int8Producer := map[string]bool{} // tensor name → produced by an int8 node
@@ -55,7 +69,7 @@ func PlanInt8(g *graph.Graph, inputShapes map[string][]int) (*Int8Plan, error) {
 		switch n.Op {
 		case graph.OpConv2D:
 			a := n.Attrs.(*graph.Conv2DAttrs)
-			dec := core.SelectConvScheme(a, shapes[n.Inputs[0]])
+			dec := schemeFor(n, shapes[n.Inputs[0]])
 			isInt8 = core.Int8ConvSupported(a, dec)
 		case graph.OpInnerProduct:
 			isInt8 = true

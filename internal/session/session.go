@@ -22,6 +22,10 @@ type Config struct {
 	// Assignment optionally pins nodes to backends (by backend Name). Nil
 	// runs the Equation 4–5 selection.
 	Assignment core.Assignment
+	// BackendCosts optionally supplies the cost totals behind a pinned
+	// Assignment (e.g. the tuner's per-node scoring) for Stats reporting;
+	// meaningful only with Assignment set.
+	BackendCosts core.BackendCosts
 	// InputShapes optionally overrides declared input shapes (resize).
 	InputShapes map[string][]int
 	// NoPreparation disables the preparation–execution decoupling: every
@@ -121,17 +125,17 @@ func (s *Session) prepare() error {
 	}
 	s.shapes = shapes
 
-	// ---- Backend selection (Equations 4–5).
+	// ---- Backend selection (Equations 4–5). A pinned assignment skips the
+	// whole-graph argmin and reports the costs its scorer supplied, so the
+	// stats can never describe a schedule the session is not running.
 	assign := s.cfg.Assignment
-	providers := make([]core.CostProvider, len(s.backends))
-	for i, b := range s.backends {
-		providers[i] = b
-	}
-	var costs core.BackendCosts
+	costs := s.cfg.BackendCosts
 	if assign == nil {
+		providers := make([]core.CostProvider, len(s.backends))
+		for i, b := range s.backends {
+			providers[i] = b
+		}
 		assign, costs = core.SelectBackend(g, shapes, providers)
-	} else {
-		_, costs = core.SelectBackend(g, shapes, providers)
 	}
 	// Graph inputs always materialize on the CPU so callers can fill them.
 	for _, n := range g.Nodes {
@@ -349,7 +353,14 @@ func (s *Session) prepare() error {
 			outs[j] = lookup(oName, bk)
 		}
 		if n.Op == graph.OpConv2D {
-			dec := core.SelectConvScheme(n.Attrs.(*graph.Conv2DAttrs), shapes[n.Inputs[0]])
+			// Ask the owning backend which algorithm it will actually prepare
+			// (a tuner override may differ from the bare heuristic).
+			var dec core.ConvDecision
+			if cs, ok := bk.(core.ConvSchemer); ok {
+				dec = cs.ConvSchemeFor(n, shapes[n.Inputs[0]])
+			} else {
+				dec = core.SelectConvScheme(n.Attrs.(*graph.Conv2DAttrs), shapes[n.Inputs[0]])
+			}
 			s.stats.SchemeCounts[dec.Scheme.String()]++
 		}
 		exec, err := bk.OnCreate(n, ins, outs, weights)

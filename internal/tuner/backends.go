@@ -1,0 +1,91 @@
+package tuner
+
+import (
+	"mnn/internal/core"
+	"mnn/internal/gpusim"
+	"mnn/internal/graph"
+	"mnn/internal/simclock"
+	"mnn/internal/tensor"
+)
+
+// ScoreBackends assigns every operator to its cheapest backend by evaluating
+// the Equation 4–5 cost terms per node instead of per whole graph: compute
+// at the backend's FLOPS (plus t_schedule on accelerators), plus a staging
+// transfer whenever an input was produced on a different backend. Compared
+// to core.SelectBackend — which prices entire graphs and then falls back per
+// unsupported node — this yields finer hybrid schedules: a wide convolution
+// can go to the scored GPU while the cheap pointwise ops around it stay on
+// the CPU, without paying a transfer for every hop, because the transfer
+// term makes oscillation expensive.
+//
+// providers[0] must be the CPU fallback (the universal backend). The
+// returned costs are the per-backend totals of the assigned nodes, for
+// diagnostics.
+func ScoreBackends(g *graph.Graph, shapes graph.ShapeMap, providers []core.CostProvider) (core.Assignment, core.BackendCosts) {
+	assign := core.Assignment{}
+	costs := core.BackendCosts{}
+	if len(providers) == 0 {
+		return assign, costs
+	}
+	cpuP := providers[0]
+	for _, p := range providers {
+		costs[p.Name()] = 0
+	}
+	producedOn := map[string]string{} // tensor name → producing backend
+	for _, n := range g.Nodes {
+		if n.Op == graph.OpInput {
+			// Graph inputs always materialize on the CPU so callers can fill
+			// them (the session pins this too).
+			assign[n.Name] = cpuP.Name()
+			for _, o := range n.Outputs {
+				producedOn[o] = cpuP.Name()
+			}
+			continue
+		}
+		muls := graph.MULCount(n, shapes)
+		best := -1.0
+		bestP := cpuP
+		for _, p := range providers {
+			if !p.Supports(n) {
+				continue
+			}
+			var c float64
+			if p.ScheduleOverheadMs() > 0 {
+				c = simclock.GPUCostMs(muls, p.FLOPS(), p.ScheduleOverheadMs(), 1)
+			} else {
+				c = simclock.CPUCostMs(muls, p.FLOPS(), 1)
+			}
+			c += transferCost(n, shapes, producedOn, p)
+			if best < 0 || c < best {
+				best, bestP = c, p
+			}
+		}
+		assign[n.Name] = bestP.Name()
+		costs[bestP.Name()] += best
+		for _, o := range n.Outputs {
+			producedOn[o] = bestP.Name()
+		}
+	}
+	return assign, costs
+}
+
+// transferCost prices the staging copies a backend would pay to consume
+// inputs produced elsewhere: bytes over the host↔device bandwidth, plus the
+// dispatch overhead on the accelerator side. CPU-side copies of
+// GPU-produced tensors pay bandwidth only (the simulator charges CPU copies
+// no scheduling overhead).
+func transferCost(n *graph.Node, shapes graph.ShapeMap, producedOn map[string]string, p core.CostProvider) float64 {
+	var c float64
+	for _, in := range n.Inputs {
+		home, ok := producedOn[in]
+		if !ok || home == p.Name() {
+			continue
+		}
+		bytes := float64(tensor.NumElements(shapes[in]) * 4)
+		c += bytes / gpusim.TransferBytesPerMs
+		if p.ScheduleOverheadMs() > 0 {
+			c += p.ScheduleOverheadMs()
+		}
+	}
+	return c
+}

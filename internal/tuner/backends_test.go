@@ -1,0 +1,98 @@
+package tuner
+
+import (
+	"testing"
+
+	"mnn/internal/backend"
+	"mnn/internal/core"
+	"mnn/internal/cpu"
+	"mnn/internal/device"
+	"mnn/internal/gpusim"
+	"mnn/internal/graph"
+	"mnn/internal/models"
+)
+
+func newCPUProvider(t *testing.T, dev *device.Profile) *cpu.Backend {
+	t.Helper()
+	b := cpu.New(cpu.Config{Threads: 1, Device: dev})
+	t.Cleanup(func() { b.Close() })
+	return b
+}
+
+// TestScoreBackendsHybridAssignment: with a simulated GPU whose raw FLOPS
+// dwarf the CPU's, the per-node scorer must send the heavy convolutions to
+// the GPU, keep unsupported operators on the CPU fallback, and pin graph
+// inputs to the CPU — a valid hybrid schedule by construction.
+func TestScoreBackendsHybridAssignment(t *testing.T) {
+	g, err := models.ByName("mobilenet-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes, err := graph.InferShapes(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := device.ByName("MI6")
+	if dev == nil {
+		t.Fatal("MI6 device profile missing")
+	}
+	cpuBk := newCPUProvider(t, dev)
+	gpuBk, err := gpusim.New(gpusim.Config{Kind: backend.KindVulkan, Device: dev, ComputeThreads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gpuBk.Close()
+	providers := []core.CostProvider{cpuBk, gpuBk}
+	assign, costs := ScoreBackends(g, shapes, providers)
+
+	if len(assign) != len(g.Nodes) {
+		t.Fatalf("assignment covers %d nodes, graph has %d", len(assign), len(g.Nodes))
+	}
+	gpuNodes, cpuNodes := 0, 0
+	for _, n := range g.Nodes {
+		name, ok := assign[n.Name]
+		if !ok {
+			t.Fatalf("node %q unassigned", n.Name)
+		}
+		switch name {
+		case cpuBk.Name():
+			cpuNodes++
+		case gpuBk.Name():
+			gpuNodes++
+			if !gpuBk.Supports(n) {
+				t.Errorf("node %q (%v) assigned to %s which does not support it", n.Name, n.Op, name)
+			}
+		default:
+			t.Errorf("node %q assigned to unknown backend %q", n.Name, name)
+		}
+		if n.Op == graph.OpInput && name != cpuBk.Name() {
+			t.Errorf("graph input %q not pinned to CPU", n.Name)
+		}
+	}
+	if gpuNodes == 0 {
+		t.Errorf("no node offloaded to the GPU (cpu=%d); per-node scoring is vacuous", cpuNodes)
+	}
+	if costs[cpuBk.Name()]+costs[gpuBk.Name()] <= 0 {
+		t.Error("scored costs are empty")
+	}
+}
+
+// TestScoreBackendsCPUOnly: with only the CPU provider, everything lands on
+// it (the degenerate schedule).
+func TestScoreBackendsCPUOnly(t *testing.T) {
+	g, err := models.ByName("squeezenet-v1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes, err := graph.InferShapes(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuBk := newCPUProvider(t, device.Host)
+	assign, _ := ScoreBackends(g, shapes, []core.CostProvider{cpuBk})
+	for name, b := range assign {
+		if b != cpuBk.Name() {
+			t.Errorf("node %q assigned to %q with only a CPU provider", name, b)
+		}
+	}
+}

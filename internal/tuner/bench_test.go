@@ -1,0 +1,59 @@
+package tuner
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mnn/internal/graph"
+	"mnn/internal/models"
+)
+
+// BenchmarkSearchCost measures the pure-analytic search: this is overhead
+// every cost-mode Open pays, so it must stay trivially cheap next to
+// session preparation.
+func BenchmarkSearchCost(b *testing.B) {
+	g, err := models.ByName("resnet-18")
+	if err != nil {
+		b.Fatal(err)
+	}
+	shapes, err := graph.InferShapes(g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(g, shapes, Config{Mode: ModeCost}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchMeasuredWarm measures warm-cache resolution — the steady
+// deployment state of a measured-mode Open. The cold pass (outside the
+// timer) runs the actual micro-benchmarks once.
+func BenchmarkSearchMeasuredWarm(b *testing.B) {
+	g, err := models.ByName("squeezenet-v1.1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	override := map[string][]int{g.InputNames[0]: {1, 3, 32, 32}}
+	shapes, err := graph.InferShapes(g, override)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := filepath.Join(b.TempDir(), "sq.tuning.json")
+	cfg := Config{Mode: ModeMeasured, Threads: 2, CachePath: cache, Reps: 1, TopK: 2}
+	if _, err := New(g, shapes, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := New(g, shapes, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plan.Report.Measured != 0 {
+			b.Fatalf("warm search measured %d candidates", plan.Report.Measured)
+		}
+	}
+}

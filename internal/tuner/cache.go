@@ -1,0 +1,179 @@
+package tuner
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+
+	"mnn/internal/graph"
+)
+
+// CacheVersion is the on-disk format version. Decoding a file written by a
+// different version fails with ErrCacheStale so the caller re-tunes instead
+// of trusting decisions measured under different semantics.
+const CacheVersion = 1
+
+// ErrCacheStale marks a structurally valid cache that does not apply here:
+// wrong format version, a different host, or a different model. Callers
+// fall back to the cost model (and re-measure) instead of erroring.
+var ErrCacheStale = errors.New("tuner: tuning cache is stale (version, host or model mismatch)")
+
+// ErrCacheCorrupt marks a cache file that could not be decoded at all.
+var ErrCacheCorrupt = errors.New("tuner: tuning cache is corrupt")
+
+// CacheEntry is one persisted decision: the winning algorithm for a
+// convolution signature, with the measured steady-state latency that earned
+// the pick (diagnostics only — decisions are re-validated against the
+// legality predicates on every load).
+type CacheEntry struct {
+	Scheme  string  `json:"scheme"`
+	TileH   int     `json:"tile_h,omitempty"`
+	TileW   int     `json:"tile_w,omitempty"`
+	NsPerOp float64 `json:"ns_per_op,omitempty"`
+}
+
+// Cache holds tuned decisions for one (host, model) pair.
+type Cache struct {
+	Host    string
+	Model   string
+	Entries map[string]CacheEntry
+}
+
+// cacheFile is the JSON wire form.
+type cacheFile struct {
+	Version int                   `json:"version"`
+	Host    string                `json:"host"`
+	Model   string                `json:"model"`
+	Entries map[string]CacheEntry `json:"entries"`
+}
+
+// HostKey identifies the measuring host: measured picks transfer neither
+// across architectures nor across core counts, so both are part of the key.
+func HostKey() string {
+	return runtime.GOOS + "/" + runtime.GOARCH + "-c" + strconv.Itoa(runtime.NumCPU())
+}
+
+// NewCache returns an empty cache keyed to this host and the given model.
+func NewCache(model string) *Cache {
+	return &Cache{Host: HostKey(), Model: model, Entries: map[string]CacheEntry{}}
+}
+
+// SigConv is the tuning signature of one convolution: every attribute and
+// shape dimension that affects algorithm legality or performance. Layers
+// sharing a signature (MobileNet repeats its blocks) are measured once.
+func SigConv(a *graph.Conv2DAttrs, inShape []int) string {
+	act := 0
+	if a.ReLU {
+		act = 1
+	}
+	if a.ReLU6 {
+		act = 2
+	}
+	shape := ""
+	for i, d := range inShape {
+		if i > 0 {
+			shape += "x"
+		}
+		shape += strconv.Itoa(d)
+	}
+	return fmt.Sprintf("k%dx%d_s%dx%d_d%dx%d_p%dx%dm%d_g%d_oc%d_in%s_a%d",
+		a.KernelH, a.KernelW, a.StrideH, a.StrideW, a.DilationH, a.DilationW,
+		a.PadH, a.PadW, int(a.PadMode), a.Group, a.OutputCount, shape, act)
+}
+
+// EncodeCache serializes a cache to the versioned JSON form. Map keys are
+// emitted sorted, so encode→decode→encode is byte-identical.
+func EncodeCache(c *Cache) ([]byte, error) {
+	entries := c.Entries
+	if entries == nil {
+		entries = map[string]CacheEntry{}
+	}
+	data, err := json.MarshalIndent(cacheFile{
+		Version: CacheVersion, Host: c.Host, Model: c.Model, Entries: entries,
+	}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeCache parses a cache file. It never panics on hostile input: any
+// structural problem returns ErrCacheCorrupt, a version mismatch returns
+// ErrCacheStale. Host/model applicability is the caller's check (LoadCacheFile)
+// so tooling can still inspect foreign caches.
+func DecodeCache(data []byte) (*Cache, error) {
+	var f cacheFile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCacheCorrupt, err)
+	}
+	if f.Version != CacheVersion {
+		return nil, fmt.Errorf("%w: file version %d, want %d", ErrCacheStale, f.Version, CacheVersion)
+	}
+	if f.Entries == nil {
+		f.Entries = map[string]CacheEntry{}
+	}
+	return &Cache{Host: f.Host, Model: f.Model, Entries: f.Entries}, nil
+}
+
+// LoadCacheFile reads and validates a cache for this host. A missing file
+// returns os.ErrNotExist; a corrupt or stale (wrong version/host) file
+// returns the matching sentinel — callers treat every error as "cold cache".
+//
+// The model field is provenance metadata, not a staleness gate: entries are
+// keyed by convolution signature and lane count, which fully determine a
+// measurement on a given host, so two models pointed at one cache file
+// share entries (and merge on save) instead of clobbering each other.
+func LoadCacheFile(path, model string) (*Cache, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := DecodeCache(data)
+	if err != nil {
+		return nil, err
+	}
+	if c.Host != HostKey() {
+		return nil, fmt.Errorf("%w: cache measured on host %q, this is %q",
+			ErrCacheStale, c.Host, HostKey())
+	}
+	c.Model = model
+	return c, nil
+}
+
+// SaveCacheFile writes the cache atomically (temp file + rename) so a crash
+// mid-write can never leave a truncated cache behind.
+func SaveCacheFile(path string, c *Cache) error {
+	data, err := EncodeCache(c)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tuning-*.json")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package tuner
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mnn/internal/graph"
+	"mnn/internal/models"
+)
+
+func sampleCache() *Cache {
+	c := NewCache("squeezenet-v1.1+40nodes")
+	c.Entries["k3x3_s2x2_d1x1_p0x0m0_g1_oc64_in1x3x64x64_a1"] = CacheEntry{Scheme: "sliding", NsPerOp: 120000}
+	c.Entries["k1x1_s1x1_d1x1_p0x0m0_g1_oc16_in1x64x16x16_a1"] = CacheEntry{Scheme: "strassen-1x1", NsPerOp: 45000}
+	c.Entries["k3x3_s1x1_d1x1_p1x1m0_g1_oc64_in1x16x16x16_a1"] = CacheEntry{Scheme: "winograd", TileH: 4, TileW: 4, NsPerOp: 200000}
+	return c
+}
+
+// TestCacheEncodeDecodeEncodeIdentity: the persisted form round-trips
+// byte-identically, so repeated tunings never churn the file.
+func TestCacheEncodeDecodeEncodeIdentity(t *testing.T) {
+	c := sampleCache()
+	first, err := EncodeCache(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeCache(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := EncodeCache(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("encode→decode→encode changed the bytes:\n%s\nvs\n%s", first, second)
+	}
+}
+
+func TestCacheFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "dir", "model.tuning.json")
+	c := sampleCache()
+	if err := SaveCacheFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCacheFile(path, c.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Host != c.Host || got.Model != c.Model || len(got.Entries) != len(c.Entries) {
+		t.Fatalf("round trip mangled the cache: %+v vs %+v", got, c)
+	}
+	for sig, e := range c.Entries {
+		if got.Entries[sig] != e {
+			t.Errorf("entry %q: %+v != %+v", sig, got.Entries[sig], e)
+		}
+	}
+}
+
+func TestCacheMismatchesAreStale(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, c *Cache, mangle func([]byte) []byte) string {
+		data, err := EncodeCache(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mangle != nil {
+			data = mangle(data)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	hostMismatch := sampleCache()
+	hostMismatch.Host = "plan9/mips-c420"
+	if _, err := LoadCacheFile(write("host.json", hostMismatch, nil), hostMismatch.Model); !errors.Is(err, ErrCacheStale) {
+		t.Errorf("host mismatch: got %v, want ErrCacheStale", err)
+	}
+	// A different model is NOT stale: entries are keyed by signature+lanes,
+	// which fully determine a measurement on this host, so models sharing a
+	// cache path merge instead of clobbering each other's results.
+	shared, err := LoadCacheFile(write("model.json", sampleCache(), nil), "other-model")
+	if err != nil {
+		t.Errorf("model mismatch: got %v, want shared entries", err)
+	} else if len(shared.Entries) != len(sampleCache().Entries) {
+		t.Errorf("model mismatch dropped entries: %d of %d", len(shared.Entries), len(sampleCache().Entries))
+	}
+	versionBump := func(data []byte) []byte {
+		return bytes.Replace(data, []byte(`"version": 1`), []byte(`"version": 99`), 1)
+	}
+	if _, err := LoadCacheFile(write("version.json", sampleCache(), versionBump), sampleCache().Model); !errors.Is(err, ErrCacheStale) {
+		t.Errorf("version mismatch: got %v, want ErrCacheStale", err)
+	}
+	if _, err := LoadCacheFile(write("corrupt.json", sampleCache(), func(d []byte) []byte { return d[:len(d)/2] }), sampleCache().Model); !errors.Is(err, ErrCacheCorrupt) {
+		t.Errorf("truncated file: got %v, want ErrCacheCorrupt", err)
+	}
+	if _, err := LoadCacheFile(filepath.Join(dir, "missing.json"), "m"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing file: got %v, want ErrNotExist", err)
+	}
+}
+
+// TestStaleCacheFallsBackToSearch: a search pointed at a stale or corrupt
+// cache must not fail — it re-tunes from the cost model and rewrites the
+// file for the current host.
+func TestStaleCacheFallsBackToSearch(t *testing.T) {
+	g, err := models.ByName("squeezenet-v1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	override := map[string][]int{g.InputNames[0]: {1, 3, 32, 32}}
+	shapes, err := graph.InferShapes(g, override)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, content := range map[string]string{
+		"corrupt.json": `{"version": 1, "host": `,
+		"garbage.json": strings.Repeat("\x00\xff", 100),
+		"version.json": `{"version": 7, "host": "x", "model": "y", "entries": {}}`,
+		"empty.json":   ``,
+	} {
+		path := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		plan, err := New(g, shapes, Config{Mode: ModeMeasured, Threads: 2, CachePath: path, Reps: 1, TopK: 2})
+		if err != nil {
+			t.Fatalf("%s: search failed instead of falling back: %v", name, err)
+		}
+		if plan.Report.CacheLoaded {
+			t.Errorf("%s: unusable cache reported as loaded", name)
+		}
+		if !plan.Report.CacheSaved {
+			t.Errorf("%s: search did not rewrite the unusable cache", name)
+		}
+		// The rewritten file must decode cleanly and apply to this host+model.
+		if _, err := LoadCacheFile(path, g.Name); err != nil {
+			t.Errorf("%s: rewritten cache does not load: %v", name, err)
+		}
+	}
+}
+
+// TestSharedCachePathMergesAcrossModels: two models tuned against one cache
+// file accumulate entries instead of clobbering each other — alternating
+// loads stay warm rather than re-measuring forever.
+func TestSharedCachePathMergesAcrossModels(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shared.json")
+	tune := func(net string) Report {
+		g, err := models.ByName(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		override := map[string][]int{g.InputNames[0]: {1, 3, 32, 32}}
+		shapes, err := graph.InferShapes(g, override)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := New(g, shapes, Config{Mode: ModeMeasured, Threads: 2, CachePath: path, Reps: 1, TopK: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan.Report
+	}
+	if r := tune("squeezenet-v1.1"); r.Measured == 0 {
+		t.Fatalf("first model did not measure: %+v", r)
+	}
+	if r := tune("mobilenet-v1"); r.Measured == 0 {
+		t.Fatalf("second model did not measure: %+v", r)
+	}
+	for _, net := range []string{"squeezenet-v1.1", "mobilenet-v1"} {
+		if r := tune(net); r.Measured != 0 || r.CacheHits != r.Unique {
+			t.Errorf("%s re-tuned against the shared cache: %+v", net, r)
+		}
+	}
+}
+
+// TestIllegalCacheEntryIsIgnored: an entry naming an algorithm the legality
+// predicates reject for its signature is dropped and re-measured — a
+// hand-edited or stale cache can degrade performance but never correctness.
+func TestIllegalCacheEntryIsIgnored(t *testing.T) {
+	g, err := models.ByName("mobilenet-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	override := map[string][]int{g.InputNames[0]: {1, 3, 32, 32}}
+	shapes, err := graph.InferShapes(g, override)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "poisoned.json")
+	cfg := Config{Mode: ModeMeasured, Threads: 2, CachePath: path, Reps: 1, TopK: 2}
+	if _, err := New(g, shapes, cfg); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadCacheFile(path, "mobilenet-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poison every entry with an illegal algorithm (winograd on depthwise and
+	// 1×1 layers alike) plus one unknown scheme name.
+	for sig := range c.Entries {
+		c.Entries[sig] = CacheEntry{Scheme: "winograd", TileH: 4, TileW: 4}
+	}
+	for sig := range c.Entries {
+		c.Entries[sig] = CacheEntry{Scheme: "quantum-annealing"}
+		break
+	}
+	if err := SaveCacheFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := New(g, shapes, cfg)
+	if err != nil {
+		t.Fatalf("poisoned cache broke the search: %v", err)
+	}
+	for _, n := range g.Nodes {
+		if n.Op != graph.OpConv2D {
+			continue
+		}
+		a := n.Attrs.(*graph.Conv2DAttrs)
+		dec := plan.Decisions[n.Name]
+		if a.IsDepthwise() && dec.Scheme.String() == "winograd" {
+			t.Errorf("node %q: poisoned winograd entry survived on a depthwise conv", n.Name)
+		}
+	}
+	if plan.Report.Measured == 0 {
+		t.Error("poisoned entries were not re-measured")
+	}
+}

@@ -1,0 +1,56 @@
+package tuner
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeTuningCache hardens mnn.Open against hostile or bit-rotted
+// tuning-cache files: decoding arbitrary bytes must never panic, and
+// anything that does decode must re-encode and decode to the same cache
+// (the persistence layer can't silently mutate decisions).
+func FuzzDecodeTuningCache(f *testing.F) {
+	valid, err := EncodeCache(sampleCache())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"version": 1}`))
+	f.Add([]byte(`{"version": 99, "host": "h", "model": "m", "entries": {}}`))
+	f.Add([]byte(`{"version": 1, "host": "h", "model": "m", "entries": null}`))
+	f.Add([]byte(`{"version": 1, "host": "h", "model": "m", "entries": {"sig": {"scheme": "winograd", "tile_h": -4}}}`))
+	f.Add([]byte(`{"version": 1, "entries": {"s": {"scheme": "quantum"}}}`))
+	f.Add([]byte(`{"version": 1, "unknown_field": true}`))
+	f.Add([]byte(`{"version": 1e309}`))
+	f.Add(valid[:len(valid)/2])
+	f.Add(bytes.Repeat([]byte(`[`), 10000))
+	f.Add([]byte(strings.Repeat("\x00\xff\x7f", 64)))
+	f.Add([]byte(`{"version": 1, "host": "` + strings.Repeat("h", 1<<16) + `", "model": "m", "entries": {}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCache(data)
+		if err != nil {
+			return
+		}
+		encoded, err := EncodeCache(c)
+		if err != nil {
+			t.Fatalf("decoded cache fails to re-encode: %v", err)
+		}
+		again, err := DecodeCache(encoded)
+		if err != nil {
+			t.Fatalf("re-encoded cache fails to decode: %v", err)
+		}
+		if again.Host != c.Host || again.Model != c.Model || len(again.Entries) != len(c.Entries) {
+			t.Fatalf("round trip mutated the cache: %+v vs %+v", again, c)
+		}
+		for sig, e := range c.Entries {
+			if again.Entries[sig] != e {
+				t.Fatalf("round trip mutated entry %q: %+v vs %+v", sig, again.Entries[sig], e)
+			}
+		}
+	})
+}

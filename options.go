@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+
+	"mnn/internal/core"
+	"mnn/internal/tuner"
 )
 
 // Option configures an Engine at Open time (functional-options pattern).
@@ -26,6 +29,15 @@ type engineConfig struct {
 	int8Plan   map[string]bool
 	nonNegActs map[string]bool
 	actScales  map[string]float32
+	// tuning/tuningCache configure the kernel search; tuningPlan is the
+	// committed search result and assignment the per-node backend schedule
+	// it scored — both computed once per Open and shared by every pooled
+	// session.
+	tuning       TuningMode
+	tuningCache  string
+	tuningPlan   *tuner.Plan
+	assignment   core.Assignment
+	backendCosts core.BackendCosts
 }
 
 func defaultEngineConfig() engineConfig {
@@ -178,6 +190,60 @@ func WithoutPreparation() Option {
 		c.noPrep = true
 		return nil
 	}
+}
+
+// TuningMode selects how the engine picks the kernel/algorithm of each
+// convolution at prepare time (the paper's semi-automated search).
+type TuningMode = tuner.Mode
+
+const (
+	// TuningHeuristic keeps the built-in Equation 2–3 selection (default).
+	TuningHeuristic = tuner.ModeHeuristic
+	// TuningCost scores every legal algorithm with the analytic FLOP/bytes
+	// cost model and commits the argmin.
+	TuningCost = tuner.ModeCost
+	// TuningMeasured micro-benchmarks the top cost-model candidates on the
+	// real shapes at Open time and commits the fastest; combined with
+	// WithTuningCache the measurements persist, so later Opens prepare fast
+	// and deterministically.
+	TuningMeasured = tuner.ModeMeasured
+)
+
+// TuningStats summarizes what the kernel search did during Open (cache
+// hits, micro-benchmarks run); see Engine.TuningStats.
+type TuningStats = tuner.Report
+
+// WithTuning selects the kernel-search depth (default TuningHeuristic).
+func WithTuning(m TuningMode) Option {
+	return func(c *engineConfig) error {
+		if m < TuningHeuristic || m > TuningMeasured {
+			return fmt.Errorf("mnn: WithTuning(%d): unknown tuning mode", int(m))
+		}
+		c.tuning = m
+		return nil
+	}
+}
+
+// WithTuningCache sets the persistent tuning-cache file for TuningMeasured:
+// measured winners are stored per host, keyed by convolution signature and
+// lane count, and reused by later Opens, which then skip every
+// micro-benchmark. Models pointed at one file merge entries (a signature
+// fully determines its measurement on a host). A stale or corrupt cache
+// file is ignored (the search falls back to the cost model and rewrites
+// it) — it can never fail or corrupt an Open. Empty (the default) disables
+// persistence.
+func WithTuningCache(path string) Option {
+	return func(c *engineConfig) error {
+		c.tuningCache = path
+		return nil
+	}
+}
+
+// ParseTuningMode maps a tuning-mode name ("heuristic"/"off", "cost",
+// "measured", case-insensitive) to its TuningMode, for CLI flags and the
+// serving tier.
+func ParseTuningMode(s string) (TuningMode, error) {
+	return tuner.ParseMode(strings.ToLower(strings.TrimSpace(s)))
 }
 
 // ParseForwardType maps a backend name ("auto", "cpu", "metal", "opencl",

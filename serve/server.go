@@ -34,7 +34,14 @@ type LoadOptions struct {
 	Device  string `json:"device,omitempty"`
 	// Precision selects the execution precision ("fp32" default, "int8"
 	// runs the quantized kernel path — see mnn.WithPrecision).
-	Precision   string           `json:"precision,omitempty"`
+	Precision string `json:"precision,omitempty"`
+	// Tuning selects the kernel-search mode ("heuristic" default, "cost",
+	// "measured" — see mnn.WithTuning). Measured tuning runs micro-benchmarks
+	// during load unless TuningCache already holds this host's results.
+	Tuning string `json:"tuning,omitempty"`
+	// TuningCache is the persistent tuning-cache path on the server
+	// (mnn.WithTuningCache); meaningful with Tuning "measured".
+	TuningCache string           `json:"tuning_cache,omitempty"`
 	InputShapes map[string][]int `json:"input_shapes,omitempty"`
 }
 
@@ -64,6 +71,16 @@ func (o LoadOptions) EngineOptions() ([]mnn.Option, error) {
 		}
 		opts = append(opts, mnn.WithPrecision(p))
 	}
+	if o.Tuning != "" {
+		m, err := mnn.ParseTuningMode(o.Tuning)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		opts = append(opts, mnn.WithTuning(m))
+	}
+	if o.TuningCache != "" {
+		opts = append(opts, mnn.WithTuningCache(o.TuningCache))
+	}
 	if len(o.InputShapes) > 0 {
 		opts = append(opts, mnn.WithInputShapes(o.InputShapes))
 	}
@@ -86,6 +103,23 @@ type LoadRequest struct {
 func (r LoadRequest) ModelConfig() (ModelConfig, error) {
 	if r.Model == "" {
 		return ModelConfig{}, fmt.Errorf("%w: load request missing \"model\"", ErrBadRequest)
+	}
+	if r.Options.TuningCache != "" {
+		// The load API reads server paths (the model file) but must never
+		// hand clients a write primitive: a tuning cache is created with
+		// MkdirAll + rename at an arbitrary path. Operators set cache paths
+		// via mnnserve -model flags; API loads still tune, non-persistently.
+		return ModelConfig{}, fmt.Errorf("%w: tuning_cache cannot be set through the repository API (configure it server-side via mnnserve -model)", ErrBadRequest)
+	}
+	if mode, err := mnn.ParseTuningMode(r.Options.Tuning); err == nil &&
+		mode == mnn.TuningMeasured && r.MaxBatch > 1 {
+		// The micro-batcher's second engine must commit exactly the
+		// unbatched engine's algorithms or batched results stop being
+		// bitwise identical to unbatched ones. Measured picks are only
+		// guaranteed to repeat across the two engines through a shared
+		// tuning cache — which the API cannot set — so measured+batching is
+		// operator-side configuration only.
+		return ModelConfig{}, fmt.Errorf("%w: measured tuning with batching requires a shared tuning cache; configure both server-side via mnnserve -model (tuning=measured,tuningcache=...,maxbatch=...)", ErrBadRequest)
 	}
 	opts, err := r.Options.EngineOptions()
 	if err != nil {

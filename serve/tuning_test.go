@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"mnn"
+	"mnn/internal/tensor"
+)
+
+// TestTunedServingBatchedBitwise: with measured tuning and a shared cache,
+// the micro-batcher's batch-prepared engine commits exactly the unbatched
+// engine's algorithms (decisions are batch-invariant and resolved from the
+// cache the unbatched open filled), so batched responses stay bitwise
+// identical to unbatched ones — the serving invariant tuning must not break.
+func TestTunedServingBatchedBitwise(t *testing.T) {
+	const hw = 32
+	cache := filepath.Join(t.TempDir(), "sq.tuning.json")
+	shapes := map[string][]int{"data": {1, 3, hw, hw}}
+	opts := []mnn.Option{mnn.WithThreads(2), mnn.WithInputShapes(shapes),
+		mnn.WithTuning(mnn.TuningMeasured), mnn.WithTuningCache(cache)}
+
+	reg := NewRegistry()
+	defer reg.Close()
+	if err := reg.Load("sq", ModelConfig{Model: "squeezenet-v1.1", Options: opts,
+		Batch: BatchConfig{MaxBatch: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := reg.Get("sq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Batching() {
+		t.Fatal("batcher not active")
+	}
+	ref, err := mnn.Open("squeezenet-v1.1", opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	if ts := ref.TuningStats(); ts.Measured != 0 {
+		t.Fatalf("reference engine did not resolve from the shared cache: %+v", ts)
+	}
+	ctx := context.Background()
+	for r := 0; r < 4; r++ {
+		in := tensor.NewRandom(uint64(50+r), float32(r%2+1), 1, 3, hw, hw)
+		got, err := m.Infer(ctx, map[string]*mnn.Tensor{"data": in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Infer(ctx, map[string]*mnn.Tensor{"data": in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, w := range want {
+			gd := got[name].Data()
+			for i, v := range w.Data() {
+				if gd[i] != v {
+					t.Fatalf("request %d output %q[%d]: batched %v != unbatched %v", r, name, i, gd[i], v)
+				}
+			}
+		}
+	}
+}
+
+// TestLoadOptionsTuning: the wire-level tuning knobs translate into engine
+// options — a measured-mode model loads, serves, and persists its tuning
+// cache so a reload resolves without re-measuring; a bad mode name is a
+// client error.
+func TestLoadOptionsTuning(t *testing.T) {
+	if _, err := (LoadOptions{Tuning: "quantum"}).EngineOptions(); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("bad tuning mode: got %v, want ErrBadRequest", err)
+	}
+	// The repository HTTP API must never accept a server-side write path: a
+	// client-supplied tuning cache would be an arbitrary file write.
+	req := LoadRequest{Model: "squeezenet-v1.1", Options: LoadOptions{
+		Tuning: "measured", TuningCache: "/etc/evil.json"}}
+	if _, err := req.ModelConfig(); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("repository-API tuning_cache: got %v, want ErrBadRequest", err)
+	}
+	// Without a cache path, API-driven measured tuning is still allowed —
+	// unless batching is requested, where only a shared cache (operator-side
+	// configuration) keeps the two engines' algorithms identical.
+	if _, err := (LoadRequest{Model: "squeezenet-v1.1",
+		Options: LoadOptions{Tuning: "measured"}}).ModelConfig(); err != nil {
+		t.Errorf("cacheless measured tuning over the API rejected: %v", err)
+	}
+	if _, err := (LoadRequest{Model: "squeezenet-v1.1", MaxBatch: 4,
+		Options: LoadOptions{Tuning: "measured"}}).ModelConfig(); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("measured tuning with batching over the API: got %v, want ErrBadRequest", err)
+	}
+
+	cache := filepath.Join(t.TempDir(), "sq.tuning.json")
+	lo := LoadOptions{
+		Threads: 2, Tuning: "measured", TuningCache: cache,
+		InputShapes: map[string][]int{"data": {1, 3, 32, 32}},
+	}
+	opts, err := lo.EngineOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	defer reg.Close()
+	if err := reg.Load("sq", ModelConfig{Model: "squeezenet-v1.1", Options: opts}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := reg.Get("sq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := m.Engine().TuningStats()
+	if cold.Measured == 0 || !cold.CacheSaved {
+		t.Fatalf("measured load did not measure+persist: %+v", cold)
+	}
+	in := tensor.NewRandom(1, 1, 1, 3, 32, 32)
+	if _, err := m.Infer(context.Background(), map[string]*mnn.Tensor{"data": in}); err != nil {
+		t.Fatal(err)
+	}
+	// Hot-swap reload: the replacement engine must come up warm.
+	if err := reg.Load("sq", ModelConfig{Model: "squeezenet-v1.1", Options: opts}); err != nil {
+		t.Fatal(err)
+	}
+	m, err = reg.Get("sq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := m.Engine().TuningStats()
+	if warm.Measured != 0 || warm.CacheHits != warm.Unique {
+		t.Errorf("reloaded model did not resolve from the tuning cache: %+v", warm)
+	}
+}

@@ -1,0 +1,180 @@
+package mnn_test
+
+// Engine-level tuning tests: the warm-cache fast path (a second Open must
+// skip every micro-benchmark), bitwise determinism of warm-cache engines,
+// and option validation. The cross-algorithm equivalence suite lives with
+// the tuner (internal/tuner); these tests pin the public-API contract.
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"mnn"
+	"mnn/internal/tensor"
+)
+
+const tuningTestHW = 64
+
+func openTuned(t *testing.T, cache string) *mnn.Engine {
+	t.Helper()
+	eng, err := mnn.Open("mobilenet-v1", mnn.WithThreads(2),
+		mnn.WithInputShapes(map[string][]int{"data": {1, 3, tuningTestHW, tuningTestHW}}),
+		mnn.WithTuning(mnn.TuningMeasured), mnn.WithTuningCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+// TestTuningWarmOpenSkipsMicrobenchmarks: the first measured Open pays for
+// its micro-benchmarks once and persists the winners; every later Open of
+// the same (host, model) resolves purely from the cache.
+func TestTuningWarmOpenSkipsMicrobenchmarks(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "mobilenet.tuning.json")
+	cold := openTuned(t, cache).TuningStats()
+	if cold.Measured == 0 {
+		t.Fatalf("cold open measured nothing: %+v", cold)
+	}
+	if !cold.CacheSaved {
+		t.Fatalf("cold open did not persist the cache: %+v", cold)
+	}
+	warm := openTuned(t, cache).TuningStats()
+	if warm.Measured != 0 {
+		t.Errorf("warm open ran %d micro-benchmarks, want 0: %+v", warm.Measured, warm)
+	}
+	if !warm.CacheLoaded || warm.CacheHits != warm.Unique || warm.Unique == 0 {
+		t.Errorf("warm open did not resolve fully from cache: %+v", warm)
+	}
+}
+
+// TestTuningWarmCacheDeterminism: with a warm cache, independent Opens make
+// identical decisions and steady-state inference is bitwise reproducible —
+// two engines, two InferInto runs each, all four outputs identical.
+func TestTuningWarmCacheDeterminism(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "mobilenet.tuning.json")
+	openTuned(t, cache).Close() // cold: measure once, fill the cache
+
+	in := tensor.NewRandom(3, 1, 1, 3, tuningTestHW, tuningTestHW)
+	inputs := map[string]*mnn.Tensor{"data": in}
+	ctx := context.Background()
+	var ref []float32
+	for e := 0; e < 2; e++ {
+		eng := openTuned(t, cache)
+		if ts := eng.TuningStats(); ts.Measured != 0 {
+			t.Fatalf("engine %d: warm open measured %d candidates", e, ts.Measured)
+		}
+		out := map[string]*mnn.Tensor{"prob": mnn.NewTensor(1, 1000)}
+		for run := 0; run < 2; run++ {
+			if err := eng.InferInto(ctx, inputs, out); err != nil {
+				t.Fatal(err)
+			}
+			got := out["prob"].Data()
+			if ref == nil {
+				ref = append([]float32(nil), got...)
+				continue
+			}
+			for i, v := range got {
+				if v != ref[i] {
+					t.Fatalf("engine %d run %d: output[%d] = %v, want bitwise %v", e, run, i, v, ref[i])
+				}
+			}
+		}
+		eng.Close()
+	}
+}
+
+// TestTuningCostModeMatchesWithinBudget: the cost model may commit different
+// algorithms than the heuristic, but every candidate computes the same
+// convolution — outputs agree within the cross-algorithm fp32 budget.
+func TestTuningCostModeMatchesWithinBudget(t *testing.T) {
+	in := tensor.NewRandom(5, 1, 1, 3, tuningTestHW, tuningTestHW)
+	inputs := map[string]*mnn.Tensor{"data": in}
+	outs := map[mnn.TuningMode]map[string]*mnn.Tensor{}
+	for _, mode := range []mnn.TuningMode{mnn.TuningHeuristic, mnn.TuningCost} {
+		eng, err := mnn.Open("resnet-18", mnn.WithThreads(2),
+			mnn.WithInputShapes(map[string][]int{"data": {1, 3, tuningTestHW, tuningTestHW}}),
+			mnn.WithTuning(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := eng.Infer(context.Background(), inputs)
+		eng.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs[mode] = out
+	}
+	for name, ref := range outs[mnn.TuningHeuristic] {
+		if d := tensor.MaxAbsDiff(ref, outs[mnn.TuningCost][name]); d > 2e-4 {
+			t.Errorf("output %q: cost-model engine deviates %.3e from heuristic", name, d)
+		}
+	}
+}
+
+// TestTuningWithInt8Precision: tuning and the quantized path compose — the
+// int8 partition is recomputed from the tuned schemes (a conv the tuner
+// moves to sliding must not be dispatched int8), and the tuned int8 engine
+// stays within the int8 conformance budget of the fp32 heuristic engine.
+func TestTuningWithInt8Precision(t *testing.T) {
+	shapes := map[string][]int{"data": {1, 3, tuningTestHW, tuningTestHW}}
+	in := tensor.NewRandom(9, 1, 1, 3, tuningTestHW, tuningTestHW)
+	inputs := map[string]*mnn.Tensor{"data": in}
+	ref, err := mnn.Open("mobilenet-v1", mnn.WithThreads(2), mnn.WithInputShapes(shapes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	tuned, err := mnn.Open("mobilenet-v1", mnn.WithThreads(2), mnn.WithInputShapes(shapes),
+		mnn.WithPrecision(mnn.PrecisionInt8), mnn.WithTuning(mnn.TuningCost))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tuned.Close()
+	ctx := context.Background()
+	want, err := ref.Infer(ctx, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tuned.Infer(ctx, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, w := range want {
+		if d := tensor.MaxAbsDiff(w, got[name]); d > 1e-4 {
+			t.Errorf("output %q: tuned int8 deviates %.3e from fp32 heuristic", name, d)
+		}
+	}
+}
+
+func TestTuningOptionValidation(t *testing.T) {
+	if _, err := mnn.Open("mobilenet-v1", mnn.WithTuning(mnn.TuningMode(42))); err == nil {
+		t.Error("WithTuning(42) accepted")
+	}
+	if _, err := mnn.ParseTuningMode("bogus"); err == nil {
+		t.Error("ParseTuningMode(bogus) accepted")
+	}
+	for in, want := range map[string]mnn.TuningMode{
+		"":          mnn.TuningHeuristic,
+		"heuristic": mnn.TuningHeuristic,
+		"off":       mnn.TuningHeuristic,
+		"cost":      mnn.TuningCost,
+		"Measured":  mnn.TuningMeasured,
+	} {
+		got, err := mnn.ParseTuningMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseTuningMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	// ErrCancelled-style sentinel behaviour: a cache directory that cannot
+	// be created must surface as an Open error, not a panic.
+	if _, err := mnn.Open("mobilenet-v1", mnn.WithThreads(1),
+		mnn.WithInputShapes(map[string][]int{"data": {1, 3, 32, 32}}),
+		mnn.WithTuning(mnn.TuningMeasured), mnn.WithTuningCache(string([]byte{0}))); err == nil {
+		t.Error("unwritable tuning-cache path accepted")
+	} else if errors.Is(err, mnn.ErrUnknownNetwork) {
+		t.Errorf("wrong error class: %v", err)
+	}
+}
