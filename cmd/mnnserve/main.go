@@ -9,9 +9,14 @@
 // Each -model flag is name=source[,key=value...]; a bare source serves under
 // its own name. Keys: pool, threads, forward, device, precision (fp32/int8),
 // tuning (heuristic/cost/measured), tuningcache (persistent tuning-cache
-// path), maxbatch, maxlatency, shape=input:AxBxC... (repeatable). Models can also be hot-loaded and
+// path), maxbatch, maxlatency, shape=input:AxBxC... (repeatable), queue
+// (admission queue depth; enables SLO-aware load shedding), concurrency,
+// slo (latency budget, e.g. slo=50ms), priority (default class:
+// high/normal/batch), degrade=int8 (route to a quantized engine under
+// sustained overload). Models can also be hot-loaded and
 // unloaded at runtime through POST /v2/repository/models/{name}/load and
-// /unload. SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
+// /unload. Prometheus metrics are served on GET /metrics.
+// SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
 // requests before closing the engines.
 package main
 
@@ -30,6 +35,7 @@ import (
 
 	"mnn"
 	"mnn/serve"
+	"mnn/serve/admission"
 )
 
 type modelSpec struct {
@@ -91,8 +97,18 @@ func main() {
 		if m.Batching() {
 			batching = fmt.Sprintf("%d within %v", s.cfg.Batch.MaxBatch, s.cfg.Batch.MaxLatency)
 		}
-		fmt.Printf("mnnserve: loaded %q (pre-inference %.0f ms, batching %s)\n",
-			s.name, float64(time.Since(t0).Milliseconds()), batching)
+		adm := "off"
+		if m.Admission() {
+			adm = fmt.Sprintf("queue %d", s.cfg.Admission.Queue)
+			if s.cfg.Admission.SLO > 0 {
+				adm += fmt.Sprintf(", slo %v", s.cfg.Admission.SLO)
+			}
+			if s.cfg.Admission.Degrade != "" {
+				adm += ", degrade " + s.cfg.Admission.Degrade
+			}
+		}
+		fmt.Printf("mnnserve: loaded %q (pre-inference %.0f ms, batching %s, admission %s)\n",
+			s.name, float64(time.Since(t0).Milliseconds()), batching, adm)
 	}
 
 	if *pprofAddr != "" {
@@ -180,6 +196,32 @@ func parseModelSpec(v string) (modelSpec, error) {
 				return modelSpec{}, fmt.Errorf("-model %q: maxlatency=%q: %v", v, val, err)
 			}
 			s.cfg.Batch.MaxLatency = d
+		case "queue":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return modelSpec{}, fmt.Errorf("-model %q: queue=%q: %v", v, val, err)
+			}
+			s.cfg.Admission.Queue = n
+		case "concurrency":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return modelSpec{}, fmt.Errorf("-model %q: concurrency=%q: %v", v, val, err)
+			}
+			s.cfg.Admission.Concurrency = n
+		case "slo":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return modelSpec{}, fmt.Errorf("-model %q: slo=%q: %v", v, val, err)
+			}
+			s.cfg.Admission.SLO = d
+		case "priority":
+			p, err := admission.ParsePriority(val)
+			if err != nil {
+				return modelSpec{}, fmt.Errorf("-model %q: priority=%q: %v", v, val, err)
+			}
+			s.cfg.Admission.DefaultPriority = p
+		case "degrade":
+			s.cfg.Admission.Degrade = val
 		case "shape":
 			input, dims, ok := strings.Cut(val, ":")
 			if !ok {
@@ -198,7 +240,7 @@ func parseModelSpec(v string) (modelSpec, error) {
 			}
 			lo.InputShapes[input] = shape
 		default:
-			return modelSpec{}, fmt.Errorf("-model %q: unknown option %q (want pool, threads, forward, device, precision, tuning, tuningcache, maxbatch, maxlatency or shape)", v, key)
+			return modelSpec{}, fmt.Errorf("-model %q: unknown option %q (want pool, threads, forward, device, precision, tuning, tuningcache, maxbatch, maxlatency, shape, queue, concurrency, slo, priority or degrade)", v, key)
 		}
 	}
 	opts, err := lo.EngineOptions()

@@ -57,6 +57,12 @@ type Result struct {
 	// Speedup is the ratio of a baseline latency to this case's latency
 	// (the quant experiment's fp32/int8 ratio; > 1 means faster).
 	Speedup float64 `json:"speedup,omitempty"`
+	// P99Ns is the 99th-percentile latency of admitted requests (the
+	// overload experiment; NsPerOp holds the mean elsewhere).
+	P99Ns float64 `json:"p99_ns,omitempty"`
+	// ShedRate is the fraction of issued requests rejected by admission
+	// control (the overload experiment).
+	ShedRate float64 `json:"shed_rate,omitempty"`
 }
 
 // Recorder accumulates Results across experiments. Safe for concurrent use.
@@ -94,6 +100,17 @@ func (r *Recorder) RecordQuant(experiment, kase string, nsPerOp, speedup, maxAbs
 	r.results = append(r.results, Result{
 		Experiment: experiment, Case: kase,
 		NsPerOp: nsPerOp, Speedup: speedup, MaxAbsErr: maxAbsErr,
+	})
+}
+
+// RecordOverload appends one overload-experiment row: goodput of admitted
+// requests, their p99 latency, and the shed rate.
+func (r *Recorder) RecordOverload(experiment, kase string, goodputQPS, p99Ns, shedRate float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.results = append(r.results, Result{
+		Experiment: experiment, Case: kase,
+		ThroughputQPS: goodputQPS, P99Ns: p99Ns, ShedRate: shedRate,
 	})
 }
 
@@ -139,7 +156,7 @@ var Experiments = []string{
 	"table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
 	"figure7", "figure8", "figure9",
 	"ablation-strassen", "ablation-layout", "ablation-memory", "ablation-tile",
-	"throughput", "serving", "allocs", "quant", "tuning",
+	"throughput", "serving", "overload", "allocs", "quant", "tuning",
 }
 
 // Run dispatches one experiment by name.
@@ -179,6 +196,8 @@ func Run(name string, opt Options) error {
 		return Throughput(opt)
 	case "serving":
 		return Serving(opt)
+	case "overload":
+		return Overload(opt)
 	case "allocs":
 		return Allocs(opt)
 	case "quant":

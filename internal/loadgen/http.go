@@ -25,6 +25,9 @@ type HTTPConfig struct {
 	// which would re-dial constantly at in-flight ≥4 and skew the
 	// measurement with TCP handshakes).
 	Client *http.Client
+	// Headers are added to every request (e.g. X-Request-Priority,
+	// X-Request-Timeout for SLO-aware admission control).
+	Headers map[string]string
 }
 
 // defaultClient keeps enough idle keep-alive connections for the deepest
@@ -55,11 +58,25 @@ func NewHTTPQuery(cfg HTTPConfig, inputs map[string]*tensor.Tensor) (func() erro
 	}
 	url := cfg.BaseURL + "/v2/models/" + cfg.Model + "/infer"
 	return func() error {
-		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		hreq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("loadgen: %s: %w", url, err)
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		for k, v := range cfg.Headers {
+			hreq.Header.Set(k, v)
+		}
+		resp, err := client.Do(hreq)
 		if err != nil {
 			return fmt.Errorf("loadgen: %s: %w", url, err)
 		}
 		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			// Admission control rejected the query; drain for keep-alive and
+			// classify as shed so open-loop overload runs count it apart.
+			_, _ = io.Copy(io.Discard, resp.Body)
+			return fmt.Errorf("%w: %s (Retry-After %s)", ErrShed, url, resp.Header.Get("Retry-After"))
+		}
 		if resp.StatusCode != http.StatusOK {
 			blob, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
 			return fmt.Errorf("loadgen: %s: HTTP %d: %s", url, resp.StatusCode, blob)

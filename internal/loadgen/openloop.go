@@ -1,0 +1,143 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrShed marks a query rejected by server-side admission control (HTTP
+// 429). Open-loop runs count shed queries separately from failures: under
+// deliberate overload, rejections are the system working as designed.
+var ErrShed = errors.New("loadgen: query shed")
+
+// OpenLoopConfig drives queries at a fixed arrival rate regardless of how
+// fast responses come back — the MLPerf "server" scenario shape. Unlike the
+// closed-loop runners, a slow server does not slow the generator down, so
+// queue growth, shedding and goodput collapse become observable.
+type OpenLoopConfig struct {
+	// Rate is the arrival rate in queries/second (required).
+	Rate float64
+	// Duration is the offered-load window; arrivals stop after it and the
+	// run drains outstanding queries (required).
+	Duration time.Duration
+	// MaxOutstanding caps concurrent in-flight queries (a real client pool
+	// is finite too); arrivals past the cap are dropped client-side and
+	// counted in Dropped. 0 means 256.
+	MaxOutstanding int
+}
+
+// OpenLoopStats reports one open-loop run. Offered = Issued + Dropped;
+// Issued = Completed + Shed + Failed.
+type OpenLoopStats struct {
+	Offered   int // arrivals the schedule generated
+	Issued    int // queries actually sent
+	Completed int // HTTP 200 (or query() == nil)
+	Shed      int // rejected by admission control (ErrShed)
+	Failed    int // any other error
+	Dropped   int // client-side drops at MaxOutstanding
+
+	// GoodputQPS is completed queries per second of wall time, drain
+	// included — what the system actually delivered under the offered load.
+	GoodputQPS float64
+	// ShedRate is Shed / Issued.
+	ShedRate float64
+
+	// Latency distribution over completed queries only.
+	MinLatency  time.Duration
+	MeanLatency time.Duration
+	P50Latency  time.Duration
+	P90Latency  time.Duration
+	P99Latency  time.Duration
+	MaxLatency  time.Duration
+
+	// FirstError is the first non-shed failure, for diagnostics.
+	FirstError error
+}
+
+// RunOpenLoop issues query() at cfg.Rate for cfg.Duration, never waiting
+// for responses before the next arrival (open loop). Queries that return an
+// error wrapping ErrShed count as shed; other errors count as failed and do
+// not stop the run.
+func RunOpenLoop(query func() error, cfg OpenLoopConfig) (OpenLoopStats, error) {
+	if cfg.Rate <= 0 {
+		return OpenLoopStats{}, fmt.Errorf("loadgen: open loop needs a positive rate, got %v", cfg.Rate)
+	}
+	if cfg.Duration <= 0 {
+		return OpenLoopStats{}, fmt.Errorf("loadgen: open loop needs a positive duration, got %v", cfg.Duration)
+	}
+	if cfg.MaxOutstanding <= 0 {
+		cfg.MaxOutstanding = 256
+	}
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+
+	var (
+		mu        sync.Mutex
+		wg        sync.WaitGroup
+		st        OpenLoopStats
+		latencies []time.Duration
+		inflight  int
+	)
+	start := time.Now()
+	for i := 0; ; i++ {
+		// Absolute schedule: arrival i fires at start + i·interval, so a
+		// slow dispatch doesn't stretch the offered rate.
+		next := start.Add(time.Duration(i) * interval)
+		if next.Sub(start) >= cfg.Duration {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		st.Offered++
+		mu.Lock()
+		if inflight >= cfg.MaxOutstanding {
+			st.Dropped++
+			mu.Unlock()
+			continue
+		}
+		inflight++
+		mu.Unlock()
+		st.Issued++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			err := query()
+			lat := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			inflight--
+			switch {
+			case err == nil:
+				st.Completed++
+				latencies = append(latencies, lat)
+			case errors.Is(err, ErrShed):
+				st.Shed++
+			default:
+				st.Failed++
+				if st.FirstError == nil {
+					st.FirstError = err
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	if wall > 0 {
+		st.GoodputQPS = float64(st.Completed) / wall.Seconds()
+	}
+	if st.Issued > 0 {
+		st.ShedRate = float64(st.Shed) / float64(st.Issued)
+	}
+	lat := summarize(latencies, wall)
+	st.MinLatency = lat.MinLatency
+	st.MeanLatency = lat.MeanLatency
+	st.P50Latency = lat.P50Latency
+	st.P90Latency = lat.P90Latency
+	st.P99Latency = lat.P99Latency
+	st.MaxLatency = lat.MaxLatency
+	return st, nil
+}

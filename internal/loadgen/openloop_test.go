@@ -1,0 +1,94 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestOpenLoopOfferedRate(t *testing.T) {
+	var calls atomic.Int64
+	st, err := RunOpenLoop(func() error {
+		calls.Add(1)
+		return nil
+	}, OpenLoopConfig{Rate: 200, Duration: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 qps × 0.5 s = 100 arrivals; the absolute schedule keeps the count
+	// exact even if individual dispatches lag.
+	if st.Offered != 100 {
+		t.Fatalf("offered %d arrivals, want 100", st.Offered)
+	}
+	if st.Issued != 100 || st.Completed != 100 || int(calls.Load()) != 100 {
+		t.Fatalf("issued %d / completed %d / called %d, want all 100", st.Issued, st.Completed, calls.Load())
+	}
+	if st.Shed != 0 || st.Failed != 0 || st.Dropped != 0 {
+		t.Fatalf("shed %d / failed %d / dropped %d, want zeroes", st.Shed, st.Failed, st.Dropped)
+	}
+	if st.GoodputQPS <= 0 {
+		t.Fatalf("goodput %.1f, want > 0", st.GoodputQPS)
+	}
+}
+
+func TestOpenLoopClassifiesShedAndFailed(t *testing.T) {
+	var n atomic.Int64
+	boom := errors.New("boom")
+	st, err := RunOpenLoop(func() error {
+		switch n.Add(1) % 3 {
+		case 0:
+			return fmt.Errorf("server said no: %w", ErrShed)
+		case 1:
+			return boom
+		}
+		return nil
+	}, OpenLoopConfig{Rate: 300, Duration: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shed == 0 || st.Failed == 0 || st.Completed == 0 {
+		t.Fatalf("shed %d / failed %d / completed %d, want all non-zero", st.Shed, st.Failed, st.Completed)
+	}
+	if st.Shed+st.Failed+st.Completed != st.Issued {
+		t.Fatalf("shed+failed+completed = %d, issued = %d", st.Shed+st.Failed+st.Completed, st.Issued)
+	}
+	if !errors.Is(st.FirstError, boom) {
+		t.Fatalf("FirstError = %v, want boom", st.FirstError)
+	}
+	wantRate := float64(st.Shed) / float64(st.Issued)
+	if st.ShedRate != wantRate {
+		t.Fatalf("ShedRate = %v, want %v", st.ShedRate, wantRate)
+	}
+}
+
+func TestOpenLoopDropsAtMaxOutstanding(t *testing.T) {
+	release := make(chan struct{})
+	// Queries block past the arrival window, so the cap pins Issued at 4;
+	// release them only after arrivals have stopped or the drain deadlocks.
+	timer := time.AfterFunc(300*time.Millisecond, func() { close(release) })
+	defer timer.Stop()
+	st, err := RunOpenLoop(func() error {
+		<-release
+		return nil
+	}, OpenLoopConfig{Rate: 500, Duration: 200 * time.Millisecond, MaxOutstanding: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Issued != 4 {
+		t.Fatalf("issued %d with MaxOutstanding 4 and queries that never return, want 4", st.Issued)
+	}
+	if st.Dropped != st.Offered-4 {
+		t.Fatalf("dropped %d of %d offered, want %d", st.Dropped, st.Offered, st.Offered-4)
+	}
+}
+
+func TestOpenLoopRejectsBadConfig(t *testing.T) {
+	if _, err := RunOpenLoop(func() error { return nil }, OpenLoopConfig{Rate: 0, Duration: time.Second}); err == nil {
+		t.Fatal("rate 0 accepted")
+	}
+	if _, err := RunOpenLoop(func() error { return nil }, OpenLoopConfig{Rate: 10}); err == nil {
+		t.Fatal("duration 0 accepted")
+	}
+}

@@ -1,0 +1,31 @@
+package metrics
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// promLine matches one valid exposition sample line:
+// name{label="v",...} value — or a bare name value.
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[+-]?[0-9.eE+-]+)$`)
+
+// ValidateText checks that text is well-formed Prometheus exposition format:
+// every non-empty line is a # HELP/# TYPE comment or a sample line. It is
+// used by the serving tests and the CI metrics smoke to assert /metrics
+// output parses, without needing promtool in the image.
+func ValidateText(text string) error {
+	if strings.TrimSpace(text) == "" {
+		return fmt.Errorf("metrics: empty exposition output")
+	}
+	for i, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			return fmt.Errorf("metrics: invalid exposition line %d: %q", i+1, line)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,498 @@
+// Package admission implements SLO-aware admission control for the serving
+// tier: a bounded request queue with priority classes in front of each
+// engine, deadline-aware load shedding, and a graceful-degradation signal.
+//
+// The design follows the "reject early beats timeout late" principle from
+// production inference servers (kserve's queue-proxy, MLPerf server
+// scenarios): a request that cannot meet its deadline given the current
+// backlog is rejected immediately with ErrOverloaded (HTTP 429 upstream), so
+// the client can retry against another replica instead of burning its whole
+// budget waiting for a response that will arrive too late.
+//
+// Request flow:
+//
+//	tk, err := ctrl.Acquire(ctx, admission.Normal)  // may shed or queue
+//	if err != nil { ... 429 ... }
+//	out, err := engine.Infer(ctx, in)               // bounded concurrency
+//	tk.Release()                                    // feeds the EWMAs, grants next
+//
+// Three priority classes (High, Normal, Batch) are dequeued by smooth
+// weighted round-robin (weights 8/4/1), so high-priority traffic mostly wins
+// without ever starving batch traffic.
+//
+// The controller additionally tracks a shed-rate EWMA. Under sustained
+// overload (EWMA above Config.DegradeThreshold) it raises the Degraded
+// signal; the serving tier uses it to route traffic to a cheaper engine
+// (e.g. the model's int8 path) until pressure clears (EWMA below half the
+// threshold — hysteresis so the route doesn't flap).
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Priority classes. The zero value is Normal, so an unset config or wire
+// field defaults to the middle class; use ParsePriority for wire input.
+type Priority int
+
+const (
+	// Normal is the default class.
+	Normal Priority = iota
+	// High is latency-sensitive interactive traffic (highest weight).
+	High
+	// Batch is throughput traffic that tolerates queueing (lowest weight).
+	Batch
+	numPriorities
+)
+
+// wrrWeights are the smooth-WRR dequeue weights per class.
+var wrrWeights = [numPriorities]float64{Normal: 4, High: 8, Batch: 1}
+
+// String returns the wire name of the class.
+func (p Priority) String() string {
+	switch p {
+	case High:
+		return "high"
+	case Normal:
+		return "normal"
+	case Batch:
+		return "batch"
+	}
+	return fmt.Sprintf("Priority(%d)", int(p))
+}
+
+// ParsePriority maps a class name (case-sensitive on purpose: the wire
+// protocol is lowercase) to its Priority. The empty string is Normal.
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "", "normal":
+		return Normal, nil
+	case "high":
+		return High, nil
+	case "batch", "low":
+		return Batch, nil
+	}
+	return Normal, fmt.Errorf("admission: unknown priority %q (want high, normal or batch)", s)
+}
+
+// ErrOverloaded is the sentinel every shed wraps; the serving tier maps it
+// to HTTP 429. Test with errors.Is.
+var ErrOverloaded = errors.New("admission: overloaded")
+
+// ErrClosed is returned by Acquire after Close.
+var ErrClosed = errors.New("admission: controller closed")
+
+// OverloadError carries the shed details: why the request was rejected and
+// how long the client should back off (the Retry-After header upstream).
+type OverloadError struct {
+	// Name is the model the controller fronts.
+	Name string
+	// Reason is "queue_full" or "deadline" (metrics label values).
+	Reason string
+	// RetryAfter estimates when capacity will be available again.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("admission: %s overloaded (%s): retry after %v", e.Name, e.Reason, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) true.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// Shed reasons (also used as metric label values).
+const (
+	ReasonQueueFull = "queue_full"
+	ReasonDeadline  = "deadline"
+)
+
+// EWMA smoothing factors. Service time adapts quickly (per completion);
+// the shed rate is smoothed per admission decision — at 0.1 roughly the
+// last ~20 decisions dominate, which is what "sustained overload" means
+// at serving request rates.
+const (
+	serviceAlpha  = 0.2
+	shedRateAlpha = 0.1
+)
+
+// Config parameterizes a Controller.
+type Config struct {
+	// Name labels errors and stats (typically the registry model name).
+	Name string
+	// Depth bounds how many admitted requests may wait for an execution
+	// slot. <= 0 means 1.
+	Depth int
+	// Concurrency bounds how many admitted requests execute at once
+	// (typically the engine pool size, or the micro-batch size when
+	// batching). <= 0 means 1.
+	Concurrency int
+	// SLO is the per-model latency budget measured from arrival. When set,
+	// a request is shed on arrival if the queue-wait estimate says it
+	// cannot finish inside min(SLO, ctx deadline); when zero only explicit
+	// ctx deadlines shed.
+	SLO time.Duration
+	// DegradeThreshold is the shed-rate EWMA above which Degraded() turns
+	// on (and below half of which it turns back off). <= 0 disables the
+	// degrade signal.
+	DegradeThreshold float64
+	// OnDegrade, when set, is called (outside the controller lock) after
+	// every Degraded transition with the new state.
+	OnDegrade func(degraded bool)
+}
+
+// Stats is a point-in-time snapshot of the controller.
+type Stats struct {
+	Queued      int // requests waiting for an execution slot
+	Depth       int // queue capacity
+	InFlight    int // requests currently executing
+	Concurrency int // execution slots
+
+	Admitted      uint64 // requests granted an execution slot (incl. fast path)
+	ShedQueueFull uint64
+	ShedDeadline  uint64
+	Canceled      uint64 // gave up (ctx done) while queued
+
+	ShedRateEWMA       float64
+	ServiceEWMA        time.Duration // smoothed per-request service time
+	Degraded           bool
+	DegradeTransitions uint64
+}
+
+// Shed is the total over all shed reasons.
+func (s Stats) Shed() uint64 { return s.ShedQueueFull + s.ShedDeadline }
+
+// waiter is one queued request.
+type waiter struct {
+	grant chan struct{} // closed on grant or rejection
+	err   error         // set before grant is closed when rejected
+	pos   int           // index in its class queue, kept current for removal
+	pri   Priority
+}
+
+// Controller is the admission gate in front of one model. Safe for
+// concurrent use.
+type Controller struct {
+	cfg Config
+
+	mu       sync.Mutex
+	queues   [numPriorities][]*waiter
+	queued   int
+	inflight int
+	wrrCur   [numPriorities]float64
+	svcEWMA  float64 // seconds; 0 until the first completion
+	shedEWMA float64
+	degraded bool
+	closed   bool
+	// lastDelivered is the degrade state last handed to OnDegrade
+	// (false at start), so transitions are delivered exactly once.
+	lastDelivered bool
+
+	admitted      uint64
+	shedQueueFull uint64
+	shedDeadline  uint64
+	canceled      uint64
+	transitions   uint64
+}
+
+// New builds a controller; zero/negative Depth and Concurrency become 1.
+func New(cfg Config) *Controller {
+	if cfg.Depth <= 0 {
+		cfg.Depth = 1
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	return &Controller{cfg: cfg}
+}
+
+// Ticket is a granted execution slot. Release must be called exactly once
+// when the request finishes (success or failure).
+type Ticket struct {
+	c        *Controller
+	granted  time.Time
+	wait     time.Duration
+	released bool
+}
+
+// QueueWait is how long the request waited for its slot.
+func (t *Ticket) QueueWait() time.Duration { return t.wait }
+
+// Acquire admits, queues, or sheds one request. It blocks until an
+// execution slot is granted, the request is shed, ctx is done, or the
+// controller closes. The deadline check runs before the ctx liveness check
+// so an already-hopeless request is rejected as overload (429, retryable
+// against another replica) rather than reported as a client cancellation.
+func (c *Controller) Acquire(ctx context.Context, pri Priority) (*Ticket, error) {
+	if pri < 0 || pri >= numPriorities {
+		pri = Normal
+	}
+	now := time.Now()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+
+	// Effective deadline: the earlier of the client's ctx deadline and the
+	// model SLO measured from arrival.
+	deadline, hasDeadline := time.Time{}, false
+	if d, ok := ctx.Deadline(); ok {
+		deadline, hasDeadline = d, true
+	}
+	if c.cfg.SLO > 0 {
+		if sd := now.Add(c.cfg.SLO); !hasDeadline || sd.Before(deadline) {
+			deadline, hasDeadline = sd, true
+		}
+	}
+
+	// Reject-early: with a service-time estimate, a request whose expected
+	// completion (queue drain + own service) misses the deadline is shed
+	// now instead of timing out late. Before the first completion there is
+	// no estimate and only the queue bound sheds.
+	if hasDeadline && c.svcEWMA > 0 {
+		est := c.waitEstimateLocked()
+		if now.Add(est + time.Duration(c.svcEWMA*float64(time.Second))).After(deadline) {
+			c.shedDeadline++
+			err := c.shedLocked(ReasonDeadline, est)
+			cb := c.degradeCallbackLocked()
+			c.mu.Unlock()
+			cb()
+			return nil, err
+		}
+	}
+
+	// Fast path: an idle slot and an empty queue.
+	if c.inflight < c.cfg.Concurrency && c.queued == 0 {
+		c.inflight++
+		c.admitted++
+		c.noteAdmitLocked()
+		cb := c.degradeCallbackLocked()
+		c.mu.Unlock()
+		cb()
+		return &Ticket{c: c, granted: now}, nil
+	}
+
+	// Bounded queue: full means shed.
+	if c.queued >= c.cfg.Depth {
+		c.shedQueueFull++
+		err := c.shedLocked(ReasonQueueFull, c.waitEstimateLocked())
+		cb := c.degradeCallbackLocked()
+		c.mu.Unlock()
+		cb()
+		return nil, err
+	}
+
+	w := &waiter{grant: make(chan struct{}), pri: pri, pos: len(c.queues[pri])}
+	c.queues[pri] = append(c.queues[pri], w)
+	c.queued++
+	c.noteAdmitLocked()
+	cb := c.degradeCallbackLocked()
+	c.mu.Unlock()
+	cb()
+
+	select {
+	case <-w.grant:
+		if w.err != nil {
+			return nil, w.err
+		}
+		granted := time.Now()
+		return &Ticket{c: c, granted: granted, wait: granted.Sub(now)}, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		select {
+		case <-w.grant:
+			// Granted while we were giving up: hand the slot back without
+			// feeding the service-time EWMA (nothing executed).
+			if w.err == nil {
+				c.inflight--
+				c.dispatchLocked()
+			}
+		default:
+			c.removeLocked(w)
+			c.canceled++
+		}
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Release returns the execution slot, feeds the service-time EWMA with the
+// observed execution duration, and grants the next queued request.
+func (t *Ticket) Release() {
+	if t.released {
+		return
+	}
+	t.released = true
+	c := t.c
+	dur := time.Since(t.granted).Seconds()
+	c.mu.Lock()
+	if c.svcEWMA == 0 {
+		c.svcEWMA = dur
+	} else {
+		c.svcEWMA += serviceAlpha * (dur - c.svcEWMA)
+	}
+	c.inflight--
+	c.dispatchLocked()
+	c.mu.Unlock()
+}
+
+// waitEstimateLocked estimates how long a newly arriving request would wait
+// for a slot: the backlog ahead of it, drained Concurrency-wide at the
+// smoothed service time.
+func (c *Controller) waitEstimateLocked() time.Duration {
+	if c.svcEWMA == 0 {
+		return 0
+	}
+	backlog := float64(c.queued+c.inflight) - float64(c.cfg.Concurrency-1)
+	if backlog < 0 {
+		backlog = 0
+	}
+	sec := backlog * c.svcEWMA / float64(c.cfg.Concurrency)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// shedLocked records one shed decision and builds the typed error.
+func (c *Controller) shedLocked(reason string, est time.Duration) error {
+	c.shedEWMA += shedRateAlpha * (1 - c.shedEWMA)
+	c.updateDegradedLocked()
+	retry := est
+	if retry <= 0 {
+		if c.cfg.SLO > 0 {
+			retry = c.cfg.SLO
+		} else {
+			retry = time.Second
+		}
+	}
+	return &OverloadError{Name: c.cfg.Name, Reason: reason, RetryAfter: retry}
+}
+
+// noteAdmitLocked feeds the shed-rate EWMA with an admit decision.
+func (c *Controller) noteAdmitLocked() {
+	c.shedEWMA += shedRateAlpha * (0 - c.shedEWMA)
+	c.updateDegradedLocked()
+}
+
+// updateDegradedLocked applies the hysteresis band to the shed-rate EWMA.
+func (c *Controller) updateDegradedLocked() {
+	th := c.cfg.DegradeThreshold
+	if th <= 0 {
+		return
+	}
+	switch {
+	case !c.degraded && c.shedEWMA > th:
+		c.degraded = true
+		c.transitions++
+	case c.degraded && c.shedEWMA < th/2:
+		c.degraded = false
+		c.transitions++
+	}
+}
+
+// degradeCallbackLocked captures the OnDegrade call for the current state if
+// a transition happened since the last delivery; the returned func runs
+// outside the lock (OnDegrade may take its own locks).
+func (c *Controller) degradeCallbackLocked() func() {
+	if c.cfg.OnDegrade == nil || c.lastDelivered == c.degraded {
+		return func() {}
+	}
+	c.lastDelivered = c.degraded
+	state := c.degraded
+	cb := c.cfg.OnDegrade
+	return func() { cb(state) }
+}
+
+// dispatchLocked grants queued requests while slots are free, choosing the
+// class by smooth weighted round-robin over the non-empty queues.
+func (c *Controller) dispatchLocked() {
+	for c.inflight < c.cfg.Concurrency && c.queued > 0 {
+		var total float64
+		best, bestCur := -1, math.Inf(-1)
+		for p := 0; p < int(numPriorities); p++ {
+			if len(c.queues[p]) == 0 {
+				continue
+			}
+			total += wrrWeights[p]
+			c.wrrCur[p] += wrrWeights[p]
+			if c.wrrCur[p] > bestCur {
+				best, bestCur = p, c.wrrCur[p]
+			}
+		}
+		c.wrrCur[best] -= total
+		w := c.queues[best][0]
+		c.queues[best] = c.queues[best][1:]
+		for i, q := range c.queues[best] {
+			q.pos = i
+		}
+		c.queued--
+		c.inflight++
+		c.admitted++
+		close(w.grant)
+	}
+}
+
+// removeLocked drops a waiter that gave up (ctx done) from its queue.
+func (c *Controller) removeLocked(w *waiter) {
+	q := c.queues[w.pri]
+	if w.pos >= len(q) || q[w.pos] != w {
+		return // already dispatched or removed
+	}
+	c.queues[w.pri] = append(q[:w.pos], q[w.pos+1:]...)
+	for i, r := range c.queues[w.pri] {
+		r.pos = i
+	}
+	c.queued--
+}
+
+// Degraded reports the graceful-degradation signal.
+func (c *Controller) Degraded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded
+}
+
+// Stats returns a snapshot of queue occupancy, counters and EWMAs.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Queued:      c.queued,
+		Depth:       c.cfg.Depth,
+		InFlight:    c.inflight,
+		Concurrency: c.cfg.Concurrency,
+
+		Admitted:      c.admitted,
+		ShedQueueFull: c.shedQueueFull,
+		ShedDeadline:  c.shedDeadline,
+		Canceled:      c.canceled,
+
+		ShedRateEWMA:       c.shedEWMA,
+		ServiceEWMA:        time.Duration(c.svcEWMA * float64(time.Second)),
+		Degraded:           c.degraded,
+		DegradeTransitions: c.transitions,
+	}
+}
+
+// Close rejects all queued waiters with ErrClosed and fails later Acquires.
+// In-flight requests finish normally; their Release is still safe.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	for p := range c.queues {
+		for _, w := range c.queues[p] {
+			w.err = ErrClosed
+			close(w.grant)
+		}
+		c.queues[p] = nil
+	}
+	c.queued = 0
+	c.mu.Unlock()
+}

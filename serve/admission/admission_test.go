@@ -1,0 +1,343 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// hold acquires a ticket on the fast path and returns it, failing the test
+// if the acquire blocks or sheds.
+func hold(t *testing.T, c *Controller, pri Priority) *Ticket {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	tk, err := c.Acquire(ctx, pri)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	return tk
+}
+
+func TestFastPathAndRelease(t *testing.T) {
+	c := New(Config{Name: "m", Depth: 4, Concurrency: 2})
+	t1 := hold(t, c, Normal)
+	t2 := hold(t, c, Normal)
+	st := c.Stats()
+	if st.InFlight != 2 || st.Queued != 0 || st.Admitted != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	t1.Release()
+	t1.Release() // idempotent
+	t2.Release()
+	st = c.Stats()
+	if st.InFlight != 0 {
+		t.Fatalf("inflight after release = %d", st.InFlight)
+	}
+	if st.ServiceEWMA <= 0 {
+		t.Fatalf("service EWMA not fed: %+v", st)
+	}
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	c := New(Config{Name: "m", Depth: 2, Concurrency: 1})
+	tk := hold(t, c, Normal) // occupies the only slot
+	// Fill the queue with two waiters.
+	var wg sync.WaitGroup
+	results := make([]error, 2)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t2, err := c.Acquire(context.Background(), Normal)
+			results[i] = err
+			if err == nil {
+				t2.Release()
+			}
+		}(i)
+	}
+	// Wait until both are queued.
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Queued != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never queued: %+v", c.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The queue is full: the next request sheds immediately with a typed
+	// overload error naming the model.
+	_, err := c.Acquire(context.Background(), Normal)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full queue: %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != ReasonQueueFull || oe.Name != "m" || oe.RetryAfter <= 0 {
+		t.Fatalf("overload error = %+v", oe)
+	}
+	tk.Release()
+	wg.Wait()
+	for i, err := range results {
+		if err != nil {
+			t.Fatalf("queued request %d: %v", i, err)
+		}
+	}
+	st := c.Stats()
+	if st.ShedQueueFull != 1 || st.Admitted != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDeadlineShedsEarly(t *testing.T) {
+	c := New(Config{Name: "m", Depth: 8, Concurrency: 1})
+	// Feed the service EWMA: one request that "took" ~20ms.
+	tk := hold(t, c, Normal)
+	time.Sleep(20 * time.Millisecond)
+	tk.Release()
+
+	// A request whose deadline is far tighter than one service time is
+	// rejected immediately, even though the queue is empty.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := c.Acquire(ctx, High)
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != ReasonDeadline {
+		t.Fatalf("tight deadline: %v, want deadline shed", err)
+	}
+	// A request with plenty of budget is admitted.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	tk, err = c.Acquire(ctx2, Normal)
+	if err != nil {
+		t.Fatalf("roomy deadline: %v", err)
+	}
+	tk.Release()
+}
+
+func TestSLOSheds(t *testing.T) {
+	c := New(Config{Name: "m", Depth: 8, Concurrency: 1, SLO: time.Millisecond})
+	tk := hold(t, c, Normal)
+	time.Sleep(20 * time.Millisecond)
+	tk.Release()
+	// No ctx deadline at all — the model SLO alone sheds.
+	_, err := c.Acquire(context.Background(), Normal)
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != ReasonDeadline {
+		t.Fatalf("SLO shed: %v", err)
+	}
+}
+
+func TestCancelWhileQueued(t *testing.T) {
+	c := New(Config{Name: "m", Depth: 4, Concurrency: 1})
+	tk := hold(t, c, Normal)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(ctx, Normal)
+		done <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: %v", err)
+	}
+	st := c.Stats()
+	if st.Queued != 0 || st.Canceled != 1 {
+		t.Fatalf("stats after cancel = %+v", st)
+	}
+	tk.Release()
+	if st := c.Stats(); st.InFlight != 0 {
+		t.Fatalf("inflight = %d after release", st.InFlight)
+	}
+}
+
+// TestPriorityOrdering checks that with one slot and a backlog of one high,
+// one normal and several batch requests, the high request is granted first
+// and batch traffic still gets through (no starvation).
+func TestPriorityOrdering(t *testing.T) {
+	c := New(Config{Name: "m", Depth: 16, Concurrency: 1})
+	gate := hold(t, c, Normal)
+
+	var mu sync.Mutex
+	var order []Priority
+	var wg sync.WaitGroup
+	// Deterministic arrival: batch, batch, normal, high — one at a time.
+	pris := []Priority{Batch, Batch, Normal, High}
+	for i, p := range pris {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk, err := c.Acquire(context.Background(), p)
+			if err != nil {
+				t.Errorf("acquire %v: %v", p, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, p)
+			mu.Unlock()
+			// Hold briefly so dispatches are strictly sequential.
+			time.Sleep(2 * time.Millisecond)
+			tk.Release()
+		}()
+		deadline := time.Now().Add(2 * time.Second)
+		for c.Stats().Queued != i+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("request %d (%v) never queued", i, p)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	gate.Release()
+	wg.Wait()
+	if len(order) != 4 {
+		t.Fatalf("served %d requests, want 4", len(order))
+	}
+	if order[0] != High {
+		t.Fatalf("first served = %v, want high (order %v)", order[0], order)
+	}
+	served := map[Priority]int{}
+	for _, p := range order {
+		served[p]++
+	}
+	if served[Batch] != 2 || served[Normal] != 1 {
+		t.Fatalf("batch traffic starved: order %v", order)
+	}
+}
+
+func TestDegradeHysteresis(t *testing.T) {
+	var mu sync.Mutex
+	var calls []bool
+	c := New(Config{
+		Name: "m", Depth: 1, Concurrency: 1, DegradeThreshold: 0.3,
+		OnDegrade: func(d bool) { mu.Lock(); calls = append(calls, d); mu.Unlock() },
+	})
+	// Saturate: hold the slot and a queue entry, then shed repeatedly.
+	tk := hold(t, c, Normal)
+	blocked := make(chan struct{})
+	go func() {
+		t2, err := c.Acquire(context.Background(), Normal)
+		if err == nil {
+			t2.Release()
+		}
+		close(blocked)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("filler never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 20 && !c.Degraded(); i++ {
+		if _, err := c.Acquire(context.Background(), Normal); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("expected shed, got %v", err)
+		}
+	}
+	if !c.Degraded() {
+		t.Fatalf("not degraded after sustained shedding: %+v", c.Stats())
+	}
+	tk.Release()
+	<-blocked
+	// Pressure clears: repeated successful admissions decay the EWMA below
+	// threshold/2 and the signal drops.
+	for i := 0; i < 100 && c.Degraded(); i++ {
+		tk, err := c.Acquire(context.Background(), Normal)
+		if err != nil {
+			t.Fatalf("admit during recovery: %v", err)
+		}
+		tk.Release()
+	}
+	if c.Degraded() {
+		t.Fatalf("still degraded after recovery: %+v", c.Stats())
+	}
+	st := c.Stats()
+	if st.DegradeTransitions != 2 {
+		t.Fatalf("transitions = %d, want 2", st.DegradeTransitions)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(calls) != 2 || calls[0] != true || calls[1] != false {
+		t.Fatalf("OnDegrade calls = %v, want [true false]", calls)
+	}
+}
+
+func TestClose(t *testing.T) {
+	c := New(Config{Name: "m", Depth: 4, Concurrency: 1})
+	tk := hold(t, c, Normal)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(context.Background(), Normal)
+		done <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("queued waiter after Close: %v, want ErrClosed", err)
+	}
+	if _, err := c.Acquire(context.Background(), Normal); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Acquire after Close: %v, want ErrClosed", err)
+	}
+	tk.Release() // still safe
+}
+
+func TestParsePriority(t *testing.T) {
+	for s, want := range map[string]Priority{
+		"": Normal, "normal": Normal, "high": High, "batch": Batch, "low": Batch,
+	} {
+		got, err := ParsePriority(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePriority(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParsePriority("urgent"); err == nil {
+		t.Error("ParsePriority(urgent) did not error")
+	}
+	if High.String() != "high" || Normal.String() != "normal" || Batch.String() != "batch" {
+		t.Error("Priority.String round-trip broken")
+	}
+}
+
+// TestConcurrentChurn hammers the controller from many goroutines under the
+// race detector: mixed priorities, cancellations and sheds must keep the
+// accounting consistent (no negative occupancy, inflight drains to zero).
+func TestConcurrentChurn(t *testing.T) {
+	c := New(Config{Name: "m", Depth: 8, Concurrency: 4, DegradeThreshold: 0.5})
+	var wg sync.WaitGroup
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+				tk, err := c.Acquire(ctx, Priority(w%3))
+				if err == nil {
+					time.Sleep(50 * time.Microsecond)
+					tk.Release()
+				}
+				cancel()
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("leaked occupancy: %+v", st)
+	}
+	if st.Admitted == 0 {
+		t.Fatalf("nothing admitted: %+v", st)
+	}
+}

@@ -33,6 +33,10 @@ type batcher struct {
 	outShape    map[string][]int // per-request output shape (dim0 == 1)
 	outLen      map[string]int
 
+	// onFlush, when set, observes every flush with the number of requests
+	// it carried (metrics: batch-fill ratio). Called from flush goroutines.
+	onFlush func(n int)
+
 	reqs chan *batchReq
 	quit chan struct{}
 	done chan struct{}
@@ -52,11 +56,12 @@ type batchResp struct {
 // newBatcher opens the batched engine (the model's options with input
 // shapes overridden to batch size) and probes it once so output shapes are
 // known to be splittable along N before any traffic arrives.
-func newBatcher(cfg ModelConfig, fallback *mnn.Engine) (*batcher, error) {
+func newBatcher(cfg ModelConfig, fallback *mnn.Engine, onFlush func(n int)) (*batcher, error) {
 	b := &batcher{
 		fallback:   fallback,
 		maxBatch:   cfg.Batch.MaxBatch,
 		maxLatency: cfg.Batch.MaxLatency,
+		onFlush:    onFlush,
 		inputNames: fallback.InputNames(),
 		perShape:   make(map[string][]int),
 		perLen:     make(map[string]int),
@@ -215,6 +220,9 @@ func (b *batcher) flush(reqs []*batchReq) {
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
+		if b.onFlush != nil {
+			b.onFlush(len(reqs))
+		}
 		if len(reqs) == b.maxBatch {
 			b.runBatched(reqs)
 			return

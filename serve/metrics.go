@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"mnn/internal/metrics"
+	"mnn/serve/admission"
+)
+
+// serverMetrics bundles the metric families one Registry exports on
+// /metrics. All families are registered up front so every scrape shows the
+// full schema; per-model children are created at model load time so a model
+// is visible (with zeroes) before its first request.
+//
+// Children are keyed by registry model name and survive hot swaps — a
+// reloaded model continues its counters, which is what Prometheus rate()
+// queries want. Unloading a model freezes its series at their last values.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	queueWait  *metrics.HistogramVec // mnn_queue_wait_seconds{model}
+	inferDur   *metrics.HistogramVec // mnn_infer_duration_seconds{model}
+	requests   *metrics.CounterVec   // mnn_requests_total{model,code}
+	shed       *metrics.CounterVec   // mnn_shed_total{model,reason}
+	queueDepth *metrics.GaugeVec     // mnn_queue_depth{model}
+	queueCap   *metrics.GaugeVec     // mnn_queue_capacity{model}
+	inflight   *metrics.GaugeVec     // mnn_inflight_requests{model}
+
+	batchFlushes *metrics.CounterVec // mnn_batch_flushes_total{model}
+	batchedReqs  *metrics.CounterVec // mnn_batched_requests_total{model}
+	batchFill    *metrics.GaugeVec   // mnn_batch_fill_ratio{model}
+
+	degraded    *metrics.GaugeVec   // mnn_degraded{model}
+	transitions *metrics.CounterVec // mnn_degrade_transitions_total{model}
+}
+
+func newServerMetrics() *serverMetrics {
+	r := metrics.NewRegistry()
+	return &serverMetrics{
+		reg: r,
+		queueWait: r.NewHistogram("mnn_queue_wait_seconds",
+			"Time requests spent waiting for an execution slot, per model.", nil, "model"),
+		inferDur: r.NewHistogram("mnn_infer_duration_seconds",
+			"Inference execution time (after admission), per model.", nil, "model"),
+		requests: r.NewCounter("mnn_requests_total",
+			"Inference requests by model and HTTP status code; rate() of this is per-model QPS.",
+			"model", "code"),
+		shed: r.NewCounter("mnn_shed_total",
+			"Requests rejected by admission control, by model and reason (queue_full, deadline).",
+			"model", "reason"),
+		queueDepth: r.NewGauge("mnn_queue_depth",
+			"Requests currently waiting in the admission queue, per model.", "model"),
+		queueCap: r.NewGauge("mnn_queue_capacity",
+			"Admission queue capacity, per model (0 = admission control off).", "model"),
+		inflight: r.NewGauge("mnn_inflight_requests",
+			"Requests currently executing, per model.", "model"),
+		batchFlushes: r.NewCounter("mnn_batch_flushes_total",
+			"Micro-batcher flushes (full and partial), per model.", "model"),
+		batchedReqs: r.NewCounter("mnn_batched_requests_total",
+			"Requests that went through micro-batcher flushes, per model.", "model"),
+		batchFill: r.NewGauge("mnn_batch_fill_ratio",
+			"Cumulative micro-batch fill: batched requests / (flushes × max batch).", "model"),
+		degraded: r.NewGauge("mnn_degraded",
+			"1 while the model is routed to its degrade engine under sustained overload.", "model"),
+		transitions: r.NewCounter("mnn_degrade_transitions_total",
+			"Degrade state changes (either direction), per model.", "model"),
+	}
+}
+
+// modelMetrics holds one model's resolved children so the hot path never
+// takes the family lookup lock, plus the micro-batch fill accounting.
+type modelMetrics struct {
+	sm   *serverMetrics
+	name string
+
+	queueWait   *metrics.Histogram
+	inferDur    *metrics.Histogram
+	queueDepth  *metrics.Gauge
+	queueCap    *metrics.Gauge
+	inflight    *metrics.Gauge
+	degraded    *metrics.Gauge
+	transitions *metrics.Counter
+
+	mu       sync.Mutex
+	flushes  uint64
+	samples  uint64
+	maxBatch int
+}
+
+// forModel resolves (and zero-initializes) the children for one model.
+func (sm *serverMetrics) forModel(name string, queueCap, maxBatch int) *modelMetrics {
+	mm := &modelMetrics{
+		sm: sm, name: name, maxBatch: maxBatch,
+		queueWait:   sm.queueWait.With(name),
+		inferDur:    sm.inferDur.With(name),
+		queueDepth:  sm.queueDepth.With(name),
+		queueCap:    sm.queueCap.With(name),
+		inflight:    sm.inflight.With(name),
+		degraded:    sm.degraded.With(name),
+		transitions: sm.transitions.With(name),
+	}
+	mm.queueDepth.Set(0)
+	mm.queueCap.Set(float64(queueCap))
+	mm.inflight.Set(0)
+	mm.degraded.Set(0)
+	// Shed reasons appear with zeroes so dashboards see the series before
+	// the first overload.
+	sm.shed.With(name, admission.ReasonQueueFull)
+	sm.shed.With(name, admission.ReasonDeadline)
+	if maxBatch > 1 {
+		sm.batchFlushes.With(name)
+		sm.batchedReqs.With(name)
+		sm.batchFill.With(name).Set(0)
+	}
+	return mm
+}
+
+func (mm *modelMetrics) observeQueueWait(d time.Duration) { mm.queueWait.Observe(d.Seconds()) }
+func (mm *modelMetrics) observeInfer(d time.Duration)     { mm.inferDur.Observe(d.Seconds()) }
+
+func (mm *modelMetrics) observeShed(reason string) { mm.sm.shed.With(mm.name, reason).Inc() }
+
+func (mm *modelMetrics) observeRequest(code int) {
+	mm.sm.requests.With(mm.name, strconv.Itoa(code)).Inc()
+}
+
+// onDegrade is wired as the admission controller's OnDegrade callback.
+func (mm *modelMetrics) onDegrade(degraded bool) {
+	if degraded {
+		mm.degraded.Set(1)
+	} else {
+		mm.degraded.Set(0)
+	}
+	mm.transitions.Inc()
+}
+
+// recordFlush is wired as the batcher's flush hook; it keeps the cumulative
+// fill ratio current.
+func (mm *modelMetrics) recordFlush(n int) {
+	mm.mu.Lock()
+	mm.flushes++
+	mm.samples += uint64(n)
+	fill := float64(mm.samples) / (float64(mm.flushes) * float64(mm.maxBatch))
+	mm.mu.Unlock()
+	mm.sm.batchFlushes.With(mm.name).Inc()
+	mm.sm.batchedReqs.With(mm.name).Add(float64(n))
+	mm.sm.batchFill.With(mm.name).Set(fill)
+}
+
+// refresh pulls scrape-time gauges from the admission controller.
+func (mm *modelMetrics) refresh(ctrl *admission.Controller) {
+	if ctrl == nil {
+		return
+	}
+	st := ctrl.Stats()
+	mm.queueDepth.Set(float64(st.Queued))
+	mm.inflight.Set(float64(st.InFlight))
+	if st.Degraded {
+		mm.degraded.Set(1)
+	} else {
+		mm.degraded.Set(0)
+	}
+}

@@ -16,10 +16,17 @@
 //	POST   /v2/repository/models/{name}/load    hot-load a model
 //	POST   /v2/repository/models/{name}/unload  hot-unload a model
 //	DELETE /v2/repository/models/{name}         alias for unload
+//	GET  /metrics                             Prometheus text exposition
 //
 // Tensors travel as named JSON objects with an explicit shape and a flat
 // float32 data array ("FP32"), matching how Engine.Infer consumes and
 // produces dense NCHW tensors.
+//
+// Models loaded with an admission queue gain SLO-aware load shedding:
+// requests that cannot meet their deadline (X-Request-Timeout /
+// X-Request-Deadline headers, or the model's configured SLO) are rejected
+// with HTTP 429 and a Retry-After header instead of timing out late, and
+// X-Request-Priority ("high", "normal", "batch") picks the queueing class.
 package serve
 
 import (
@@ -115,6 +122,11 @@ type RequestedOutput struct {
 type InferResponse struct {
 	ModelName string        `json:"model_name"`
 	ID        string        `json:"id,omitempty"`
+	// Precision is the execution precision that actually served this
+	// request; it differs from the model's loaded precision ("int8" vs
+	// "fp32") exactly when the request was served by the degrade engine
+	// under overload.
+	Precision string        `json:"precision,omitempty"`
 	Outputs   []InferTensor `json:"outputs"`
 }
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -9,6 +10,8 @@ import (
 	"time"
 
 	"mnn"
+	"mnn/internal/metrics"
+	"mnn/serve/admission"
 )
 
 // BatchConfig tunes the per-model dynamic micro-batcher.
@@ -28,6 +31,38 @@ type BatchConfig struct {
 // batching without choosing one.
 const DefaultMaxLatency = 2 * time.Millisecond
 
+// AdmissionConfig enables SLO-aware admission control for one model: a
+// bounded request queue with priority classes, deadline-aware load shedding
+// (reject-early with HTTP 429 instead of timeout-late), and optional
+// graceful degradation to a cheaper engine under sustained overload.
+type AdmissionConfig struct {
+	// Queue is the bounded queue depth in front of the engine. 0 disables
+	// admission control entirely (and the other fields must be unset).
+	Queue int
+	// Concurrency is how many admitted requests execute at once. 0 derives
+	// it from the engine: max(pool size, micro-batch size), so batching can
+	// still fill whole batches.
+	Concurrency int
+	// SLO is the per-model latency budget measured from arrival; requests
+	// that cannot meet it given the current backlog are shed immediately.
+	// 0 means only explicit client deadlines shed.
+	SLO time.Duration
+	// DefaultPriority classes requests that don't send X-Request-Priority
+	// (zero value: normal).
+	DefaultPriority admission.Priority
+	// Degrade, when "int8", opens a second engine at int8 precision and
+	// routes traffic to it while the shed-rate EWMA exceeds
+	// DegradeThreshold (routing back below half the threshold). Responses
+	// served degraded carry `"precision": "int8"`.
+	Degrade string
+	// DegradeThreshold is the shed-rate EWMA trigger; 0 means 0.3.
+	DegradeThreshold float64
+}
+
+// DefaultDegradeThreshold is the shed-rate EWMA above which a model with
+// Degrade configured switches to its degrade engine.
+const DefaultDegradeThreshold = 0.3
+
 // ModelConfig describes one model for Registry.Load.
 type ModelConfig struct {
 	// Model is what mnn.Open accepts: a *mnn.Graph, a built-in network name
@@ -39,28 +74,70 @@ type ModelConfig struct {
 	Options []mnn.Option
 	// Batch enables and tunes dynamic micro-batching.
 	Batch BatchConfig
+	// Admission enables and tunes SLO-aware admission control.
+	Admission AdmissionConfig
 }
 
 // Model is one loaded entry of a Registry: the unbatched engine plus an
-// optional micro-batcher in front of a second, batch-prepared engine.
+// optional micro-batcher in front of a second, batch-prepared engine, an
+// optional admission controller gating both, and an optional degrade engine
+// for overload fallback.
 type Model struct {
-	name    string
-	eng     *mnn.Engine
-	batcher *batcher
+	name       string
+	eng        *mnn.Engine
+	batcher    *batcher
+	ctrl       *admission.Controller
+	degradeEng *mnn.Engine
+	defaultPri admission.Priority
+	mm         *modelMetrics
 }
 
 // Registry owns named models with hot load/unload. All methods are safe for
 // concurrent use; Infer traffic against other models is never blocked by a
 // Load (engine preparation happens outside the lock).
 type Registry struct {
-	mu     sync.RWMutex
-	models map[string]*Model
-	closed bool
+	mu      sync.RWMutex
+	models  map[string]*Model
+	closed  bool
+	metrics *serverMetrics
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{models: make(map[string]*Model)}
+	return &Registry{models: make(map[string]*Model), metrics: newServerMetrics()}
+}
+
+// Metrics exposes the registry's metric families (what the server renders
+// on /metrics), e.g. for mounting into an existing metrics pipeline.
+func (r *Registry) Metrics() *metrics.Registry { return r.metrics.reg }
+
+// refreshMetrics pulls scrape-time gauges (queue depth, in-flight, degrade
+// state) from every model's admission controller.
+func (r *Registry) refreshMetrics() {
+	r.mu.RLock()
+	models := make([]*Model, 0, len(r.models))
+	for _, m := range r.models {
+		models = append(models, m)
+	}
+	r.mu.RUnlock()
+	for _, m := range models {
+		m.mm.refresh(m.ctrl)
+	}
+}
+
+// validate rejects inconsistent admission configuration; every failure
+// wraps ErrBadRequest so the repository API maps it to HTTP 400.
+func (a AdmissionConfig) validate() error {
+	if a.Queue < 0 {
+		return fmt.Errorf("%w: admission queue depth %d is negative", ErrBadRequest, a.Queue)
+	}
+	if a.Degrade != "" && a.Degrade != "int8" {
+		return fmt.Errorf("%w: unknown degrade mode %q (want \"int8\")", ErrBadRequest, a.Degrade)
+	}
+	if a.Queue == 0 && (a.SLO > 0 || a.Degrade != "" || a.Concurrency > 0 || a.DegradeThreshold > 0) {
+		return fmt.Errorf("%w: admission options (slo, degrade, concurrency) require a queue depth > 0", ErrBadRequest)
+	}
+	return nil
 }
 
 // Load opens the model's engine(s) and publishes them under name, replacing
@@ -69,6 +146,9 @@ func NewRegistry() *Registry {
 func (r *Registry) Load(name string, cfg ModelConfig) error {
 	if name == "" {
 		return fmt.Errorf("%w: empty model name", ErrBadRequest)
+	}
+	if err := cfg.Admission.validate(); err != nil {
+		return fmt.Errorf("serve: load %q: %w", name, err)
 	}
 	if rdr, ok := cfg.Model.(io.Reader); ok {
 		// The batcher opens the model a second time; a stream can only be
@@ -83,14 +163,54 @@ func (r *Registry) Load(name string, cfg ModelConfig) error {
 	if err != nil {
 		return fmt.Errorf("serve: load %q: %w", name, err)
 	}
-	m := &Model{name: name, eng: eng}
+	m := &Model{
+		name: name, eng: eng,
+		defaultPri: cfg.Admission.DefaultPriority,
+		mm:         r.metrics.forModel(name, cfg.Admission.Queue, cfg.Batch.MaxBatch),
+	}
 	if cfg.Batch.MaxBatch > 1 {
-		b, err := newBatcher(cfg, eng)
+		b, err := newBatcher(cfg, eng, m.mm.recordFlush)
 		if err != nil {
 			eng.Close()
 			return fmt.Errorf("serve: load %q: %w", name, err)
 		}
 		m.batcher = b
+	}
+	if cfg.Admission.Degrade == "int8" {
+		if eng.Precision() == mnn.PrecisionInt8 {
+			m.close()
+			return fmt.Errorf("serve: load %q: %w: degrade=int8 on a model already executing int8", name, ErrBadRequest)
+		}
+		deg, err := mnn.Open(cfg.Model, append(append([]mnn.Option(nil), cfg.Options...),
+			mnn.WithPrecision(mnn.PrecisionInt8))...)
+		if err != nil {
+			m.close()
+			return fmt.Errorf("serve: load %q: opening int8 degrade engine: %w", name, err)
+		}
+		m.degradeEng = deg
+	}
+	if cfg.Admission.Queue > 0 {
+		conc := cfg.Admission.Concurrency
+		if conc <= 0 {
+			conc = eng.PoolSize()
+			if cfg.Batch.MaxBatch > conc {
+				// Batching needs that many requests in flight at once or
+				// full batches can never form.
+				conc = cfg.Batch.MaxBatch
+			}
+		}
+		threshold := cfg.Admission.DegradeThreshold
+		if threshold <= 0 && cfg.Admission.Degrade != "" {
+			threshold = DefaultDegradeThreshold
+		}
+		m.ctrl = admission.New(admission.Config{
+			Name:             name,
+			Depth:            cfg.Admission.Queue,
+			Concurrency:      conc,
+			SLO:              cfg.Admission.SLO,
+			DegradeThreshold: threshold,
+			OnDegrade:        m.mm.onDegrade,
+		})
 	}
 	r.mu.Lock()
 	if r.closed {
@@ -166,10 +286,94 @@ func (m *Model) Engine() *mnn.Engine { return m.eng }
 // Batching reports whether the dynamic micro-batcher is active.
 func (m *Model) Batching() bool { return m.batcher != nil }
 
-// Infer runs one logical request. With batching enabled, single-sample
-// requests matching the prepared shape are coalesced into batched runs;
-// everything else falls through to the unbatched engine.
+// Admission reports whether admission control is active.
+func (m *Model) Admission() bool { return m.ctrl != nil }
+
+// AdmissionStats snapshots the admission controller (zero Stats without
+// admission control).
+func (m *Model) AdmissionStats() admission.Stats {
+	if m.ctrl == nil {
+		return admission.Stats{}
+	}
+	return m.ctrl.Stats()
+}
+
+// Degraded reports whether the model is currently routing to its degrade
+// engine.
+func (m *Model) Degraded() bool {
+	return m.ctrl != nil && m.degradeEng != nil && m.ctrl.Degraded()
+}
+
+// DefaultPriority is the class for requests that don't choose one.
+func (m *Model) DefaultPriority() admission.Priority { return m.defaultPri }
+
+// InferInfo describes how one request was served.
+type InferInfo struct {
+	// Precision is the execution precision of the path that served the
+	// request ("fp32" or "int8"); it differs from the model's loaded
+	// precision exactly when the request was served degraded.
+	Precision string
+	// Degraded is true when the request ran on the degrade engine.
+	Degraded bool
+	// QueueWait is how long the request waited for an execution slot.
+	QueueWait time.Duration
+}
+
+// Infer runs one logical request at the model's default priority. With
+// batching enabled, single-sample requests matching the prepared shape are
+// coalesced into batched runs; everything else falls through to the
+// unbatched engine.
 func (m *Model) Infer(ctx context.Context, inputs map[string]*mnn.Tensor) (map[string]*mnn.Tensor, error) {
+	out, _, err := m.InferWith(ctx, inputs, m.defaultPri)
+	return out, err
+}
+
+// InferWith runs one logical request at the given priority through
+// admission control (when configured): the request may be shed immediately
+// with an error wrapping admission.ErrOverloaded, queued for a bounded
+// time, or routed to the degrade engine under sustained overload.
+func (m *Model) InferWith(ctx context.Context, inputs map[string]*mnn.Tensor, pri admission.Priority) (map[string]*mnn.Tensor, InferInfo, error) {
+	info := InferInfo{Precision: m.eng.Precision().String()}
+	if m.ctrl == nil {
+		start := time.Now()
+		out, err := m.inferDirect(ctx, inputs)
+		m.mm.observeInfer(time.Since(start))
+		return out, info, err
+	}
+	tk, err := m.ctrl.Acquire(ctx, pri)
+	if err != nil {
+		var oe *admission.OverloadError
+		switch {
+		case errors.As(err, &oe):
+			m.mm.observeShed(oe.Reason)
+		case errors.Is(err, admission.ErrClosed):
+			err = fmt.Errorf("%w: %q unloading", ErrServerClosed, m.name)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// Same shape the engine reports for a context that dies
+			// mid-inference, so clients see one cancellation error.
+			err = fmt.Errorf("%w: %v", mnn.ErrCancelled, err)
+		}
+		return nil, info, err
+	}
+	m.mm.observeQueueWait(tk.QueueWait())
+	info.QueueWait = tk.QueueWait()
+	start := time.Now()
+	var out map[string]*mnn.Tensor
+	if m.degradeEng != nil && m.ctrl.Degraded() {
+		info.Degraded = true
+		info.Precision = m.degradeEng.Precision().String()
+		out, err = m.degradeEng.Infer(ctx, inputs)
+	} else {
+		out, err = m.inferDirect(ctx, inputs)
+	}
+	tk.Release()
+	m.mm.observeInfer(time.Since(start))
+	return out, info, err
+}
+
+// inferDirect is the pre-admission serving path: batcher when active,
+// otherwise the unbatched engine.
+func (m *Model) inferDirect(ctx context.Context, inputs map[string]*mnn.Tensor) (map[string]*mnn.Tensor, error) {
 	if m.batcher != nil {
 		return m.batcher.infer(ctx, inputs)
 	}
@@ -192,10 +396,17 @@ func (m *Model) Metadata() ModelMetadata {
 	return md
 }
 
-// close tears down the batcher (draining its queue) before the engines.
+// close releases queued admission waiters first, then tears down the
+// batcher (draining its queue) before the engines.
 func (m *Model) close() {
+	if m.ctrl != nil {
+		m.ctrl.Close()
+	}
 	if m.batcher != nil {
 		m.batcher.close()
+	}
+	if m.degradeEng != nil {
+		m.degradeEng.Close()
 	}
 	m.eng.Close()
 }

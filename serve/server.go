@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"mnn"
+	"mnn/serve/admission"
 )
 
 // Version is reported in GET /v2 server metadata.
@@ -97,6 +100,18 @@ type LoadRequest struct {
 	MaxBatch int `json:"max_batch,omitempty"`
 	// MaxLatencyMs is the batching window in milliseconds (default 2).
 	MaxLatencyMs float64 `json:"max_latency_ms,omitempty"`
+	// Queue > 0 enables admission control: a bounded queue of that depth in
+	// front of the engine, with overflow rejected as HTTP 429.
+	Queue int `json:"queue,omitempty"`
+	// SLOMs is the per-model latency budget in milliseconds; requests that
+	// cannot meet it given the current backlog are shed immediately.
+	SLOMs float64 `json:"slo_ms,omitempty"`
+	// Priority is the default class for requests without an
+	// X-Request-Priority header: "normal" (default), "high", or "batch".
+	Priority string `json:"priority,omitempty"`
+	// Degrade ("int8") routes to a quantized sibling engine while the
+	// shed-rate EWMA stays above the degrade threshold.
+	Degrade string `json:"degrade,omitempty"`
 }
 
 // ModelConfig converts the wire form into a registry load.
@@ -125,12 +140,22 @@ func (r LoadRequest) ModelConfig() (ModelConfig, error) {
 	if err != nil {
 		return ModelConfig{}, err
 	}
+	pri, err := admission.ParsePriority(r.Priority)
+	if err != nil {
+		return ModelConfig{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
 	return ModelConfig{
 		Model:   r.Model,
 		Options: opts,
 		Batch: BatchConfig{
 			MaxBatch:   r.MaxBatch,
 			MaxLatency: time.Duration(r.MaxLatencyMs * float64(time.Millisecond)),
+		},
+		Admission: AdmissionConfig{
+			Queue:           r.Queue,
+			SLO:             time.Duration(r.SLOMs * float64(time.Millisecond)),
+			DefaultPriority: pri,
+			Degrade:         r.Degrade,
 		},
 	}, nil
 }
@@ -166,7 +191,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v2/repository/models/{name}/load", s.handleLoad)
 	mux.HandleFunc("POST /v2/repository/models/{name}/unload", s.handleUnload)
 	mux.HandleFunc("DELETE /v2/repository/models/{name}", s.handleUnload)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// handleMetrics renders the Prometheus text exposition: per-model latency
+// histograms (queue wait + infer), queue depth/capacity, in-flight, shed
+// and degrade counters, batch-fill ratio, and per-model request totals
+// (rate() of which is QPS). Gauges are refreshed at scrape time.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.reg.refreshMetrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.metrics.reg.WriteText(w)
 }
 
 // Registry exposes the registry (e.g. to pre-load models before serving).
@@ -243,33 +279,84 @@ func (s *Server) handleModelReady(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
 }
 
+// requestContext derives the inference context from the client's deadline
+// headers: X-Request-Timeout (a Go duration, e.g. "250ms") is relative to
+// arrival; X-Request-Deadline (RFC 3339 with fractional seconds) is
+// absolute. The tighter of the two wins. Malformed values are 400s —
+// silently ignoring a deadline would turn load shedding off for exactly the
+// clients that asked for it.
+func requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	ctx := r.Context()
+	cancel := context.CancelFunc(func() {})
+	if v := r.Header.Get("X-Request-Timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return nil, nil, fmt.Errorf("%w: invalid X-Request-Timeout %q: want a positive Go duration like \"250ms\"", ErrBadRequest, v)
+		}
+		ctx, cancel = context.WithTimeout(ctx, d)
+	}
+	if v := r.Header.Get("X-Request-Deadline"); v != "" {
+		t, err := time.Parse(time.RFC3339Nano, v)
+		if err != nil {
+			cancel()
+			return nil, nil, fmt.Errorf("%w: invalid X-Request-Deadline %q: want RFC 3339, e.g. \"2026-01-02T15:04:05.999Z\"", ErrBadRequest, v)
+		}
+		outer := cancel
+		var inner context.CancelFunc
+		ctx, inner = context.WithDeadline(ctx, t)
+		cancel = func() { inner(); outer() }
+	}
+	return ctx, cancel, nil
+}
+
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	m, err := s.reg.Get(r.PathValue("name"))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	// Every outcome past model resolution lands in
+	// mnn_requests_total{model,code}.
+	writeErr := func(err error) {
+		m.mm.observeRequest(writeError(w, err))
+	}
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeErr(err)
+		return
+	}
+	defer cancel()
+	pri := m.DefaultPriority()
+	if v := r.Header.Get("X-Request-Priority"); v != "" {
+		pri, err = admission.ParsePriority(v)
+		if err != nil {
+			writeErr(fmt.Errorf("%w: invalid X-Request-Priority: %v", ErrBadRequest, err))
+			return
+		}
+	}
 	var req InferRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes)).Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("%w: decoding infer request: %v", ErrBadRequest, err))
+		writeErr(fmt.Errorf("%w: decoding infer request: %v", ErrBadRequest, err))
 		return
 	}
 	inputs, err := req.DecodeInputs()
 	if err != nil {
-		writeError(w, err)
+		writeErr(err)
 		return
 	}
-	outputs, err := m.Infer(r.Context(), inputs)
+	outputs, info, err := m.InferWith(ctx, inputs, pri)
 	if err != nil {
-		writeError(w, err)
+		writeErr(err)
 		return
 	}
 	resp, err := req.EncodeOutputs(m.Name(), m.Engine().OutputNames(), outputs)
 	if err != nil {
-		writeError(w, err)
+		writeErr(err)
 		return
 	}
+	resp.Precision = info.Precision
 	writeJSON(w, http.StatusOK, resp)
+	m.mm.observeRequest(http.StatusOK)
 }
 
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
@@ -304,20 +391,36 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError maps typed errors onto protocol status codes with a JSON body.
-func writeError(w http.ResponseWriter, err error) {
+// writeError maps typed errors onto protocol status codes with a JSON body
+// and returns the code it wrote. Overload rejections additionally carry a
+// Retry-After header with the admission controller's backlog-drain estimate.
+func writeError(w http.ResponseWriter, err error) int {
 	code := http.StatusInternalServerError
+	var oe *admission.OverloadError
 	switch {
+	case errors.As(err, &oe):
+		code = http.StatusTooManyRequests
+		secs := int(math.Ceil(oe.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	case errors.Is(err, admission.ErrOverloaded):
+		// Wrapped without the struct (shouldn't happen, but stay 429).
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, ErrModelNotFound), errors.Is(err, mnn.ErrUnknownNetwork):
 		code = http.StatusNotFound
 	case errors.Is(err, ErrBadRequest), errors.Is(err, mnn.ErrInputShape),
 		errors.Is(err, mnn.ErrUnknownDevice), errors.Is(err, mnn.ErrUnknownBackend):
 		code = http.StatusBadRequest
-	case errors.Is(err, ErrServerClosed), errors.Is(err, mnn.ErrEngineClosed):
+	case errors.Is(err, ErrServerClosed), errors.Is(err, mnn.ErrEngineClosed),
+		errors.Is(err, admission.ErrClosed):
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, mnn.ErrCancelled):
 		// The client usually went away; 499-style, but stay standard.
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+	return code
 }
