@@ -1,0 +1,116 @@
+// Command mnnrouter is the model-mesh front door: it spreads /v2 inference
+// traffic across N mnnserve replicas with consistent hashing on the model
+// reference (bounded-load variant), active health checking, retry of
+// connection-level failures on another replica, and per-replica circuit
+// breaking. 429 admission rejections from a replica pass through verbatim —
+// they are backpressure, not failure.
+//
+//	mnnrouter -addr :8000 \
+//	          -replica http://10.0.0.1:8500 \
+//	          -replica http://10.0.0.2:8500 \
+//	          -replica http://10.0.0.3:8500
+//
+// Version-aware traffic policies:
+//
+//	-canary resnet=1:90,2:10    # 90/10 split for requests not pinning a version
+//	-shadow resnet=2            # duplicate resnet traffic to version 2, discard responses
+//
+// The router serves its own Prometheus metrics on GET /metrics (per-replica
+// request counts, retries, health, circuit state, canary/shadow counters);
+// replica serving metrics stay on each replica's /metrics.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mnn/serve/mesh"
+)
+
+func main() {
+	addr := flag.String("addr", ":8000", "listen address")
+	healthInterval := flag.Duration("health-interval", mesh.DefaultHealthInterval, "active health-check period")
+	healthTimeout := flag.Duration("health-timeout", mesh.DefaultHealthTimeout, "health probe timeout")
+	unhealthyAfter := flag.Int("unhealthy-after", mesh.DefaultUnhealthyAfter, "consecutive failed checks before a replica is ejected")
+	loadFactor := flag.Float64("load-factor", mesh.DefaultLoadFactor, "bounded-load spill factor (>1; lower = stricter balance, higher = stickier placement)")
+	vnodes := flag.Int("vnodes", mesh.DefaultVNodes, "virtual nodes per replica on the hash ring")
+	breakerThreshold := flag.Int("breaker-threshold", mesh.DefaultBreakerThreshold, "consecutive connection failures that open a replica's circuit")
+	breakerCooldown := flag.Duration("breaker-cooldown", mesh.DefaultBreakerCooldown, "how long an open circuit skips the replica before a half-open probe")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "grace period for draining in-flight requests on SIGINT/SIGTERM")
+
+	cfg := mesh.Config{
+		Canary: make(map[string]mesh.CanaryRule),
+		Shadow: make(map[string]string),
+	}
+	flag.Func("replica", "mnnserve base URL, e.g. http://host:8500 (repeatable, required)", func(v string) error {
+		cfg.Replicas = append(cfg.Replicas, v)
+		return nil
+	})
+	flag.Func("canary", "weighted version split for unpinned requests: model=version:weight,... (repeatable)", func(v string) error {
+		model, rule, err := mesh.ParseCanarySpec(v)
+		if err != nil {
+			return err
+		}
+		if _, dup := cfg.Canary[model]; dup {
+			return fmt.Errorf("duplicate -canary for model %q", model)
+		}
+		cfg.Canary[model] = rule
+		return nil
+	})
+	flag.Func("shadow", "duplicate-and-discard a model's traffic to a version: model=version (repeatable)", func(v string) error {
+		model, version, err := mesh.ParseShadowSpec(v)
+		if err != nil {
+			return err
+		}
+		if _, dup := cfg.Shadow[model]; dup {
+			return fmt.Errorf("duplicate -shadow for model %q", model)
+		}
+		cfg.Shadow[model] = version
+		return nil
+	})
+	flag.Parse()
+	cfg.HealthInterval = *healthInterval
+	cfg.HealthTimeout = *healthTimeout
+	cfg.UnhealthyAfter = *unhealthyAfter
+	cfg.LoadFactor = *loadFactor
+	cfg.VNodes = *vnodes
+	cfg.BreakerThreshold = *breakerThreshold
+	cfg.BreakerCooldown = *breakerCooldown
+
+	rt, err := mesh.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+	defer rt.Close()
+
+	srv := &http.Server{Addr: *addr, Handler: rt.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("mnnrouter: routing %d replicas on %s\n", len(cfg.Replicas), *addr)
+
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+		fmt.Println("mnnrouter: shutting down, draining in-flight requests...")
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Println("mnnrouter: bye")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mnnrouter:", err)
+	os.Exit(1)
+}

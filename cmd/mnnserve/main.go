@@ -13,7 +13,12 @@
 // (admission queue depth; enables SLO-aware load shedding), concurrency,
 // slo (latency budget, e.g. slo=50ms), priority (default class:
 // high/normal/batch), degrade=int8 (route to a quantized engine under
-// sustained overload). Models can also be hot-loaded and
+// sustained overload), version (registry version; the model serves as
+// name:version), default=true (pin this version for bare-name requests)
+// and lazy=true (open engines on first request). Two -model flags naming
+// the same name:version are rejected. With -memory-budget every model
+// loads lazily and idle engines are evicted least-recently-used when the
+// resident byte total exceeds the budget. Models can also be hot-loaded and
 // unloaded at runtime through POST /v2/repository/models/{name}/load and
 // /unload. Prometheus metrics are served on GET /metrics.
 // SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
@@ -39,12 +44,62 @@ import (
 )
 
 type modelSpec struct {
-	name string
-	cfg  serve.ModelConfig
+	name    string
+	version string // empty = serve.DefaultVersion
+	// setDefault pins this version as what bare-name requests resolve to.
+	setDefault bool
+	cfg        serve.ModelConfig
 	// tuning/tuningCache are kept for the batching+measured validation in
 	// main, which runs after the global -max-batch default is applied.
 	tuning      string
 	tuningCache string
+}
+
+// ref is the registry reference the spec loads under.
+func (s modelSpec) ref() string {
+	v := s.version
+	if v == "" {
+		v = serve.DefaultVersion
+	}
+	return serve.JoinRef(s.name, v)
+}
+
+// checkSpecs rejects two -model flags naming the same model version: the
+// registry would hot-swap silently and the earlier definition would serve
+// no traffic, which on a command line is always a typo.
+func checkSpecs(specs []modelSpec) error {
+	seen := make(map[string]bool, len(specs))
+	for _, s := range specs {
+		if seen[s.ref()] {
+			return fmt.Errorf("duplicate -model name %q: each -model flag must use a distinct name (or a distinct version=)", s.ref())
+		}
+		seen[s.ref()] = true
+	}
+	return nil
+}
+
+// parseBytes parses a -memory-budget value: a plain byte count or a number
+// with a KiB/MiB/GiB (or KB/MB/GB, decimal) suffix, e.g. "512MiB".
+func parseBytes(v string) (int64, error) {
+	suffixes := []struct {
+		s    string
+		mult int64
+	}{
+		{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30},
+		{"KB", 1e3}, {"MB", 1e6}, {"GB", 1e9}, {"B", 1},
+	}
+	num, mult := strings.TrimSpace(v), int64(1)
+	for _, suf := range suffixes {
+		if strings.HasSuffix(num, suf.s) {
+			num, mult = strings.TrimSpace(strings.TrimSuffix(num, suf.s)), suf.mult
+			break
+		}
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("invalid byte size %q (want e.g. 1073741824, 512MiB, 1GiB)", v)
+	}
+	return int64(f * float64(mult)), nil
 }
 
 func main() {
@@ -53,6 +108,7 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "default micro-batch size for models that don't set maxbatch= (0 disables batching)")
 	maxLatency := flag.Duration("max-latency", serve.DefaultMaxLatency, "default micro-batch window for models that don't set maxlatency=")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "grace period for draining in-flight requests on SIGINT/SIGTERM")
+	memoryBudget := flag.String("memory-budget", "", "resident-engine byte budget (e.g. 512MiB, 1GiB); models load lazily on first request and idle ones are evicted LRU under pressure (empty = unlimited, eager loads)")
 	var specs []modelSpec
 	flag.Func("model", "model to serve: name=source[,key=value...] (repeatable; see package docs)", func(v string) error {
 		s, err := parseModelSpec(v)
@@ -66,8 +122,20 @@ func main() {
 	if len(specs) == 0 {
 		fail(fmt.Errorf("no models: pass at least one -model flag (or hot-load via the repository API after adding one)"))
 	}
+	if err := checkSpecs(specs); err != nil {
+		fail(err)
+	}
 
 	reg := serve.NewRegistry()
+	if *memoryBudget != "" {
+		// Set before any Load: with a budget, every load is lazy and the
+		// first request (not startup) opens the engines.
+		budget, err := parseBytes(*memoryBudget)
+		if err != nil {
+			fail(fmt.Errorf("-memory-budget: %v", err))
+		}
+		reg.SetMemoryBudget(budget)
+	}
 	for _, s := range specs {
 		// The global flags fill whichever knobs the spec left unset, so a
 		// per-model maxbatch= still honours the global -max-latency and
@@ -88,11 +156,18 @@ func main() {
 			fail(fmt.Errorf("-model %q: tuning=measured with batching requires tuningcache=", s.name))
 		}
 		t0 := time.Now()
-		if err := reg.Load(s.name, s.cfg); err != nil {
+		if err := reg.Load(s.ref(), s.cfg); err != nil {
 			reg.Close()
 			fail(err)
 		}
-		m, _ := reg.Get(s.name)
+		if s.setDefault {
+			name, version := serve.SplitRef(s.ref())
+			if err := reg.SetDefault(name, version); err != nil {
+				reg.Close()
+				fail(err)
+			}
+		}
+		m, _ := reg.Get(s.ref())
 		batching := "off"
 		if m.Batching() {
 			batching = fmt.Sprintf("%d within %v", s.cfg.Batch.MaxBatch, s.cfg.Batch.MaxLatency)
@@ -107,8 +182,13 @@ func main() {
 				adm += ", degrade " + s.cfg.Admission.Degrade
 			}
 		}
-		fmt.Printf("mnnserve: loaded %q (pre-inference %.0f ms, batching %s, admission %s)\n",
-			s.name, float64(time.Since(t0).Milliseconds()), batching, adm)
+		if m.Lazy() {
+			fmt.Printf("mnnserve: registered %q lazily (engines open on first request, batching %s, admission %s)\n",
+				s.ref(), batching, adm)
+		} else {
+			fmt.Printf("mnnserve: loaded %q (pre-inference %.0f ms, batching %s, admission %s)\n",
+				s.ref(), float64(time.Since(t0).Milliseconds()), batching, adm)
+		}
 	}
 
 	if *pprofAddr != "" {
@@ -222,6 +302,23 @@ func parseModelSpec(v string) (modelSpec, error) {
 			s.cfg.Admission.DefaultPriority = p
 		case "degrade":
 			s.cfg.Admission.Degrade = val
+		case "version":
+			if val == "" || strings.Contains(val, ":") {
+				return modelSpec{}, fmt.Errorf("-model %q: version=%q: must be non-empty without ':'", v, val)
+			}
+			s.version = val
+		case "default":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return modelSpec{}, fmt.Errorf("-model %q: default=%q: %v", v, val, err)
+			}
+			s.setDefault = b
+		case "lazy":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return modelSpec{}, fmt.Errorf("-model %q: lazy=%q: %v", v, val, err)
+			}
+			s.cfg.Lazy = b
 		case "shape":
 			input, dims, ok := strings.Cut(val, ":")
 			if !ok {
@@ -240,7 +337,7 @@ func parseModelSpec(v string) (modelSpec, error) {
 			}
 			lo.InputShapes[input] = shape
 		default:
-			return modelSpec{}, fmt.Errorf("-model %q: unknown option %q (want pool, threads, forward, device, precision, tuning, tuningcache, maxbatch, maxlatency, shape, queue, concurrency, slo, priority or degrade)", v, key)
+			return modelSpec{}, fmt.Errorf("-model %q: unknown option %q (want pool, threads, forward, device, precision, tuning, tuningcache, maxbatch, maxlatency, shape, queue, concurrency, slo, priority, degrade, version, default or lazy)", v, key)
 		}
 	}
 	opts, err := lo.EngineOptions()

@@ -191,7 +191,11 @@ func TestInt8ServingBatchedBitwise(t *testing.T) {
 	if !m.Batching() {
 		t.Fatal("batcher not active")
 	}
-	if md := m.Metadata(); md.Precision != "int8" {
+	md, err := m.Metadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.Precision != "int8" {
 		t.Fatalf("metadata precision %q, want int8", md.Precision)
 	}
 	ref, err := mnn.Open(g, mnn.WithThreads(2), mnn.WithInputShapes(shapes),

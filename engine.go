@@ -567,6 +567,26 @@ func (e *Engine) InputShape(name string) []int {
 // arena sizes) of one pooled session; every session decides identically.
 func (e *Engine) Stats() SessionStats { return e.stats }
 
+// MemoryBytes estimates the engine's resident size: the graph's weight
+// tensors plus every pooled session's planned arenas (4 bytes per float32
+// element). Weights of a shared graph are charged to each engine opened on
+// it, so a serving registry's budget accounting errs toward over-counting,
+// never silent under-counting.
+func (e *Engine) MemoryBytes() int64 {
+	var total int64
+	for _, w := range e.g.Weights {
+		if w != nil {
+			total += int64(w.NumElements())
+		}
+	}
+	var arena int64
+	for _, n := range e.stats.ArenaFloats {
+		arena += int64(n)
+	}
+	total += arena * int64(e.cfg.poolSize)
+	return total * 4
+}
+
 // SimulatedMs returns the aggregate simulated time charged by every pooled
 // session (WithSimulatedClock); zero without the option.
 func (e *Engine) SimulatedMs() float64 { return e.clock.TotalMs() }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"mnn/internal/tensor"
 	"mnn/serve"
@@ -30,11 +31,18 @@ type HTTPConfig struct {
 	Headers map[string]string
 }
 
-// defaultClient keeps enough idle keep-alive connections for the deepest
-// in-flight sweeps the bench harness runs.
+// defaultClient is shared by every HTTP query func so all load-generator
+// runs in a process reuse one keep-alive pool. The idle pool is as deep as
+// the open-loop generator's MaxOutstanding default (256): an overload run
+// parks its whole fan-out as warm connections instead of re-dialing, and
+// MaxConnsPerHost caps total connections at the same mark so a shedding
+// server is never hammered with TCP churn — the run measures the server's
+// admission behaviour, not the client's connection storms.
 var defaultClient = &http.Client{Transport: &http.Transport{
-	MaxIdleConns:        128,
-	MaxIdleConnsPerHost: 64,
+	MaxIdleConns:        512,
+	MaxIdleConnsPerHost: 256,
+	MaxConnsPerHost:     256,
+	IdleConnTimeout:     90 * time.Second,
 }}
 
 // NewHTTPQuery pre-encodes one inference request for the given inputs and

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"net"
+	"net/http"
 	"strings"
 	"testing"
 
@@ -78,5 +79,26 @@ func TestHTTPQueryDrivesServer(t *testing.T) {
 
 	if _, err := NewHTTPQuery(HTTPConfig{}, nil); err == nil {
 		t.Fatal("empty HTTPConfig must be rejected")
+	}
+}
+
+// TestSharedTransportCaps: queries that don't bring their own client share
+// one pooled transport whose connection cap matches the open-loop
+// generator's MaxOutstanding default — overload runs must saturate the
+// server's admission queue, not the client's dialer.
+func TestSharedTransportCaps(t *testing.T) {
+	tr, ok := defaultClient.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("default client transport is %T, want *http.Transport", defaultClient.Transport)
+	}
+	if tr.MaxConnsPerHost < 256 {
+		t.Errorf("MaxConnsPerHost %d cannot carry MaxOutstanding=256 open-loop runs", tr.MaxConnsPerHost)
+	}
+	if tr.MaxIdleConnsPerHost < tr.MaxConnsPerHost {
+		t.Errorf("idle pool per host (%d) smaller than the conn cap (%d): the tail of an overload run re-dials",
+			tr.MaxIdleConnsPerHost, tr.MaxConnsPerHost)
+	}
+	if tr.DisableKeepAlives {
+		t.Error("keep-alives disabled on the shared transport")
 	}
 }

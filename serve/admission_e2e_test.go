@@ -447,18 +447,18 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatalf("/metrics is not valid Prometheus text: %v\n%s", err, text)
 	}
 	for _, want := range []string{
-		`mnn_queue_wait_seconds_bucket{model="mx",le="+Inf"}`,
-		`mnn_queue_wait_seconds_count{model="mx"}`,
-		`mnn_infer_duration_seconds_bucket{model="mx",le="+Inf"}`,
-		`mnn_requests_total{model="mx",code="200"}`,
-		`mnn_shed_total{model="mx",reason="queue_full"}`,
-		`mnn_shed_total{model="mx",reason="deadline"}`,
-		`mnn_queue_depth{model="mx"}`,
-		`mnn_queue_capacity{model="mx"} 2`,
-		`mnn_inflight_requests{model="mx"}`,
-		`mnn_batch_flushes_total{model="mx"}`,
-		`mnn_batch_fill_ratio{model="mx"}`,
-		`mnn_degraded{model="mx"} 0`,
+		`mnn_queue_wait_seconds_bucket{model="mx:1",le="+Inf"}`,
+		`mnn_queue_wait_seconds_count{model="mx:1"}`,
+		`mnn_infer_duration_seconds_bucket{model="mx:1",le="+Inf"}`,
+		`mnn_requests_total{model="mx:1",code="200"}`,
+		`mnn_shed_total{model="mx:1",reason="queue_full"}`,
+		`mnn_shed_total{model="mx:1",reason="deadline"}`,
+		`mnn_queue_depth{model="mx:1"}`,
+		`mnn_queue_capacity{model="mx:1"} 2`,
+		`mnn_inflight_requests{model="mx:1"}`,
+		`mnn_batch_flushes_total{model="mx:1"}`,
+		`mnn_batch_fill_ratio{model="mx:1"}`,
+		`mnn_degraded{model="mx:1"} 0`,
 	} {
 		if !bytes.Contains(blob, []byte(want)) {
 			t.Errorf("/metrics missing %q", want)

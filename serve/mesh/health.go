@@ -1,0 +1,140 @@
+package mesh
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// replica is the router's view of one mnnserve backend. All state is
+// atomic: the request path reads eligibility and load without locks.
+type replica struct {
+	baseURL string
+
+	// healthy is driven by the active health checker (GET /v2 every
+	// HealthInterval). A replica starts unknown and is only routed to after
+	// its first passing check.
+	healthy     atomic.Bool
+	consecBad   atomic.Int32 // consecutive failed health checks
+	everHealthy atomic.Bool
+
+	// inflight counts proxied requests currently outstanding — the load
+	// measure of the bounded-load hash.
+	inflight atomic.Int64
+
+	// Circuit breaker over connection-level proxy failures: after
+	// BreakerThreshold consecutive failures the replica is skipped until
+	// openUntil, then one request probes it (half-open).
+	consecConnFails atomic.Int32
+	openUntil       atomic.Int64 // unix nanos; 0 = closed
+}
+
+// eligible reports whether the selection path may route to the replica:
+// health-checked OK and circuit not open. A breaker past its cooldown
+// counts as eligible (half-open: the next request is the probe).
+func (r *replica) eligible(now time.Time) bool {
+	return r.healthy.Load() && now.UnixNano() >= r.openUntil.Load()
+}
+
+// noteConnFailure records one connection-level proxy failure and opens the
+// circuit after threshold consecutive ones.
+func (r *replica) noteConnFailure(threshold int, cooldown time.Duration, now time.Time) {
+	if int(r.consecConnFails.Add(1)) >= threshold {
+		r.openUntil.Store(now.Add(cooldown).UnixNano())
+	}
+}
+
+// noteSuccess closes the circuit.
+func (r *replica) noteSuccess() {
+	r.consecConnFails.Store(0)
+	r.openUntil.Store(0)
+}
+
+// healthChecker probes every replica's GET /v2 endpoint on a fixed
+// interval. A replica is ejected after UnhealthyAfter consecutive failures
+// and reinstated by a single success (fast recovery: a restarted replica
+// rejoins within one interval).
+type healthChecker struct {
+	router   *Router
+	interval time.Duration
+	timeout  time.Duration
+	after    int
+
+	quit chan struct{}
+	done chan struct{}
+}
+
+func (hc *healthChecker) start() {
+	hc.quit = make(chan struct{})
+	hc.done = make(chan struct{})
+	go func() {
+		defer close(hc.done)
+		t := time.NewTicker(hc.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hc.quit:
+				return
+			case <-t.C:
+				hc.checkAll()
+			}
+		}
+	}()
+}
+
+func (hc *healthChecker) stop() {
+	close(hc.quit)
+	<-hc.done
+}
+
+// checkAll probes every replica concurrently and waits for the round.
+func (hc *healthChecker) checkAll() {
+	var wg sync.WaitGroup
+	for _, rep := range hc.router.replicas {
+		wg.Add(1)
+		go func(rep *replica) {
+			defer wg.Done()
+			hc.checkOne(rep)
+		}(rep)
+	}
+	wg.Wait()
+	hc.router.metrics.refreshReplicas(hc.router.replicas)
+}
+
+func (hc *healthChecker) checkOne(rep *replica) {
+	ctx, cancel := context.WithTimeout(context.Background(), hc.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.baseURL+"/v2", nil)
+	if err != nil {
+		hc.observe(rep, false)
+		return
+	}
+	resp, err := hc.router.client.Do(req)
+	if err != nil {
+		hc.observe(rep, false)
+		return
+	}
+	resp.Body.Close()
+	hc.observe(rep, resp.StatusCode == http.StatusOK)
+}
+
+func (hc *healthChecker) observe(rep *replica, ok bool) {
+	if ok {
+		rep.consecBad.Store(0)
+		if !rep.healthy.Swap(true) {
+			hc.router.metrics.healthTransitions.Inc()
+		}
+		rep.everHealthy.Store(true)
+		// A passing health check also closes the circuit: the replica
+		// answers again, whatever tripped the breaker is gone.
+		rep.noteSuccess()
+		return
+	}
+	if int(rep.consecBad.Add(1)) >= hc.after {
+		if rep.healthy.Swap(false) {
+			hc.router.metrics.healthTransitions.Inc()
+		}
+	}
+}

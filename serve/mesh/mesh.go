@@ -1,0 +1,549 @@
+// Package mesh is the distributed front door of the serving tier: a router
+// that spreads /v2 inference traffic across N mnnserve replicas.
+//
+// Placement uses consistent hashing on the model reference
+// ("name:version") with a bounded-load variant: each model has a home
+// replica, and requests spill to the next replica on the ring only when the
+// home is above its fair share of in-flight load (factor × mean). Sticky
+// placement is what makes memory-budgeted replicas effective — each replica
+// keeps a disjoint subset of the catalogue resident instead of every
+// replica thrashing all models — while the load bound keeps one hot model
+// from melting a single replica.
+//
+// Replica failure is handled three ways, fastest first:
+//
+//   - retry: a connection-level failure (dial refused, reset before any
+//     response) is transparently retried on the next replica in ring order.
+//     An HTTP response is NEVER retried — in particular a 429 carries
+//     admission-control semantics (the model's queue is full; another
+//     replica would not have its engines warm) and passes through verbatim,
+//     Retry-After included.
+//   - circuit breaking: after BreakerThreshold consecutive connection
+//     failures a replica is skipped for BreakerCooldown, then a single
+//     request probes it (half-open).
+//   - active health checks: GET /v2 on every replica each HealthInterval;
+//     UnhealthyAfter consecutive failures eject the replica from selection,
+//     one success reinstates it.
+//
+// Two version-aware traffic policies run at the router:
+//
+//   - canary: requests that do not pin a version are split between versions
+//     by weight ("resnet=1:90,2:10"). Pinned requests bypass the canary.
+//   - shadow: requests for a model are duplicated to a shadow version on
+//     its own replica; the shadow response is always discarded, and shadow
+//     failures never surface to clients.
+package mesh
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"mnn/internal/metrics"
+	"mnn/serve"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultHealthInterval   = 2 * time.Second
+	DefaultHealthTimeout    = time.Second
+	DefaultUnhealthyAfter   = 2
+	DefaultLoadFactor       = 1.25
+	DefaultVNodes           = 64
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 5 * time.Second
+	DefaultShadowInflight   = 64
+	DefaultShadowTimeout    = 30 * time.Second
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Replicas are the mnnserve base URLs ("http://host:port"), required.
+	Replicas []string
+
+	// HealthInterval is the active health-check period (default 2s).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one health probe (default 1s).
+	HealthTimeout time.Duration
+	// UnhealthyAfter ejects a replica after that many consecutive failed
+	// checks (default 2); one passing check reinstates it.
+	UnhealthyAfter int
+
+	// LoadFactor is the bounded-load limit: a replica accepts a request for
+	// its model only while its in-flight count is below
+	// ceil(factor × (total in-flight + 1) / eligible replicas); above it the
+	// request spills along the ring (default 1.25).
+	LoadFactor float64
+	// VNodes is the virtual nodes per replica on the hash ring (default 64).
+	VNodes int
+
+	// BreakerThreshold opens a replica's circuit after that many
+	// consecutive connection-level failures (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit skips the replica before
+	// a half-open probe (default 5s).
+	BreakerCooldown time.Duration
+
+	// Canary maps a model name to its weighted version split for unpinned
+	// requests.
+	Canary map[string]CanaryRule
+	// Shadow maps a model name to the version that receives a discarded
+	// duplicate of its traffic.
+	Shadow map[string]string
+	// ShadowInflight caps concurrent shadow duplicates (default 64);
+	// excess duplicates are dropped, never queued against client latency.
+	ShadowInflight int
+
+	// Transport overrides the proxy transport (default: keep-alive pooled).
+	Transport http.RoundTripper
+}
+
+func (c *Config) applyDefaults() {
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = DefaultHealthInterval
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = DefaultHealthTimeout
+	}
+	if c.UnhealthyAfter <= 0 {
+		c.UnhealthyAfter = DefaultUnhealthyAfter
+	}
+	if c.LoadFactor <= 1 {
+		c.LoadFactor = DefaultLoadFactor
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if c.ShadowInflight <= 0 {
+		c.ShadowInflight = DefaultShadowInflight
+	}
+	if c.Transport == nil {
+		c.Transport = &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 128,
+			IdleConnTimeout:     90 * time.Second,
+		}
+	}
+}
+
+// Router proxies the /v2 protocol across replicas. Create with New, mount
+// Handler, stop with Close.
+type Router struct {
+	cfg      Config
+	replicas []*replica
+	ring     *ring
+	client   *http.Client
+	metrics  *routerMetrics
+	hc       *healthChecker
+	shadowSl chan struct{}
+}
+
+// New validates the configuration, runs one synchronous health round (so a
+// router that starts against live replicas routes immediately), and starts
+// the periodic checker.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("mesh: no replicas configured")
+	}
+	cfg.applyDefaults()
+	rt := &Router{
+		cfg:      cfg,
+		ring:     newRing(len(cfg.Replicas), cfg.VNodes),
+		client:   &http.Client{Transport: cfg.Transport},
+		metrics:  newRouterMetrics(),
+		shadowSl: make(chan struct{}, cfg.ShadowInflight),
+	}
+	seen := make(map[string]bool)
+	for _, raw := range cfg.Replicas {
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("mesh: replica %q is not a base URL like http://host:port", raw)
+		}
+		base := strings.TrimRight(u.String(), "/")
+		if seen[base] {
+			return nil, fmt.Errorf("mesh: duplicate replica %q", base)
+		}
+		seen[base] = true
+		rt.replicas = append(rt.replicas, &replica{baseURL: base})
+		rt.metrics.initReplica(base)
+	}
+	for model, rule := range cfg.Canary {
+		if len(rule) == 0 || rule.total() <= 0 {
+			return nil, fmt.Errorf("mesh: canary rule for %q has no positive weight", model)
+		}
+	}
+	rt.hc = &healthChecker{
+		router:   rt,
+		interval: cfg.HealthInterval,
+		timeout:  cfg.HealthTimeout,
+		after:    cfg.UnhealthyAfter,
+	}
+	rt.hc.checkAll() // synchronous first round
+	rt.hc.start()
+	return rt, nil
+}
+
+// Close stops the health checker and the proxy transport's idle
+// connections. In-flight proxied requests are unaffected.
+func (rt *Router) Close() {
+	rt.hc.stop()
+	rt.client.CloseIdleConnections()
+}
+
+// Metrics exposes the router's metric families.
+func (rt *Router) Metrics() *metrics.Registry { return rt.metrics.reg }
+
+// Handler builds the router's routing table (same absolute /v2 paths as a
+// replica, so clients cannot tell the difference).
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v2", rt.handleServerMetadata)
+	mux.HandleFunc("GET /v2/health/live", rt.handleLive)
+	mux.HandleFunc("GET /v2/health/ready", rt.handleReady)
+	mux.HandleFunc("GET /v2/models", rt.handleModelList)
+	mux.HandleFunc("GET /v2/models/{name}", rt.handleByModel)
+	mux.HandleFunc("GET /v2/models/{name}/ready", rt.handleByModel)
+	mux.HandleFunc("POST /v2/models/{name}/infer", rt.handleInfer)
+	mux.HandleFunc("POST /v2/repository/models/{name}/load", rt.handleFanout)
+	mux.HandleFunc("POST /v2/repository/models/{name}/unload", rt.handleFanout)
+	mux.HandleFunc("DELETE /v2/repository/models/{name}", rt.handleFanout)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	return mux
+}
+
+func (rt *Router) handleServerMetadata(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, serve.ServerMetadata{
+		Name:       "mnnrouter",
+		Version:    serve.Version,
+		Extensions: []string{"model_repository", "mesh"},
+	})
+}
+
+func (rt *Router) handleLive(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"live": true})
+}
+
+// handleReady: the mesh is ready while at least one replica is eligible.
+func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	for _, rep := range rt.replicas {
+		if rep.eligible(now) {
+			writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+			return
+		}
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rt.metrics.refreshReplicas(rt.replicas)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = rt.metrics.reg.WriteText(w)
+}
+
+// handleModelList merges the model lists of every eligible replica.
+func (rt *Router) handleModelList(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	names := make(map[string]bool)
+	refs := make(map[string]bool)
+	answered := false
+	for _, rep := range rt.replicas {
+		if !rep.eligible(now) {
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, rep.baseURL+"/v2/models", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			continue
+		}
+		var list serve.ModelList
+		err = json.NewDecoder(io.LimitReader(resp.Body, serve.MaxBodyBytes)).Decode(&list)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		answered = true
+		for _, n := range list.Models {
+			names[n] = true
+		}
+		for _, ref := range list.Refs {
+			refs[ref] = true
+		}
+	}
+	if !answered {
+		rt.metrics.noReplica.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: "mesh: no replica answered"})
+		return
+	}
+	writeJSON(w, http.StatusOK, serve.ModelList{Models: sortedKeys(names), Refs: sortedKeys(refs)})
+}
+
+// handleByModel proxies metadata/readiness to the model's home replica.
+func (rt *Router) handleByModel(w http.ResponseWriter, r *http.Request) {
+	rt.proxyWithRetry(w, r, r.PathValue("name"), r.URL.Path, nil)
+}
+
+// handleFanout broadcasts repository load/unload to every eligible replica
+// — a model must exist mesh-wide, wherever its traffic hashes. The response
+// reports per-replica outcomes; the overall status is the worst one.
+func (rt *Router) handleFanout(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, serve.MaxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: "mesh: reading body: " + err.Error()})
+		return
+	}
+	now := time.Now()
+	worst := 0
+	results := make(map[string]string)
+	for _, rep := range rt.replicas {
+		if !rep.eligible(now) {
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), r.Method,
+			rep.baseURL+r.URL.Path, strings.NewReader(string(body)))
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			results[rep.baseURL] = "error: " + err.Error()
+			if worst < http.StatusBadGateway {
+				worst = http.StatusBadGateway
+			}
+			continue
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, serve.MaxBodyBytes))
+		resp.Body.Close()
+		results[rep.baseURL] = resp.Status
+		if resp.StatusCode > worst {
+			worst = resp.StatusCode
+		}
+	}
+	if len(results) == 0 {
+		rt.metrics.noReplica.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: "mesh: no eligible replica"})
+		return
+	}
+	writeJSON(w, worst, map[string]any{"name": r.PathValue("name"), "replicas": results})
+}
+
+// handleInfer is the hot path: canary version selection, shadow duplicate,
+// then a bounded-load consistent-hash pick with connection-failure retry.
+func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request) {
+	ref := r.PathValue("name")
+	name, version := serve.SplitRef(ref)
+	if rule, ok := rt.cfg.Canary[name]; ok && version == "" {
+		// Canary applies only to unpinned requests: a pinned version is a
+		// client decision the router must not override.
+		version = rule.pick(rand.Float64())
+		ref = serve.JoinRef(name, version)
+		rt.metrics.canary.With(name, version).Inc()
+	}
+	// The body is buffered so a connection-level failure can replay it on
+	// another replica (and the shadow duplicate can reuse it).
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, serve.MaxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: "mesh: reading body: " + err.Error()})
+		return
+	}
+	if shadowVersion, ok := rt.cfg.Shadow[name]; ok {
+		rt.shadow(name, shadowVersion, r, body)
+	}
+	rt.proxyWithRetry(w, r, ref, "/v2/models/"+ref+"/infer", body)
+}
+
+// shadow fires the duplicate request asynchronously. The client's response
+// never waits on it and never observes its outcome.
+func (rt *Router) shadow(name, version string, r *http.Request, body []byte) {
+	select {
+	case rt.shadowSl <- struct{}{}:
+	default:
+		rt.metrics.shadow.With(name, shadowDropped).Inc()
+		return
+	}
+	ref := serve.JoinRef(name, version)
+	header := r.Header.Clone()
+	go func() {
+		defer func() { <-rt.shadowSl }()
+		ctx, cancel := context.WithTimeout(context.Background(), DefaultShadowTimeout)
+		defer cancel()
+		rep := rt.pick(ref, nil)
+		if rep == nil {
+			rt.metrics.shadow.With(name, shadowError).Inc()
+			return
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			rep.baseURL+"/v2/models/"+ref+"/infer", strings.NewReader(string(body)))
+		if err != nil {
+			rt.metrics.shadow.With(name, shadowError).Inc()
+			return
+		}
+		copyProxyHeaders(req.Header, header)
+		rep.inflight.Add(1)
+		resp, err := rt.client.Do(req)
+		rep.inflight.Add(-1)
+		if err != nil {
+			rt.metrics.shadow.With(name, shadowError).Inc()
+			return
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, serve.MaxBodyBytes))
+		resp.Body.Close()
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			rt.metrics.shadow.With(name, shadowOK).Inc()
+		} else {
+			rt.metrics.shadow.With(name, shadowError).Inc()
+		}
+	}()
+}
+
+// pick selects the replica for a model reference: walk the ring from the
+// key's position, take the first eligible replica under the bounded-load
+// limit; when every eligible replica is at the limit, take the least
+// loaded (the request must land somewhere — the replicas' own admission
+// control is the real backpressure). tried excludes replicas that already
+// failed this request.
+func (rt *Router) pick(ref string, tried map[*replica]bool) *replica {
+	now := time.Now()
+	order := rt.ring.walk(ref)
+	var eligible []*replica
+	var total int64
+	for _, idx := range order {
+		rep := rt.replicas[idx]
+		if tried[rep] || !rep.eligible(now) {
+			continue
+		}
+		eligible = append(eligible, rep)
+		total += rep.inflight.Load()
+	}
+	if len(eligible) == 0 {
+		return nil
+	}
+	limit := int64(math.Ceil(rt.cfg.LoadFactor * float64(total+1) / float64(len(eligible))))
+	var least *replica
+	for _, rep := range eligible {
+		n := rep.inflight.Load()
+		if n < limit {
+			return rep
+		}
+		if least == nil || n < least.inflight.Load() {
+			least = rep
+		}
+	}
+	return least
+}
+
+// proxyWithRetry forwards the request (path already rewritten) to the
+// picked replica, retrying connection-level failures on other replicas.
+// Any HTTP response — success, 4xx, 429, 5xx — is returned to the client
+// verbatim and never retried.
+func (rt *Router) proxyWithRetry(w http.ResponseWriter, r *http.Request, ref, path string, body []byte) {
+	tried := make(map[*replica]bool)
+	for attempt := 0; attempt < len(rt.replicas); attempt++ {
+		rep := rt.pick(ref, tried)
+		if rep == nil {
+			break
+		}
+		tried[rep] = true
+		err := rt.forward(w, r, rep, path, body)
+		if err == nil {
+			return
+		}
+		if r.Context().Err() != nil {
+			// The client went away; the failure says nothing about the
+			// replica and there is nobody left to answer.
+			return
+		}
+		rep.noteConnFailure(rt.cfg.BreakerThreshold, rt.cfg.BreakerCooldown, time.Now())
+		rt.metrics.retries.With(rep.baseURL).Inc()
+	}
+	rt.metrics.noReplica.Inc()
+	writeJSON(w, http.StatusServiceUnavailable,
+		serve.ErrorResponse{Error: fmt.Sprintf("mesh: no eligible replica for %q", ref)})
+}
+
+// forward proxies one attempt. A non-nil error means a connection-level
+// failure with nothing written to the client (safe to retry); once a
+// response arrives it is relayed and the attempt is final.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, rep *replica, path string, body []byte) error {
+	var rdr io.Reader
+	if body != nil {
+		rdr = strings.NewReader(string(body))
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, rep.baseURL+path, rdr)
+	if err != nil {
+		// Malformed target, not a replica failure; nothing will fix it.
+		writeJSON(w, http.StatusInternalServerError, serve.ErrorResponse{Error: "mesh: " + err.Error()})
+		return nil
+	}
+	copyProxyHeaders(req.Header, r.Header)
+	rep.inflight.Add(1)
+	start := time.Now()
+	resp, err := rt.client.Do(req)
+	rep.inflight.Add(-1)
+	rt.metrics.proxyDur.With(rep.baseURL).Observe(time.Since(start).Seconds())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	rep.noteSuccess()
+	rt.metrics.requests.With(rep.baseURL, strconv.Itoa(resp.StatusCode)).Inc()
+	h := w.Header()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	// Which replica served — observable rebalancing for tests and debugging.
+	h.Set("X-Mesh-Replica", rep.baseURL)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return nil
+}
+
+// copyProxyHeaders copies end-to-end headers, dropping hop-by-hop ones.
+func copyProxyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		switch http.CanonicalHeaderKey(k) {
+		case "Connection", "Keep-Alive", "Proxy-Connection", "Transfer-Encoding", "Upgrade", "Te", "Trailer":
+			continue
+		}
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,97 @@
+package mesh
+
+import (
+	"time"
+
+	"mnn/internal/metrics"
+)
+
+// routerMetrics is the router's own /metrics surface (distinct from each
+// replica's serving metrics): where traffic went, what was retried, which
+// replicas are in or out, and what the traffic policies did.
+type routerMetrics struct {
+	reg *metrics.Registry
+
+	requests  *metrics.CounterVec   // mnn_mesh_requests_total{replica,code}
+	retries   *metrics.CounterVec   // mnn_mesh_retries_total{replica}
+	noReplica *metrics.Counter      // mnn_mesh_no_replica_total
+	proxyDur  *metrics.HistogramVec // mnn_mesh_proxy_duration_seconds{replica}
+
+	replicaHealthy  *metrics.GaugeVec // mnn_mesh_replica_healthy{replica}
+	replicaInflight *metrics.GaugeVec // mnn_mesh_replica_inflight{replica}
+	circuitOpen     *metrics.GaugeVec // mnn_mesh_circuit_open{replica}
+
+	healthTransitions *metrics.Counter // mnn_mesh_health_transitions_total
+
+	canary *metrics.CounterVec // mnn_mesh_canary_total{model,version}
+	shadow *metrics.CounterVec // mnn_mesh_shadow_total{model,outcome}
+}
+
+// Shadow outcome label values.
+const (
+	shadowOK      = "ok"      // shadow replica answered 2xx
+	shadowError   = "error"   // connection failure or non-2xx
+	shadowDropped = "dropped" // concurrency cap hit, duplicate not sent
+)
+
+func newRouterMetrics() *routerMetrics {
+	r := metrics.NewRegistry()
+	return &routerMetrics{
+		reg: r,
+		requests: r.NewCounter("mnn_mesh_requests_total",
+			"Requests proxied, by replica and HTTP status code returned to the client.",
+			"replica", "code"),
+		retries: r.NewCounter("mnn_mesh_retries_total",
+			"Connection-level failures that were retried on another replica, by the replica that failed.",
+			"replica"),
+		noReplica: r.NewCounter("mnn_mesh_no_replica_total",
+			"Requests failed with 503 because no eligible replica remained.").With(),
+		proxyDur: r.NewHistogram("mnn_mesh_proxy_duration_seconds",
+			"Proxy round-trip time per replica (connection + replica processing).", nil, "replica"),
+		replicaHealthy: r.NewGauge("mnn_mesh_replica_healthy",
+			"1 while the replica passes active health checks.", "replica"),
+		replicaInflight: r.NewGauge("mnn_mesh_replica_inflight",
+			"Requests currently outstanding against the replica (the bounded-load measure).",
+			"replica"),
+		circuitOpen: r.NewGauge("mnn_mesh_circuit_open",
+			"1 while the replica's circuit breaker is open (skipped after repeated connection failures).",
+			"replica"),
+		healthTransitions: r.NewCounter("mnn_mesh_health_transitions_total",
+			"Replica health state changes (either direction) observed by the checker.").With(),
+		canary: r.NewCounter("mnn_mesh_canary_total",
+			"Canary decisions for unpinned requests, by model and chosen version.",
+			"model", "version"),
+		shadow: r.NewCounter("mnn_mesh_shadow_total",
+			"Shadow duplicates by model and outcome (ok, error, dropped); responses are always discarded.",
+			"model", "outcome"),
+	}
+}
+
+// initReplica zero-fills every per-replica series so a scrape shows the
+// whole mesh before the first request.
+func (m *routerMetrics) initReplica(name string) {
+	m.requests.With(name, "200")
+	m.retries.With(name)
+	m.proxyDur.With(name)
+	m.replicaHealthy.With(name).Set(0)
+	m.replicaInflight.With(name).Set(0)
+	m.circuitOpen.With(name).Set(0)
+}
+
+// refreshReplicas pulls the scrape-time replica gauges.
+func (m *routerMetrics) refreshReplicas(reps []*replica) {
+	now := time.Now()
+	for _, rep := range reps {
+		if rep.healthy.Load() {
+			m.replicaHealthy.With(rep.baseURL).Set(1)
+		} else {
+			m.replicaHealthy.With(rep.baseURL).Set(0)
+		}
+		m.replicaInflight.With(rep.baseURL).Set(float64(rep.inflight.Load()))
+		if now.UnixNano() < rep.openUntil.Load() {
+			m.circuitOpen.With(rep.baseURL).Set(1)
+		} else {
+			m.circuitOpen.With(rep.baseURL).Set(0)
+		}
+	}
+}

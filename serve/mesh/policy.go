@@ -1,0 +1,89 @@
+package mesh
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// VersionWeight is one arm of a canary split.
+type VersionWeight struct {
+	Version string
+	Weight  float64
+}
+
+// CanaryRule is a weighted split over versions of one model. It applies
+// only to requests that do NOT pin a version ("m", not "m:2"): a client
+// that asks for a specific version always gets it — the canary decides
+// what "the default" means at the router, nothing more.
+type CanaryRule []VersionWeight
+
+// total returns the summed weight (validated > 0).
+func (cr CanaryRule) total() float64 {
+	var t float64
+	for _, vw := range cr {
+		t += vw.Weight
+	}
+	return t
+}
+
+// pick selects a version given a uniform sample in [0, 1).
+func (cr CanaryRule) pick(u float64) string {
+	x := u * cr.total()
+	for _, vw := range cr {
+		if x < vw.Weight {
+			return vw.Version
+		}
+		x -= vw.Weight
+	}
+	return cr[len(cr)-1].Version
+}
+
+// ParseCanarySpec parses one -canary flag value:
+//
+//	model=version:weight[,version:weight...]
+//
+// e.g. "resnet=1:90,2:10" sends 90% of unpinned resnet traffic to version
+// 1 and 10% to version 2. Weights are relative (they need not sum to 100).
+func ParseCanarySpec(spec string) (model string, rule CanaryRule, err error) {
+	model, arms, ok := strings.Cut(spec, "=")
+	if !ok || model == "" || arms == "" {
+		return "", nil, fmt.Errorf("mesh: canary spec %q: want model=version:weight,...", spec)
+	}
+	if strings.Contains(model, ":") {
+		return "", nil, fmt.Errorf("mesh: canary spec %q: model must be a bare name (the rule spans versions)", spec)
+	}
+	for _, arm := range strings.Split(arms, ",") {
+		version, ws, ok := strings.Cut(arm, ":")
+		if !ok || version == "" {
+			return "", nil, fmt.Errorf("mesh: canary spec %q: arm %q: want version:weight", spec, arm)
+		}
+		w, err := strconv.ParseFloat(ws, 64)
+		if err != nil || w < 0 {
+			return "", nil, fmt.Errorf("mesh: canary spec %q: arm %q: weight must be a non-negative number", spec, arm)
+		}
+		rule = append(rule, VersionWeight{Version: version, Weight: w})
+	}
+	if rule.total() <= 0 {
+		return "", nil, fmt.Errorf("mesh: canary spec %q: weights sum to zero", spec)
+	}
+	return model, rule, nil
+}
+
+// ParseShadowSpec parses one -shadow flag value:
+//
+//	model=version
+//
+// Every infer request for model is duplicated to model:version on its own
+// replica; the shadow response (and any shadow error) is discarded — it
+// must never influence what the client receives.
+func ParseShadowSpec(spec string) (model, version string, err error) {
+	model, version, ok := strings.Cut(spec, "=")
+	if !ok || model == "" || version == "" {
+		return "", "", fmt.Errorf("mesh: shadow spec %q: want model=version", spec)
+	}
+	if strings.Contains(model, ":") {
+		return "", "", fmt.Errorf("mesh: shadow spec %q: model must be a bare name", spec)
+	}
+	return model, version, nil
+}

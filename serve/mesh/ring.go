@@ -1,0 +1,70 @@
+package mesh
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over replica indices with virtual nodes.
+// Keys are model references ("name:version"), so each model sticks to one
+// replica — which is what makes memory-budgeted replicas effective: every
+// replica keeps a disjoint working set resident instead of all replicas
+// thrashing the whole model catalogue.
+//
+// The ring itself is immutable after build; replica failure is handled at
+// selection time (walk order skips ineligible replicas), not by rebuilding,
+// so a flapping replica cannot churn every model's placement.
+type ring struct {
+	points   []ringPoint // sorted by hash
+	replicas int
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// newRing builds a ring of replicas × vnodes points.
+func newRing(replicas, vnodes int) *ring {
+	r := &ring{replicas: replicas}
+	r.points = make([]ringPoint, 0, replicas*vnodes)
+	for i := 0; i < replicas; i++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    hash64(fmt.Sprintf("replica-%d/vnode-%d", i, v)),
+				replica: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// walk returns every replica index in ring order starting at the key's
+// position, deduplicated — the preference order for placing the key. The
+// first entry is the key's home; later entries are where it spills when the
+// home is over its bounded-load limit, circuit-open, or unhealthy.
+func (r *ring) walk(key string) []int {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	order := make([]int, 0, r.replicas)
+	seen := make([]bool, r.replicas)
+	for i := 0; i < len(r.points) && len(order) < r.replicas; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			order = append(order, p.replica)
+		}
+	}
+	return order
+}

@@ -1,0 +1,122 @@
+package mesh
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingWalkDeterministic: the same key always walks the same replica
+// order, and the order covers every replica exactly once.
+func TestRingWalkDeterministic(t *testing.T) {
+	r := newRing(5, 64)
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("model-%d:1", i)
+		first := r.walk(key)
+		if len(first) != 5 {
+			t.Fatalf("walk(%q) covers %d replicas, want 5", key, len(first))
+		}
+		seen := make(map[int]bool)
+		for _, idx := range first {
+			if idx < 0 || idx >= 5 || seen[idx] {
+				t.Fatalf("walk(%q) = %v: invalid or duplicate replica", key, first)
+			}
+			seen[idx] = true
+		}
+		for rep := 0; rep < 3; rep++ {
+			again := r.walk(key)
+			for j := range first {
+				if again[j] != first[j] {
+					t.Fatalf("walk(%q) not deterministic: %v then %v", key, first, again)
+				}
+			}
+		}
+	}
+}
+
+// TestRingSpreads: many keys land reasonably spread over the replicas (the
+// point of vnodes), and different keys do not all share one home.
+func TestRingSpreads(t *testing.T) {
+	const replicas, keys = 3, 300
+	r := newRing(replicas, 64)
+	counts := make([]int, replicas)
+	for i := 0; i < keys; i++ {
+		counts[r.walk(fmt.Sprintf("m%d:1", i))[0]]++
+	}
+	for idx, n := range counts {
+		// A uniform spread is 100 per replica; vnode placement noise is
+		// fine, an empty or dominant replica is not.
+		if n < keys/10 || n > keys/2+keys/10 {
+			t.Errorf("replica %d homes %d/%d keys (spread %v)", idx, n, keys, counts)
+		}
+	}
+}
+
+// TestRingStability: growing the mesh from 3 to 4 replicas moves only the
+// keys claimed by the new replica — consistent hashing's defining property.
+// (Replica vnode hashes don't depend on the replica count, so the 3-ring's
+// points are a subset of the 4-ring's.)
+func TestRingStability(t *testing.T) {
+	r3, r4 := newRing(3, 64), newRing(4, 64)
+	const keys = 300
+	var moved int
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("m%d:1", i)
+		h3, h4 := r3.walk(key)[0], r4.walk(key)[0]
+		if h4 == 3 {
+			continue // claimed by the new replica; expected to move
+		}
+		if h3 != h4 {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys moved between replicas 0-2 when replica 3 joined", moved)
+	}
+}
+
+func TestCanaryRulePick(t *testing.T) {
+	rule := CanaryRule{{Version: "1", Weight: 75}, {Version: "2", Weight: 25}}
+	if got := rule.pick(0.0); got != "1" {
+		t.Errorf("pick(0.0) = %q, want 1", got)
+	}
+	if got := rule.pick(0.74); got != "1" {
+		t.Errorf("pick(0.74) = %q, want 1", got)
+	}
+	if got := rule.pick(0.76); got != "2" {
+		t.Errorf("pick(0.76) = %q, want 2", got)
+	}
+	if got := rule.pick(0.999999); got != "2" {
+		t.Errorf("pick(~1) = %q, want 2", got)
+	}
+}
+
+func TestParseCanarySpec(t *testing.T) {
+	model, rule, err := ParseCanarySpec("resnet=1:90,2:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model != "resnet" || len(rule) != 2 || rule[0].Version != "1" || rule[0].Weight != 90 ||
+		rule[1].Version != "2" || rule[1].Weight != 10 {
+		t.Errorf("parsed %q / %+v", model, rule)
+	}
+	for _, bad := range []string{
+		"", "resnet", "resnet=", "=1:90", "resnet=1", "resnet=1:x",
+		"resnet=1:-5", "resnet=1:0,2:0", "res:net=1:90",
+	} {
+		if _, _, err := ParseCanarySpec(bad); err == nil {
+			t.Errorf("ParseCanarySpec(%q): no error", bad)
+		}
+	}
+}
+
+func TestParseShadowSpec(t *testing.T) {
+	model, version, err := ParseShadowSpec("resnet=2")
+	if err != nil || model != "resnet" || version != "2" {
+		t.Fatalf("got %q %q %v", model, version, err)
+	}
+	for _, bad := range []string{"", "resnet", "resnet=", "=2", "res:net=2"} {
+		if _, _, err := ParseShadowSpec(bad); err == nil {
+			t.Errorf("ParseShadowSpec(%q): no error", bad)
+		}
+	}
+}

@@ -34,6 +34,12 @@ type serverMetrics struct {
 
 	degraded    *metrics.GaugeVec   // mnn_degraded{model}
 	transitions *metrics.CounterVec // mnn_degrade_transitions_total{model}
+
+	loads         *metrics.CounterVec // mnn_model_loads_total{model}
+	evictions     *metrics.CounterVec // mnn_model_evictions_total{model}
+	resident      *metrics.GaugeVec   // mnn_model_resident_bytes{model}
+	residentTotal *metrics.Gauge      // mnn_resident_bytes
+	memoryBudget  *metrics.Gauge      // mnn_memory_budget_bytes
 }
 
 func newServerMetrics() *serverMetrics {
@@ -66,6 +72,17 @@ func newServerMetrics() *serverMetrics {
 			"1 while the model is routed to its degrade engine under sustained overload.", "model"),
 		transitions: r.NewCounter("mnn_degrade_transitions_total",
 			"Degrade state changes (either direction), per model.", "model"),
+		loads: r.NewCounter("mnn_model_loads_total",
+			"Engine loads per model (eager load, first lazy load, and every reload after eviction).",
+			"model"),
+		evictions: r.NewCounter("mnn_model_evictions_total",
+			"Idle-model evictions under memory-budget pressure, per model.", "model"),
+		resident: r.NewGauge("mnn_model_resident_bytes",
+			"Byte-accounted size of the model's resident engines (0 while evicted).", "model"),
+		residentTotal: r.NewGauge("mnn_resident_bytes",
+			"Byte-accounted size of all resident engines in the registry.").With(),
+		memoryBudget: r.NewGauge("mnn_memory_budget_bytes",
+			"Configured memory budget (0 = unlimited, nothing is evicted).").With(),
 	}
 }
 
@@ -75,13 +92,16 @@ type modelMetrics struct {
 	sm   *serverMetrics
 	name string
 
-	queueWait   *metrics.Histogram
-	inferDur    *metrics.Histogram
-	queueDepth  *metrics.Gauge
-	queueCap    *metrics.Gauge
-	inflight    *metrics.Gauge
-	degraded    *metrics.Gauge
-	transitions *metrics.Counter
+	queueWait     *metrics.Histogram
+	inferDur      *metrics.Histogram
+	queueDepth    *metrics.Gauge
+	queueCap      *metrics.Gauge
+	inflight      *metrics.Gauge
+	degraded      *metrics.Gauge
+	transitions   *metrics.Counter
+	loads         *metrics.Counter
+	evictions     *metrics.Counter
+	residentBytes *metrics.Gauge
 
 	mu       sync.Mutex
 	flushes  uint64
@@ -98,13 +118,17 @@ func (sm *serverMetrics) forModel(name string, queueCap, maxBatch int) *modelMet
 		queueDepth:  sm.queueDepth.With(name),
 		queueCap:    sm.queueCap.With(name),
 		inflight:    sm.inflight.With(name),
-		degraded:    sm.degraded.With(name),
-		transitions: sm.transitions.With(name),
+		degraded:      sm.degraded.With(name),
+		transitions:   sm.transitions.With(name),
+		loads:         sm.loads.With(name),
+		evictions:     sm.evictions.With(name),
+		residentBytes: sm.resident.With(name),
 	}
 	mm.queueDepth.Set(0)
 	mm.queueCap.Set(float64(queueCap))
 	mm.inflight.Set(0)
 	mm.degraded.Set(0)
+	mm.residentBytes.Set(0)
 	// Shed reasons appear with zeroes so dashboards see the series before
 	// the first overload.
 	sm.shed.With(name, admission.ReasonQueueFull)
@@ -147,6 +171,18 @@ func (mm *modelMetrics) recordFlush(n int) {
 	mm.sm.batchFlushes.With(mm.name).Inc()
 	mm.sm.batchedReqs.With(mm.name).Add(float64(n))
 	mm.sm.batchFill.With(mm.name).Set(fill)
+}
+
+// onLoad records one engine load (lifecycle counter + residency gauge).
+func (mm *modelMetrics) onLoad(bytes int64) {
+	mm.loads.Inc()
+	mm.residentBytes.Set(float64(bytes))
+}
+
+// onEvict records one budget eviction.
+func (mm *modelMetrics) onEvict(freed int64) {
+	mm.evictions.Inc()
+	mm.residentBytes.Set(0)
 }
 
 // refresh pulls scrape-time gauges from the admission controller.

@@ -72,7 +72,11 @@ type TensorMetadata struct {
 
 // ModelMetadata is the GET /v2/models/{name} response body.
 type ModelMetadata struct {
-	Name     string `json:"name"`
+	Name string `json:"name"`
+	// Version is the registry version this metadata describes (model
+	// references are "name[:version]"; bare names resolve the default
+	// version).
+	Version  string `json:"version,omitempty"`
 	Platform string `json:"platform"`
 	// Precision is the execution precision the model was loaded with
 	// ("fp32" or "int8"); the wire tensors stay FP32 either way.
@@ -90,7 +94,10 @@ type ServerMetadata struct {
 
 // ModelList is the GET /v2/models response body.
 type ModelList struct {
+	// Models lists the loaded model names (version-less, back-compatible).
 	Models []string `json:"models"`
+	// Refs lists every loaded "name:version" reference.
+	Refs []string `json:"refs,omitempty"`
 }
 
 // InferTensor is one named tensor on the wire: an explicit shape plus the

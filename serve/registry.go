@@ -6,13 +6,52 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mnn"
 	"mnn/internal/metrics"
 	"mnn/serve/admission"
 )
+
+// DefaultVersion is the version a model loads under when none is given, so
+// version-less deployments keep working unchanged: "m" and "m:1" are the
+// same model.
+const DefaultVersion = "1"
+
+// SplitRef splits a model reference "name[:version]" into its parts; the
+// version is empty when the reference is bare (meaning "the default
+// version").
+func SplitRef(ref string) (name, version string) {
+	if i := strings.LastIndex(ref, ":"); i >= 0 {
+		return ref[:i], ref[i+1:]
+	}
+	return ref, ""
+}
+
+// JoinRef builds the canonical "name:version" reference.
+func JoinRef(name, version string) string { return name + ":" + version }
+
+// compareVersions orders versions numerically when both parse as integers
+// (2 < 10), lexicographically otherwise, so "latest" resolution matches what
+// operators expect from numbered versions.
+func compareVersions(a, b string) int {
+	ai, aerr := strconv.Atoi(a)
+	bi, berr := strconv.Atoi(b)
+	if aerr == nil && berr == nil {
+		switch {
+		case ai < bi:
+			return -1
+		case ai > bi:
+			return 1
+		}
+		return 0
+	}
+	return strings.Compare(a, b)
+}
 
 // BatchConfig tunes the per-model dynamic micro-batcher.
 type BatchConfig struct {
@@ -76,52 +115,149 @@ type ModelConfig struct {
 	Batch BatchConfig
 	// Admission enables and tunes SLO-aware admission control.
 	Admission AdmissionConfig
+	// Lazy defers opening the engines until the first request and makes the
+	// model evictable under memory-budget pressure. A registry with a
+	// memory budget treats every subsequent Load as lazy regardless.
+	Lazy bool
 }
 
-// Model is one loaded entry of a Registry: the unbatched engine plus an
-// optional micro-batcher in front of a second, batch-prepared engine, an
-// optional admission controller gating both, and an optional degrade engine
-// for overload fallback.
-type Model struct {
-	name       string
+// engines is the snapshot of one model's execution resources a request
+// holds for its lifetime. Acquire under Model.lifeMu keeps it consistent
+// with the lazy load/evict lifecycle: an evicted model can never close the
+// engines a request already holds (the in-flight refcount blocks eviction).
+type engines struct {
 	eng        *mnn.Engine
 	batcher    *batcher
-	ctrl       *admission.Controller
 	degradeEng *mnn.Engine
-	defaultPri admission.Priority
-	mm         *modelMetrics
+	ctrl       *admission.Controller
 }
 
-// Registry owns named models with hot load/unload. All methods are safe for
-// concurrent use; Infer traffic against other models is never blocked by a
-// Load (engine preparation happens outside the lock).
+// Model is one versioned entry of a Registry: the unbatched engine plus an
+// optional micro-batcher in front of a second, batch-prepared engine, an
+// optional admission controller gating both, and an optional degrade engine
+// for overload fallback. Lazy models open their engines on first request
+// and may be evicted (engines closed, configuration kept) under memory
+// pressure; the admission controller survives evictions so queue state and
+// shed-rate EWMAs are continuous across reloads.
+type Model struct {
+	reg        *Registry
+	name       string
+	version    string
+	cfg        ModelConfig
+	lazy       bool
+	defaultPri admission.Priority
+	mm         *modelMetrics
+
+	// lifeMu guards every lifecycle transition (load, evict, remove) and
+	// the engine fields below. Requests snapshot the engines under it via
+	// acquire; lifecycle transitions re-check the refcount under it, so a
+	// request can never observe engines mid-teardown.
+	lifeMu     sync.Mutex
+	eng        *mnn.Engine
+	batcher    *batcher
+	degradeEng *mnn.Engine
+	loaded     bool
+	removed    bool
+	bytes      int64
+	// bytesApprox mirrors bytes for lock-free metric scrapes.
+	bytesApprox int64
+
+	// ctrl is created on first load and kept across evictions.
+	ctrl atomic.Pointer[admission.Controller]
+
+	// refs counts requests currently holding the engines; eviction skips
+	// busy models. lastUsed drives LRU victim selection.
+	refs     atomic.Int64
+	lastUsed atomic.Int64 // unix nanos
+	isLoaded atomic.Bool  // lock-free mirror of loaded for victim scans
+
+	// outputNames and tuning are cached at (re)load so handlers and tests
+	// can read them without holding the lifecycle lock.
+	outMu       sync.Mutex
+	outputNames []string
+	tuning      mnn.TuningStats
+}
+
+// Registry owns named, versioned models with hot load/unload. All methods
+// are safe for concurrent use; Infer traffic against other models is never
+// blocked by a Load (engine preparation happens outside the registry lock).
+//
+// With a memory budget set (SetMemoryBudget), models load lazily: Load
+// registers the configuration, the first request opens the engines, and
+// idle models are evicted least-recently-used when the byte-accounted
+// resident set exceeds the budget. A warm tuning cache (mnn.WithTuningCache)
+// makes reloads cheap — a cached Open runs no micro-benchmarks.
 type Registry struct {
-	mu      sync.RWMutex
-	models  map[string]*Model
-	closed  bool
-	metrics *serverMetrics
+	mu       sync.Mutex
+	models   map[string]map[string]*Model // name → version → model
+	pinned   map[string]string            // name → pinned default version
+	closed   bool
+	budget   int64
+	resident int64
+	metrics  *serverMetrics
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{models: make(map[string]*Model), metrics: newServerMetrics()}
+	return &Registry{
+		models:  make(map[string]map[string]*Model),
+		pinned:  make(map[string]string),
+		metrics: newServerMetrics(),
+	}
 }
 
 // Metrics exposes the registry's metric families (what the server renders
 // on /metrics), e.g. for mounting into an existing metrics pipeline.
 func (r *Registry) Metrics() *metrics.Registry { return r.metrics.reg }
 
+// SetMemoryBudget bounds the bytes of resident (opened) engines. Models
+// loaded after the budget is set open lazily on first request and are
+// evicted least-recently-used while the resident set exceeds the budget;
+// models busy with requests are never evicted, so a single model larger
+// than the budget still serves (the budget is then overshot, not violated
+// by refusing traffic). 0 disables the budget (the default: every Load
+// opens eagerly and nothing is evicted).
+func (r *Registry) SetMemoryBudget(bytes int64) {
+	r.mu.Lock()
+	r.budget = bytes
+	r.mu.Unlock()
+	r.metrics.memoryBudget.Set(float64(bytes))
+	r.enforceBudget()
+}
+
+// MemoryBudget returns the configured budget (0 = unlimited).
+func (r *Registry) MemoryBudget() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.budget
+}
+
+// ResidentBytes returns the byte-accounted size of all currently opened
+// engines (weights + planned arenas across session pools).
+func (r *Registry) ResidentBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.resident
+}
+
 // refreshMetrics pulls scrape-time gauges (queue depth, in-flight, degrade
-// state) from every model's admission controller.
+// state, residency) from every model.
 func (r *Registry) refreshMetrics() {
-	r.mu.RLock()
+	r.mu.Lock()
 	models := make([]*Model, 0, len(r.models))
-	for _, m := range r.models {
-		models = append(models, m)
+	for _, vs := range r.models {
+		for _, m := range vs {
+			models = append(models, m)
+		}
 	}
-	r.mu.RUnlock()
+	r.mu.Unlock()
 	for _, m := range models {
-		m.mm.refresh(m.ctrl)
+		m.mm.refresh(m.ctrl.Load())
+		if m.isLoaded.Load() {
+			m.mm.residentBytes.Set(float64(atomic.LoadInt64(&m.bytesApprox)))
+		} else {
+			m.mm.residentBytes.Set(0)
+		}
 	}
 }
 
@@ -140,56 +276,350 @@ func (a AdmissionConfig) validate() error {
 	return nil
 }
 
-// Load opens the model's engine(s) and publishes them under name, replacing
-// (and closing) any previous model with the same name — a hot swap: requests
+// Load registers (and, unless lazy, opens) the model under ref
+// ("name[:version]"; a bare name means version 1), replacing and closing
+// any previous model with the same name and version — a hot swap: requests
 // already inside the old engine finish, new requests see the new one.
-func (r *Registry) Load(name string, cfg ModelConfig) error {
+func (r *Registry) Load(ref string, cfg ModelConfig) error {
+	name, version := SplitRef(ref)
 	if name == "" {
 		return fmt.Errorf("%w: empty model name", ErrBadRequest)
 	}
+	if version == "" {
+		version = DefaultVersion
+	}
 	if err := cfg.Admission.validate(); err != nil {
-		return fmt.Errorf("serve: load %q: %w", name, err)
+		return fmt.Errorf("serve: load %q: %w", ref, err)
 	}
 	if rdr, ok := cfg.Model.(io.Reader); ok {
-		// The batcher opens the model a second time; a stream can only be
-		// consumed once, so resolve it to a graph up front.
+		// The batcher (and any lazy reload) opens the model again; a stream
+		// can only be consumed once, so resolve it to a graph up front.
 		g, err := mnn.LoadGraph(rdr)
 		if err != nil {
-			return fmt.Errorf("serve: load %q: %w", name, err)
+			return fmt.Errorf("serve: load %q: %w", ref, err)
 		}
 		cfg.Model = g
 	}
+	m := &Model{
+		reg: r, name: name, version: version, cfg: cfg,
+		lazy:       cfg.Lazy || r.MemoryBudget() > 0,
+		defaultPri: cfg.Admission.DefaultPriority,
+		mm:         r.metrics.forModel(JoinRef(name, version), cfg.Admission.Queue, cfg.Batch.MaxBatch),
+	}
+	if !m.lazy {
+		m.lifeMu.Lock()
+		err := m.loadLocked()
+		m.lifeMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		m.close()
+		return ErrServerClosed
+	}
+	vs := r.models[name]
+	if vs == nil {
+		vs = make(map[string]*Model)
+		r.models[name] = vs
+	}
+	old := vs[version]
+	vs[version] = m
+	r.mu.Unlock()
+	if old != nil {
+		old.close()
+	}
+	r.enforceBudget()
+	return nil
+}
+
+// SetDefault pins the version a bare "name" reference resolves to. Without
+// a pin the highest loaded version wins.
+func (r *Registry) SetDefault(name, version string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.models[name][version]; !ok {
+		return fmt.Errorf("%w: %q", ErrModelNotFound, JoinRef(name, version))
+	}
+	r.pinned[name] = version
+	return nil
+}
+
+// defaultVersionLocked resolves the default version of name: the pinned
+// version when set and still loaded, the highest loaded version otherwise.
+func (r *Registry) defaultVersionLocked(name string) string {
+	vs := r.models[name]
+	if len(vs) == 0 {
+		return ""
+	}
+	if p, ok := r.pinned[name]; ok {
+		if _, live := vs[p]; live {
+			return p
+		}
+	}
+	best := ""
+	for v := range vs {
+		if best == "" || compareVersions(v, best) > 0 {
+			best = v
+		}
+	}
+	return best
+}
+
+// Unload removes and closes one model version (the default version for a
+// bare name). In-flight inferences against it finish normally; later
+// requests get ErrModelNotFound.
+func (r *Registry) Unload(ref string) error {
+	name, version := SplitRef(ref)
+	r.mu.Lock()
+	if version == "" {
+		version = r.defaultVersionLocked(name)
+	}
+	m := r.models[name][version]
+	if m != nil {
+		delete(r.models[name], version)
+		if len(r.models[name]) == 0 {
+			delete(r.models, name)
+			delete(r.pinned, name)
+		} else if r.pinned[name] == version {
+			delete(r.pinned, name)
+		}
+	}
+	r.mu.Unlock()
+	if m == nil {
+		return fmt.Errorf("%w: %q", ErrModelNotFound, ref)
+	}
+	m.close()
+	return nil
+}
+
+// Get looks up a model by reference; a bare name resolves the default
+// version. Lazy models are returned whether or not their engines are
+// currently resident — the first request loads them.
+func (r *Registry) Get(ref string) (*Model, error) {
+	name, version := SplitRef(ref)
+	r.mu.Lock()
+	if version == "" {
+		version = r.defaultVersionLocked(name)
+	}
+	m := r.models[name][version]
+	r.mu.Unlock()
+	if m == nil {
+		return nil, fmt.Errorf("%w: %q", ErrModelNotFound, ref)
+	}
+	return m, nil
+}
+
+// Names lists the loaded model names (version-less), sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.models))
+	for name := range r.models {
+		names = append(names, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// Refs lists every loaded "name:version" reference, sorted.
+func (r *Registry) Refs() []string {
+	r.mu.Lock()
+	refs := make([]string, 0, len(r.models))
+	for name, vs := range r.models {
+		for v := range vs {
+			refs = append(refs, JoinRef(name, v))
+		}
+	}
+	r.mu.Unlock()
+	sort.Strings(refs)
+	return refs
+}
+
+// Versions lists the loaded versions of one model, sorted in version order.
+func (r *Registry) Versions(name string) []string {
+	r.mu.Lock()
+	vs := make([]string, 0, len(r.models[name]))
+	for v := range r.models[name] {
+		vs = append(vs, v)
+	}
+	r.mu.Unlock()
+	sort.Slice(vs, func(i, j int) bool { return compareVersions(vs[i], vs[j]) < 0 })
+	return vs
+}
+
+// Close unloads every model and rejects further Loads.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	models := r.models
+	r.models = make(map[string]map[string]*Model)
+	r.pinned = make(map[string]string)
+	r.closed = true
+	r.mu.Unlock()
+	for _, vs := range models {
+		for _, m := range vs {
+			m.close()
+		}
+	}
+	return nil
+}
+
+// enforceBudget evicts idle lazy models least-recently-used until the
+// resident set fits the budget. Models with in-flight requests (or eagerly
+// loaded ones) are never evicted; when everything over budget is busy the
+// overshoot is tolerated until traffic drains.
+func (r *Registry) enforceBudget() {
+	skip := make(map[*Model]bool)
+	for {
+		r.mu.Lock()
+		if r.budget <= 0 || r.resident <= r.budget {
+			r.mu.Unlock()
+			return
+		}
+		var victim *Model
+		var oldest int64
+		for _, vs := range r.models {
+			for _, m := range vs {
+				if skip[m] || !m.lazy || !m.isLoaded.Load() || m.refs.Load() > 0 {
+					continue
+				}
+				if lu := m.lastUsed.Load(); victim == nil || lu < oldest {
+					victim, oldest = m, lu
+				}
+			}
+		}
+		r.mu.Unlock()
+		if victim == nil {
+			return
+		}
+		if !victim.evict() {
+			skip[victim] = true
+		}
+	}
+}
+
+// noteResident adjusts the registry's resident-byte accounting.
+func (r *Registry) noteResident(delta int64) {
+	r.mu.Lock()
+	r.resident += delta
+	total := r.resident
+	r.mu.Unlock()
+	r.metrics.residentTotal.Set(float64(total))
+}
+
+// Name returns the registry name of the model (without the version).
+func (m *Model) Name() string { return m.name }
+
+// Version returns the model's version.
+func (m *Model) Version() string { return m.version }
+
+// Ref returns the canonical "name:version" reference.
+func (m *Model) Ref() string { return JoinRef(m.name, m.version) }
+
+// Lazy reports whether the model participates in the lazy-load/evict
+// lifecycle.
+func (m *Model) Lazy() bool { return m.lazy }
+
+// Loaded reports whether the model's engines are currently resident.
+func (m *Model) Loaded() bool { return m.isLoaded.Load() }
+
+// Engine exposes the unbatched engine (e.g. for direct in-process calls).
+// It is nil while a lazy model is not resident.
+func (m *Model) Engine() *mnn.Engine {
+	m.lifeMu.Lock()
+	defer m.lifeMu.Unlock()
+	return m.eng
+}
+
+// ResidentBytes is the byte-accounted size of the model's resident engines
+// (0 while evicted or not yet loaded).
+func (m *Model) ResidentBytes() int64 {
+	m.lifeMu.Lock()
+	defer m.lifeMu.Unlock()
+	return m.bytes
+}
+
+// TuningStats reports the kernel-search summary of the most recent engine
+// load (zero value before the first load). After a reload against a warm
+// tuning cache, Measured is 0 and CacheHits covers every signature.
+func (m *Model) TuningStats() mnn.TuningStats {
+	m.outMu.Lock()
+	defer m.outMu.Unlock()
+	return m.tuning
+}
+
+// OutputNames lists the model's declared outputs (cached at first load,
+// stable across evictions; nil before a lazy model's first load).
+func (m *Model) OutputNames() []string {
+	m.outMu.Lock()
+	defer m.outMu.Unlock()
+	return append([]string(nil), m.outputNames...)
+}
+
+// Batching reports whether the dynamic micro-batcher is configured.
+func (m *Model) Batching() bool { return m.cfg.Batch.MaxBatch > 1 }
+
+// Admission reports whether admission control is configured.
+func (m *Model) Admission() bool { return m.cfg.Admission.Queue > 0 }
+
+// AdmissionStats snapshots the admission controller (zero Stats without
+// admission control or before a lazy model's first load).
+func (m *Model) AdmissionStats() admission.Stats {
+	c := m.ctrl.Load()
+	if c == nil {
+		return admission.Stats{}
+	}
+	return c.Stats()
+}
+
+// Degraded reports whether the model is currently routing to its degrade
+// engine.
+func (m *Model) Degraded() bool {
+	c := m.ctrl.Load()
+	return c != nil && m.cfg.Admission.Degrade != "" && c.Degraded()
+}
+
+// DefaultPriority is the class for requests that don't choose one.
+func (m *Model) DefaultPriority() admission.Priority { return m.defaultPri }
+
+// loadLocked opens the model's engines (lifeMu held). The admission
+// controller is created once and survives later evictions.
+func (m *Model) loadLocked() error {
+	cfg := m.cfg
 	eng, err := mnn.Open(cfg.Model, cfg.Options...)
 	if err != nil {
-		return fmt.Errorf("serve: load %q: %w", name, err)
+		return fmt.Errorf("serve: load %q: %w", m.Ref(), err)
 	}
-	m := &Model{
-		name: name, eng: eng,
-		defaultPri: cfg.Admission.DefaultPriority,
-		mm:         r.metrics.forModel(name, cfg.Admission.Queue, cfg.Batch.MaxBatch),
-	}
+	var b *batcher
 	if cfg.Batch.MaxBatch > 1 {
-		b, err := newBatcher(cfg, eng, m.mm.recordFlush)
+		b, err = newBatcher(cfg, eng, m.mm.recordFlush)
 		if err != nil {
 			eng.Close()
-			return fmt.Errorf("serve: load %q: %w", name, err)
+			return fmt.Errorf("serve: load %q: %w", m.Ref(), err)
 		}
-		m.batcher = b
 	}
+	var deg *mnn.Engine
 	if cfg.Admission.Degrade == "int8" {
 		if eng.Precision() == mnn.PrecisionInt8 {
-			m.close()
-			return fmt.Errorf("serve: load %q: %w: degrade=int8 on a model already executing int8", name, ErrBadRequest)
+			if b != nil {
+				b.close()
+			}
+			eng.Close()
+			return fmt.Errorf("serve: load %q: %w: degrade=int8 on a model already executing int8", m.Ref(), ErrBadRequest)
 		}
-		deg, err := mnn.Open(cfg.Model, append(append([]mnn.Option(nil), cfg.Options...),
+		deg, err = mnn.Open(cfg.Model, append(append([]mnn.Option(nil), cfg.Options...),
 			mnn.WithPrecision(mnn.PrecisionInt8))...)
 		if err != nil {
-			m.close()
-			return fmt.Errorf("serve: load %q: opening int8 degrade engine: %w", name, err)
+			if b != nil {
+				b.close()
+			}
+			eng.Close()
+			return fmt.Errorf("serve: load %q: opening int8 degrade engine: %w", m.Ref(), err)
 		}
-		m.degradeEng = deg
 	}
-	if cfg.Admission.Queue > 0 {
+	if cfg.Admission.Queue > 0 && m.ctrl.Load() == nil {
 		conc := cfg.Admission.Concurrency
 		if conc <= 0 {
 			conc = eng.PoolSize()
@@ -203,109 +633,141 @@ func (r *Registry) Load(name string, cfg ModelConfig) error {
 		if threshold <= 0 && cfg.Admission.Degrade != "" {
 			threshold = DefaultDegradeThreshold
 		}
-		m.ctrl = admission.New(admission.Config{
-			Name:             name,
+		m.ctrl.Store(admission.New(admission.Config{
+			Name:             m.Ref(),
 			Depth:            cfg.Admission.Queue,
 			Concurrency:      conc,
 			SLO:              cfg.Admission.SLO,
 			DegradeThreshold: threshold,
 			OnDegrade:        m.mm.onDegrade,
-		})
+		}))
 	}
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
-		m.close()
-		return ErrServerClosed
-	}
-	old := r.models[name]
-	r.models[name] = m
-	r.mu.Unlock()
-	if old != nil {
-		old.close()
-	}
+	m.eng, m.batcher, m.degradeEng = eng, b, deg
+	m.loaded = true
+	m.isLoaded.Store(true)
+	m.bytes = engineSetBytes(eng, b, deg)
+	atomic.StoreInt64(&m.bytesApprox, m.bytes)
+	m.outMu.Lock()
+	m.outputNames = eng.OutputNames()
+	m.tuning = eng.TuningStats()
+	m.outMu.Unlock()
+	m.reg.noteResident(m.bytes)
+	m.mm.onLoad(m.bytes)
 	return nil
 }
 
-// Unload removes and closes a model. In-flight inferences against it finish
-// normally; later requests get ErrModelNotFound.
-func (r *Registry) Unload(name string) error {
-	r.mu.Lock()
-	m, ok := r.models[name]
-	delete(r.models, name)
-	r.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrModelNotFound, name)
+// engineSetBytes sums the byte accounting of a model's engines. Weights of
+// a shared graph are counted per engine — a deliberately conservative
+// estimate, so the budget can under-fill but never silently over-fill.
+func engineSetBytes(eng *mnn.Engine, b *batcher, deg *mnn.Engine) int64 {
+	total := eng.MemoryBytes()
+	if b != nil {
+		total += b.eng.MemoryBytes()
 	}
-	m.close()
-	return nil
-}
-
-// Get looks up a loaded model.
-func (r *Registry) Get(name string) (*Model, error) {
-	r.mu.RLock()
-	m, ok := r.models[name]
-	r.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrModelNotFound, name)
+	if deg != nil {
+		total += deg.MemoryBytes()
 	}
-	return m, nil
+	return total
 }
 
-// Names lists the loaded model names, sorted.
-func (r *Registry) Names() []string {
-	r.mu.RLock()
-	names := make([]string, 0, len(r.models))
-	for name := range r.models {
-		names = append(names, name)
+// acquire snapshots the model's engines for one request, loading them
+// first if the model is lazy and not resident. The returned snapshot stays
+// valid until release: the refcount taken under lifeMu blocks eviction.
+func (m *Model) acquire() (engines, error) {
+	m.lifeMu.Lock()
+	if m.removed {
+		m.lifeMu.Unlock()
+		return engines{}, fmt.Errorf("%w: %q", ErrModelNotFound, m.Ref())
 	}
-	r.mu.RUnlock()
-	sort.Strings(names)
-	return names
-}
-
-// Close unloads every model and rejects further Loads.
-func (r *Registry) Close() error {
-	r.mu.Lock()
-	models := r.models
-	r.models = make(map[string]*Model)
-	r.closed = true
-	r.mu.Unlock()
-	for _, m := range models {
-		m.close()
+	loadedNow := false
+	if !m.loaded {
+		if err := m.loadLocked(); err != nil {
+			m.lifeMu.Unlock()
+			return engines{}, err
+		}
+		loadedNow = true
 	}
-	return nil
-}
-
-// Name returns the registry name of the model.
-func (m *Model) Name() string { return m.name }
-
-// Engine exposes the unbatched engine (e.g. for direct in-process calls).
-func (m *Model) Engine() *mnn.Engine { return m.eng }
-
-// Batching reports whether the dynamic micro-batcher is active.
-func (m *Model) Batching() bool { return m.batcher != nil }
-
-// Admission reports whether admission control is active.
-func (m *Model) Admission() bool { return m.ctrl != nil }
-
-// AdmissionStats snapshots the admission controller (zero Stats without
-// admission control).
-func (m *Model) AdmissionStats() admission.Stats {
-	if m.ctrl == nil {
-		return admission.Stats{}
+	m.refs.Add(1)
+	m.lastUsed.Store(time.Now().UnixNano())
+	es := engines{eng: m.eng, batcher: m.batcher, degradeEng: m.degradeEng, ctrl: m.ctrl.Load()}
+	m.lifeMu.Unlock()
+	if loadedNow {
+		// Budget enforcement never takes two model locks at once (we hold
+		// none here), so concurrent loads cannot deadlock evicting each
+		// other; our own refcount keeps the just-loaded engines safe.
+		m.reg.enforceBudget()
 	}
-	return m.ctrl.Stats()
+	return es, nil
 }
 
-// Degraded reports whether the model is currently routing to its degrade
-// engine.
-func (m *Model) Degraded() bool {
-	return m.ctrl != nil && m.degradeEng != nil && m.ctrl.Degraded()
+// release drops the request's hold on the engines.
+func (m *Model) release() { m.refs.Add(-1) }
+
+// evict closes the engines of an idle resident model, keeping its
+// configuration and admission controller for the next load. Reports false
+// when the model is busy, already evicted, or removed.
+func (m *Model) evict() bool {
+	m.lifeMu.Lock()
+	if !m.loaded || m.removed || m.refs.Load() > 0 {
+		m.lifeMu.Unlock()
+		return false
+	}
+	m.closeEnginesLocked()
+	// Drop the references so graph weights and arenas of a by-name model
+	// become collectable; the cached config reloads them on demand.
+	m.eng, m.batcher, m.degradeEng = nil, nil, nil
+	freed := m.bytes
+	m.bytes = 0
+	atomic.StoreInt64(&m.bytesApprox, 0)
+	m.loaded = false
+	m.isLoaded.Store(false)
+	m.lifeMu.Unlock()
+	m.reg.noteResident(-freed)
+	m.mm.onEvict(freed)
+	return true
 }
 
-// DefaultPriority is the class for requests that don't choose one.
-func (m *Model) DefaultPriority() admission.Priority { return m.defaultPri }
+// closeEnginesLocked tears down the batcher (draining its queue) before
+// the engines (lifeMu held). The pointers are kept: a removed model's
+// Engine() still hands out the closed engine (whose Infer reports
+// ErrEngineClosed), which is what hot-swap callers observe; evict drops
+// them separately.
+func (m *Model) closeEnginesLocked() {
+	if m.batcher != nil {
+		m.batcher.close()
+	}
+	if m.degradeEng != nil {
+		m.degradeEng.Close()
+	}
+	m.eng.Close()
+}
+
+// close removes the model for good: queued admission waiters are released
+// first, then the engines are torn down. Idempotent.
+func (m *Model) close() {
+	m.lifeMu.Lock()
+	if m.removed {
+		m.lifeMu.Unlock()
+		return
+	}
+	m.removed = true
+	if c := m.ctrl.Load(); c != nil {
+		c.Close()
+	}
+	var freed int64
+	if m.loaded {
+		m.closeEnginesLocked()
+		freed = m.bytes
+		m.bytes = 0
+		atomic.StoreInt64(&m.bytesApprox, 0)
+		m.loaded = false
+		m.isLoaded.Store(false)
+	}
+	m.lifeMu.Unlock()
+	if freed != 0 {
+		m.reg.noteResident(-freed)
+	}
+}
 
 // InferInfo describes how one request was served.
 type InferInfo struct {
@@ -331,23 +793,30 @@ func (m *Model) Infer(ctx context.Context, inputs map[string]*mnn.Tensor) (map[s
 // InferWith runs one logical request at the given priority through
 // admission control (when configured): the request may be shed immediately
 // with an error wrapping admission.ErrOverloaded, queued for a bounded
-// time, or routed to the degrade engine under sustained overload.
+// time, or routed to the degrade engine under sustained overload. On a
+// lazy model the first request (and the first after an eviction) also
+// opens the engines.
 func (m *Model) InferWith(ctx context.Context, inputs map[string]*mnn.Tensor, pri admission.Priority) (map[string]*mnn.Tensor, InferInfo, error) {
-	info := InferInfo{Precision: m.eng.Precision().String()}
-	if m.ctrl == nil {
+	es, err := m.acquire()
+	if err != nil {
+		return nil, InferInfo{}, err
+	}
+	defer m.release()
+	info := InferInfo{Precision: es.eng.Precision().String()}
+	if es.ctrl == nil {
 		start := time.Now()
-		out, err := m.inferDirect(ctx, inputs)
+		out, err := es.infer(ctx, inputs)
 		m.mm.observeInfer(time.Since(start))
 		return out, info, err
 	}
-	tk, err := m.ctrl.Acquire(ctx, pri)
+	tk, err := es.ctrl.Acquire(ctx, pri)
 	if err != nil {
 		var oe *admission.OverloadError
 		switch {
 		case errors.As(err, &oe):
 			m.mm.observeShed(oe.Reason)
 		case errors.Is(err, admission.ErrClosed):
-			err = fmt.Errorf("%w: %q unloading", ErrServerClosed, m.name)
+			err = fmt.Errorf("%w: %q unloading", ErrServerClosed, m.Ref())
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			// Same shape the engine reports for a context that dies
 			// mid-inference, so clients see one cancellation error.
@@ -359,54 +828,48 @@ func (m *Model) InferWith(ctx context.Context, inputs map[string]*mnn.Tensor, pr
 	info.QueueWait = tk.QueueWait()
 	start := time.Now()
 	var out map[string]*mnn.Tensor
-	if m.degradeEng != nil && m.ctrl.Degraded() {
+	if es.degradeEng != nil && es.ctrl.Degraded() {
 		info.Degraded = true
-		info.Precision = m.degradeEng.Precision().String()
-		out, err = m.degradeEng.Infer(ctx, inputs)
+		info.Precision = es.degradeEng.Precision().String()
+		out, err = es.degradeEng.Infer(ctx, inputs)
 	} else {
-		out, err = m.inferDirect(ctx, inputs)
+		out, err = es.infer(ctx, inputs)
 	}
 	tk.Release()
 	m.mm.observeInfer(time.Since(start))
 	return out, info, err
 }
 
-// inferDirect is the pre-admission serving path: batcher when active,
-// otherwise the unbatched engine.
-func (m *Model) inferDirect(ctx context.Context, inputs map[string]*mnn.Tensor) (map[string]*mnn.Tensor, error) {
-	if m.batcher != nil {
-		return m.batcher.infer(ctx, inputs)
+// infer is the pre-admission serving path: batcher when active, otherwise
+// the unbatched engine.
+func (es engines) infer(ctx context.Context, inputs map[string]*mnn.Tensor) (map[string]*mnn.Tensor, error) {
+	if es.batcher != nil {
+		return es.batcher.infer(ctx, inputs)
 	}
-	return m.eng.Infer(ctx, inputs)
+	return es.eng.Infer(ctx, inputs)
 }
 
 // Metadata assembles the protocol metadata from the engine's declared
-// inputs and outputs. Output shapes are not reported: they depend on the
+// inputs and outputs, loading a lazy model if needed (a metadata request
+// warms the model). Output shapes are not reported: they depend on the
 // request and the engine only exposes prepared input shapes.
-func (m *Model) Metadata() ModelMetadata {
-	md := ModelMetadata{Name: m.name, Platform: "mnn-go", Precision: m.eng.Precision().String()}
-	for _, in := range m.eng.InputNames() {
+func (m *Model) Metadata() (ModelMetadata, error) {
+	es, err := m.acquire()
+	if err != nil {
+		return ModelMetadata{}, err
+	}
+	defer m.release()
+	md := ModelMetadata{
+		Name: m.name, Version: m.version, Platform: "mnn-go",
+		Precision: es.eng.Precision().String(),
+	}
+	for _, in := range es.eng.InputNames() {
 		md.Inputs = append(md.Inputs, TensorMetadata{
-			Name: in, Datatype: DatatypeFP32, Shape: m.eng.InputShape(in),
+			Name: in, Datatype: DatatypeFP32, Shape: es.eng.InputShape(in),
 		})
 	}
-	for _, out := range m.eng.OutputNames() {
+	for _, out := range es.eng.OutputNames() {
 		md.Outputs = append(md.Outputs, TensorMetadata{Name: out, Datatype: DatatypeFP32})
 	}
-	return md
-}
-
-// close releases queued admission waiters first, then tears down the
-// batcher (draining its queue) before the engines.
-func (m *Model) close() {
-	if m.ctrl != nil {
-		m.ctrl.Close()
-	}
-	if m.batcher != nil {
-		m.batcher.close()
-	}
-	if m.degradeEng != nil {
-		m.degradeEng.Close()
-	}
-	m.eng.Close()
+	return md, nil
 }

@@ -541,7 +541,11 @@ func TestLoadOptionsPrecision(t *testing.T) {
 	if m.Engine().Precision() != mnn.PrecisionInt8 {
 		t.Errorf("engine precision %v, want int8", m.Engine().Precision())
 	}
-	if md := m.Metadata(); md.Precision != "int8" {
+	md, err := m.Metadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.Precision != "int8" {
 		t.Errorf("metadata precision %q, want int8", md.Precision)
 	}
 	if _, err := (LoadOptions{Precision: "int4"}).EngineOptions(); !errors.Is(err, ErrBadRequest) {

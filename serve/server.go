@@ -112,6 +112,15 @@ type LoadRequest struct {
 	// Degrade ("int8") routes to a quantized sibling engine while the
 	// shed-rate EWMA stays above the degrade threshold.
 	Degrade string `json:"degrade,omitempty"`
+	// Version loads the model under name:version when the URL path carries
+	// a bare name (default version "1"). A versioned path and a body
+	// version must agree.
+	Version string `json:"version,omitempty"`
+	// Default pins this version as what bare-name references resolve to.
+	Default bool `json:"default,omitempty"`
+	// Lazy defers opening the engines until the first request and makes the
+	// model evictable under the server's memory budget.
+	Lazy bool `json:"lazy,omitempty"`
 }
 
 // ModelConfig converts the wire form into a registry load.
@@ -157,6 +166,7 @@ func (r LoadRequest) ModelConfig() (ModelConfig, error) {
 			DefaultPriority: pri,
 			Degrade:         r.Degrade,
 		},
+		Lazy: r.Lazy,
 	}, nil
 }
 
@@ -259,7 +269,7 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleModelList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, ModelList{Models: s.reg.Names()})
+	writeJSON(w, http.StatusOK, ModelList{Models: s.reg.Names(), Refs: s.reg.Refs()})
 }
 
 func (s *Server) handleModelMetadata(w http.ResponseWriter, r *http.Request) {
@@ -268,7 +278,12 @@ func (s *Server) handleModelMetadata(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, m.Metadata())
+	md, err := m.Metadata()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, md)
 }
 
 func (s *Server) handleModelReady(w http.ResponseWriter, r *http.Request) {
@@ -349,7 +364,9 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeErr(err)
 		return
 	}
-	resp, err := req.EncodeOutputs(m.Name(), m.Engine().OutputNames(), outputs)
+	// OutputNames is cached at load time (and stable across evictions), so
+	// this never races a concurrent eviction closing the engine.
+	resp, err := req.EncodeOutputs(m.Name(), m.OutputNames(), outputs)
 	if err != nil {
 		writeErr(err)
 		return
@@ -370,11 +387,30 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if err := s.reg.Load(r.PathValue("name"), cfg); err != nil {
+	ref := r.PathValue("name")
+	if req.Version != "" {
+		name, version := SplitRef(ref)
+		if version != "" && version != req.Version {
+			writeError(w, fmt.Errorf("%w: path version %q and body version %q disagree", ErrBadRequest, version, req.Version))
+			return
+		}
+		ref = JoinRef(name, req.Version)
+	}
+	if err := s.reg.Load(ref, cfg); err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"name": r.PathValue("name"), "state": "loaded"})
+	if req.Default {
+		name, version := SplitRef(ref)
+		if version == "" {
+			version = DefaultVersion
+		}
+		if err := s.reg.SetDefault(name, version); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"name": ref, "state": "loaded"})
 }
 
 func (s *Server) handleUnload(w http.ResponseWriter, r *http.Request) {
