@@ -95,6 +95,34 @@ func TestInferIntoZeroAllocSteadyStateTuned(t *testing.T) {
 	}
 }
 
+// TestInferIntoZeroAllocFaultHooks: the fault-injection hooks on the hot
+// path (engine.infer, session.kernel) must cost nothing when disabled —
+// the existing tests above cover that, since no plan is armed there — and
+// equally nothing when a plan IS armed but none of its rules reach the
+// hot sites: rules for other sites miss on the per-site map lookup, and
+// rules whose match filter excludes this graph evaluate without
+// allocating. That is the production chaos configuration (faults aimed at
+// one model must not tax the others).
+func TestInferIntoZeroAllocFaultHooks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-network inference in -short mode")
+	}
+	plan, err := mnn.ParseFaultPlan(1,
+		"mesh.transport=connreset,p=0.5;"+
+			"engine.infer=error,match=not-this-model;"+
+			"session.kernel=error,match=no-such-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 4} {
+		t.Run(fmt.Sprintf("armed-unmatched/t%d", threads), func(t *testing.T) {
+			if allocs := inferAllocs(t, "squeezenet-v1.1", threads, mnn.WithFaultPlan(plan)); allocs != 0 {
+				t.Errorf("armed-but-unmatched fault hooks allocated %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
+}
+
 // TestInferIntoZeroAllocSteadyStateInt8: the quantized path plans its int8
 // panels and int32 accumulators into the same arena, so an int8 engine's
 // steady state must be equally allocation-free — with dynamic per-sample

@@ -18,6 +18,14 @@
 // The router serves its own Prometheus metrics on GET /metrics (per-replica
 // request counts, retries, health, circuit state, canary/shadow counters);
 // replica serving metrics stay on each replica's /metrics.
+//
+// Retries back off with capped exponential delay and full jitter
+// (-retry-backoff-base, -retry-backoff-cap). For resilience testing,
+// -chaos injects deterministic faults into the router's own transport:
+//
+//	mnnrouter -replica http://localhost:8500 \
+//	          -chaos 'mesh.transport=connreset,p=0.05;mesh.transport=latency:50ms,p=0.2' \
+//	          -chaos-seed 7
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"mnn/internal/fault"
 	"mnn/serve/mesh"
 )
 
@@ -43,6 +52,11 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", mesh.DefaultBreakerThreshold, "consecutive connection failures that open a replica's circuit")
 	breakerCooldown := flag.Duration("breaker-cooldown", mesh.DefaultBreakerCooldown, "how long an open circuit skips the replica before a half-open probe")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "grace period for draining in-flight requests on SIGINT/SIGTERM")
+	retryBackoffBase := flag.Duration("retry-backoff-base", mesh.DefaultRetryBackoffBase, "first-retry delay of the capped exponential backoff between connection-level retries")
+	retryBackoffCap := flag.Duration("retry-backoff-cap", mesh.DefaultRetryBackoffCap, "upper bound on one backoff delay")
+	retrySeed := flag.Uint64("retry-seed", 0, "seed for the backoff jitter stream (0 = from the clock; set for reproducible retry schedules)")
+	chaos := flag.String("chaos", "", "transport fault-injection spec, e.g. 'mesh.transport=connreset,p=0.05' (empty = disabled; see README)")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the deterministic -chaos fault schedule")
 
 	cfg := mesh.Config{
 		Canary: make(map[string]mesh.CanaryRule),
@@ -82,6 +96,22 @@ func main() {
 	cfg.VNodes = *vnodes
 	cfg.BreakerThreshold = *breakerThreshold
 	cfg.BreakerCooldown = *breakerCooldown
+	cfg.RetryBackoffBase = *retryBackoffBase
+	cfg.RetryBackoffCap = *retryBackoffCap
+	cfg.RetrySeed = *retrySeed
+	if *chaos != "" {
+		plan, err := fault.ParsePlan(*chaosSeed, *chaos)
+		if err != nil {
+			fail(err)
+		}
+		for _, r := range plan.Rules {
+			if r.Site != fault.SiteMeshTransport {
+				fail(fmt.Errorf("-chaos: site %s is not a router site (the router only enacts %s; arm the others on the replicas via mnnserve -chaos)", r.Site, fault.SiteMeshTransport))
+			}
+		}
+		cfg.Transport = fault.NewTransport(nil, fault.NewInjector(plan))
+		fmt.Printf("mnnrouter: chaos armed (seed %d): %s\n", *chaosSeed, plan)
+	}
 
 	rt, err := mesh.New(cfg)
 	if err != nil {

@@ -23,6 +23,15 @@
 // /unload. Prometheus metrics are served on GET /metrics.
 // SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
 // requests before closing the engines.
+//
+// For resilience testing, -chaos arms the deterministic fault-injection
+// subsystem with a seeded schedule (see README "Fault tolerance"):
+//
+//	mnnserve -model mobilenet-v1 -chaos 'session.kernel=panic,p=0.01' -chaos-seed 7
+//
+// A model whose kernels keep panicking is quarantined after
+// -quarantine-after contained panics and sheds requests with 503 +
+// X-Model-Quarantined until -quarantine-cooldown elapses.
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 	"time"
 
 	"mnn"
+	"mnn/internal/fault"
 	"mnn/serve"
 	"mnn/serve/admission"
 )
@@ -109,6 +119,10 @@ func main() {
 	maxLatency := flag.Duration("max-latency", serve.DefaultMaxLatency, "default micro-batch window for models that don't set maxlatency=")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "grace period for draining in-flight requests on SIGINT/SIGTERM")
 	memoryBudget := flag.String("memory-budget", "", "resident-engine byte budget (e.g. 512MiB, 1GiB); models load lazily on first request and idle ones are evicted LRU under pressure (empty = unlimited, eager loads)")
+	chaos := flag.String("chaos", "", "fault-injection spec, e.g. 'session.kernel=panic,p=0.01;registry.load=error,count=1' (empty = disabled; see README)")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the deterministic -chaos fault schedule")
+	quarantineAfter := flag.Int("quarantine-after", serve.DefaultQuarantineAfter, "consecutive contained kernel panics before a model is quarantined (0 disables)")
+	quarantineCooldown := flag.Duration("quarantine-cooldown", serve.DefaultQuarantineCooldown, "how long a quarantined model sheds requests before a half-open probe")
 	var specs []modelSpec
 	flag.Func("model", "model to serve: name=source[,key=value...] (repeatable; see package docs)", func(v string) error {
 		s, err := parseModelSpec(v)
@@ -127,6 +141,17 @@ func main() {
 	}
 
 	reg := serve.NewRegistry()
+	reg.SetQuarantinePolicy(*quarantineAfter, *quarantineCooldown)
+	if *chaos != "" {
+		// Armed before any Load so registry.load faults can hit eager loads
+		// too. One injector for the whole process keeps count= budgets global.
+		plan, err := fault.ParsePlan(*chaosSeed, *chaos)
+		if err != nil {
+			fail(err)
+		}
+		reg.SetFaultInjector(fault.NewInjector(plan))
+		fmt.Printf("mnnserve: chaos armed (seed %d): %s\n", *chaosSeed, plan)
+	}
 	if *memoryBudget != "" {
 		// Set before any Load: with a budget, every load is lazy and the
 		// first request (not startup) opens the engines.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/debug"
 	"sync/atomic"
 
 	"mnn/internal/backend"
@@ -13,6 +14,7 @@ import (
 	"mnn/internal/core"
 	"mnn/internal/cpu"
 	"mnn/internal/device"
+	"mnn/internal/fault"
 	"mnn/internal/gpusim"
 	"mnn/internal/graph"
 	"mnn/internal/models"
@@ -43,6 +45,13 @@ type Engine struct {
 	pool   chan *session.Session
 	quit   chan struct{}
 	closed atomic.Bool
+
+	// fi is the armed fault injector (nil when injection is disabled).
+	fi *fault.Injector
+	// panics counts contained kernel panics; rebuilds counts poisoned
+	// sessions successfully replaced in the pool.
+	panics   atomic.Int64
+	rebuilds atomic.Int64
 
 	inputNames  []string
 	outputNames []string
@@ -78,6 +87,9 @@ func Open(model any, opts ...Option) (*Engine, error) {
 		// state; a pool of them would just multiply the measurement noise.
 		cfg.poolSize = 1
 	}
+	if cfg.fi == nil {
+		cfg.fi = fault.NewInjector(cfg.faultPlan) // nil plan → nil injector
+	}
 	g, err := resolveModel(model)
 	if err != nil {
 		return nil, err
@@ -96,6 +108,7 @@ func Open(model any, opts ...Option) (*Engine, error) {
 			Int8:      cfg.precision == PrecisionInt8,
 			CachePath: cfg.tuningCache,
 			ModelKey:  tuningModelKey(g),
+			Fault:     cfg.fi,
 		})
 		if err != nil {
 			return nil, err
@@ -137,12 +150,16 @@ func Open(model any, opts ...Option) (*Engine, error) {
 		g:     g,
 		cfg:   cfg,
 		clock: clock,
+		fi:    cfg.fi,
 		pool:  make(chan *session.Session, cfg.poolSize),
 		quit:  make(chan struct{}),
 	}
 	for i := 0; i < cfg.poolSize; i++ {
 		s, err := newPreparedSession(g, cfg, clock)
 		if err != nil {
+			// Sessions already pooled hold parked worker goroutines; a
+			// failed Open must release them or they leak for good.
+			e.drainPool()
 			return nil, err
 		}
 		if i == 0 {
@@ -297,13 +314,25 @@ func newPreparedSession(g *graph.Graph, cfg engineConfig, clock *simclock.Clock)
 	if err != nil {
 		return nil, err
 	}
-	return session.New(g, session.Config{
+	s, err := session.New(g, session.Config{
 		Backends:      backends,
 		Assignment:    cfg.assignment,
 		BackendCosts:  cfg.backendCosts,
 		InputShapes:   cfg.inputShapes,
 		NoPreparation: cfg.noPrep,
+		Fault:         cfg.fi,
 	})
+	if err != nil {
+		// session.New owns no backend resources on failure; release the
+		// worker pools we just created so a failed prepare can't leak them.
+		for _, b := range backends {
+			if c, ok := b.(interface{ Close() error }); ok {
+				c.Close()
+			}
+		}
+		return nil, err
+	}
+	return s, nil
 }
 
 // scoredAssignment runs the tuner's per-node backend scoring (compute +
@@ -341,17 +370,20 @@ func scoredAssignment(g *graph.Graph, shapes graph.ShapeMap, cfg engineConfig) (
 // shape (ErrInputShape otherwise); returned tensors are fresh NCHW copies
 // owned by the caller. A cancelled or expired ctx aborts promptly — while
 // queueing, or between pipeline operators mid-run — with ErrCancelled.
-func (e *Engine) Infer(ctx context.Context, inputs map[string]*Tensor) (map[string]*Tensor, error) {
+func (e *Engine) Infer(ctx context.Context, inputs map[string]*Tensor) (out map[string]*Tensor, err error) {
 	s, err := e.checkout(ctx)
 	if err != nil {
 		return nil, err
 	}
-	defer e.checkin(s)
+	defer func() { e.finish(s, recover(), &err) }()
+	if err := e.faultHit(); err != nil {
+		return nil, err
+	}
 	if err := e.fillInputs(s, inputs); err != nil {
 		return nil, err
 	}
 	if err := s.Run(ctx); err != nil {
-		return nil, wrapCancel(err)
+		return nil, e.wrapRunErr(err)
 	}
 	return e.copyOutputs(s), nil
 }
@@ -362,12 +394,15 @@ func (e *Engine) Infer(ctx context.Context, inputs map[string]*Tensor) (map[stri
 // planner-backed workspaces and the persistent worker pool this makes
 // steady-state inference fully allocation-free — the serving tier reuses
 // response buffers across requests instead of feeding the GC.
-func (e *Engine) InferInto(ctx context.Context, inputs, outputs map[string]*Tensor) error {
+func (e *Engine) InferInto(ctx context.Context, inputs, outputs map[string]*Tensor) (err error) {
 	s, err := e.checkout(ctx)
 	if err != nil {
 		return err
 	}
-	defer e.checkin(s)
+	defer func() { e.finish(s, recover(), &err) }()
+	if err := e.faultHit(); err != nil {
+		return err
+	}
 	if err := e.fillInputs(s, inputs); err != nil {
 		return err
 	}
@@ -382,7 +417,7 @@ func (e *Engine) InferInto(ctx context.Context, inputs, outputs map[string]*Tens
 		}
 	}
 	if err := s.Run(ctx); err != nil {
-		return wrapCancel(err)
+		return e.wrapRunErr(err)
 	}
 	for _, name := range e.outputNames {
 		outputs[name].CopyFrom(s.Output(name))
@@ -391,21 +426,111 @@ func (e *Engine) InferInto(ctx context.Context, inputs, outputs map[string]*Tens
 }
 
 // InferProfiled is Infer with a per-operator timing breakdown.
-func (e *Engine) InferProfiled(ctx context.Context, inputs map[string]*Tensor) (map[string]*Tensor, *Profile, error) {
+func (e *Engine) InferProfiled(ctx context.Context, inputs map[string]*Tensor) (out map[string]*Tensor, prof *Profile, err error) {
 	s, err := e.checkout(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer e.checkin(s)
+	defer func() { e.finish(s, recover(), &err) }()
+	if err := e.faultHit(); err != nil {
+		return nil, nil, err
+	}
 	if err := e.fillInputs(s, inputs); err != nil {
 		return nil, nil, err
 	}
 	p, err := s.RunProfiled(ctx)
 	if err != nil {
-		return nil, nil, wrapCancel(err)
+		return nil, nil, e.wrapRunErr(err)
 	}
 	return e.copyOutputs(s), p, nil
 }
+
+// faultHit evaluates the engine.infer injection site (nil injector: one
+// pointer test, no allocations). An injected panic unwinds into finish's
+// containment barrier like a real kernel panic would.
+func (e *Engine) faultHit() error {
+	if e.fi == nil {
+		return nil
+	}
+	if o := e.fi.Hit(fault.SiteEngineInfer, e.g.Name); o != nil {
+		if err := o.Apply(); err != nil {
+			return fmt.Errorf("mnn: infer %q: %w", e.g.Name, err)
+		}
+	}
+	return nil
+}
+
+// wrapRunErr maps session.Run errors onto the public error surface: a
+// contained kernel panic becomes *KernelPanicError (wrapping ErrKernelPanic)
+// and cancellation becomes ErrCancelled; everything else passes through.
+func (e *Engine) wrapRunErr(err error) error {
+	var pe *sched.PanicError
+	if errors.As(err, &pe) {
+		return &KernelPanicError{Op: pe.Op, Value: pe.Value, Stack: pe.Stack}
+	}
+	return wrapCancel(err)
+}
+
+// finish settles a checked-out session after an inference attempt. The
+// healthy path checks the session back in. A kernel panic — whether it
+// surfaced as an error from the session barrier or unwound to this frame —
+// counts against the engine and poisons the session: it is closed and a
+// freshly prepared replacement takes its pool slot, so one bad inference
+// never degrades the sessions later requests run on.
+func (e *Engine) finish(s *session.Session, recovered any, errp *error) {
+	if recovered != nil {
+		kp, ok := recovered.(*KernelPanicError)
+		if !ok {
+			if pe, isPE := recovered.(*sched.PanicError); isPE {
+				kp = &KernelPanicError{Op: pe.Op, Value: pe.Value, Stack: pe.Stack}
+			} else {
+				kp = &KernelPanicError{Op: e.g.Name, Value: recovered, Stack: debug.Stack()}
+			}
+		}
+		if kp.Op == "" {
+			kp.Op = e.g.Name
+		}
+		*errp = kp
+		e.panics.Add(1)
+		e.poisonAndRebuild(s)
+		return
+	}
+	// The nil guard keeps errors.As — whose any-typed target forces a heap
+	// escape — off the allocation-free happy path.
+	if *errp != nil {
+		var kp *KernelPanicError
+		if errors.As(*errp, &kp) {
+			e.panics.Add(1)
+			e.poisonAndRebuild(s)
+			return
+		}
+	}
+	e.checkin(s)
+}
+
+// poisonAndRebuild retires a session a panic escaped from and replaces it
+// with a freshly prepared one. If the rebuild itself fails, the closed
+// session is returned to the pool instead — a closed session still runs
+// correctly (inline execution), so pool capacity is preserved either way.
+func (e *Engine) poisonAndRebuild(s *session.Session) {
+	s.Close()
+	if e.closed.Load() {
+		return
+	}
+	ns, err := newPreparedSession(e.g, e.cfg, e.clock)
+	if err != nil {
+		e.checkin(s)
+		return
+	}
+	e.rebuilds.Add(1)
+	e.checkin(ns)
+}
+
+// KernelPanics reports how many kernel panics the engine has contained.
+func (e *Engine) KernelPanics() int64 { return e.panics.Load() }
+
+// SessionRebuilds reports how many poisoned sessions were replaced.
+func (e *Engine) SessionRebuilds() int64 { return e.rebuilds.Load() }
 
 // checkout acquires a prepared session, honouring cancellation and Close.
 func (e *Engine) checkout(ctx context.Context) (*session.Session, error) {

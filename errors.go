@@ -1,6 +1,9 @@
 package mnn
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Sentinel errors returned by the v2 Engine API. Wrap-aware: test with
 // errors.Is, e.g.
@@ -31,4 +34,30 @@ var (
 	// ErrUnknownBackend is returned by Open/CreateSession when the forward
 	// type is unknown or the device lacks the requested GPU API.
 	ErrUnknownBackend = errors.New("mnn: unknown or unsupported backend")
+
+	// ErrKernelPanic is returned by Engine.Infer when a kernel panicked
+	// mid-inference. The containment barriers (sched → session → engine)
+	// convert the panic into this typed error instead of crashing the
+	// process; the poisoned pooled session is closed and rebuilt. Use
+	// errors.As with *KernelPanicError for the op identity and stack.
+	ErrKernelPanic = errors.New("mnn: kernel panic")
 )
+
+// KernelPanicError carries the identity of a contained kernel panic: which
+// operator it escaped from, the original panic value, and the stack of the
+// goroutine that panicked. It wraps ErrKernelPanic for errors.Is.
+type KernelPanicError struct {
+	// Op is the graph node (or graph name, when the panic happened outside
+	// a node) the panic escaped from.
+	Op string
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+func (e *KernelPanicError) Error() string {
+	return fmt.Sprintf("mnn: kernel panic in op %q: %v", e.Op, e.Value)
+}
+
+func (e *KernelPanicError) Unwrap() error { return ErrKernelPanic }

@@ -63,6 +63,9 @@ type Result struct {
 	// ShedRate is the fraction of issued requests rejected by admission
 	// control (the overload experiment).
 	ShedRate float64 `json:"shed_rate,omitempty"`
+	// Availability is completed / issued over a soak window (the chaos
+	// experiment: how much goodput survived the fault schedule).
+	Availability float64 `json:"availability,omitempty"`
 }
 
 // Recorder accumulates Results across experiments. Safe for concurrent use.
@@ -114,6 +117,17 @@ func (r *Recorder) RecordOverload(experiment, kase string, goodputQPS, p99Ns, sh
 	})
 }
 
+// RecordChaos appends one chaos-soak row: availability (completed/issued),
+// goodput of completed requests, and their p99 latency.
+func (r *Recorder) RecordChaos(experiment, kase string, availability, goodputQPS, p99Ns float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.results = append(r.results, Result{
+		Experiment: experiment, Case: kase,
+		Availability: availability, ThroughputQPS: goodputQPS, P99Ns: p99Ns,
+	})
+}
+
 // Results returns a snapshot of everything recorded so far.
 func (r *Recorder) Results() []Result {
 	r.mu.Lock()
@@ -157,6 +171,7 @@ var Experiments = []string{
 	"figure7", "figure8", "figure9",
 	"ablation-strassen", "ablation-layout", "ablation-memory", "ablation-tile",
 	"throughput", "serving", "overload", "mesh", "allocs", "quant", "tuning",
+	"chaos",
 }
 
 // Run dispatches one experiment by name.
@@ -206,6 +221,8 @@ func Run(name string, opt Options) error {
 		return Quant(opt)
 	case "tuning":
 		return Tuning(opt)
+	case "chaos":
+		return Chaos(opt)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (have %v)", name, Experiments)
 	}

@@ -1,0 +1,491 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mnn"
+	"mnn/internal/fault"
+	"mnn/internal/loadgen"
+	"mnn/internal/tensor"
+	"mnn/serve"
+	"mnn/serve/mesh"
+)
+
+// chaosSeed fixes the entire soak's fault schedule: replica-side kernel
+// panics, the failed lazy load, the torn cache write, router transport
+// resets and retry jitter all derive from it, so a run replays bit-for-bit.
+const chaosSeed = 42
+
+// replicaChaosSpec is the fault schedule armed on every replica's registry:
+// the victim model's first inference on each replica panics inside the
+// engine (count=1 bounds it to one per process), and the lazy aux model's
+// first load fails before any engine opens (atomic-load path).
+const replicaChaosSpec = "engine.infer=panic,count=1,match=squeezenet;" +
+	"registry.load=error,count=1,match=pre:aux"
+
+// routerChaosSpec tears the router's own transport: a few percent of
+// proxied round trips are reset at the connection level (retried with
+// backoff on another replica) or delayed.
+const routerChaosSpec = "mesh.transport=connreset,p=0.04;" +
+	"mesh.transport=latency:5ms,p=0.05"
+
+// Chaos is the chaos soak: open-loop load through a router fronting two
+// replicas while a seeded fault schedule injects kernel panics, connection
+// resets, a failed model load and a torn tuning-cache write. The run
+// asserts the containment story end to end — the process never dies, every
+// client-visible error is a typed HTTP status, the panicking model is
+// quarantined and visibly recovers, and goodput on the healthy model stays
+// within 1% of a fault-free baseline run at the same offered rate.
+func Chaos(opt Options) error {
+	shape := []int{1, 3, 128, 128}
+	window := 5 * time.Second
+	// The cooldown must outlast a panic's poison-and-rebuild on the OTHER
+	// replica too: the second replica's 500 only returns once its
+	// replacement session is prepared (seconds under -race), and by then
+	// the first replica's quarantine must still be up for a client request
+	// to land on the gate. Not scaled down in quick mode for that reason.
+	cooldown := 3 * time.Second
+	victimEvery := 120 * time.Millisecond
+	if opt.Quick {
+		shape = []int{1, 3, 64, 64}
+		window = 2 * time.Second
+		victimEvery = 80 * time.Millisecond
+	}
+	opt.printf("Chaos soak — router + 2 replicas under seed-%d fault schedule, window %v\n", chaosSeed, window)
+	opt.printf("replica faults: %s\n", replicaChaosSpec)
+	opt.printf("router faults:  %s\n", routerChaosSpec)
+
+	if err := tornCacheRecovery(opt, shape); err != nil {
+		return err
+	}
+
+	base, rate, err := runChaosSoak(opt, shape, window, cooldown, victimEvery, false, 0)
+	if err != nil {
+		return fmt.Errorf("bench: chaos baseline: %w", err)
+	}
+	chaos, _, err := runChaosSoak(opt, shape, window, cooldown, victimEvery, true, rate)
+	if err != nil {
+		return fmt.Errorf("bench: chaos soak: %w", err)
+	}
+
+	baseAvail := availability(base.main)
+	chaosAvail := availability(chaos.main)
+	opt.printf("%-22s %10s %12s %12s %10s %10s\n",
+		"run", "issued", "availability", "goodput", "p99 (ms)", "failed")
+	opt.printf("%-22s %10d %11.2f%% %12.1f %10.2f %10d\n",
+		"fault-free baseline", base.main.Issued, 100*baseAvail, base.main.GoodputQPS,
+		ms(base.main.P99Latency), base.main.Failed)
+	opt.printf("%-22s %10d %11.2f%% %12.1f %10.2f %10d\n",
+		"under chaos", chaos.main.Issued, 100*chaosAvail, chaos.main.GoodputQPS,
+		ms(chaos.main.P99Latency), chaos.main.Failed)
+	opt.printf("victim model: %d contained panics (HTTP 500), %d quarantined 503s, recovered=%v\n",
+		chaos.victim.panics, chaos.victim.quarantined, chaos.victim.recovered)
+	opt.printf("aux model: first lazy load failed typed (%d attempts shed), then served\n",
+		chaos.auxFailures)
+
+	// The soak's contract, enforced rather than eyeballed.
+	if chaos.victim.panics < 1 {
+		return fmt.Errorf("bench: chaos: no kernel panic was contained (victim statuses: %v)", chaos.victim.statuses)
+	}
+	if chaos.victim.quarantined < 1 {
+		return fmt.Errorf("bench: chaos: victim model never quarantined (victim statuses: %v)", chaos.victim.statuses)
+	}
+	if !chaos.victim.recovered {
+		return fmt.Errorf("bench: chaos: victim model did not recover after the cooldown (victim statuses: %v)", chaos.victim.statuses)
+	}
+	if chaos.victim.other > 0 {
+		return fmt.Errorf("bench: chaos: victim saw an untyped/unexpected response: %s", chaos.victim.firstOther)
+	}
+	if chaos.quarantines < 1 {
+		return fmt.Errorf("bench: chaos: registries report no quarantines")
+	}
+	if chaos.quarantinedAtEnd {
+		return fmt.Errorf("bench: chaos: a model is still quarantined after the soak")
+	}
+	if !chaos.auxOK || chaos.auxFailures < 1 {
+		return fmt.Errorf("bench: chaos: aux lazy-load fault path: failures=%d served=%v",
+			chaos.auxFailures, chaos.auxOK)
+	}
+	if chaos.main.FirstError != nil && !strings.Contains(chaos.main.FirstError.Error(), "HTTP ") {
+		return fmt.Errorf("bench: chaos: main stream saw an untyped (non-HTTP) failure: %w", chaos.main.FirstError)
+	}
+	if chaosAvail < 0.99 || chaosAvail < 0.99*baseAvail {
+		return fmt.Errorf("bench: chaos: availability %.4f (baseline %.4f) below the 99%% goodput budget",
+			chaosAvail, baseAvail)
+	}
+
+	if opt.Recorder != nil {
+		opt.Recorder.RecordChaos("chaos", "mobilenet-v1/baseline",
+			baseAvail, base.main.GoodputQPS, float64(base.main.P99Latency.Nanoseconds()))
+		opt.Recorder.RecordChaos("chaos", "mobilenet-v1/faulted",
+			chaosAvail, chaos.main.GoodputQPS, float64(chaos.main.P99Latency.Nanoseconds()))
+	}
+	opt.printf("shape check: the process survived the whole schedule, panics became typed 500s,\n")
+	opt.printf("the quarantine lifted on its own, and the healthy model's goodput held ≥99%%.\n\n")
+	return nil
+}
+
+// tornCacheRecovery tears the tuning-cache write of a measured open
+// mid-rename, then shows the next open treating the wreckage as a cold
+// cache: it re-tunes and atomically repairs the file.
+func tornCacheRecovery(opt Options, shape []int) error {
+	dir, err := os.MkdirTemp("", "mnn-chaos-tuning")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cache := filepath.Join(dir, "tuned.json")
+	plan, err := mnn.ParseFaultPlan(chaosSeed, "tuner.cache.write=torn,count=1")
+	if err != nil {
+		return err
+	}
+	open := func(opts ...mnn.Option) (mnn.TuningStats, error) {
+		eng, err := mnn.Open("squeezenet-v1.1", append([]mnn.Option{
+			mnn.WithThreads(1),
+			mnn.WithInputShapes(map[string][]int{"data": shape}),
+			mnn.WithTuning(mnn.TuningMeasured),
+			mnn.WithTuningCache(cache),
+		}, opts...)...)
+		if err != nil {
+			return mnn.TuningStats{}, err
+		}
+		defer eng.Close()
+		return eng.TuningStats(), nil
+	}
+	torn, err := open(mnn.WithFaultPlan(plan))
+	if err != nil {
+		return fmt.Errorf("bench: chaos: torn-write open: %w", err)
+	}
+	if torn.CacheSaved {
+		return fmt.Errorf("bench: chaos: torn write still reported CacheSaved")
+	}
+	repaired, err := open()
+	if err != nil {
+		return fmt.Errorf("bench: chaos: open over torn cache: %w", err)
+	}
+	if repaired.CacheLoaded || repaired.Measured == 0 || !repaired.CacheSaved {
+		return fmt.Errorf("bench: chaos: torn cache not recovered: %+v", repaired)
+	}
+	opt.printf("tuning cache: torn write detected, cold re-tune ran (%d measured), file repaired\n",
+		repaired.Measured)
+	return nil
+}
+
+// soakOutcome is everything one soak run observed.
+type soakOutcome struct {
+	main             loadgen.OpenLoopStats
+	victim           victimLog
+	auxFailures      int
+	auxOK            bool
+	quarantines      int64
+	quarantinedAtEnd bool
+}
+
+// victimLog classifies the victim trickle's responses.
+type victimLog struct {
+	statuses    []int
+	ok          int
+	panics      int // HTTP 500 naming a kernel panic
+	quarantined int // HTTP 503 + X-Model-Quarantined
+	other       int
+	firstOther  string
+	recovered   bool // a 200 arrived after at least one quarantined 503
+}
+
+// availability is completed/issued — the goodput budget's unit.
+func availability(st loadgen.OpenLoopStats) float64 {
+	if st.Issued == 0 {
+		return 0
+	}
+	return float64(st.Completed) / float64(st.Issued)
+}
+
+// runChaosSoak boots the mesh (armed or fault-free), drives the healthy
+// model open-loop at the given rate (0 = probe capacity and run at half),
+// trickles the victim and aux models alongside, and tears everything down.
+// Returns the outcome and the rate used, so the chaos run can replay the
+// baseline's offered load.
+func runChaosSoak(opt Options, shape []int, window, cooldown, victimEvery time.Duration, arm bool, rate float64) (soakOutcome, float64, error) {
+	var out soakOutcome
+	routerBase, regs, cleanup, err := bootChaosMesh(shape, cooldown, arm)
+	if err != nil {
+		return out, 0, err
+	}
+	defer cleanup()
+
+	in := tensor.New(shape...)
+	tensor.FillRandom(in, 23, 1)
+	query, err := loadgen.NewHTTPQuery(loadgen.HTTPConfig{
+		BaseURL: routerBase,
+		Model:   "mobilenet-v1",
+	}, map[string]*tensor.Tensor{"data": in})
+	if err == nil {
+		err = query() // warm connections and batch shapes
+	}
+	if err != nil {
+		return out, 0, err
+	}
+	if rate <= 0 {
+		probe, err := loadgen.RunConcurrent(query, loadgen.ConcurrentConfig{
+			InFlight: 2, MinQueryCount: 16,
+		})
+		if err != nil {
+			return out, 0, err
+		}
+		// Half of capacity: the budget under test is fault tolerance, not
+		// overload shedding, so the healthy model must have headroom.
+		rate = probe.QPSWithLoadgen * 0.5
+		opt.printf("capacity probe via router: %.1f qps → soaking at %.1f qps\n",
+			probe.QPSWithLoadgen, rate)
+	}
+
+	body, err := inferBody("data", shape, 31)
+	if err != nil {
+		return out, 0, err
+	}
+	soft := time.Now().Add(window)
+	// The trickle may outlive the main window: on slow hosts (-race) the
+	// quarantine lifts after the offered load stops, and the recovery must
+	// still be observed. The hard deadline bounds that grace.
+	hard := soft.Add(3*cooldown + 2*time.Second)
+	victimDone := make(chan victimLog, 1)
+	go func() { victimDone <- trickleVictim(routerBase, body, victimEvery, soft, hard) }()
+	auxDone := make(chan [2]int, 1)
+	go func() {
+		// Start a beat into the window so the lazy-load fault lands while
+		// the soak is hot.
+		time.Sleep(window / 8)
+		failures, okAt := probeAux(routerBase, body)
+		auxDone <- [2]int{failures, okAt}
+	}()
+
+	st, err := loadgen.RunOpenLoop(query, loadgen.OpenLoopConfig{
+		Rate:     rate,
+		Duration: window,
+	})
+	if err != nil {
+		return out, 0, err
+	}
+	out.main = st
+	out.victim = <-victimDone
+	aux := <-auxDone
+	out.auxFailures, out.auxOK = aux[0], aux[1] > 0
+
+	// Quarantine windows are pure clock state; wait out any stragglers (a
+	// replica whose cooldown started late) before judging the end state.
+	settle := time.Now().Add(2*cooldown + time.Second)
+	for {
+		out.quarantines, out.quarantinedAtEnd = 0, false
+		for _, reg := range regs {
+			for _, ref := range reg.Names() {
+				m, err := reg.Get(ref)
+				if err != nil {
+					continue
+				}
+				out.quarantines += m.Quarantines()
+				if m.Quarantined() {
+					out.quarantinedAtEnd = true
+				}
+			}
+		}
+		if !out.quarantinedAtEnd || time.Now().After(settle) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return out, rate, nil
+}
+
+// bootChaosMesh is bootMesh plus a victim model, a lazy aux model, and —
+// when arm is set — the seeded fault schedule on every replica registry and
+// on the router transport, with the quarantine cooldown under test.
+func bootChaosMesh(shape []int, cooldown time.Duration, arm bool) (string, []*serve.Registry, func(), error) {
+	var cleanups []func()
+	cleanup := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	var bases []string
+	var regs []*serve.Registry
+	for i := 0; i < 2; i++ {
+		reg := serve.NewRegistry()
+		if arm {
+			plan, err := fault.ParsePlan(chaosSeed, replicaChaosSpec)
+			if err != nil {
+				cleanup()
+				return "", nil, nil, err
+			}
+			reg.SetFaultInjector(fault.NewInjector(plan))
+			reg.SetQuarantinePolicy(1, cooldown)
+		}
+		shapes := map[string][]int{"data": shape}
+		load := func(name string, cfg serve.ModelConfig) error {
+			if err := reg.Load(name, cfg); err != nil {
+				reg.Close()
+				cleanup()
+				return err
+			}
+			return nil
+		}
+		if err := load("mobilenet-v1", serve.ModelConfig{
+			Model: "mobilenet-v1",
+			Options: []mnn.Option{
+				mnn.WithPoolSize(2), mnn.WithInputShapes(shapes),
+			},
+			Admission: serve.AdmissionConfig{Queue: 8},
+		}); err != nil {
+			return "", nil, nil, err
+		}
+		if err := load("victim", serve.ModelConfig{
+			Model: "squeezenet-v1.1",
+			Options: []mnn.Option{
+				mnn.WithPoolSize(1), mnn.WithInputShapes(shapes),
+			},
+		}); err != nil {
+			return "", nil, nil, err
+		}
+		if err := load("aux", serve.ModelConfig{
+			Model: "squeezenet-v1.1",
+			Options: []mnn.Option{
+				mnn.WithPoolSize(1), mnn.WithInputShapes(shapes),
+			},
+			Lazy: true,
+		}); err != nil {
+			return "", nil, nil, err
+		}
+		srv := serve.NewServer(reg)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			reg.Close()
+			cleanup()
+			return "", nil, nil, err
+		}
+		go srv.Serve(l)
+		cleanups = append(cleanups, func() { srv.Shutdown(context.Background()) })
+		bases = append(bases, "http://"+l.Addr().String())
+		regs = append(regs, reg)
+	}
+
+	cfg := mesh.Config{Replicas: bases, RetrySeed: chaosSeed}
+	if arm {
+		plan, err := fault.ParsePlan(chaosSeed, routerChaosSpec)
+		if err != nil {
+			cleanup()
+			return "", nil, nil, err
+		}
+		cfg.Transport = fault.NewTransport(&http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     30 * time.Second,
+		}, fault.NewInjector(plan))
+	}
+	rt, err := mesh.New(cfg)
+	if err != nil {
+		cleanup()
+		return "", nil, nil, err
+	}
+	hs := &http.Server{Handler: rt.Handler()}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		rt.Close()
+		cleanup()
+		return "", nil, nil, err
+	}
+	go hs.Serve(l)
+	cleanups = append(cleanups, func() { hs.Close(); rt.Close() })
+	return "http://" + l.Addr().String(), regs, cleanup, nil
+}
+
+// inferBody marshals one inference request for a "data" input of the given
+// shape, reusable across posts.
+func inferBody(input string, shape []int, seed uint64) ([]byte, error) {
+	in := tensor.New(shape...)
+	tensor.FillRandom(in, seed, 1)
+	req := serve.InferRequest{Inputs: []serve.InferTensor{serve.EncodeTensor(input, in)}}
+	return json.Marshal(&req)
+}
+
+// postInfer sends one inference and reports status, the quarantine header,
+// and a body prefix for classification.
+func postInfer(base, model string, body []byte) (int, bool, string, error) {
+	resp, err := http.Post(base+"/v2/models/"+model+"/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, false, "", err
+	}
+	defer resp.Body.Close()
+	blob, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return resp.StatusCode, resp.Header.Get("X-Model-Quarantined") == "true", string(blob), nil
+}
+
+// trickleVictim sends the victim model one request per tick and classifies
+// every response: contained panics are typed 500s, quarantine shows as 503
+// + X-Model-Quarantined, and a 200 after any 503 is the visible recovery.
+// It runs until the soft deadline, then keeps going only while a recovery
+// is still owed (any contained panic triggers a quarantine under the
+// after=1 policy, so the 503s and the post-cooldown 200 must eventually be
+// observed), up to the hard deadline.
+func trickleVictim(base string, body []byte, every time.Duration, soft, hard time.Time) victimLog {
+	var vl victimLog
+	for {
+		now := time.Now()
+		if now.After(soft) && (vl.panics == 0 || vl.recovered) {
+			break
+		}
+		if now.After(hard) {
+			break
+		}
+		status, quarantined, blob, err := postInfer(base, "victim", body)
+		if err != nil {
+			vl.other++
+			if vl.firstOther == "" {
+				vl.firstOther = err.Error()
+			}
+		} else {
+			vl.statuses = append(vl.statuses, status)
+			switch {
+			case status == http.StatusOK:
+				vl.ok++
+				if vl.quarantined > 0 {
+					vl.recovered = true
+				}
+			case status == http.StatusInternalServerError && strings.Contains(blob, "panic"):
+				vl.panics++
+			case status == http.StatusServiceUnavailable && quarantined:
+				vl.quarantined++
+			default:
+				vl.other++
+				if vl.firstOther == "" {
+					vl.firstOther = fmt.Sprintf("HTTP %d: %s", status, blob)
+				}
+			}
+		}
+		time.Sleep(every)
+	}
+	return vl
+}
+
+// probeAux drives the lazy aux model until it serves: the armed schedule
+// fails its first load with a typed error, and the registry's atomic-load
+// contract means the very next request loads and serves cleanly.
+func probeAux(base string, body []byte) (failures, okAt int) {
+	for attempt := 1; attempt <= 6; attempt++ {
+		status, _, _, err := postInfer(base, "aux", body)
+		if err == nil && status == http.StatusOK {
+			return failures, attempt
+		}
+		failures++
+		time.Sleep(50 * time.Millisecond)
+	}
+	return failures, 0
+}

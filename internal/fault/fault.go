@@ -1,0 +1,428 @@
+// Package fault is a deterministic, seedable fault-injection subsystem.
+//
+// Production code declares named injection sites (Site constants below) and
+// consults an *Injector at each one. An Injector is built from a Plan — a
+// seed plus a list of Rules — and decides per hit whether a fault fires.
+// All randomness derives from the plan seed via per-rule PCG streams, so a
+// given plan replays the same fault schedule on every run regardless of
+// which other sites are being evaluated.
+//
+// A nil *Injector is the disabled state: Hit on a nil receiver returns nil
+// without touching memory, so the hooks cost one pointer test and nothing
+// else on hot paths (pinned by alloc_test.go at the repo root).
+//
+// Plans are written as compact specs, accepted by ParsePlan and the
+// -chaos flags of mnnserve/mnnrouter:
+//
+//	site=mode[:latency][,p=0.3][,every=N][,after=N][,count=N][,match=substr][;...]
+//
+// Examples:
+//
+//	engine.infer=panic,after=10,count=3,match=mobilenet
+//	mesh.transport=connreset,p=0.05
+//	mesh.transport=latency:50ms,p=0.2
+//	tuner.cache.write=torn,count=1
+//	registry.load=error,match=resnet
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Site names one injection point in the stack. The set of valid sites is
+// fixed at compile time; ParsePlan rejects unknown names.
+type Site string
+
+const (
+	// SiteEngineInfer fires at the top of Engine inference, keyed by the
+	// graph name. Modes: error, latency, panic.
+	SiteEngineInfer Site = "engine.infer"
+	// SiteSessionKernel fires before each kernel dispatch inside a session
+	// run, keyed by the node name. Modes: error, latency, panic.
+	SiteSessionKernel Site = "session.kernel"
+	// SiteRegistryLoad fires during serve.Registry model loads. Keys are
+	// "pre:<ref>" before the engine is opened and "mid:<ref>" after, so
+	// match=pre:/match=mid: pins the failure to either side of the
+	// partially-constructed window. Modes: error, latency.
+	SiteRegistryLoad Site = "registry.load"
+	// SiteCacheRead fires when the tuner reads its persistent cache, keyed
+	// by the cache path. Mode error behaves like a corrupt file: the open
+	// proceeds cold and re-tunes. Modes: error.
+	SiteCacheRead Site = "tuner.cache.read"
+	// SiteCacheWrite fires when the tuner persists its cache, keyed by the
+	// cache path. Mode torn simulates a crash mid-write: a truncated
+	// destination plus a stale temp file left behind. Modes: torn, error.
+	SiteCacheWrite Site = "tuner.cache.write"
+	// SiteMeshTransport fires inside the router's HTTP transport, keyed by
+	// "host/path". Modes: connreset, latency, truncate, error.
+	SiteMeshTransport Site = "mesh.transport"
+)
+
+// Mode is what happens when a rule fires.
+type Mode int
+
+const (
+	// ModeError makes the call site return Outcome.Err (wraps ErrInjected).
+	ModeError Mode = iota
+	// ModeLatency sleeps for Rule.Latency and then proceeds normally.
+	ModeLatency
+	// ModePanic panics at the call site (exercises containment barriers).
+	ModePanic
+	// ModeConnReset fails the HTTP round trip as a connection-level error.
+	ModeConnReset
+	// ModeTruncate cuts the HTTP response body off mid-stream.
+	ModeTruncate
+	// ModeTorn tears a cache write: truncated destination + stale temp.
+	ModeTorn
+)
+
+var modeNames = map[Mode]string{
+	ModeError:     "error",
+	ModeLatency:   "latency",
+	ModePanic:     "panic",
+	ModeConnReset: "connreset",
+	ModeTruncate:  "truncate",
+	ModeTorn:      "torn",
+}
+
+func (m Mode) String() string {
+	if s, ok := modeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// siteModes lists the modes each site knows how to enact. ModeLatency is a
+// legal add-on everywhere a duration makes sense.
+var siteModes = map[Site][]Mode{
+	SiteEngineInfer:   {ModeError, ModeLatency, ModePanic},
+	SiteSessionKernel: {ModeError, ModeLatency, ModePanic},
+	SiteRegistryLoad:  {ModeError, ModeLatency},
+	SiteCacheRead:     {ModeError},
+	SiteCacheWrite:    {ModeTorn, ModeError},
+	SiteMeshTransport: {ModeConnReset, ModeLatency, ModeTruncate, ModeError},
+}
+
+// Sites returns the valid injection sites in a stable order.
+func Sites() []Site {
+	return []Site{
+		SiteEngineInfer, SiteSessionKernel, SiteRegistryLoad,
+		SiteCacheRead, SiteCacheWrite, SiteMeshTransport,
+	}
+}
+
+// ErrInjected is the sentinel wrapped by every injected error, so tests and
+// the chaos harness can tell deliberate faults from organic failures with
+// errors.Is.
+var ErrInjected = errors.New("fault: injected")
+
+// Rule arms one site with one failure behavior. Gates compose: a hit must
+// pass Match, After, Every and Prob, in that order, and the rule stops
+// firing once Count firings have been spent.
+type Rule struct {
+	Site Site
+	Mode Mode
+	// Prob fires the rule on each eligible hit with this probability
+	// (from the rule's seeded stream). 0 means always.
+	Prob float64
+	// Every fires on every Nth eligible hit (1 or 0 means every hit).
+	Every int
+	// After skips the first N hits entirely.
+	After int
+	// Count caps total firings (0 means unlimited).
+	Count int
+	// Latency is the injected delay (required for ModeLatency; an optional
+	// add-on for the other modes).
+	Latency time.Duration
+	// Match restricts the rule to keys containing this substring.
+	Match string
+}
+
+// String renders the rule in spec syntax.
+func (r Rule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s=%s", r.Site, r.Mode)
+	if r.Latency > 0 {
+		fmt.Fprintf(&b, ":%s", r.Latency)
+	}
+	if r.Prob > 0 {
+		fmt.Fprintf(&b, ",p=%g", r.Prob)
+	}
+	if r.Every > 1 {
+		fmt.Fprintf(&b, ",every=%d", r.Every)
+	}
+	if r.After > 0 {
+		fmt.Fprintf(&b, ",after=%d", r.After)
+	}
+	if r.Count > 0 {
+		fmt.Fprintf(&b, ",count=%d", r.Count)
+	}
+	if r.Match != "" {
+		fmt.Fprintf(&b, ",match=%s", r.Match)
+	}
+	return b.String()
+}
+
+// Plan is a seed plus the rules it arms. The zero Plan injects nothing.
+type Plan struct {
+	Seed  uint64
+	Rules []Rule
+}
+
+// String renders the plan in spec syntax (without the seed).
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	parts := make([]string, len(p.Rules))
+	for i, r := range p.Rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParsePlan parses a -chaos spec string into a Plan with the given seed.
+// Rules are separated by ';'; see the package doc for the rule syntax.
+func ParsePlan(seed uint64, spec string) (*Plan, error) {
+	p := &Plan{Seed: seed}
+	for _, raw := range strings.Split(spec, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		r, err := parseRule(raw)
+		if err != nil {
+			return nil, err
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	if len(p.Rules) == 0 {
+		return nil, fmt.Errorf("fault: empty chaos spec %q", spec)
+	}
+	return p, nil
+}
+
+func parseRule(raw string) (Rule, error) {
+	var r Rule
+	fields := strings.Split(raw, ",")
+	site, modeSpec, ok := strings.Cut(fields[0], "=")
+	if !ok {
+		return r, fmt.Errorf("fault: rule %q: want site=mode", raw)
+	}
+	r.Site = Site(strings.TrimSpace(site))
+	allowed, known := siteModes[r.Site]
+	if !known {
+		return r, fmt.Errorf("fault: unknown site %q (have %v)", site, Sites())
+	}
+	modeName, lat, hasLat := strings.Cut(strings.TrimSpace(modeSpec), ":")
+	mode, err := parseMode(modeName)
+	if err != nil {
+		return r, fmt.Errorf("fault: rule %q: %w", raw, err)
+	}
+	r.Mode = mode
+	legal := false
+	for _, m := range allowed {
+		if m == mode {
+			legal = true
+			break
+		}
+	}
+	if !legal {
+		return r, fmt.Errorf("fault: site %s does not support mode %s (allowed: %v)", r.Site, mode, allowed)
+	}
+	if hasLat {
+		d, err := time.ParseDuration(lat)
+		if err != nil {
+			return r, fmt.Errorf("fault: rule %q: bad latency %q: %w", raw, lat, err)
+		}
+		r.Latency = d
+	}
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(strings.TrimSpace(f), "=")
+		if !ok {
+			return r, fmt.Errorf("fault: rule %q: bad param %q", raw, f)
+		}
+		switch k {
+		case "p":
+			r.Prob, err = strconv.ParseFloat(v, 64)
+			if err != nil || r.Prob < 0 || r.Prob > 1 {
+				return r, fmt.Errorf("fault: rule %q: p must be in [0,1], got %q", raw, v)
+			}
+		case "every":
+			r.Every, err = strconv.Atoi(v)
+		case "after":
+			r.After, err = strconv.Atoi(v)
+		case "count":
+			r.Count, err = strconv.Atoi(v)
+		case "latency":
+			r.Latency, err = time.ParseDuration(v)
+		case "match":
+			r.Match = v
+		default:
+			return r, fmt.Errorf("fault: rule %q: unknown param %q", raw, k)
+		}
+		if err != nil {
+			return r, fmt.Errorf("fault: rule %q: bad %s=%q: %w", raw, k, v, err)
+		}
+	}
+	if r.Mode == ModeLatency && r.Latency <= 0 {
+		return r, fmt.Errorf("fault: rule %q: latency mode needs a duration (mode:50ms)", raw)
+	}
+	return r, nil
+}
+
+func parseMode(name string) (Mode, error) {
+	for m, s := range modeNames {
+		if s == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mode %q", name)
+}
+
+// Outcome is what a fired rule tells the call site to do. Outcomes are
+// pre-built per rule and shared, so firing allocates nothing.
+type Outcome struct {
+	Site    Site
+	Mode    Mode
+	Latency time.Duration
+	// Err is the pre-wrapped injected error returned for ModeError.
+	Err error
+}
+
+// Apply enacts the outcome at a plain call site: sleeps the configured
+// latency, panics for ModePanic, and returns the injected error for
+// ModeError. Transport- and cache-specific modes (connreset, truncate,
+// torn) are enacted by their specialized call sites; Apply returns nil
+// for those.
+func (o *Outcome) Apply() error {
+	if o == nil {
+		return nil
+	}
+	if o.Latency > 0 {
+		time.Sleep(o.Latency)
+	}
+	switch o.Mode {
+	case ModePanic:
+		panic(fmt.Sprintf("fault: injected panic at %s", o.Site))
+	case ModeError:
+		return o.Err
+	}
+	return nil
+}
+
+// ruleState is a Rule armed inside an Injector: shared counters, a seeded
+// random stream, and the pre-built outcome it hands out.
+type ruleState struct {
+	rule    Rule
+	outcome Outcome
+	hits    atomic.Int64
+	fired   atomic.Int64
+	mu      sync.Mutex
+	rng     *rand.Rand
+}
+
+// Injector evaluates an armed Plan. One Injector is typically shared by a
+// whole process (engine, sessions, registry, tuner) so rule budgets like
+// count=3 are global. A nil *Injector is the disabled subsystem.
+type Injector struct {
+	bySite map[Site][]*ruleState
+}
+
+// NewInjector arms a plan. A nil or empty plan yields a nil Injector.
+func NewInjector(p *Plan) *Injector {
+	if p == nil || len(p.Rules) == 0 {
+		return nil
+	}
+	in := &Injector{bySite: make(map[Site][]*ruleState)}
+	for i, r := range p.Rules {
+		// Each rule gets its own PCG stream derived from the plan seed and
+		// the rule index, so evaluation order across sites can't perturb a
+		// rule's own schedule.
+		rs := &ruleState{
+			rule: r,
+			rng:  rand.New(rand.NewPCG(p.Seed, p.Seed^(0x9e3779b97f4a7c15*uint64(i+1)))),
+		}
+		rs.outcome = Outcome{
+			Site:    r.Site,
+			Mode:    r.Mode,
+			Latency: r.Latency,
+			Err:     fmt.Errorf("%w: %s at %s", ErrInjected, r.Mode, r.Site),
+		}
+		in.bySite[r.Site] = append(in.bySite[r.Site], rs)
+	}
+	return in
+}
+
+// Hit evaluates one injection site. key identifies the specific operation
+// (graph name, node name, model ref, URL) for Match filtering. It returns
+// nil when no rule fires — including on a nil receiver, which is the
+// zero-cost disabled path.
+func (in *Injector) Hit(site Site, key string) *Outcome {
+	if in == nil {
+		return nil
+	}
+	rules := in.bySite[site]
+	if len(rules) == 0 {
+		return nil
+	}
+	for _, rs := range rules {
+		if o := rs.eval(key); o != nil {
+			return o
+		}
+	}
+	return nil
+}
+
+func (rs *ruleState) eval(key string) *Outcome {
+	r := &rs.rule
+	if r.Match != "" && !strings.Contains(key, r.Match) {
+		return nil
+	}
+	if r.Count > 0 && rs.fired.Load() >= int64(r.Count) {
+		return nil
+	}
+	n := rs.hits.Add(1)
+	if n <= int64(r.After) {
+		return nil
+	}
+	if r.Every > 1 && (n-int64(r.After))%int64(r.Every) != 0 {
+		return nil
+	}
+	if r.Prob > 0 && r.Prob < 1 {
+		rs.mu.Lock()
+		v := rs.rng.Float64()
+		rs.mu.Unlock()
+		if v >= r.Prob {
+			return nil
+		}
+	}
+	if r.Count > 0 && rs.fired.Add(1) > int64(r.Count) {
+		return nil
+	}
+	return &rs.outcome
+}
+
+// Fired reports how many times any rule at the given site has fired —
+// the chaos harness uses it to assert a schedule actually engaged.
+func (in *Injector) Fired(site Site) int64 {
+	if in == nil {
+		return 0
+	}
+	var total int64
+	for _, rs := range in.bySite[site] {
+		n := rs.fired.Load()
+		if rs.rule.Count > 0 && n > int64(rs.rule.Count) {
+			n = int64(rs.rule.Count)
+		}
+		total += n
+	}
+	return total
+}

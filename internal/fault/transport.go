@@ -1,0 +1,98 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// truncateAfter is how many body bytes a ModeTruncate fault lets through
+// before cutting the stream — enough to start a JSON document, never enough
+// to finish one.
+const truncateAfter = 32
+
+// Transport wraps an http.RoundTripper with the mesh.transport injection
+// site. Keys are "host/path" so match= can pin faults to one replica or one
+// endpoint. With a nil Injector it forwards straight through.
+type Transport struct {
+	Base http.RoundTripper
+	Inj  *Injector
+}
+
+// NewTransport wraps base (nil means http.DefaultTransport) with inj.
+func NewTransport(base http.RoundTripper, inj *Injector) *Transport {
+	return &Transport{Base: base, Inj: inj}
+}
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	o := t.Inj.Hit(SiteMeshTransport, req.URL.Host+req.URL.Path)
+	if o == nil {
+		return base.RoundTrip(req)
+	}
+	if o.Latency > 0 {
+		select {
+		case <-time.After(o.Latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	switch o.Mode {
+	case ModeConnReset:
+		return nil, fmt.Errorf("%w: connection reset by peer (%s)", ErrInjected, req.URL.Host)
+	case ModeError:
+		return nil, o.Err
+	case ModeTruncate:
+		resp, err := base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &truncatedBody{rc: resp.Body, remaining: truncateAfter}
+		return resp, nil
+	}
+	return base.RoundTrip(req)
+}
+
+// CloseIdleConnections forwards to the base transport so http.Client
+// cleanup (and goroutine-leak checks) keep working through the wrapper.
+func (t *Transport) CloseIdleConnections() {
+	type closeIdler interface{ CloseIdleConnections() }
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if ci, ok := base.(closeIdler); ok {
+		ci.CloseIdleConnections()
+	}
+}
+
+// truncatedBody yields at most `remaining` bytes of the wrapped body and
+// then fails with io.ErrUnexpectedEOF, as a mid-stream connection drop
+// would.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= n
+	if err == io.EOF {
+		// The wrapped response was shorter than the truncation point; the
+		// fault still forces an abnormal end so callers see a torn stream.
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }

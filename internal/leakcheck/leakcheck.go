@@ -1,0 +1,56 @@
+// Package leakcheck asserts that tests return the process to its starting
+// goroutine count — the harness behind the PR 8 guarantee that Engine.Close,
+// Server.Shutdown and mesh Router.Close release every worker they spawned,
+// including when shutdown races injected faults.
+//
+// The check is count-based with a settle loop: goroutines legitimately take
+// a moment to unwind after a Close (parked pool workers draining, HTTP
+// keep-alive conns timing out), so the assertion polls until the count drops
+// back to the baseline or a timeout expires, and dumps all stacks on
+// failure so the leaked goroutine is named in the test log.
+package leakcheck
+
+import (
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleTimeout bounds how long a check waits for goroutines to unwind.
+const settleTimeout = 10 * time.Second
+
+// Check snapshots the goroutine count now and registers a cleanup that
+// fails the test if the count hasn't returned to the snapshot (plus slack
+// for runtime-owned goroutines) by the end of the test. Call it first thing
+// in the test body:
+//
+//	func TestX(t *testing.T) {
+//		leakcheck.Check(t)
+//		...
+//	}
+func Check(t testing.TB) {
+	t.Helper()
+	// Tests drive HTTP traffic through the default transport; its idle
+	// conns own background read loops that would read as leaks.
+	http.DefaultClient.CloseIdleConnections()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		http.DefaultClient.CloseIdleConnections()
+		deadline := time.Now().Add(settleTimeout)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("leakcheck: %d goroutines at start, %d after cleanup; dumping stacks:\n%s", base, n, buf)
+	})
+}

@@ -203,3 +203,77 @@ func BenchmarkDispatch(b *testing.B) {
 		p.Run(4096, 256, ct)
 	}
 }
+
+// panicTask panics on one specific index and counts normally elsewhere.
+type panicTask struct {
+	at    int
+	calls atomic.Int32
+}
+
+func (t *panicTask) RunChunk(worker, start, end int) {
+	t.calls.Add(1)
+	for i := start; i < end; i++ {
+		if i == t.at {
+			panic("kernel exploded")
+		}
+	}
+}
+
+func TestRunContainsWorkerPanic(t *testing.T) {
+	for _, lanes := range []int{1, 2, 4} {
+		p := New(lanes)
+		// Chunk 1 forces many chunks so the panicking index lands on a
+		// worker lane in the multi-lane configurations as well as the
+		// caller lane.
+		for _, at := range []int{0, 7, 63} {
+			func() {
+				defer func() {
+					r := recover()
+					if r == nil {
+						t.Fatalf("lanes=%d at=%d: panic was swallowed", lanes, at)
+					}
+					pe, ok := r.(*PanicError)
+					if !ok {
+						t.Fatalf("lanes=%d at=%d: re-panicked %T, want *PanicError", lanes, at, r)
+					}
+					if pe.Value != "kernel exploded" {
+						t.Fatalf("panic value = %v", pe.Value)
+					}
+					if len(pe.Stack) == 0 {
+						t.Fatal("PanicError carries no stack")
+					}
+				}()
+				p.Run(64, 1, &panicTask{at: at})
+			}()
+
+			// The pool must remain fully usable after containment.
+			ct := &coverTask{hits: make([]int32, 100)}
+			p.Run(100, 3, ct)
+			for i, h := range ct.hits {
+				if h != 1 {
+					t.Fatalf("lanes=%d: post-panic dispatch broken: index %d hit %d times", lanes, i, h)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestSpawnContainsPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *PanicError", r, r)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatal("PanicError carries no stack")
+		}
+	}()
+	Spawn(4, 16, func(worker, start, end int) {
+		if start <= 5 && 5 < end {
+			panic("shard exploded")
+		}
+	})
+	t.Fatal("Spawn did not re-panic")
+}

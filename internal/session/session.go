@@ -7,11 +7,14 @@ package session
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"mnn/internal/backend"
 	"mnn/internal/core"
+	"mnn/internal/fault"
 	"mnn/internal/graph"
+	"mnn/internal/sched"
 	"mnn/internal/tensor"
 )
 
@@ -33,6 +36,9 @@ type Config struct {
 	// management with compute the way Figure 3's left column shows. Used
 	// by the Table 2 ablation.
 	NoPreparation bool
+	// Fault is the optional fault injector for the session.kernel site
+	// (nil disables injection at zero cost).
+	Fault *fault.Injector
 }
 
 // copyOp mirrors a produced tensor onto a consuming backend.
@@ -485,17 +491,48 @@ func (s *Session) RunObserved(ctx context.Context, observe func(n *graph.Node, o
 			default:
 			}
 		}
-		for _, c := range st.copies {
-			if err := c.via.OnCopyBuffer(c.from, c.to); err != nil {
-				return fmt.Errorf("session: staging for %q: %w", st.node.Name, err)
-			}
-		}
-		if err := st.exec.Run(); err != nil {
-			return fmt.Errorf("session: node %q: %w", st.node.Name, err)
+		if err := s.execStep(st); err != nil {
+			return err
 		}
 		if observe != nil {
 			observe(st.node, st.outs)
 		}
+	}
+	return nil
+}
+
+// execStep runs one node — staging copies, optional injected fault, kernel
+// execution — behind the session's containment barrier: a panic anywhere
+// inside (the pool re-raises worker-lane panics on this goroutine) is
+// recovered into an error carrying the op identity and the panicking stack,
+// so a crashing kernel fails the inference instead of the process.
+func (s *Session) execStep(st *runStep) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*sched.PanicError)
+			if !ok {
+				pe = &sched.PanicError{Value: r, Stack: debug.Stack()}
+			}
+			if pe.Op == "" {
+				pe.Op = st.node.Name
+			}
+			err = fmt.Errorf("session: node %q: %w", st.node.Name, pe)
+		}
+	}()
+	for _, c := range st.copies {
+		if err := c.via.OnCopyBuffer(c.from, c.to); err != nil {
+			return fmt.Errorf("session: staging for %q: %w", st.node.Name, err)
+		}
+	}
+	if s.cfg.Fault != nil {
+		if o := s.cfg.Fault.Hit(fault.SiteSessionKernel, st.node.Name); o != nil {
+			if ferr := o.Apply(); ferr != nil {
+				return fmt.Errorf("session: node %q: %w", st.node.Name, ferr)
+			}
+		}
+	}
+	if err := st.exec.Run(); err != nil {
+		return fmt.Errorf("session: node %q: %w", st.node.Name, err)
 	}
 	return nil
 }

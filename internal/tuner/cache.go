@@ -147,6 +147,37 @@ func LoadCacheFile(path, model string) (*Cache, error) {
 	return c, nil
 }
 
+// TornSaveCacheFile is the fault-injection twin of SaveCacheFile: it
+// simulates a crash in the middle of persisting — the destination is left
+// truncated mid-document and a half-written temp file (the kind the atomic
+// writer would have renamed) is left behind. Warm loads must shrug both off
+// (ErrCacheCorrupt → cold re-tune) per the "bad cache can never break Open"
+// contract.
+func TornSaveCacheFile(path string, c *Cache) error {
+	data, err := EncodeCache(c)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tuning-*.json")
+	if err != nil {
+		return err
+	}
+	// The crash point: both files stop mid-write, no rename ever happens.
+	cut := len(data) / 2
+	if _, err := tmp.Write(data[:cut]); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.WriteFile(path, data[:cut], 0o644)
+}
+
 // SaveCacheFile writes the cache atomically (temp file + rename) so a crash
 // mid-write can never leave a truncated cache behind.
 func SaveCacheFile(path string, c *Cache) error {

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"mnn/internal/core"
+	"mnn/internal/fault"
 	"mnn/internal/graph"
 	"mnn/internal/sched"
 )
@@ -88,6 +89,9 @@ type Config struct {
 	// Reps is the number of timed runs per measured candidate; the minimum
 	// is kept (default 3).
 	Reps int
+	// Fault is the optional fault injector for the tuner.cache.read and
+	// tuner.cache.write sites (nil disables injection).
+	Fault *fault.Injector
 }
 
 // Report summarizes what a search did — the engine exposes it so tests can
@@ -292,7 +296,12 @@ func New(g *graph.Graph, shapes graph.ShapeMap, cfg Config) (*Plan, error) {
 	var cache *Cache
 	if cfg.Mode == ModeMeasured {
 		if cfg.CachePath != "" {
-			if c, err := LoadCacheFile(cfg.CachePath, cfg.ModelKey); err == nil {
+			if o := cfg.Fault.Hit(fault.SiteCacheRead, cfg.CachePath); o != nil {
+				// An injected read fault behaves exactly like a corrupt
+				// file: ignore the cache and re-tune — the PR 5 contract
+				// that a bad cache can never break an Open.
+				_ = o.Apply()
+			} else if c, err := LoadCacheFile(cfg.CachePath, cfg.ModelKey); err == nil {
 				cache = c
 				plan.Report.CacheLoaded = true
 			} else if !errors.Is(err, os.ErrNotExist) && !errors.Is(err, ErrCacheStale) && !errors.Is(err, ErrCacheCorrupt) {
@@ -387,10 +396,20 @@ func New(g *graph.Graph, shapes graph.ShapeMap, cfg Config) (*Plan, error) {
 				}
 			}
 		}
-		if err := SaveCacheFile(cfg.CachePath, cache); err != nil {
+		if o := cfg.Fault.Hit(fault.SiteCacheWrite, cfg.CachePath); o != nil && o.Mode == fault.ModeTorn {
+			// Simulated crash mid-persist: tear the write (truncated
+			// destination, stale temp left behind) and keep going — the
+			// in-memory plan is unaffected; the damage is what the next
+			// Open must survive. CacheSaved stays false.
+			_ = TornSaveCacheFile(cfg.CachePath, cache)
+		} else if err := o.Apply(); err != nil {
 			return nil, fmt.Errorf("tuner: writing cache %s: %w", cfg.CachePath, err)
+		} else if o == nil {
+			if err := SaveCacheFile(cfg.CachePath, cache); err != nil {
+				return nil, fmt.Errorf("tuner: writing cache %s: %w", cfg.CachePath, err)
+			}
+			plan.Report.CacheSaved = true
 		}
-		plan.Report.CacheSaved = true
 	}
 	return plan, nil
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"mnn/internal/core"
+	"mnn/internal/fault"
 	"mnn/internal/tuner"
 )
 
@@ -38,6 +39,10 @@ type engineConfig struct {
 	tuningPlan   *tuner.Plan
 	assignment   core.Assignment
 	backendCosts core.BackendCosts
+	// faultPlan/fi arm deterministic fault injection (WithFaultPlan /
+	// WithFaultInjector). fi == nil is the zero-cost disabled state.
+	faultPlan *fault.Plan
+	fi        *fault.Injector
 }
 
 func defaultEngineConfig() engineConfig {
@@ -244,6 +249,50 @@ func WithTuningCache(path string) Option {
 // serving tier.
 func ParseTuningMode(s string) (TuningMode, error) {
 	return tuner.ParseMode(strings.ToLower(strings.TrimSpace(s)))
+}
+
+// FaultPlan is a deterministic fault-injection schedule: a seed plus rules
+// arming named injection sites (engine.infer, session.kernel, tuner cache
+// I/O, …). See ParseFaultPlan for the spec syntax and internal/fault for
+// semantics. The zero plan injects nothing.
+type FaultPlan = fault.Plan
+
+// FaultInjector is an armed FaultPlan. One injector can be shared across
+// engines (and the serving registry) so rule budgets like count=3 are
+// global to the process rather than per engine.
+type FaultInjector = fault.Injector
+
+// ParseFaultPlan parses a -chaos style spec into a FaultPlan with the given
+// seed:
+//
+//	site=mode[:latency][,p=0.3][,every=N][,after=N][,count=N][,match=substr][;...]
+//
+// e.g. "engine.infer=panic,after=10,count=3;mesh.transport=connreset,p=0.05".
+func ParseFaultPlan(seed uint64, spec string) (*FaultPlan, error) {
+	return fault.ParsePlan(seed, spec)
+}
+
+// WithFaultPlan arms deterministic fault injection for this engine: the
+// plan's rules fire at the engine.infer and session.kernel sites and in the
+// tuning-cache I/O during Open. Nil (the default) disables injection; the
+// disabled hooks cost one pointer test and zero allocations on the hot
+// path. Intended for chaos testing — see the README's fault-tolerance
+// section.
+func WithFaultPlan(p *FaultPlan) Option {
+	return func(c *engineConfig) error {
+		c.faultPlan = p
+		return nil
+	}
+}
+
+// WithFaultInjector is WithFaultPlan with an already-armed injector, so
+// several engines (or a serving registry and its engines) share one set of
+// rule counters. Overrides WithFaultPlan.
+func WithFaultInjector(in *FaultInjector) Option {
+	return func(c *engineConfig) error {
+		c.fi = in
+		return nil
+	}
 }
 
 // ParseForwardType maps a backend name ("auto", "cpu", "metal", "opencl",

@@ -29,6 +29,37 @@ type replica struct {
 	// openUntil, then one request probes it (half-open).
 	consecConnFails atomic.Int32
 	openUntil       atomic.Int64 // unix nanos; 0 = closed
+
+	// avoid holds per-model do-not-route marks: a 429's Retry-After and a
+	// quarantined 503 both say "this model, on this replica, not now" —
+	// the replica stays fully eligible for every other model.
+	avoidMu sync.Mutex
+	avoid   map[string]int64 // ref → unix nanos
+}
+
+// markAvoid records a per-model avoid mark until the given time.
+func (r *replica) markAvoid(ref string, until time.Time) {
+	r.avoidMu.Lock()
+	if r.avoid == nil {
+		r.avoid = make(map[string]int64)
+	}
+	r.avoid[ref] = until.UnixNano()
+	r.avoidMu.Unlock()
+}
+
+// avoided reports (and lazily expires) the model's avoid mark.
+func (r *replica) avoided(ref string, now time.Time) bool {
+	r.avoidMu.Lock()
+	defer r.avoidMu.Unlock()
+	until, ok := r.avoid[ref]
+	if !ok {
+		return false
+	}
+	if now.UnixNano() >= until {
+		delete(r.avoid, ref)
+		return false
+	}
+	return true
 }
 
 // eligible reports whether the selection path may route to the replica:

@@ -13,11 +13,19 @@
 // Replica failure is handled three ways, fastest first:
 //
 //   - retry: a connection-level failure (dial refused, reset before any
-//     response) is transparently retried on the next replica in ring order.
+//     response) is transparently retried on the next replica in ring order,
+//     with capped exponential backoff and full jitter between attempts.
 //     An HTTP response is NEVER retried — in particular a 429 carries
 //     admission-control semantics (the model's queue is full; another
 //     replica would not have its engines warm) and passes through verbatim,
-//     Retry-After included.
+//     Retry-After included (the router additionally honors it as a
+//     per-(replica, model) avoid mark for later picks). The one exception
+//     is a 503 carrying X-Model-Quarantined: the replica refused at the
+//     gate before executing anything, so retrying the request on another
+//     replica is safe even for non-idempotent inference — that is how the
+//     mesh routes around a crash-quarantined model. A response that dies
+//     mid-body is returned as a typed 502 and never retried: the replica
+//     may have executed the request.
 //   - circuit breaking: after BreakerThreshold consecutive connection
 //     failures a replica is skipped for BreakerCooldown, then a single
 //     request probes it (half-open).
@@ -47,6 +55,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"mnn/internal/metrics"
@@ -64,6 +73,14 @@ const (
 	DefaultBreakerCooldown  = 5 * time.Second
 	DefaultShadowInflight   = 64
 	DefaultShadowTimeout    = 30 * time.Second
+
+	// DefaultRetryBackoffBase/Cap shape the delay between connection-level
+	// retry attempts: full jitter over min(cap, base << attempt).
+	DefaultRetryBackoffBase = 5 * time.Millisecond
+	DefaultRetryBackoffCap  = 250 * time.Millisecond
+	// DefaultAvoidTTL is how long a quarantined 503 (or a 429 without a
+	// Retry-After) keeps its (replica, model) avoid mark.
+	DefaultAvoidTTL = time.Second
 )
 
 // Config parameterizes a Router.
@@ -93,6 +110,19 @@ type Config struct {
 	// BreakerCooldown is how long an open circuit skips the replica before
 	// a half-open probe (default 5s).
 	BreakerCooldown time.Duration
+
+	// RetryBackoffBase is the first-retry delay of the capped exponential
+	// backoff between connection-failure attempts (default 5ms). The n-th
+	// retry sleeps jitter × min(RetryBackoffCap, base × 2ⁿ) with full
+	// jitter, so synchronized clients spread out instead of stampeding a
+	// recovering replica.
+	RetryBackoffBase time.Duration
+	// RetryBackoffCap bounds one backoff delay (default 250ms).
+	RetryBackoffCap time.Duration
+	// RetrySeed seeds the backoff jitter stream; 0 derives a seed from the
+	// clock. Fixing it makes retry schedules reproducible in tests and
+	// chaos runs.
+	RetrySeed uint64
 
 	// Canary maps a model name to its weighted version split for unpinned
 	// requests.
@@ -130,6 +160,12 @@ func (c *Config) applyDefaults() {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = DefaultBreakerCooldown
 	}
+	if c.RetryBackoffBase <= 0 {
+		c.RetryBackoffBase = DefaultRetryBackoffBase
+	}
+	if c.RetryBackoffCap <= 0 {
+		c.RetryBackoffCap = DefaultRetryBackoffCap
+	}
 	if c.ShadowInflight <= 0 {
 		c.ShadowInflight = DefaultShadowInflight
 	}
@@ -152,6 +188,36 @@ type Router struct {
 	metrics  *routerMetrics
 	hc       *healthChecker
 	shadowSl chan struct{}
+
+	// jitter and sleep are the backoff's injectable randomness and clock
+	// (overridden in tests for deterministic retry schedules).
+	jitterMu sync.Mutex
+	jitter   func() float64
+	sleep    func(ctx context.Context, d time.Duration) error
+
+	closeOnce sync.Once
+}
+
+// backoffDelay is the pure schedule: full jitter over the capped
+// exponential min(cap, base × 2^attempt). attempt counts completed
+// failures (0 = delay before the first retry).
+func backoffDelay(base, cap time.Duration, attempt int, jitter float64) time.Duration {
+	d := cap
+	if attempt < 62 {
+		if e := base << uint(attempt); e > 0 && e < cap {
+			d = e
+		}
+	}
+	return time.Duration(jitter * float64(d))
+}
+
+// nextBackoff draws one jittered delay (the jitter stream is shared across
+// requests, so it is locked).
+func (rt *Router) nextBackoff(attempt int) time.Duration {
+	rt.jitterMu.Lock()
+	j := rt.jitter()
+	rt.jitterMu.Unlock()
+	return backoffDelay(rt.cfg.RetryBackoffBase, rt.cfg.RetryBackoffCap, attempt, j)
 }
 
 // New validates the configuration, runs one synchronous health round (so a
@@ -168,6 +234,25 @@ func New(cfg Config) (*Router, error) {
 		client:   &http.Client{Transport: cfg.Transport},
 		metrics:  newRouterMetrics(),
 		shadowSl: make(chan struct{}, cfg.ShadowInflight),
+	}
+	seed := cfg.RetrySeed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
+	jr := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	rt.jitter = jr.Float64
+	rt.sleep = func(ctx context.Context, d time.Duration) error {
+		if d <= 0 {
+			return ctx.Err()
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			return nil
+		}
 	}
 	seen := make(map[string]bool)
 	for _, raw := range cfg.Replicas {
@@ -200,10 +285,12 @@ func New(cfg Config) (*Router, error) {
 }
 
 // Close stops the health checker and the proxy transport's idle
-// connections. In-flight proxied requests are unaffected.
+// connections. In-flight proxied requests are unaffected. Idempotent.
 func (rt *Router) Close() {
-	rt.hc.stop()
-	rt.client.CloseIdleConnections()
+	rt.closeOnce.Do(func() {
+		rt.hc.stop()
+		rt.client.CloseIdleConnections()
+	})
 }
 
 // Metrics exposes the router's metric families.
@@ -427,13 +514,22 @@ func (rt *Router) pick(ref string, tried map[*replica]bool) *replica {
 	order := rt.ring.walk(ref)
 	var eligible []*replica
 	var total int64
-	for _, idx := range order {
-		rep := rt.replicas[idx]
-		if tried[rep] || !rep.eligible(now) {
-			continue
+	// Pass 0 respects per-model avoid marks (Retry-After, quarantine);
+	// pass 1 ignores them — when every replica is marked the request must
+	// still land somewhere, and the replicas' own gates are authoritative.
+	for pass := 0; pass < 2 && len(eligible) == 0; pass++ {
+		total = 0
+		for _, idx := range order {
+			rep := rt.replicas[idx]
+			if tried[rep] || !rep.eligible(now) {
+				continue
+			}
+			if pass == 0 && rep.avoided(ref, now) {
+				continue
+			}
+			eligible = append(eligible, rep)
+			total += rep.inflight.Load()
 		}
-		eligible = append(eligible, rep)
-		total += rep.inflight.Load()
 	}
 	if len(eligible) == 0 {
 		return nil
@@ -452,48 +548,122 @@ func (rt *Router) pick(ref string, tried map[*replica]bool) *replica {
 	return least
 }
 
+// errTruncatedResponse marks a replica response that died mid-body. The
+// replica may have executed the request, so it is surfaced as a typed 502
+// and never retried.
+var errTruncatedResponse = errors.New("mesh: truncated response from replica")
+
+// bufferedResp is one replica response read fully into memory, so the
+// router can inspect it (quarantine marker, truncation) before committing
+// bytes to the client.
+type bufferedResp struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// quarantined reports the replica-side crash-quarantine marker.
+func (b *bufferedResp) quarantined() bool {
+	return b.status == http.StatusServiceUnavailable &&
+		b.header.Get("X-Model-Quarantined") == "true"
+}
+
+// retryAfter parses the response's Retry-After seconds (0 if absent).
+func (b *bufferedResp) retryAfter() time.Duration {
+	secs, err := strconv.Atoi(b.header.Get("Retry-After"))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // proxyWithRetry forwards the request (path already rewritten) to the
-// picked replica, retrying connection-level failures on other replicas.
-// Any HTTP response — success, 4xx, 429, 5xx — is returned to the client
-// verbatim and never retried.
+// picked replica. Connection-level failures are retried on other replicas
+// with capped exponential backoff and full jitter between attempts. An
+// HTTP response is final — with two refinements: a 429's Retry-After
+// additionally marks the (replica, model) pair to be avoided by later
+// picks, and a quarantined 503 is safely re-picked on another replica
+// (the gate rejected the request before anything executed). If every
+// replica quarantines the model, the last such response is relayed.
 func (rt *Router) proxyWithRetry(w http.ResponseWriter, r *http.Request, ref, path string, body []byte) {
 	tried := make(map[*replica]bool)
+	var lastQuarantined *bufferedResp
+	var lastQuarantinedRep *replica
+	failures := 0
 	for attempt := 0; attempt < len(rt.replicas); attempt++ {
 		rep := rt.pick(ref, tried)
 		if rep == nil {
 			break
 		}
 		tried[rep] = true
-		err := rt.forward(w, r, rep, path, body)
-		if err == nil {
-			return
+		resp, err := rt.fetch(r, rep, path, body)
+		if err != nil {
+			if r.Context().Err() != nil {
+				// The client went away; the failure says nothing about the
+				// replica and there is nobody left to answer.
+				return
+			}
+			if errors.Is(err, errTruncatedResponse) {
+				// The replica may have executed the request: not
+				// retryable, even though nothing reached the client yet.
+				rt.metrics.truncated.With(rep.baseURL).Inc()
+				rt.metrics.requests.With(rep.baseURL, strconv.Itoa(http.StatusBadGateway)).Inc()
+				writeJSON(w, http.StatusBadGateway,
+					serve.ErrorResponse{Error: errTruncatedResponse.Error() + " " + rep.baseURL})
+				return
+			}
+			rep.noteConnFailure(rt.cfg.BreakerThreshold, rt.cfg.BreakerCooldown, time.Now())
+			rt.metrics.retries.With(rep.baseURL).Inc()
+			if rt.sleep(r.Context(), rt.nextBackoff(failures)) != nil {
+				return
+			}
+			failures++
+			continue
 		}
-		if r.Context().Err() != nil {
-			// The client went away; the failure says nothing about the
-			// replica and there is nobody left to answer.
-			return
+		if resp.quarantined() {
+			// Route around the crash-quarantined model without dinging the
+			// replica's breaker — the replica itself is healthy.
+			ttl := resp.retryAfter()
+			if ttl <= 0 {
+				ttl = DefaultAvoidTTL
+			}
+			rep.markAvoid(ref, time.Now().Add(ttl))
+			rt.metrics.rerouted.With(rep.baseURL).Inc()
+			lastQuarantined, lastQuarantinedRep = resp, rep
+			continue
 		}
-		rep.noteConnFailure(rt.cfg.BreakerThreshold, rt.cfg.BreakerCooldown, time.Now())
-		rt.metrics.retries.With(rep.baseURL).Inc()
+		if resp.status == http.StatusTooManyRequests {
+			// Relayed verbatim, but remembered: later picks for this model
+			// prefer replicas that didn't just shed it.
+			ttl := resp.retryAfter()
+			if ttl <= 0 {
+				ttl = DefaultAvoidTTL
+			}
+			rep.markAvoid(ref, time.Now().Add(ttl))
+		}
+		rt.relay(w, rep, resp)
+		return
+	}
+	if lastQuarantined != nil {
+		rt.relay(w, lastQuarantinedRep, lastQuarantined)
+		return
 	}
 	rt.metrics.noReplica.Inc()
 	writeJSON(w, http.StatusServiceUnavailable,
 		serve.ErrorResponse{Error: fmt.Sprintf("mesh: no eligible replica for %q", ref)})
 }
 
-// forward proxies one attempt. A non-nil error means a connection-level
-// failure with nothing written to the client (safe to retry); once a
-// response arrives it is relayed and the attempt is final.
-func (rt *Router) forward(w http.ResponseWriter, r *http.Request, rep *replica, path string, body []byte) error {
+// fetch proxies one attempt and buffers the whole response. A non-nil
+// error is either a connection-level failure (nothing was received — safe
+// to retry) or errTruncatedResponse (the body died mid-stream — final).
+func (rt *Router) fetch(r *http.Request, rep *replica, path string, body []byte) (*bufferedResp, error) {
 	var rdr io.Reader
 	if body != nil {
 		rdr = strings.NewReader(string(body))
 	}
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, rep.baseURL+path, rdr)
 	if err != nil {
-		// Malformed target, not a replica failure; nothing will fix it.
-		writeJSON(w, http.StatusInternalServerError, serve.ErrorResponse{Error: "mesh: " + err.Error()})
-		return nil
+		return nil, fmt.Errorf("mesh: building request: %w", err)
 	}
 	copyProxyHeaders(req.Header, r.Header)
 	rep.inflight.Add(1)
@@ -502,22 +672,30 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, rep *replica, 
 	rep.inflight.Add(-1)
 	rt.metrics.proxyDur.With(rep.baseURL).Observe(time.Since(start).Seconds())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, serve.MaxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errTruncatedResponse, err)
+	}
 	rep.noteSuccess()
-	rt.metrics.requests.With(rep.baseURL, strconv.Itoa(resp.StatusCode)).Inc()
+	return &bufferedResp{status: resp.StatusCode, header: resp.Header, body: buf}, nil
+}
+
+// relay commits one buffered replica response to the client verbatim.
+func (rt *Router) relay(w http.ResponseWriter, rep *replica, resp *bufferedResp) {
+	rt.metrics.requests.With(rep.baseURL, strconv.Itoa(resp.status)).Inc()
 	h := w.Header()
-	for k, vs := range resp.Header {
+	for k, vs := range resp.header {
 		for _, v := range vs {
 			h.Add(k, v)
 		}
 	}
 	// Which replica served — observable rebalancing for tests and debugging.
 	h.Set("X-Mesh-Replica", rep.baseURL)
-	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
-	return nil
+	w.WriteHeader(resp.status)
+	w.Write(resp.body)
 }
 
 // copyProxyHeaders copies end-to-end headers, dropping hop-by-hop ones.

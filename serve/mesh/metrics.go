@@ -16,6 +16,8 @@ type routerMetrics struct {
 	retries   *metrics.CounterVec   // mnn_mesh_retries_total{replica}
 	noReplica *metrics.Counter      // mnn_mesh_no_replica_total
 	proxyDur  *metrics.HistogramVec // mnn_mesh_proxy_duration_seconds{replica}
+	rerouted  *metrics.CounterVec   // mnn_mesh_quarantine_reroutes_total{replica}
+	truncated *metrics.CounterVec   // mnn_mesh_truncated_responses_total{replica}
 
 	replicaHealthy  *metrics.GaugeVec // mnn_mesh_replica_healthy{replica}
 	replicaInflight *metrics.GaugeVec // mnn_mesh_replica_inflight{replica}
@@ -48,6 +50,12 @@ func newRouterMetrics() *routerMetrics {
 			"Requests failed with 503 because no eligible replica remained.").With(),
 		proxyDur: r.NewHistogram("mnn_mesh_proxy_duration_seconds",
 			"Proxy round-trip time per replica (connection + replica processing).", nil, "replica"),
+		rerouted: r.NewCounter("mnn_mesh_quarantine_reroutes_total",
+			"Requests re-picked onto another replica because this one answered 503 X-Model-Quarantined.",
+			"replica"),
+		truncated: r.NewCounter("mnn_mesh_truncated_responses_total",
+			"Replica responses that died mid-body and were surfaced as typed 502s (never retried).",
+			"replica"),
 		replicaHealthy: r.NewGauge("mnn_mesh_replica_healthy",
 			"1 while the replica passes active health checks.", "replica"),
 		replicaInflight: r.NewGauge("mnn_mesh_replica_inflight",
@@ -73,6 +81,8 @@ func (m *routerMetrics) initReplica(name string) {
 	m.requests.With(name, "200")
 	m.retries.With(name)
 	m.proxyDur.With(name)
+	m.rerouted.With(name)
+	m.truncated.With(name)
 	m.replicaHealthy.With(name).Set(0)
 	m.replicaInflight.With(name).Set(0)
 	m.circuitOpen.With(name).Set(0)

@@ -40,6 +40,10 @@ type serverMetrics struct {
 	resident      *metrics.GaugeVec   // mnn_model_resident_bytes{model}
 	residentTotal *metrics.Gauge      // mnn_resident_bytes
 	memoryBudget  *metrics.Gauge      // mnn_memory_budget_bytes
+
+	kernelPanics *metrics.CounterVec // mnn_kernel_panics_total{model}
+	quarantines  *metrics.CounterVec // mnn_model_quarantines_total{model}
+	quarantined  *metrics.GaugeVec   // mnn_model_quarantined{model}
 }
 
 func newServerMetrics() *serverMetrics {
@@ -83,6 +87,13 @@ func newServerMetrics() *serverMetrics {
 			"Byte-accounted size of all resident engines in the registry.").With(),
 		memoryBudget: r.NewGauge("mnn_memory_budget_bytes",
 			"Configured memory budget (0 = unlimited, nothing is evicted).").With(),
+		kernelPanics: r.NewCounter("mnn_kernel_panics_total",
+			"Kernel panics contained by the crash barrier (request got a typed 500), per model.",
+			"model"),
+		quarantines: r.NewCounter("mnn_model_quarantines_total",
+			"Times a model was quarantined after repeated kernel panics, per model.", "model"),
+		quarantined: r.NewGauge("mnn_model_quarantined",
+			"1 while the model is quarantined (requests fail fast with 503).", "model"),
 	}
 }
 
@@ -102,6 +113,9 @@ type modelMetrics struct {
 	loads         *metrics.Counter
 	evictions     *metrics.Counter
 	residentBytes *metrics.Gauge
+	kernelPanics  *metrics.Counter
+	quarantines   *metrics.Counter
+	quarantined   *metrics.Gauge
 
 	mu       sync.Mutex
 	flushes  uint64
@@ -123,12 +137,16 @@ func (sm *serverMetrics) forModel(name string, queueCap, maxBatch int) *modelMet
 		loads:         sm.loads.With(name),
 		evictions:     sm.evictions.With(name),
 		residentBytes: sm.resident.With(name),
+		kernelPanics:  sm.kernelPanics.With(name),
+		quarantines:   sm.quarantines.With(name),
+		quarantined:   sm.quarantined.With(name),
 	}
 	mm.queueDepth.Set(0)
 	mm.queueCap.Set(float64(queueCap))
 	mm.inflight.Set(0)
 	mm.degraded.Set(0)
 	mm.residentBytes.Set(0)
+	mm.quarantined.Set(0)
 	// Shed reasons appear with zeroes so dashboards see the series before
 	// the first overload.
 	sm.shed.With(name, admission.ReasonQueueFull)
@@ -178,6 +196,22 @@ func (mm *modelMetrics) onLoad(bytes int64) {
 	mm.loads.Inc()
 	mm.residentBytes.Set(float64(bytes))
 }
+
+// onKernelPanic records one contained kernel panic.
+func (mm *modelMetrics) onKernelPanic() { mm.kernelPanics.Inc() }
+
+// onQuarantineChange keeps the quarantine gauge current; entering a
+// quarantine also bumps the episode counter.
+func (mm *modelMetrics) onQuarantineChange(quarantined bool) {
+	if quarantined {
+		mm.quarantined.Set(1)
+	} else {
+		mm.quarantined.Set(0)
+	}
+}
+
+// onQuarantine records the start of one quarantine episode.
+func (mm *modelMetrics) onQuarantine() { mm.quarantines.Inc() }
 
 // onEvict records one budget eviction.
 func (mm *modelMetrics) onEvict(freed int64) {

@@ -61,6 +61,12 @@ var (
 
 	// ErrServerClosed is returned by Server.Serve after Shutdown.
 	ErrServerClosed = errors.New("serve: server closed")
+
+	// ErrModelQuarantined marks a model taken out of rotation after
+	// repeated kernel panics; it maps to HTTP 503 with an
+	// X-Model-Quarantined header so the mesh router routes around the
+	// replica instead of retrying into the same fault.
+	ErrModelQuarantined = errors.New("serve: model quarantined")
 )
 
 // TensorMetadata describes one model input or output in metadata responses.

@@ -13,8 +13,17 @@ import (
 	"time"
 
 	"mnn"
+	"mnn/internal/fault"
 	"mnn/internal/metrics"
 	"mnn/serve/admission"
+)
+
+// Quarantine policy defaults: a model is pulled from rotation after this
+// many kernel panics and held out for the cooldown, after which the next
+// request probes it half-open (one success clears the record).
+const (
+	DefaultQuarantineAfter    = 3
+	DefaultQuarantineCooldown = 30 * time.Second
 )
 
 // DefaultVersion is the version a model loads under when none is given, so
@@ -171,6 +180,14 @@ type Model struct {
 	lastUsed atomic.Int64 // unix nanos
 	isLoaded atomic.Bool  // lock-free mirror of loaded for victim scans
 
+	// Crash-containment record: panicCount accumulates kernel panics since
+	// the last clean probe; quarantinedUntil (unix nanos, 0 = healthy)
+	// fails requests fast while set; quarantineN counts quarantine
+	// episodes for metrics and tests.
+	panicCount       atomic.Int64
+	quarantinedUntil atomic.Int64
+	quarantineN      atomic.Int64
+
 	// outputNames and tuning are cached at (re)load so handlers and tests
 	// can read them without holding the lifecycle lock.
 	outMu       sync.Mutex
@@ -195,15 +212,45 @@ type Registry struct {
 	budget   int64
 	resident int64
 	metrics  *serverMetrics
+
+	// fault is the shared injector engines opened by this registry also
+	// use, so count= budgets in a chaos plan are process-global.
+	fault atomic.Pointer[fault.Injector]
+	// qAfter / qCooldownNs are the quarantine policy (see
+	// SetQuarantinePolicy); qAfter <= 0 disables quarantining.
+	qAfter      atomic.Int64
+	qCooldownNs atomic.Int64
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		models:  make(map[string]map[string]*Model),
 		pinned:  make(map[string]string),
 		metrics: newServerMetrics(),
 	}
+	r.qAfter.Store(DefaultQuarantineAfter)
+	r.qCooldownNs.Store(int64(DefaultQuarantineCooldown))
+	return r
+}
+
+// SetFaultInjector arms deterministic fault injection (mnnserve -chaos):
+// the registry.load site fires in its own loads, and every engine it opens
+// afterwards shares the injector, so one plan's count= budgets span the
+// whole process. A nil injector (the default) is a no-op.
+func (r *Registry) SetFaultInjector(in *fault.Injector) { r.fault.Store(in) }
+
+// FaultInjector returns the armed injector (nil when chaos is off).
+func (r *Registry) FaultInjector() *fault.Injector { return r.fault.Load() }
+
+// SetQuarantinePolicy tunes crash containment: a model that throws `after`
+// kernel panics is quarantined — requests fail fast with
+// ErrModelQuarantined (HTTP 503 + X-Model-Quarantined) — for `cooldown`,
+// then the next request probes it half-open; a clean probe restores it.
+// after <= 0 disables quarantining. The policy applies to all models.
+func (r *Registry) SetQuarantinePolicy(after int, cooldown time.Duration) {
+	r.qAfter.Store(int64(after))
+	r.qCooldownNs.Store(int64(cooldown))
 }
 
 // Metrics exposes the registry's metric families (what the server renders
@@ -253,6 +300,7 @@ func (r *Registry) refreshMetrics() {
 	r.mu.Unlock()
 	for _, m := range models {
 		m.mm.refresh(m.ctrl.Load())
+		m.mm.onQuarantineChange(m.Quarantined())
 		if m.isLoaded.Load() {
 			m.mm.residentBytes.Set(float64(atomic.LoadInt64(&m.bytesApprox)))
 		} else {
@@ -584,10 +632,106 @@ func (m *Model) Degraded() bool {
 // DefaultPriority is the class for requests that don't choose one.
 func (m *Model) DefaultPriority() admission.Priority { return m.defaultPri }
 
+// QuarantinedError is the typed form of ErrModelQuarantined; Until lets
+// the server compute a Retry-After for clients and the mesh router.
+type QuarantinedError struct {
+	Ref   string
+	Until time.Time
+}
+
+func (e *QuarantinedError) Error() string {
+	return fmt.Sprintf("serve: model %q quarantined after repeated kernel panics (until %s)",
+		e.Ref, e.Until.Format(time.RFC3339))
+}
+
+func (e *QuarantinedError) Unwrap() error { return ErrModelQuarantined }
+
+// Quarantined reports whether the model is currently held out of rotation
+// (without clearing an expired quarantine — that happens on the next
+// request's half-open probe).
+func (m *Model) Quarantined() bool {
+	until := m.quarantinedUntil.Load()
+	return until != 0 && time.Now().UnixNano() < until
+}
+
+// KernelPanics is the count of contained kernel panics since the last
+// clean half-open probe.
+func (m *Model) KernelPanics() int64 { return m.panicCount.Load() }
+
+// Quarantines counts quarantine episodes over the model's lifetime.
+func (m *Model) Quarantines() int64 { return m.quarantineN.Load() }
+
+// quarantineGate fails a request fast while the model is quarantined.
+// After the cooldown it lets exactly the callers through (half-open): the
+// quarantine record stays until a probe finishes cleanly, so a model that
+// still panics re-quarantines immediately on the next panic.
+func (m *Model) quarantineGate() error {
+	until := m.quarantinedUntil.Load()
+	if until == 0 {
+		return nil
+	}
+	now := time.Now().UnixNano()
+	if now < until {
+		return &QuarantinedError{Ref: m.Ref(), Until: time.Unix(0, until)}
+	}
+	// Cooldown over: clear the window so probes flow, keep panicCount so
+	// one more panic (count already ≥ after) re-quarantines instantly.
+	if m.quarantinedUntil.CompareAndSwap(until, 0) {
+		m.mm.onQuarantineChange(false)
+	}
+	return nil
+}
+
+// noteInferOutcome updates the crash-containment record after a request:
+// a contained kernel panic counts toward quarantine; a clean inference
+// wipes the record (closing any half-open probe window).
+func (m *Model) noteInferOutcome(err error) {
+	if err == nil {
+		if m.panicCount.Load() != 0 {
+			m.panicCount.Store(0)
+		}
+		return
+	}
+	if !errors.Is(err, mnn.ErrKernelPanic) {
+		return
+	}
+	m.mm.onKernelPanic()
+	n := m.panicCount.Add(1)
+	after := m.reg.qAfter.Load()
+	if after <= 0 || n < after {
+		return
+	}
+	until := time.Now().Add(time.Duration(m.reg.qCooldownNs.Load())).UnixNano()
+	if m.quarantinedUntil.CompareAndSwap(0, until) {
+		m.quarantineN.Add(1)
+		m.mm.onQuarantine()
+		m.mm.onQuarantineChange(true)
+	}
+}
+
 // loadLocked opens the model's engines (lifeMu held). The admission
 // controller is created once and survives later evictions.
+//
+// Loading is atomic: every failure path — including the injected
+// registry.load faults — leaves the model exactly as it was (no engine
+// leaked, no state mutated), so a failed lazy load is retried cleanly by
+// the next request.
 func (m *Model) loadLocked() error {
 	cfg := m.cfg
+	fi := m.reg.fault.Load()
+	if fi != nil {
+		// The opened engines share the registry's injector so one chaos
+		// plan spans load-time and infer-time sites with global budgets.
+		cfg.Options = append(append([]mnn.Option(nil), cfg.Options...),
+			mnn.WithFaultInjector(fi))
+	}
+	// "pre:" fires before any resource exists, "mid:" after the engines are
+	// open — the window where a non-atomic load would leak or half-commit.
+	if o := fi.Hit(fault.SiteRegistryLoad, "pre:"+m.Ref()); o != nil {
+		if err := o.Apply(); err != nil {
+			return fmt.Errorf("serve: load %q: %w", m.Ref(), err)
+		}
+	}
 	eng, err := mnn.Open(cfg.Model, cfg.Options...)
 	if err != nil {
 		return fmt.Errorf("serve: load %q: %w", m.Ref(), err)
@@ -617,6 +761,18 @@ func (m *Model) loadLocked() error {
 			}
 			eng.Close()
 			return fmt.Errorf("serve: load %q: opening int8 degrade engine: %w", m.Ref(), err)
+		}
+	}
+	if o := fi.Hit(fault.SiteRegistryLoad, "mid:"+m.Ref()); o != nil {
+		if err := o.Apply(); err != nil {
+			if b != nil {
+				b.close()
+			}
+			if deg != nil {
+				deg.Close()
+			}
+			eng.Close()
+			return fmt.Errorf("serve: load %q: %w", m.Ref(), err)
 		}
 	}
 	if cfg.Admission.Queue > 0 && m.ctrl.Load() == nil {
@@ -797,6 +953,9 @@ func (m *Model) Infer(ctx context.Context, inputs map[string]*mnn.Tensor) (map[s
 // lazy model the first request (and the first after an eviction) also
 // opens the engines.
 func (m *Model) InferWith(ctx context.Context, inputs map[string]*mnn.Tensor, pri admission.Priority) (map[string]*mnn.Tensor, InferInfo, error) {
+	if err := m.quarantineGate(); err != nil {
+		return nil, InferInfo{}, err
+	}
 	es, err := m.acquire()
 	if err != nil {
 		return nil, InferInfo{}, err
@@ -807,6 +966,7 @@ func (m *Model) InferWith(ctx context.Context, inputs map[string]*mnn.Tensor, pr
 		start := time.Now()
 		out, err := es.infer(ctx, inputs)
 		m.mm.observeInfer(time.Since(start))
+		m.noteInferOutcome(err)
 		return out, info, err
 	}
 	tk, err := es.ctrl.Acquire(ctx, pri)
@@ -837,6 +997,7 @@ func (m *Model) InferWith(ctx context.Context, inputs map[string]*mnn.Tensor, pr
 	}
 	tk.Release()
 	m.mm.observeInfer(time.Since(start))
+	m.noteInferOutcome(err)
 	return out, info, err
 }
 

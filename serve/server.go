@@ -202,8 +202,34 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v2/repository/models/{name}/unload", s.handleUnload)
 	mux.HandleFunc("DELETE /v2/repository/models/{name}", s.handleUnload)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return recoverHandler(mux)
 }
+
+// recoverHandler is the serving tier's outermost crash barrier: a panic
+// that escapes a handler (the engine barriers convert kernel panics to
+// errors long before this) turns into a 500 on this request instead of
+// killing the connection's goroutine state machine mid-response.
+// http.ErrAbortHandler is re-panicked — it is the sanctioned way to abort
+// a response and net/http handles it quietly.
+func recoverHandler(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				// Best effort: if the handler already wrote headers this
+				// write is a no-op and the client sees a torn body, which
+				// is still strictly better than a crashed server.
+				writeError(w, fmt.Errorf("%w: handler panic: %v", errInternalPanic, rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// errInternalPanic marks a handler panic caught by the outer barrier.
+var errInternalPanic = errors.New("serve: internal error")
 
 // handleMetrics renders the Prometheus text exposition: per-model latency
 // histograms (queue wait + infer), queue depth/capacity, in-flight, shed
@@ -287,8 +313,14 @@ func (s *Server) handleModelMetadata(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleModelReady(w http.ResponseWriter, r *http.Request) {
-	if _, err := s.reg.Get(r.PathValue("name")); err != nil {
+	m, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
 		writeError(w, err)
+		return
+	}
+	if m.Quarantined() {
+		w.Header().Set("X-Model-Quarantined", "true")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
@@ -445,6 +477,22 @@ func writeError(w http.ResponseWriter, err error) int {
 		// Wrapped without the struct (shouldn't happen, but stay 429).
 		code = http.StatusTooManyRequests
 		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrModelQuarantined):
+		// The replica is healthy, this model is not: 503 plus a marker
+		// header so the mesh router retries the request on another
+		// replica instead of backing off against this one.
+		code = http.StatusServiceUnavailable
+		w.Header().Set("X-Model-Quarantined", "true")
+		var qe *QuarantinedError
+		if errors.As(err, &qe) {
+			if secs := int(math.Ceil(time.Until(qe.Until).Seconds())); secs >= 1 {
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+			}
+		}
+	case errors.Is(err, mnn.ErrKernelPanic):
+		// Contained crash: the process and every other model are fine;
+		// the request gets a typed 500.
+		code = http.StatusInternalServerError
 	case errors.Is(err, ErrModelNotFound), errors.Is(err, mnn.ErrUnknownNetwork):
 		code = http.StatusNotFound
 	case errors.Is(err, ErrBadRequest), errors.Is(err, mnn.ErrInputShape),

@@ -13,6 +13,7 @@ import (
 
 	"mnn"
 	"mnn/internal/tensor"
+	"mnn/internal/tuner"
 )
 
 const tuningTestHW = 64
@@ -176,5 +177,53 @@ func TestTuningOptionValidation(t *testing.T) {
 		t.Error("unwritable tuning-cache path accepted")
 	} else if errors.Is(err, mnn.ErrUnknownNetwork) {
 		t.Errorf("wrong error class: %v", err)
+	}
+}
+
+// TestTuningTornWriteRecovery simulates a crash mid-persist (injected
+// tuner.cache.write=torn): the destination is left truncated and a stale
+// half-written temp file sits next to it. The contract is that no state
+// the crash left behind can break a later Open — it silently re-tunes
+// cold and repairs the cache for the Opens after it.
+func TestTuningTornWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "mobilenet.tuning.json")
+	plan, err := mnn.ParseFaultPlan(1, "tuner.cache.write=torn,count=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := mnn.Open("mobilenet-v1", mnn.WithThreads(2),
+		mnn.WithInputShapes(map[string][]int{"data": {1, 3, tuningTestHW, tuningTestHW}}),
+		mnn.WithTuning(mnn.TuningMeasured), mnn.WithTuningCache(cache),
+		mnn.WithFaultPlan(plan))
+	if err != nil {
+		t.Fatalf("Open under torn write = %v", err)
+	}
+	torn := eng.TuningStats()
+	eng.Close()
+	if torn.CacheSaved {
+		t.Fatalf("torn write still reported CacheSaved: %+v", torn)
+	}
+	// The damage is what a real crash leaves: corrupt destination plus a
+	// stale temp the atomic writer never renamed.
+	if _, err := tuner.LoadCacheFile(cache, "mobilenet-v1"); !errors.Is(err, tuner.ErrCacheCorrupt) {
+		t.Fatalf("destination after torn write: %v, want ErrCacheCorrupt", err)
+	}
+	temps, err := filepath.Glob(filepath.Join(dir, ".tuning-*.json"))
+	if err != nil || len(temps) == 0 {
+		t.Fatalf("no stale temp left behind (err=%v)", err)
+	}
+	// Recovery: the next Open treats the corrupt cache as cold, re-tunes,
+	// and atomically rewrites a good cache over the wreckage.
+	second := openTuned(t, cache).TuningStats()
+	if second.CacheLoaded {
+		t.Fatalf("corrupt cache was trusted: %+v", second)
+	}
+	if second.Measured == 0 || !second.CacheSaved {
+		t.Fatalf("recovery open did not re-tune and repair: %+v", second)
+	}
+	third := openTuned(t, cache).TuningStats()
+	if third.Measured != 0 || !third.CacheLoaded {
+		t.Fatalf("repaired cache not warm: %+v", third)
 	}
 }
