@@ -1,15 +1,18 @@
 // Command mnnserve exposes a Registry of prepared engines over the
-// KServe-style /v2 HTTP protocol, with per-model dynamic micro-batching.
+// KServe-style /v2 HTTP protocol, with per-model shape-bucketed continuous
+// batching.
 //
 //	mnnserve -addr :8500 -model mobilenet=mobilenet-v1,pool=4,threads=2
-//	mnnserve -model sq=squeezenet-v1.1,maxbatch=8,maxlatency=5ms \
+//	mnnserve -model sq=squeezenet-v1.1,maxbatch=8,maxlatency=5ms,buckets=4 \
 //	         -model det=path/to/detector.mnng,shape=data:1x3x320x320
 //	mnnserve -model mobilenet-v1 -max-batch 4        # global batching default
 //
 // Each -model flag is name=source[,key=value...]; a bare source serves under
 // its own name. Keys: pool, threads, forward, device, precision (fp32/int8),
 // tuning (heuristic/cost/measured), tuningcache (persistent tuning-cache
-// path), maxbatch, maxlatency, shape=input:AxBxC... (repeatable), queue
+// path), maxbatch, maxlatency, buckets (how many input-shape buckets the
+// batcher keeps batch engines for; 1 batches only the declared shape),
+// shape=input:AxBxC... (repeatable), queue
 // (admission queue depth; enables SLO-aware load shedding), concurrency,
 // slo (latency budget, e.g. slo=50ms), priority (default class:
 // high/normal/batch), degrade=int8 (route to a quantized engine under
@@ -117,6 +120,7 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "optional net/http/pprof listen address (e.g. localhost:6060); keep it off public interfaces")
 	maxBatch := flag.Int("max-batch", 0, "default micro-batch size for models that don't set maxbatch= (0 disables batching)")
 	maxLatency := flag.Duration("max-latency", serve.DefaultMaxLatency, "default micro-batch window for models that don't set maxlatency=")
+	maxBuckets := flag.Int("max-buckets", 0, "default shape-bucket bound for batching models that don't set buckets= (0 = serve.DefaultMaxBuckets; 1 batches only the declared input shape)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "grace period for draining in-flight requests on SIGINT/SIGTERM")
 	memoryBudget := flag.String("memory-budget", "", "resident-engine byte budget (e.g. 512MiB, 1GiB); models load lazily on first request and idle ones are evicted LRU under pressure (empty = unlimited, eager loads)")
 	chaos := flag.String("chaos", "", "fault-injection spec, e.g. 'session.kernel=panic,p=0.01;registry.load=error,count=1' (empty = disabled; see README)")
@@ -171,6 +175,9 @@ func main() {
 		if s.cfg.Batch.MaxLatency <= 0 {
 			s.cfg.Batch.MaxLatency = *maxLatency
 		}
+		if s.cfg.Batch.Buckets == 0 {
+			s.cfg.Batch.Buckets = *maxBuckets
+		}
 		// Measured picks only repeat across the batched and unbatched
 		// engines through a shared cache; without one the micro-batcher
 		// could commit different algorithms and break the batched≡unbatched
@@ -195,7 +202,11 @@ func main() {
 		m, _ := reg.Get(s.ref())
 		batching := "off"
 		if m.Batching() {
-			batching = fmt.Sprintf("%d within %v", s.cfg.Batch.MaxBatch, s.cfg.Batch.MaxLatency)
+			buckets := s.cfg.Batch.Buckets
+			if buckets <= 0 {
+				buckets = serve.DefaultMaxBuckets
+			}
+			batching = fmt.Sprintf("%d within %v, %d shape buckets", s.cfg.Batch.MaxBatch, s.cfg.Batch.MaxLatency, buckets)
 		}
 		adm := "off"
 		if m.Admission() {
@@ -301,6 +312,12 @@ func parseModelSpec(v string) (modelSpec, error) {
 				return modelSpec{}, fmt.Errorf("-model %q: maxlatency=%q: %v", v, val, err)
 			}
 			s.cfg.Batch.MaxLatency = d
+		case "buckets":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return modelSpec{}, fmt.Errorf("-model %q: buckets=%q: %v", v, val, err)
+			}
+			s.cfg.Batch.Buckets = n
 		case "queue":
 			n, err := strconv.Atoi(val)
 			if err != nil {

@@ -170,7 +170,7 @@ var Experiments = []string{
 	"table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
 	"figure7", "figure8", "figure9",
 	"ablation-strassen", "ablation-layout", "ablation-memory", "ablation-tile",
-	"throughput", "serving", "overload", "mesh", "allocs", "quant", "tuning",
+	"throughput", "serving", "overload", "bucketed", "mesh", "allocs", "quant", "tuning",
 	"chaos",
 }
 
@@ -213,6 +213,8 @@ func Run(name string, opt Options) error {
 		return Serving(opt)
 	case "overload":
 		return Overload(opt)
+	case "bucketed":
+		return Bucketed(opt)
 	case "mesh":
 		return Mesh(opt)
 	case "allocs":

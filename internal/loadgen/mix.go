@@ -1,0 +1,25 @@
+package loadgen
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// RoundRobin interleaves query funcs into one mixed workload: the i-th
+// call overall runs queries[i mod len(queries)]. The counter is atomic, so
+// the returned func is safe for the concurrent and open-loop generators,
+// which issue from many goroutines — under concurrency the interleave is
+// fair in aggregate rather than strictly ordered. Use it to offer a
+// mixed-shape stream to a bucketed batcher from a single generator run.
+func RoundRobin(queries ...func() error) (func() error, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("loadgen: RoundRobin needs at least one query")
+	}
+	if len(queries) == 1 {
+		return queries[0], nil
+	}
+	var n atomic.Uint64
+	return func() error {
+		return queries[(n.Add(1)-1)%uint64(len(queries))]()
+	}, nil
+}

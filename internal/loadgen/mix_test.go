@@ -1,0 +1,45 @@
+package loadgen
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRoundRobinInterleaves(t *testing.T) {
+	if _, err := RoundRobin(); err == nil {
+		t.Fatal("empty RoundRobin accepted")
+	}
+	counts := make([]int, 3)
+	queries := make([]func() error, len(counts))
+	var mu sync.Mutex
+	for i := range queries {
+		i := i
+		queries[i] = func() error {
+			mu.Lock()
+			counts[i]++
+			mu.Unlock()
+			return nil
+		}
+	}
+	q, err := RoundRobin(queries...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 30
+	var wg sync.WaitGroup
+	for i := 0; i < rounds; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := q(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, c := range counts {
+		if c != rounds/len(counts) {
+			t.Fatalf("query %d ran %d times, want %d: %v", i, c, rounds/len(counts), counts)
+		}
+	}
+}

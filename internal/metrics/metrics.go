@@ -126,8 +126,25 @@ func (f *family) child(values []string, build func() any) any {
 	return c
 }
 
+// delete removes the child with the given label values; a no-op when the
+// child doesn't exist.
+func (f *family) delete(values []string) {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	delete(f.children, key)
+	f.mu.Unlock()
+}
+
 // CounterVec is a labeled counter family.
 type CounterVec struct{ fam *family }
+
+// Delete drops the child for the given label values so the series of a
+// removed object stops appearing in scrapes. Resolving the same values
+// again with With starts a fresh child from zero.
+func (v *CounterVec) Delete(values ...string) { v.fam.delete(values) }
 
 // With resolves the child counter for the given label values.
 func (v *CounterVec) With(values ...string) *Counter {
@@ -154,6 +171,9 @@ func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
 // GaugeVec is a labeled gauge family.
 type GaugeVec struct{ fam *family }
 
+// Delete drops the child for the given label values (see CounterVec.Delete).
+func (v *GaugeVec) Delete(values ...string) { v.fam.delete(values) }
+
 // With resolves the child gauge for the given label values.
 func (v *GaugeVec) With(values ...string) *Gauge {
 	return v.fam.child(values, func() any { return &Gauge{} }).(*Gauge)
@@ -173,6 +193,9 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // HistogramVec is a labeled histogram family.
 type HistogramVec struct{ fam *family }
+
+// Delete drops the child for the given label values (see CounterVec.Delete).
+func (v *HistogramVec) Delete(values ...string) { v.fam.delete(values) }
 
 // With resolves the child histogram for the given label values.
 func (v *HistogramVec) With(values ...string) *Histogram {

@@ -175,3 +175,35 @@ func TestConcurrentUpdates(t *testing.T) {
 		t.Errorf("histogram count = %d, want 8000", got)
 	}
 }
+
+func TestVecDelete(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("test_bucket_gauge", "per-bucket gauge", "model", "bucket")
+	g.With("m", "a").Set(1)
+	g.With("m", "b").Set(2)
+	g.Delete("m", "a")
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, `bucket="a"`) {
+		t.Fatalf("deleted series still rendered:\n%s", out)
+	}
+	if !strings.Contains(out, `test_bucket_gauge{model="m",bucket="b"} 2`) {
+		t.Fatalf("surviving series missing:\n%s", out)
+	}
+	// Re-creating a deleted series starts from a fresh child.
+	g.With("m", "a").Add(5)
+	if v := g.With("m", "a").Value(); v != 5 {
+		t.Fatalf("recreated series value %v, want 5", v)
+	}
+	// Deleting a never-created series is a no-op; wrong label count panics.
+	g.Delete("m", "never")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Delete with wrong label count did not panic")
+		}
+	}()
+	g.Delete("m")
+}

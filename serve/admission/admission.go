@@ -222,6 +222,24 @@ type Ticket struct {
 // QueueWait is how long the request waited for its slot.
 func (t *Ticket) QueueWait() time.Duration { return t.wait }
 
+// EffectiveDeadline is the admission tier's deadline rule, shared with the
+// serve tier's micro-batcher: the earlier of the caller's context deadline
+// and the SLO budget measured from arrival. ok is false when neither
+// bounds the request. A nil ctx means no client deadline.
+func EffectiveDeadline(ctx context.Context, arrival time.Time, slo time.Duration) (deadline time.Time, ok bool) {
+	if ctx != nil {
+		if d, has := ctx.Deadline(); has {
+			deadline, ok = d, true
+		}
+	}
+	if slo > 0 {
+		if sd := arrival.Add(slo); !ok || sd.Before(deadline) {
+			deadline, ok = sd, true
+		}
+	}
+	return deadline, ok
+}
+
 // Acquire admits, queues, or sheds one request. It blocks until an
 // execution slot is granted, the request is shed, ctx is done, or the
 // controller closes. The deadline check runs before the ctx liveness check
@@ -238,17 +256,7 @@ func (c *Controller) Acquire(ctx context.Context, pri Priority) (*Ticket, error)
 		return nil, ErrClosed
 	}
 
-	// Effective deadline: the earlier of the client's ctx deadline and the
-	// model SLO measured from arrival.
-	deadline, hasDeadline := time.Time{}, false
-	if d, ok := ctx.Deadline(); ok {
-		deadline, hasDeadline = d, true
-	}
-	if c.cfg.SLO > 0 {
-		if sd := now.Add(c.cfg.SLO); !hasDeadline || sd.Before(deadline) {
-			deadline, hasDeadline = sd, true
-		}
-	}
+	deadline, hasDeadline := EffectiveDeadline(ctx, now, c.cfg.SLO)
 
 	// Reject-early: with a service-time estimate, a request whose expected
 	// completion (queue drain + own service) misses the deadline is shed

@@ -341,3 +341,29 @@ func TestConcurrentChurn(t *testing.T) {
 		t.Fatalf("nothing admitted: %+v", st)
 	}
 }
+
+// TestEffectiveDeadline: the batched-run deadline is the tighter of the
+// caller's context deadline and arrival+SLO, and absent entirely when
+// neither is set.
+func TestEffectiveDeadline(t *testing.T) {
+	arrival := time.Now()
+	if _, ok := EffectiveDeadline(context.Background(), arrival, 0); ok {
+		t.Fatal("deadline reported with no ctx deadline and no SLO")
+	}
+	if d, ok := EffectiveDeadline(nil, arrival, 50*time.Millisecond); !ok || !d.Equal(arrival.Add(50*time.Millisecond)) {
+		t.Fatalf("SLO-only: got %v ok=%v", d, ok)
+	}
+	ctxDL := arrival.Add(20 * time.Millisecond)
+	ctx, cancel := context.WithDeadline(context.Background(), ctxDL)
+	defer cancel()
+	if d, ok := EffectiveDeadline(ctx, arrival, 0); !ok || !d.Equal(ctxDL) {
+		t.Fatalf("ctx-only: got %v ok=%v, want %v", d, ok, ctxDL)
+	}
+	// Both set: the earlier one wins, whichever that is.
+	if d, ok := EffectiveDeadline(ctx, arrival, 50*time.Millisecond); !ok || !d.Equal(ctxDL) {
+		t.Fatalf("ctx tighter: got %v ok=%v, want %v", d, ok, ctxDL)
+	}
+	if d, ok := EffectiveDeadline(ctx, arrival, 5*time.Millisecond); !ok || !d.Equal(arrival.Add(5*time.Millisecond)) {
+		t.Fatalf("SLO tighter: got %v ok=%v", d, ok)
+	}
+}

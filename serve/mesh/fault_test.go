@@ -332,3 +332,46 @@ func TestMeshRouterCloseNoLeaksUnderChaos(t *testing.T) {
 	rt.Close()
 	ft.CloseIdleConnections()
 }
+
+// TestCanarySeedDeterminism is the regression for canary picks drawing
+// from the unseeded global rand while backoff jitter used the seeded
+// stream: with a fixed RetrySeed, the sequence of canary decisions must
+// replay exactly, and a different seed must produce a different sequence.
+func TestCanarySeedDeterminism(t *testing.T) {
+	rule := CanaryRule{{Version: "1", Weight: 50}, {Version: "2", Weight: 50}}
+	draw := func(seed uint64) []string {
+		rt, err := New(Config{
+			Replicas:       []string{"http://127.0.0.1:1"},
+			RetrySeed:      seed,
+			HealthInterval: time.Hour,
+			HealthTimeout:  time.Millisecond,
+			Canary:         map[string]CanaryRule{"tiny": rule},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Close()
+		out := make([]string, 64)
+		for i := range out {
+			out[i] = rule.pick(rt.randFloat())
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at pick %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := draw(1042)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-pick canary sequences")
+	}
+}

@@ -214,10 +214,18 @@ func backoffDelay(base, cap time.Duration, attempt int, jitter float64) time.Dur
 // nextBackoff draws one jittered delay (the jitter stream is shared across
 // requests, so it is locked).
 func (rt *Router) nextBackoff(attempt int) time.Duration {
+	return backoffDelay(rt.cfg.RetryBackoffBase, rt.cfg.RetryBackoffCap, attempt, rt.randFloat())
+}
+
+// randFloat draws one uniform sample from the router's seeded stream. All
+// of the router's randomness — retry jitter and canary version picks —
+// comes from this one PCG stream, so a fixed RetrySeed replays the whole
+// routing behaviour deterministically (what -chaos soaks and the mesh
+// tests rely on).
+func (rt *Router) randFloat() float64 {
 	rt.jitterMu.Lock()
-	j := rt.jitter()
-	rt.jitterMu.Unlock()
-	return backoffDelay(rt.cfg.RetryBackoffBase, rt.cfg.RetryBackoffCap, attempt, j)
+	defer rt.jitterMu.Unlock()
+	return rt.jitter()
 }
 
 // New validates the configuration, runs one synchronous health round (so a
@@ -442,7 +450,7 @@ func (rt *Router) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if rule, ok := rt.cfg.Canary[name]; ok && version == "" {
 		// Canary applies only to unpinned requests: a pinned version is a
 		// client decision the router must not override.
-		version = rule.pick(rand.Float64())
+		version = rule.pick(rt.randFloat())
 		ref = serve.JoinRef(name, version)
 		rt.metrics.canary.With(name, version).Inc()
 	}

@@ -32,6 +32,12 @@ type serverMetrics struct {
 	batchedReqs  *metrics.CounterVec // mnn_batched_requests_total{model}
 	batchFill    *metrics.GaugeVec   // mnn_batch_fill_ratio{model}
 
+	bucketDepth  *metrics.GaugeVec   // mnn_batch_bucket_depth{model,bucket}
+	bucketAge    *metrics.GaugeVec   // mnn_batch_bucket_age_seconds{model,bucket}
+	bucketFill   *metrics.GaugeVec   // mnn_batch_bucket_fill_ratio{model,bucket}
+	bucketCount  *metrics.GaugeVec   // mnn_batch_buckets{model}
+	bucketEvicts *metrics.CounterVec // mnn_batch_bucket_evictions_total{model}
+
 	degraded    *metrics.GaugeVec   // mnn_degraded{model}
 	transitions *metrics.CounterVec // mnn_degrade_transitions_total{model}
 
@@ -72,6 +78,16 @@ func newServerMetrics() *serverMetrics {
 			"Requests that went through micro-batcher flushes, per model.", "model"),
 		batchFill: r.NewGauge("mnn_batch_fill_ratio",
 			"Cumulative micro-batch fill: batched requests / (flushes × max batch).", "model"),
+		bucketDepth: r.NewGauge("mnn_batch_bucket_depth",
+			"Requests queued in one shape bucket at scrape time.", "model", "bucket"),
+		bucketAge: r.NewGauge("mnn_batch_bucket_age_seconds",
+			"Age of the oldest request queued in one shape bucket at scrape time.", "model", "bucket"),
+		bucketFill: r.NewGauge("mnn_batch_bucket_fill_ratio",
+			"Cumulative per-bucket batch fill: batched requests / (flushes × max batch).", "model", "bucket"),
+		bucketCount: r.NewGauge("mnn_batch_buckets",
+			"Shape buckets currently tracked by the model's batcher.", "model"),
+		bucketEvicts: r.NewCounter("mnn_batch_bucket_evictions_total",
+			"Shape buckets evicted (engine closed) under the bucket bound, per model.", "model"),
 		degraded: r.NewGauge("mnn_degraded",
 			"1 while the model is routed to its degrade engine under sustained overload.", "model"),
 		transitions: r.NewCounter("mnn_degrade_transitions_total",
@@ -121,6 +137,9 @@ type modelMetrics struct {
 	flushes  uint64
 	samples  uint64
 	maxBatch int
+	// seenBuckets tracks which bucket-label children exist so the series
+	// of evicted buckets are deleted at the next scrape.
+	seenBuckets map[string]bool
 }
 
 // forModel resolves (and zero-initializes) the children for one model.
@@ -155,6 +174,8 @@ func (sm *serverMetrics) forModel(name string, queueCap, maxBatch int) *modelMet
 		sm.batchFlushes.With(name)
 		sm.batchedReqs.With(name)
 		sm.batchFill.With(name).Set(0)
+		sm.bucketCount.With(name).Set(0)
+		sm.bucketEvicts.With(name)
 	}
 	return mm
 }
@@ -189,6 +210,34 @@ func (mm *modelMetrics) recordFlush(n int) {
 	mm.sm.batchFlushes.With(mm.name).Inc()
 	mm.sm.batchedReqs.With(mm.name).Add(float64(n))
 	mm.sm.batchFill.With(mm.name).Set(fill)
+}
+
+// onBucketEvict is wired as the batcher's eviction hook.
+func (mm *modelMetrics) onBucketEvict() { mm.sm.bucketEvicts.With(mm.name).Inc() }
+
+// refreshBuckets publishes the batcher's per-bucket scrape-time gauges and
+// deletes the series of buckets that no longer exist (evicted, or the
+// whole batcher gone with an evicted model).
+func (mm *modelMetrics) refreshBuckets(st batcherStats) {
+	current := make(map[string]bool, len(st.buckets))
+	for _, bs := range st.buckets {
+		current[bs.sig] = true
+		mm.sm.bucketDepth.With(mm.name, bs.sig).Set(float64(bs.depth))
+		mm.sm.bucketAge.With(mm.name, bs.sig).Set(bs.oldestAge.Seconds())
+		mm.sm.bucketFill.With(mm.name, bs.sig).Set(bs.fill)
+	}
+	mm.sm.bucketCount.With(mm.name).Set(float64(len(st.buckets)))
+	mm.mu.Lock()
+	prev := mm.seenBuckets
+	mm.seenBuckets = current
+	mm.mu.Unlock()
+	for sig := range prev {
+		if !current[sig] {
+			mm.sm.bucketDepth.Delete(mm.name, sig)
+			mm.sm.bucketAge.Delete(mm.name, sig)
+			mm.sm.bucketFill.Delete(mm.name, sig)
+		}
+	}
 }
 
 // onLoad records one engine load (lifecycle counter + residency gauge).

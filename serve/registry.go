@@ -71,8 +71,27 @@ type BatchConfig struct {
 	MaxBatch int
 	// MaxLatency bounds how long the first queued request waits for the
 	// batch to fill before a partial flush (default 2ms when batching is
-	// enabled). Larger values trade tail latency for bigger batches.
+	// enabled). Larger values trade tail latency for bigger batches. A
+	// request whose effective deadline cannot afford the full window cuts
+	// its batch early instead.
 	MaxLatency time.Duration
+	// Buckets bounds how many input-shape buckets — each holding a batch-
+	// prepared engine keyed by the request's shape signature — may be
+	// resident at once. 0 means DefaultMaxBuckets. 1 keeps only the bucket
+	// of the model's declared input shapes, so every other shape falls
+	// through to the unbatched engine (the pre-bucketing behaviour).
+	// Buckets past the bound are opened by evicting the least-recently-used
+	// idle one; when all are busy the request falls through.
+	Buckets int
+}
+
+// validate rejects inconsistent batching configuration; failures wrap
+// ErrBadRequest so the repository API maps them to HTTP 400.
+func (b BatchConfig) validate() error {
+	if b.Buckets < 0 {
+		return fmt.Errorf("%w: batch buckets %d is negative", ErrBadRequest, b.Buckets)
+	}
+	return nil
 }
 
 // DefaultMaxLatency is the batching window used when BatchConfig enables
@@ -306,6 +325,12 @@ func (r *Registry) refreshMetrics() {
 		} else {
 			m.mm.residentBytes.Set(0)
 		}
+		if m.cfg.Batch.MaxBatch > 1 {
+			// Zero stats while the batcher isn't resident clear the
+			// per-bucket series instead of freezing them at stale values.
+			bs, _ := m.batcherStats()
+			m.mm.refreshBuckets(bs)
+		}
 	}
 }
 
@@ -337,6 +362,9 @@ func (r *Registry) Load(ref string, cfg ModelConfig) error {
 		version = DefaultVersion
 	}
 	if err := cfg.Admission.validate(); err != nil {
+		return fmt.Errorf("serve: load %q: %w", ref, err)
+	}
+	if err := cfg.Batch.validate(); err != nil {
 		return fmt.Errorf("serve: load %q: %w", ref, err)
 	}
 	if rdr, ok := cfg.Model.(io.Reader); ok {
@@ -738,7 +766,11 @@ func (m *Model) loadLocked() error {
 	}
 	var b *batcher
 	if cfg.Batch.MaxBatch > 1 {
-		b, err = newBatcher(cfg, eng, m.mm.recordFlush)
+		b, err = newBatcher(cfg, eng, batcherHooks{
+			onFlush:   m.mm.recordFlush,
+			noteBytes: m.noteBucketBytes,
+			onEvict:   m.mm.onBucketEvict,
+		})
 		if err != nil {
 			eng.Close()
 			return fmt.Errorf("serve: load %q: %w", m.Ref(), err)
@@ -812,18 +844,44 @@ func (m *Model) loadLocked() error {
 	return nil
 }
 
-// engineSetBytes sums the byte accounting of a model's engines. Weights of
-// a shared graph are counted per engine — a deliberately conservative
-// estimate, so the budget can under-fill but never silently over-fill.
+// engineSetBytes sums the byte accounting of a model's engines opened at
+// load time (the batcher's primary bucket engine included; dynamically
+// opened bucket engines report themselves through noteBucketBytes).
+// Weights of a shared graph are counted per engine — a deliberately
+// conservative estimate, so the budget can under-fill but never silently
+// over-fill.
 func engineSetBytes(eng *mnn.Engine, b *batcher, deg *mnn.Engine) int64 {
 	total := eng.MemoryBytes()
 	if b != nil {
-		total += b.eng.MemoryBytes()
+		total += b.primaryBytes()
 	}
 	if deg != nil {
 		total += deg.MemoryBytes()
 	}
 	return total
+}
+
+// noteBucketBytes is the batcher's accounting hook for dynamically opened
+// bucket engines: it keeps the registry's resident-byte gauge and the
+// model's lock-free mirror in step as shape buckets open and are evicted.
+// The memory budget is enforced at the next load rather than here —
+// enforcing from a batch worker could deadlock against an eviction waiting
+// on that same worker — so dynamic buckets may transiently overshoot it.
+func (m *Model) noteBucketBytes(delta int64) {
+	atomic.AddInt64(&m.bytesApprox, delta)
+	m.reg.noteResident(delta)
+}
+
+// batcherStats snapshots the batcher's bucket table (ok=false while the
+// model has no resident batcher).
+func (m *Model) batcherStats() (batcherStats, bool) {
+	m.lifeMu.Lock()
+	b := m.batcher
+	m.lifeMu.Unlock()
+	if b == nil {
+		return batcherStats{}, false
+	}
+	return b.stats(), true
 }
 
 // acquire snapshots the model's engines for one request, loading them
@@ -938,9 +996,9 @@ type InferInfo struct {
 }
 
 // Infer runs one logical request at the model's default priority. With
-// batching enabled, single-sample requests matching the prepared shape are
-// coalesced into batched runs; everything else falls through to the
-// unbatched engine.
+// batching enabled, single-sample requests are coalesced into batched runs
+// per input-shape bucket; requests that cannot occupy a batch slot (or
+// whose shape cannot get a bucket) fall through to the unbatched engine.
 func (m *Model) Infer(ctx context.Context, inputs map[string]*mnn.Tensor) (map[string]*mnn.Tensor, error) {
 	out, _, err := m.InferWith(ctx, inputs, m.defaultPri)
 	return out, err

@@ -339,7 +339,9 @@ func TestServeEndToEnd(t *testing.T) {
 }
 
 // TestBatcherPartialFlushAndFallThrough covers the maxLatency partial-flush
-// path and the fall-through for requests the batcher cannot stack.
+// path (pad-and-mask on the bucket engine), the bucketed serving of a shape
+// other than the declared one, and the fall-through for requests the
+// batcher cannot stack at all.
 func TestBatcherPartialFlushAndFallThrough(t *testing.T) {
 	reg := NewRegistry()
 	defer reg.Close()
@@ -357,8 +359,8 @@ func TestBatcherPartialFlushAndFallThrough(t *testing.T) {
 	}
 
 	// 3 concurrent requests against maxBatch 8: the latency timer must
-	// flush a partial batch through the fallback engine, with results
-	// identical to direct unbatched inference.
+	// flush a partial batch — padded and masked on the bucket engine — with
+	// results identical to direct unbatched inference.
 	inputs := make([]*mnn.Tensor, 3)
 	want := make([]map[string]*mnn.Tensor, 3)
 	for i := range inputs {
@@ -384,15 +386,35 @@ func TestBatcherPartialFlushAndFallThrough(t *testing.T) {
 	}
 	wg.Wait()
 
-	// A wrong-shape request falls through to the unbatched engine and gets
-	// its precise ErrInputShape.
-	odd := tensor.New(1, 3, 8, 8)
-	if _, err := m.Infer(context.Background(), map[string]*mnn.Tensor{"data": odd}); !errors.Is(err, mnn.ErrInputShape) {
-		t.Fatalf("odd shape: %v, want ErrInputShape", err)
+	// A single-sample request with a shape other than the declared one is
+	// served by its own shape bucket now (pre-bucketing it was rejected
+	// with ErrInputShape), bitwise identical to an engine prepared at that
+	// shape.
+	odd := randomInput(77, []int{1, 3, 8, 8})
+	oddRef, err := mnn.Open(tinyGraph(t), mnn.WithInputShapes(map[string][]int{"data": {1, 3, 8, 8}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oddRef.Close()
+	oddWant, err := oddRef.Infer(context.Background(), map[string]*mnn.Tensor{"data": odd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oddGot, err := m.Infer(context.Background(), map[string]*mnn.Tensor{"data": odd})
+	if err != nil {
+		t.Fatalf("odd shape via bucket: %v", err)
+	}
+	assertIdentical(t, "odd-shape bucket", oddGot, oddWant)
+
+	// A request that can never occupy one batch slot — leading batch dim
+	// that isn't 1 — falls through to the unbatched engine and gets its
+	// precise ErrInputShape.
+	if _, err := m.Infer(context.Background(), map[string]*mnn.Tensor{"data": tensor.New(2, 3, 16, 16)}); !errors.Is(err, mnn.ErrInputShape) {
+		t.Fatalf("batch-dim-2 shape: %v, want ErrInputShape", err)
 	}
 	// So does a request naming an unknown input.
 	if _, err := m.Infer(context.Background(), map[string]*mnn.Tensor{
-		"data": randomInput(9, []int{1, 3, 16, 16}), "bogus": odd,
+		"data": randomInput(9, []int{1, 3, 16, 16}), "bogus": tensor.New(1, 3, 8, 8),
 	}); !errors.Is(err, mnn.ErrInputShape) {
 		t.Fatalf("unknown input: %v, want ErrInputShape", err)
 	}

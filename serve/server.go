@@ -100,6 +100,10 @@ type LoadRequest struct {
 	MaxBatch int `json:"max_batch,omitempty"`
 	// MaxLatencyMs is the batching window in milliseconds (default 2).
 	MaxLatencyMs float64 `json:"max_latency_ms,omitempty"`
+	// Buckets bounds how many input-shape buckets the micro-batcher keeps
+	// batch engines for (0 = default; 1 = only the declared input shape,
+	// other shapes fall through unbatched).
+	Buckets int `json:"buckets,omitempty"`
 	// Queue > 0 enables admission control: a bounded queue of that depth in
 	// front of the engine, with overflow rejected as HTTP 429.
 	Queue int `json:"queue,omitempty"`
@@ -159,6 +163,7 @@ func (r LoadRequest) ModelConfig() (ModelConfig, error) {
 		Batch: BatchConfig{
 			MaxBatch:   r.MaxBatch,
 			MaxLatency: time.Duration(r.MaxLatencyMs * float64(time.Millisecond)),
+			Buckets:    r.Buckets,
 		},
 		Admission: AdmissionConfig{
 			Queue:           r.Queue,
