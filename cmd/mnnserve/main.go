@@ -12,7 +12,11 @@
 // tuning (heuristic/cost/measured), tuningcache (persistent tuning-cache
 // path), maxbatch, maxlatency, buckets (how many input-shape buckets the
 // batcher keeps batch engines for; 1 batches only the declared shape),
-// shape=input:AxBxC... (repeatable), queue
+// shape=input:AxBxC... (repeatable), maxshape=input:AxBxC... (repeatable;
+// opens a dynamic engine planned once at the max shape — requests may then
+// use any shape elementwise ≤ the max, and the batcher serves every in-plan
+// shape bucket from one shared batch engine; mutually exclusive with
+// shape), queue
 // (admission queue depth; enables SLO-aware load shedding), concurrency,
 // slo (latency budget, e.g. slo=50ms), priority (default class:
 // high/normal/batch), degrade=int8 (route to a quantized engine under
@@ -378,8 +382,25 @@ func parseModelSpec(v string) (modelSpec, error) {
 				lo.InputShapes = make(map[string][]int)
 			}
 			lo.InputShapes[input] = shape
+		case "maxshape":
+			input, dims, ok := strings.Cut(val, ":")
+			if !ok {
+				return modelSpec{}, fmt.Errorf("-model %q: maxshape=%q: want input:AxBxC...", v, val)
+			}
+			var shape []int
+			for _, d := range strings.Split(dims, "x") {
+				n, err := strconv.Atoi(d)
+				if err != nil {
+					return modelSpec{}, fmt.Errorf("-model %q: maxshape=%q: %v", v, val, err)
+				}
+				shape = append(shape, n)
+			}
+			if lo.MaxInputShapes == nil {
+				lo.MaxInputShapes = make(map[string][]int)
+			}
+			lo.MaxInputShapes[input] = shape
 		default:
-			return modelSpec{}, fmt.Errorf("-model %q: unknown option %q (want pool, threads, forward, device, precision, tuning, tuningcache, maxbatch, maxlatency, shape, queue, concurrency, slo, priority, degrade, version, default or lazy)", v, key)
+			return modelSpec{}, fmt.Errorf("-model %q: unknown option %q (want pool, threads, forward, device, precision, tuning, tuningcache, maxbatch, maxlatency, shape, maxshape, queue, concurrency, slo, priority, degrade, version, default or lazy)", v, key)
 		}
 	}
 	opts, err := lo.EngineOptions()

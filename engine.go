@@ -90,6 +90,22 @@ func Open(model any, opts ...Option) (*Engine, error) {
 	if cfg.fi == nil {
 		cfg.fi = fault.NewInjector(cfg.faultPlan) // nil plan → nil injector
 	}
+	if cfg.dynamic {
+		// Dynamic shapes re-derive geometry on prepared CPU kernels; the
+		// ablation path re-prepares anyway and the int8/GPU paths bake
+		// shape-dependent state (quant plans, staging schedules) into the
+		// prepared form.
+		if cfg.noPrep {
+			return nil, fmt.Errorf("mnn: WithMaxInputShapes is incompatible with WithoutPreparation")
+		}
+		if cfg.precision == PrecisionInt8 {
+			return nil, fmt.Errorf("mnn: WithMaxInputShapes requires fp32 precision")
+		}
+		if cfg.forward != ForwardAuto && cfg.forward != ForwardCPU {
+			return nil, fmt.Errorf("%w: dynamic shapes require the CPU backend", ErrUnknownBackend)
+		}
+		cfg.forward = ForwardCPU
+	}
 	g, err := resolveModel(model)
 	if err != nil {
 		return nil, err
@@ -241,13 +257,16 @@ func newBackends(cfg engineConfig, clock *simclock.Clock) ([]backend.Backend, er
 	// operator dispatches onto it, so steady-state inference spawns no
 	// goroutines. Session.Close (via Engine.Close) releases the workers.
 	var force func(*graph.Node, core.ConvDecision) core.ConvDecision
+	var gemm func(*graph.Node) (bool, bool)
 	if cfg.tuningPlan != nil {
 		force = cfg.tuningPlan.ForceScheme
+		gemm = cfg.tuningPlan.GemmScheme
 	}
 	backends := []backend.Backend{
 		cpu.New(cpu.Config{Threads: cfg.threads, Device: dev, Clock: clock,
 			Pool:        sched.New(cfg.threads),
 			ForceScheme: force,
+			GemmScheme:  gemm,
 			Int8:        cfg.precision == PrecisionInt8, QuantPlan: cfg.int8Plan,
 			ActScales: cfg.actScales, NonNegActs: cfg.nonNegActs}),
 	}
@@ -331,6 +350,14 @@ func newPreparedSession(g *graph.Graph, cfg engineConfig, clock *simclock.Clock)
 			}
 		}
 		return nil, err
+	}
+	if cfg.dynamic {
+		// Done here (not in Open's pool loop) so panic-poisoned sessions
+		// rebuilt mid-serve come back dynamic too.
+		if err := s.EnableDynamic(); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("mnn: dynamic shapes: %w", err)
+		}
 	}
 	return s, nil
 }
@@ -592,12 +619,19 @@ func (e *Engine) drainPool() {
 }
 
 // fillInputs validates the request against the prepared shapes and copies
-// the caller's tensors into the session.
+// the caller's tensors into the session. On a dynamic engine the prepared
+// shapes are maxima: any input of matching rank with every dim <= the max
+// is accepted, and the session's activation shapes are re-derived in place
+// before the copy; anything else fails with ErrShapeOutOfPlan *before* a
+// single arena byte is touched.
 func (e *Engine) fillInputs(s *session.Session, inputs map[string]*Tensor) error {
 	for name := range inputs {
 		if _, ok := e.inputShapes[name]; !ok {
 			return fmt.Errorf("%w: unknown input %q (model inputs: %v)", ErrInputShape, name, e.inputNames)
 		}
+	}
+	if e.cfg.dynamic {
+		return e.fillInputsDynamic(s, inputs)
 	}
 	for _, name := range e.inputNames {
 		t, ok := inputs[name]
@@ -609,6 +643,37 @@ func (e *Engine) fillInputs(s *session.Session, inputs map[string]*Tensor) error
 			return fmt.Errorf("%w: input %q has shape %v, engine prepared %v", ErrInputShape, name, t.Shape(), dst.Shape())
 		}
 		dst.CopyFrom(t)
+	}
+	return nil
+}
+
+// fillInputsDynamic is fillInputs' dynamic-shape path. The happy path — a
+// shape the session has already derived a plan for — performs zero
+// allocations.
+func (e *Engine) fillInputsDynamic(s *session.Session, inputs map[string]*Tensor) error {
+	for _, name := range e.inputNames {
+		t, ok := inputs[name]
+		if !ok || t == nil {
+			return fmt.Errorf("%w: missing input %q", ErrInputShape, name)
+		}
+		max := e.inputShapes[name]
+		ts := t.Shape()
+		if len(ts) != len(max) {
+			return fmt.Errorf("%w: input %q has rank %d, plan has rank %d (max shape %v)",
+				ErrShapeOutOfPlan, name, len(ts), len(max), max)
+		}
+		for i, d := range ts {
+			if d < 1 || d > max[i] {
+				return fmt.Errorf("%w: input %q shape %v exceeds planned max %v at dim %d",
+					ErrShapeOutOfPlan, name, ts, max, i)
+			}
+		}
+	}
+	if err := s.ApplyInputShapes(inputs); err != nil {
+		return fmt.Errorf("%w: %v", ErrShapeOutOfPlan, err)
+	}
+	for _, name := range e.inputNames {
+		s.Input(name).CopyFrom(inputs[name])
 	}
 	return nil
 }
@@ -684,8 +749,23 @@ func (e *Engine) InputNames() []string { return append([]string(nil), e.inputNam
 func (e *Engine) OutputNames() []string { return append([]string(nil), e.outputNames...) }
 
 // InputShape returns the prepared shape of a declared input (nil if unknown).
+// On a dynamic engine this is the planned maximum shape.
 func (e *Engine) InputShape(name string) []int {
 	return append([]int(nil), e.inputShapes[name]...)
+}
+
+// DynamicShapes returns the planned maximum input shapes when the engine was
+// opened with WithMaxInputShapes, nil otherwise. The serving tier uses this
+// to detect that one engine can batch every sequence length up to the max.
+func (e *Engine) DynamicShapes() map[string][]int {
+	if !e.cfg.dynamic {
+		return nil
+	}
+	out := make(map[string][]int, len(e.inputShapes))
+	for name, s := range e.inputShapes {
+		out[name] = append([]int(nil), s...)
+	}
+	return out
 }
 
 // Stats returns pre-inference statistics (backend assignment, scheme counts,

@@ -23,6 +23,13 @@ var (
 	// tensor whose shape disagrees with the prepared session.
 	ErrInputShape = errors.New("mnn: input shape mismatch")
 
+	// ErrShapeOutOfPlan is returned by Engine.Infer on a dynamic engine
+	// (WithMaxInputShapes) when a request's input shape cannot be served by
+	// the planned arena: wrong rank, a dim exceeding the planned maximum, or
+	// a derived activation that would overflow its planned buffer. The
+	// request is rejected before any arena byte is read or written.
+	ErrShapeOutOfPlan = errors.New("mnn: input shape outside planned maximum")
+
 	// ErrCancelled is returned by Engine.Infer when the context is
 	// cancelled or its deadline expires, either while waiting for a pooled
 	// session or between pipeline operators mid-inference.

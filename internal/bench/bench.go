@@ -170,8 +170,8 @@ var Experiments = []string{
 	"table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
 	"figure7", "figure8", "figure9",
 	"ablation-strassen", "ablation-layout", "ablation-memory", "ablation-tile",
-	"throughput", "serving", "overload", "bucketed", "mesh", "allocs", "quant", "tuning",
-	"chaos",
+	"throughput", "serving", "overload", "bucketed", "transformer", "mesh", "allocs",
+	"quant", "tuning", "chaos",
 }
 
 // Run dispatches one experiment by name.
@@ -215,6 +215,8 @@ func Run(name string, opt Options) error {
 		return Overload(opt)
 	case "bucketed":
 		return Bucketed(opt)
+	case "transformer":
+		return Transformer(opt)
 	case "mesh":
 		return Mesh(opt)
 	case "allocs":

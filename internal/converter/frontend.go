@@ -287,7 +287,40 @@ func parseJSONAttrs(n *graph.Node, raw json.RawMessage) error {
 			return err
 		}
 		n.Attrs = &graph.PaddingAttrs{Top: a.Top, Bottom: a.Bottom, Left: a.Left, Right: a.Right}
-	case graph.OpReLU, graph.OpReLU6, graph.OpSigmoid, graph.OpTanh:
+	case graph.OpLayerNorm:
+		var a struct {
+			Eps float32 `json:"eps"`
+		}
+		if raw != nil {
+			if err := json.Unmarshal(raw, &a); err != nil {
+				return err
+			}
+		}
+		if a.Eps == 0 {
+			a.Eps = 1e-5
+		}
+		n.Attrs = &graph.LayerNormAttrs{Eps: a.Eps}
+	case graph.OpMatMul:
+		var a struct {
+			Heads      int     `json:"heads"`
+			TransposeB bool    `json:"transpose_b"`
+			Scale      float32 `json:"scale"`
+		}
+		if raw != nil {
+			if err := json.Unmarshal(raw, &a); err != nil {
+				return err
+			}
+		}
+		n.Attrs = &graph.MatMulAttrs{Heads: a.Heads, TransposeB: a.TransposeB, Scale: a.Scale}
+	case graph.OpTranspose:
+		var a struct {
+			Perm []int `json:"perm"`
+		}
+		if err := unmarshal(&a); err != nil {
+			return err
+		}
+		n.Attrs = &graph.TransposeAttrs{Perm: a.Perm}
+	case graph.OpReLU, graph.OpReLU6, graph.OpSigmoid, graph.OpTanh, graph.OpGELU:
 		n.Attrs = nil
 	default:
 		return fmt.Errorf("unsupported op %v", n.Op)
@@ -360,6 +393,12 @@ func exportAttrs(n *graph.Node) (json.RawMessage, error) {
 		v = nil
 	case *graph.PaddingAttrs:
 		v = map[string]any{"Top": a.Top, "Bottom": a.Bottom, "Left": a.Left, "Right": a.Right}
+	case *graph.LayerNormAttrs:
+		v = map[string]any{"eps": a.Eps}
+	case *graph.MatMulAttrs:
+		v = map[string]any{"heads": a.Heads, "transpose_b": a.TransposeB, "scale": a.Scale}
+	case *graph.TransposeAttrs:
+		v = map[string]any{"perm": a.Perm}
 	case nil:
 		return nil, nil
 	default:

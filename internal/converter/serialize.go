@@ -8,6 +8,7 @@ package converter
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -19,11 +20,21 @@ import (
 
 // Magic and version of the binary format. Version 2 appends the calibrated
 // activation-scale table (quant.Calibrate) after the weights; version-1
-// files load fine with no scales.
+// files load fine with no scales. Version 3 adds the transformer op family
+// (LayerNorm, GELU, MatMul, Transpose) to the attr codec; the container
+// layout is unchanged, so v1/v2 files still load. A v2-only reader meeting
+// a v3 file fails its version check up front — it never mis-parses the new
+// attrs — which is why Load reports past-Version files with the typed
+// ErrUnsupportedVersion instead of a generic parse error.
 const (
 	Magic   = 0x4D4E4E47 // "MNNG"
-	Version = 2
+	Version = 3
 )
+
+// ErrUnsupportedVersion is returned by Load when the file's format version
+// is newer than this reader supports (e.g. a v2-era reader handed a v3
+// file). Test with errors.Is.
+var ErrUnsupportedVersion = errors.New("converter: unsupported format version")
 
 type writer struct {
 	w   *bufio.Writer
@@ -224,7 +235,7 @@ func Load(in io.Reader) (*graph.Graph, error) {
 	}
 	version := r.u32()
 	if version < 1 || version > Version {
-		return nil, fmt.Errorf("converter: unsupported version %d", version)
+		return nil, fmt.Errorf("%w: file is v%d, this reader supports v1-v%d", ErrUnsupportedVersion, version, Version)
 	}
 	g := graph.New(r.str())
 	g.InputNames = r.strs()
@@ -389,6 +400,14 @@ func writeAttrs(w *writer, n *graph.Node) {
 		w.i32(a.Bottom)
 		w.i32(a.Left)
 		w.i32(a.Right)
+	case *graph.LayerNormAttrs:
+		w.f32(a.Eps)
+	case *graph.MatMulAttrs:
+		w.i32(a.Heads)
+		w.bool(a.TransposeB)
+		w.f32(a.Scale)
+	case *graph.TransposeAttrs:
+		w.ints(a.Perm)
 	case nil:
 		// activation ops carry no attrs
 	default:
@@ -450,7 +469,13 @@ func readAttrs(r *reader, n *graph.Node) error {
 		n.Attrs = &graph.DropoutAttrs{Ratio: r.f32()}
 	case graph.OpPadding:
 		n.Attrs = &graph.PaddingAttrs{Top: r.i32(), Bottom: r.i32(), Left: r.i32(), Right: r.i32()}
-	case graph.OpReLU, graph.OpReLU6, graph.OpSigmoid, graph.OpTanh:
+	case graph.OpLayerNorm:
+		n.Attrs = &graph.LayerNormAttrs{Eps: r.f32()}
+	case graph.OpMatMul:
+		n.Attrs = &graph.MatMulAttrs{Heads: r.i32(), TransposeB: r.bool(), Scale: r.f32()}
+	case graph.OpTranspose:
+		n.Attrs = &graph.TransposeAttrs{Perm: r.ints()}
+	case graph.OpReLU, graph.OpReLU6, graph.OpSigmoid, graph.OpTanh, graph.OpGELU:
 		n.Attrs = nil
 	default:
 		return fmt.Errorf("converter: unknown op %d for node %q", n.Op, n.Name)

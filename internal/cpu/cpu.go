@@ -58,6 +58,12 @@ type Config struct {
 	// planner's dataflow pass; int8 kernels consuming them quantize unsigned
 	// (restoring the GEMM's zero skip on post-ReLU sparsity).
 	NonNegActs map[string]bool
+	// GemmScheme, when set, overrides the packed-vs-direct choice for
+	// weight-form MatMul nodes (the tuner's measured/cost decision). The
+	// second return reports whether the tuner has an opinion; false keeps
+	// the default (packed). Both choices are bitwise chunk-invariant, so
+	// this knob can never perturb results.
+	GemmScheme func(n *graph.Node) (packB, ok bool)
 }
 
 // Backend is the CPU implementation of the Figure 5 interface.

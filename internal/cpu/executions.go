@@ -321,6 +321,21 @@ func (b *Backend) OnCreate(n *graph.Node, inputs, outputs []*tensor.Tensor, weig
 		in, out := inputs[0], outputs[0]
 		muls := int64(out.NumElements()) * 2
 		if in.Layout() != tensor.NC4HW4 {
+			axis := a.Axis
+			if axis < 0 {
+				axis += in.Rank()
+			}
+			if axis == in.Rank()-1 {
+				// Last-axis softmax (the attention case) gets the pooled
+				// row-chunked kernel; rows are independent, so chunking
+				// cannot perturb a single float.
+				op := kernels.NewSoftmaxOp(out, in)
+				return execFunc(func() error {
+					op.Run(pool)
+					b.charge("Softmax", muls, n, "softmax")
+					return nil
+				}), nil
+			}
 			return execFunc(func() error {
 				kernels.SoftmaxRef(out, in, a.Axis)
 				b.charge("Softmax", muls, n, "softmax")
@@ -359,8 +374,117 @@ func (b *Backend) OnCreate(n *graph.Node, inputs, outputs []*tensor.Tensor, weig
 			b.charge("Padding", muls, n, "copy")
 			return nil
 		}), nil
+
+	case graph.OpLayerNorm:
+		a := n.Attrs.(*graph.LayerNormAttrs)
+		in, out := inputs[0], outputs[0]
+		if err := requireFlat(n, in, out); err != nil {
+			return nil, err
+		}
+		if len(n.WeightNames) != 2 {
+			return nil, fmt.Errorf("cpu: LayerNorm %q needs gamma+beta weights, has %d", n.Name, len(n.WeightNames))
+		}
+		op := kernels.NewLayerNormOp(out, in, weights(n.WeightNames[0]), weights(n.WeightNames[1]), a)
+		muls := int64(out.NumElements()) * 2
+		return execFunc(func() error {
+			op.Run(pool)
+			b.charge("LayerNorm", muls, n, "norm")
+			return nil
+		}), nil
+
+	case graph.OpGELU:
+		in, out := inputs[0], outputs[0]
+		op := kernels.NewGELUOp(out, in)
+		muls := int64(out.NumElements()) * 4
+		return execFunc(func() error {
+			op.Run(pool)
+			b.charge("GELU", muls, n, "activation")
+			return nil
+		}), nil
+
+	case graph.OpTranspose:
+		a := n.Attrs.(*graph.TransposeAttrs)
+		in, out := inputs[0], outputs[0]
+		if err := requireFlat(n, in, out); err != nil {
+			return nil, err
+		}
+		op := kernels.NewTransposeOp(out, in, a)
+		muls := int64(out.NumElements()) / 8
+		return execFunc(func() error {
+			op.Run(pool)
+			b.charge("Transpose", muls, n, "copy")
+			return nil
+		}), nil
+
+	case graph.OpMatMul:
+		return b.createMatMul(n, inputs, outputs[0], weights)
 	}
 	return nil, fmt.Errorf("cpu: unsupported op %v", n.Op)
+}
+
+// requireFlat rejects NC4HW4-bound tensors for ops whose kernels index raw
+// buffers with row-major strides. The transformer op set is rank-3, which
+// PreferredLayout keeps flat, so this only fires on hand-built graphs.
+func requireFlat(n *graph.Node, ts ...*tensor.Tensor) error {
+	for _, t := range ts {
+		if t.Layout() == tensor.NC4HW4 {
+			return fmt.Errorf("cpu: %v %q requires flat (NCHW) tensors, got NC4HW4", n.Op, n.Name)
+		}
+	}
+	return nil
+}
+
+// createMatMul prepares one of the three MatMul forms (see graph.MatMulAttrs).
+func (b *Backend) createMatMul(n *graph.Node, inputs []*tensor.Tensor, out *tensor.Tensor, weights backend.WeightSource) (backend.Execution, error) {
+	a := n.Attrs.(*graph.MatMulAttrs)
+	pool := b.pool
+	if err := requireFlat(n, append(append([]*tensor.Tensor(nil), inputs...), out)...); err != nil {
+		return nil, err
+	}
+	if a.Heads == 0 {
+		if len(n.WeightNames) == 0 {
+			return nil, fmt.Errorf("cpu: MatMul %q weight form needs a weight", n.Name)
+		}
+		w := weights(n.WeightNames[0])
+		var bias *tensor.Tensor
+		if len(n.WeightNames) > 1 {
+			bias = weights(n.WeightNames[1])
+		}
+		in := inputs[0]
+		k, nn := w.Dim(0), w.Dim(1)
+		packB := true
+		if b.cfg.GemmScheme != nil {
+			if p, ok := b.cfg.GemmScheme(n); ok {
+				packB = p
+			}
+		}
+		op := kernels.NewMatMulWeightOp(out, in, w, bias, a, packB)
+		rows := in.NumElements() / k
+		muls := int64(rows) * int64(k) * int64(nn)
+		scheme := "gemm-direct"
+		if packB {
+			scheme = "gemm-packed"
+		}
+		return execFunc(func() error {
+			op.Run(pool)
+			b.charge("MatMul", muls, n, scheme)
+			return nil
+		}), nil
+	}
+	if len(inputs) < 2 {
+		return nil, fmt.Errorf("cpu: MatMul %q batched form needs 2 inputs", n.Name)
+	}
+	op := kernels.NewMatMulBatchedOp(out, inputs[0], inputs[1], a)
+	muls := int64(out.NumElements()) * int64(inputs[0].Dim(2))
+	scheme := "gemm-av"
+	if a.TransposeB {
+		scheme = "gemm-qk"
+	}
+	return execFunc(func() error {
+		op.Run(pool)
+		b.charge("MatMul", muls, n, scheme)
+		return nil
+	}), nil
 }
 
 // createReinterpret prepares the copy for shapes that differ only by

@@ -153,7 +153,7 @@ func checkAttrs(n *Node) error {
 		_, ok = n.Attrs.(*Conv2DAttrs)
 	case OpPool:
 		_, ok = n.Attrs.(*PoolAttrs)
-	case OpReLU, OpReLU6, OpSigmoid, OpTanh:
+	case OpReLU, OpReLU6, OpSigmoid, OpTanh, OpGELU:
 		ok = n.Attrs == nil
 	case OpBatchNorm:
 		_, ok = n.Attrs.(*BatchNormAttrs)
@@ -175,6 +175,12 @@ func checkAttrs(n *Node) error {
 		_, ok = n.Attrs.(*DropoutAttrs)
 	case OpPadding:
 		_, ok = n.Attrs.(*PaddingAttrs)
+	case OpLayerNorm:
+		_, ok = n.Attrs.(*LayerNormAttrs)
+	case OpMatMul:
+		_, ok = n.Attrs.(*MatMulAttrs)
+	case OpTranspose:
+		_, ok = n.Attrs.(*TransposeAttrs)
 	default:
 		return fmt.Errorf("unknown op type %v", n.Op)
 	}
@@ -337,6 +343,14 @@ func cloneNode(n *Node) *Node {
 	case *PaddingAttrs:
 		cp := *a
 		c.Attrs = &cp
+	case *LayerNormAttrs:
+		cp := *a
+		c.Attrs = &cp
+	case *MatMulAttrs:
+		cp := *a
+		c.Attrs = &cp
+	case *TransposeAttrs:
+		c.Attrs = &TransposeAttrs{Perm: append([]int(nil), a.Perm...)}
 	case nil:
 		c.Attrs = nil
 	default:

@@ -34,6 +34,10 @@ const (
 	OpReshape
 	OpDropout
 	OpPadding
+	OpLayerNorm
+	OpGELU
+	OpMatMul
+	OpTranspose
 	opCount // sentinel; keep last
 )
 
@@ -56,6 +60,10 @@ var opNames = [...]string{
 	OpReshape:      "Reshape",
 	OpDropout:      "Dropout",
 	OpPadding:      "Padding",
+	OpLayerNorm:    "LayerNorm",
+	OpGELU:         "GELU",
+	OpMatMul:       "MatMul",
+	OpTranspose:    "Transpose",
 }
 
 func (o OpType) String() string {
@@ -229,3 +237,31 @@ type PaddingAttrs struct{ Top, Bottom, Left, Right int }
 
 // InputAttrs declares a graph input shape.
 type InputAttrs struct{ Shape []int }
+
+// LayerNormAttrs parameterizes layer normalization over the last axis.
+// Gamma/beta constants live in the weight table under the node's
+// WeightNames (each shaped [D] where D is the last input dim).
+type LayerNormAttrs struct{ Eps float32 }
+
+// MatMulAttrs parameterizes MatMul in its three forms:
+//
+//   - Weight form (Heads == 0): one activation input [.., M, K] times a
+//     constant weight WeightNames[0] shaped [K, N]; optional bias
+//     WeightNames[1] shaped [N]. Leading dims are flattened into rows.
+//   - Batched QK form (Heads >= 1, TransposeB): two activation inputs
+//     [B, LA, D] x [B, LB, D] with D divisible by Heads, producing
+//     per-head scores [B, Heads*LA, LB].
+//   - Batched AV form (Heads >= 1, !TransposeB): [B, Heads*LA, LB] x
+//     [B, LB, D] producing [B, LA, D].
+//
+// Scale, when non-zero, multiplies every output element (attention's
+// 1/sqrt(d_head)); it is applied as a single multiply after the dot
+// product so the result is bitwise independent of row chunking.
+type MatMulAttrs struct {
+	Heads      int
+	TransposeB bool
+	Scale      float32
+}
+
+// TransposeAttrs permutes tensor axes: output dim i = input dim Perm[i].
+type TransposeAttrs struct{ Perm []int }

@@ -264,6 +264,134 @@ func inferNode(g *Graph, n *Node, shapes ShapeMap, overrides map[string][]int) e
 		}
 		setOut(0, []int{s[0], s[1], s[2] + a.Top + a.Bottom, s[3] + a.Left + a.Right})
 		return nil
+
+	case OpLayerNorm:
+		s, err := in(0)
+		if err != nil {
+			return err
+		}
+		if len(s) < 2 {
+			return fmt.Errorf("layernorm input must be rank >= 2, got %v", s)
+		}
+		d := s[len(s)-1]
+		for _, wn := range n.WeightNames {
+			w, ok := g.Weights[wn]
+			if !ok {
+				return fmt.Errorf("layernorm weight %q missing", wn)
+			}
+			ws := w.Shape()
+			if len(ws) != 1 || ws[0] != d {
+				return fmt.Errorf("layernorm weight %q shape %v, want [%d]", wn, ws, d)
+			}
+		}
+		setOut(0, append([]int(nil), s...))
+		return nil
+
+	case OpGELU:
+		s, err := in(0)
+		if err != nil {
+			return err
+		}
+		setOut(0, append([]int(nil), s...))
+		return nil
+
+	case OpMatMul:
+		a := n.Attrs.(*MatMulAttrs)
+		s0, err := in(0)
+		if err != nil {
+			return err
+		}
+		if a.Heads == 0 {
+			// Weight form: [.., M, K] x W[K, N] (+bias[N]) -> [.., M, N].
+			if len(n.WeightNames) == 0 {
+				return fmt.Errorf("matmul weight form needs a weight name")
+			}
+			w, ok := g.Weights[n.WeightNames[0]]
+			if !ok {
+				return fmt.Errorf("matmul weight %q missing", n.WeightNames[0])
+			}
+			ws := w.Shape()
+			if len(ws) != 2 {
+				return fmt.Errorf("matmul weight %q must be rank 2, got %v", n.WeightNames[0], ws)
+			}
+			k, nn := ws[0], ws[1]
+			if len(s0) < 2 {
+				return fmt.Errorf("matmul input must be rank >= 2, got %v", s0)
+			}
+			if s0[len(s0)-1] != k {
+				return fmt.Errorf("matmul inner dim %d != weight rows %d", s0[len(s0)-1], k)
+			}
+			if len(n.WeightNames) > 1 {
+				b, ok := g.Weights[n.WeightNames[1]]
+				if !ok {
+					return fmt.Errorf("matmul bias %q missing", n.WeightNames[1])
+				}
+				bs := b.Shape()
+				if len(bs) != 1 || bs[0] != nn {
+					return fmt.Errorf("matmul bias %q shape %v, want [%d]", n.WeightNames[1], bs, nn)
+				}
+			}
+			out := append([]int(nil), s0...)
+			out[len(out)-1] = nn
+			setOut(0, out)
+			return nil
+		}
+		// Batched forms: two rank-3 activation inputs.
+		s1, err := in(1)
+		if err != nil {
+			return err
+		}
+		if len(s0) != 3 || len(s1) != 3 {
+			return fmt.Errorf("batched matmul inputs must be rank 3, got %v x %v", s0, s1)
+		}
+		if s0[0] != s1[0] {
+			return fmt.Errorf("batched matmul batch mismatch %d vs %d", s0[0], s1[0])
+		}
+		if a.TransposeB {
+			// QK: [B, LA, D] x [B, LB, D] -> [B, H*LA, LB].
+			d := s0[2]
+			if s1[2] != d {
+				return fmt.Errorf("qk matmul depth mismatch %d vs %d", d, s1[2])
+			}
+			if d%a.Heads != 0 {
+				return fmt.Errorf("qk matmul depth %d not divisible by heads %d", d, a.Heads)
+			}
+			setOut(0, []int{s0[0], a.Heads * s0[1], s1[1]})
+			return nil
+		}
+		// AV: [B, H*LA, LB] x [B, LB, D] -> [B, LA, D].
+		if s0[1]%a.Heads != 0 {
+			return fmt.Errorf("av matmul rows %d not divisible by heads %d", s0[1], a.Heads)
+		}
+		if s0[2] != s1[1] {
+			return fmt.Errorf("av matmul inner dim mismatch %d vs %d", s0[2], s1[1])
+		}
+		if s1[2]%a.Heads != 0 {
+			return fmt.Errorf("av matmul depth %d not divisible by heads %d", s1[2], a.Heads)
+		}
+		setOut(0, []int{s0[0], s0[1] / a.Heads, s1[2]})
+		return nil
+
+	case OpTranspose:
+		a := n.Attrs.(*TransposeAttrs)
+		s, err := in(0)
+		if err != nil {
+			return err
+		}
+		if len(a.Perm) != len(s) {
+			return fmt.Errorf("transpose perm %v does not match rank %d", a.Perm, len(s))
+		}
+		seen := make([]bool, len(s))
+		out := make([]int, len(s))
+		for i, p := range a.Perm {
+			if p < 0 || p >= len(s) || seen[p] {
+				return fmt.Errorf("transpose perm %v is not a permutation", a.Perm)
+			}
+			seen[p] = true
+			out[i] = s[p]
+		}
+		setOut(0, out)
+		return nil
 	}
 	return fmt.Errorf("unhandled op %v", n.Op)
 }

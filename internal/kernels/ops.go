@@ -171,16 +171,20 @@ func (o *ActivationOp) RunChunk(_, start, end int) {
 }
 
 // EltwiseOp is the prepared binary elementwise reduction over ≥2 inputs
-// with identical shapes and layouts; dst may alias inputs[0].
+// with identical shapes and layouts; dst may alias inputs[0]. The element
+// count is re-derived from the destination's shape at every Run (not from
+// buffer length) so the op stays correct when a dynamic-shape session
+// shrinks the logical extent below the planned capacity.
 type EltwiseOp struct {
 	a   graph.EltwiseAttrs
+	dst *tensor.Tensor
 	d   []float32
 	ins [][]float32
 }
 
 // NewEltwiseOp binds an eltwise execution.
 func NewEltwiseOp(dst *tensor.Tensor, inputs []*tensor.Tensor, a *graph.EltwiseAttrs) *EltwiseOp {
-	o := &EltwiseOp{a: *a, d: dst.Data(), ins: make([][]float32, len(inputs))}
+	o := &EltwiseOp{a: *a, dst: dst, d: dst.Data(), ins: make([][]float32, len(inputs))}
 	for i, in := range inputs {
 		o.ins[i] = in.Data()
 	}
@@ -189,7 +193,8 @@ func NewEltwiseOp(dst *tensor.Tensor, inputs []*tensor.Tensor, a *graph.EltwiseA
 
 // Run executes the reduction on the pool.
 func (o *EltwiseOp) Run(p *sched.Pool) {
-	p.Run(len(o.d), sched.Chunk(len(o.d), p.Lanes(), elemChunksPerLane), o)
+	total := o.dst.PhysicalLen()
+	p.Run(total, sched.Chunk(total, p.Lanes(), elemChunksPerLane), o)
 }
 
 // RunChunk implements sched.Task over flat element indices.

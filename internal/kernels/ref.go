@@ -7,6 +7,7 @@
 package kernels
 
 import (
+	"fmt"
 	"math"
 
 	"mnn/internal/graph"
@@ -243,12 +244,34 @@ func InnerProductRef(dst, src, weight, bias *tensor.Tensor, a *graph.InnerProduc
 	}
 }
 
-// SoftmaxRef computes softmax along axis (NCHW buffers).
+// SoftmaxRef computes softmax along axis. Any layout is accepted: the
+// stride walk below indexes raw buffers with row-major strides, which is
+// only valid on flat NCHW data, so NC4HW4/NHWC tensors are staged through
+// NCHW first (allocation is acceptable in a reference kernel). A negative
+// axis counts from the end (-1 = last axis); an out-of-range axis panics
+// rather than silently normalizing over the wrong extent.
 func SoftmaxRef(dst, src *tensor.Tensor, axis int) {
 	shape := src.Shape()
 	if axis < 0 {
 		axis += len(shape)
 	}
+	if axis < 0 || axis >= len(shape) {
+		panic(fmt.Sprintf("kernels: softmax axis %d out of range for rank %d", axis, len(shape)))
+	}
+	if src.Layout() != tensor.NCHW {
+		src = src.ToLayout(tensor.NCHW)
+	}
+	flat := dst
+	if dst.Layout() != tensor.NCHW {
+		flat = tensor.New(shape...)
+	}
+	softmaxFlat(flat, src, axis, shape)
+	if flat != dst {
+		dst.CopyFrom(flat)
+	}
+}
+
+func softmaxFlat(dst, src *tensor.Tensor, axis int, shape []int) {
 	outer := 1
 	for _, d := range shape[:axis] {
 		outer *= d

@@ -1,0 +1,135 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"mnn/internal/tensor"
+)
+
+// softmaxOracle3 is an independent brute-force softmax for rank-3 tensors,
+// used to pin SoftmaxRef's collapsed outer/axis/inner stride walk: it
+// enumerates full (i, j, k) index triples and spells the reduced axis out
+// explicitly per case, so a stride mix-up in the kernel cannot also be
+// present here.
+func softmaxOracle3(src *tensor.Tensor, axis int) *tensor.Tensor {
+	shape := src.Shape()
+	d0, d1, d2 := shape[0], shape[1], shape[2]
+	at := func(i, j, k int) float64 { return float64(src.Data()[(i*d1+j)*d2+k]) }
+	dst := tensor.New(shape...)
+	out := dst.Data()
+	set := func(i, j, k int, v float64) { out[(i*d1+j)*d2+k] = float32(v) }
+
+	reduce := func(n int, get func(x int) float64, put func(x int, v float64)) {
+		maxV := math.Inf(-1)
+		for x := 0; x < n; x++ {
+			if v := get(x); v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for x := 0; x < n; x++ {
+			sum += math.Exp(get(x) - maxV)
+		}
+		for x := 0; x < n; x++ {
+			put(x, math.Exp(get(x)-maxV)/sum)
+		}
+	}
+	switch axis {
+	case 0:
+		for j := 0; j < d1; j++ {
+			for k := 0; k < d2; k++ {
+				reduce(d0, func(x int) float64 { return at(x, j, k) },
+					func(x int, v float64) { set(x, j, k, v) })
+			}
+		}
+	case 1:
+		for i := 0; i < d0; i++ {
+			for k := 0; k < d2; k++ {
+				reduce(d1, func(x int) float64 { return at(i, x, k) },
+					func(x int, v float64) { set(i, x, k, v) })
+			}
+		}
+	case 2:
+		for i := 0; i < d0; i++ {
+			for j := 0; j < d1; j++ {
+				reduce(d2, func(x int) float64 { return at(i, j, x) },
+					func(x int, v float64) { set(i, j, x, v) })
+			}
+		}
+	}
+	return dst
+}
+
+// TestSoftmaxGoldenLastAxis pins exact values on the last axis — the form
+// attention uses. exp({0, ln2, ln4}) = {1, 2, 4}, so the probabilities are
+// exactly {1/7, 2/7, 4/7}.
+func TestSoftmaxGoldenLastAxis(t *testing.T) {
+	ln2, ln4 := float32(math.Log(2)), float32(math.Log(4))
+	src := tensor.FromData([]float32{
+		0, ln2, ln4,
+		ln4, ln2, 0,
+	}, 2, 3)
+	want := []float32{
+		1.0 / 7, 2.0 / 7, 4.0 / 7,
+		4.0 / 7, 2.0 / 7, 1.0 / 7,
+	}
+	for _, axis := range []int{1, -1} {
+		dst := tensor.New(2, 3)
+		SoftmaxRef(dst, src, axis)
+		for i, w := range want {
+			if g := dst.Data()[i]; math.Abs(float64(g-w)) > 1e-6 {
+				t.Fatalf("axis %d: dst[%d] = %v, want %v", axis, i, g, w)
+			}
+		}
+	}
+}
+
+// TestSoftmaxGoldenPerAxis checks SoftmaxRef against the index-tuple
+// oracle on every axis of a rank-3 tensor, positive and negative spelling.
+// The pre-fix bug normalized over the wrong extent whenever axis wasn't
+// the row dimension of a matrix; any stride mix-up shows up here as a
+// row/column transposition.
+func TestSoftmaxGoldenPerAxis(t *testing.T) {
+	src := tensor.NewRandom(99, 1, 2, 3, 4)
+	for axis := 0; axis < 3; axis++ {
+		want := softmaxOracle3(src, axis)
+		for _, spelled := range []int{axis, axis - 3} {
+			dst := tensor.New(2, 3, 4)
+			SoftmaxRef(dst, src, spelled)
+			if d := tensor.MaxAbsDiff(want, dst); d > 1e-6 {
+				t.Fatalf("axis %d (spelled %d): max diff %g from oracle", axis, spelled, d)
+			}
+		}
+	}
+}
+
+// TestSoftmaxAxisOutOfRangePanics: a bogus axis must fail loudly, not
+// silently normalize over the wrong extent.
+func TestSoftmaxAxisOutOfRangePanics(t *testing.T) {
+	for _, axis := range []int{3, -4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("axis %d on rank 3: no panic", axis)
+				}
+			}()
+			SoftmaxRef(tensor.New(2, 3, 4), tensor.NewRandom(7, 1, 2, 3, 4), axis)
+		}()
+	}
+}
+
+// TestSoftmaxNC4HW4Staged: non-flat layouts are staged through NCHW, so a
+// channel-axis softmax on NC4HW4 data matches the flat result exactly.
+func TestSoftmaxNC4HW4Staged(t *testing.T) {
+	flat := tensor.NewRandom(5, 1, 1, 6, 2, 2)
+	want := tensor.New(1, 6, 2, 2)
+	SoftmaxRef(want, flat, 1)
+
+	packed := flat.ToLayout(tensor.NC4HW4)
+	got := tensor.NewWithLayout(tensor.NC4HW4, 1, 6, 2, 2)
+	SoftmaxRef(got, packed, 1)
+	if d := tensor.MaxAbsDiff(want, got); d > 0 {
+		t.Fatalf("NC4HW4 softmax differs from flat by %g", d)
+	}
+}

@@ -1,0 +1,371 @@
+package kernels
+
+import (
+	"math"
+
+	"mnn/internal/graph"
+	"mnn/internal/matmul"
+	"mnn/internal/sched"
+	"mnn/internal/tensor"
+)
+
+// Prepared kernels for the transformer op set. They follow the same pattern
+// as ops.go — bind once, Run dispatches RunChunk onto the persistent pool,
+// zero per-run allocation — with one addition for dynamic shapes: geometry
+// (row counts, sequence lengths) is re-derived from the bound tensors'
+// *current* shapes at every Run, never captured from buffer lengths. A
+// dynamic-shape session mutates those shapes in place between runs; the
+// planned buffers keep their max-shape capacity underneath.
+//
+// Batched ≡ unbatched bitwise: every op below either chunks work along a
+// unit whose result is computed independently of all other units (rows for
+// LayerNorm/Softmax/weight-form MatMul via matmul.PackedB's chunk-invariant
+// contract, (batch, head) pairs for the attention GEMMs, single elements
+// for GELU/Transpose), so batch concatenation and worker-count changes
+// cannot move a single float.
+
+// maxTransposeRank bounds Transpose to fixed-size stride arrays so RunChunk
+// stays allocation-free.
+const maxTransposeRank = 6
+
+// LayerNormOp normalizes over the last axis with per-feature gamma/beta.
+type LayerNormOp struct {
+	eps        float32
+	dst, src   *tensor.Tensor
+	s, d       []float32
+	gamma, bet []float32
+
+	d1 int // last-axis extent (static: feature dim never changes)
+}
+
+// NewLayerNormOp binds a layer-norm execution.
+func NewLayerNormOp(dst, src, gamma, beta *tensor.Tensor, a *graph.LayerNormAttrs) *LayerNormOp {
+	shape := src.Shape()
+	return &LayerNormOp{
+		eps: a.Eps, dst: dst, src: src,
+		s: src.Data(), d: dst.Data(),
+		gamma: gamma.Data(), bet: beta.Data(),
+		d1: shape[len(shape)-1],
+	}
+}
+
+// Run executes the layer norm on the pool, chunked over rows.
+func (o *LayerNormOp) Run(p *sched.Pool) {
+	shape := o.src.Shape()
+	rows := 1
+	for _, e := range shape[:len(shape)-1] {
+		rows *= e
+	}
+	p.Run(rows, sched.Chunk(rows, p.Lanes(), elemChunksPerLane), o)
+}
+
+// RunChunk implements sched.Task over rows.
+func (o *LayerNormOp) RunChunk(_, start, end int) {
+	d1 := o.d1
+	for r := start; r < end; r++ {
+		row := o.s[r*d1 : (r+1)*d1]
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(d1)
+		var variance float64
+		for _, v := range row {
+			dv := float64(v) - mean
+			variance += dv * dv
+		}
+		variance /= float64(d1)
+		inv := float32(1 / math.Sqrt(variance+float64(o.eps)))
+		out := o.d[r*d1 : (r+1)*d1]
+		for i, v := range row {
+			out[i] = (v-float32(mean))*inv*o.gamma[i] + o.bet[i]
+		}
+	}
+}
+
+// GELUOp applies the tanh-approximated GELU elementwise.
+type GELUOp struct {
+	dst, src *tensor.Tensor
+	s, d     []float32
+}
+
+// NewGELUOp binds a GELU execution.
+func NewGELUOp(dst, src *tensor.Tensor) *GELUOp {
+	return &GELUOp{dst: dst, src: src, s: src.Data(), d: dst.Data()}
+}
+
+// Run executes the GELU on the pool. PhysicalLen covers NC4HW4 padding
+// lanes too, which is harmless: GELU(0) == 0 keeps them zero.
+func (o *GELUOp) Run(p *sched.Pool) {
+	total := o.src.PhysicalLen()
+	p.Run(total, sched.Chunk(total, p.Lanes(), elemChunksPerLane), o)
+}
+
+// RunChunk implements sched.Task over flat element indices.
+func (o *GELUOp) RunChunk(_, start, end int) {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	for i := start; i < end; i++ {
+		x := float64(o.s[i])
+		o.d[i] = float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
+	}
+}
+
+// SoftmaxOp is the prepared last-axis softmax on flat tensors, chunked over
+// rows. Only axis == rank-1 (or -1) reaches this op; other axes run through
+// SoftmaxRef.
+type SoftmaxOp struct {
+	dst, src *tensor.Tensor
+	s, d     []float32
+}
+
+// NewSoftmaxOp binds a last-axis softmax execution.
+func NewSoftmaxOp(dst, src *tensor.Tensor) *SoftmaxOp {
+	return &SoftmaxOp{dst: dst, src: src, s: src.Data(), d: dst.Data()}
+}
+
+// Run executes the softmax on the pool.
+func (o *SoftmaxOp) Run(p *sched.Pool) {
+	shape := o.src.Shape()
+	rows := 1
+	for _, e := range shape[:len(shape)-1] {
+		rows *= e
+	}
+	p.Run(rows, sched.Chunk(rows, p.Lanes(), elemChunksPerLane), o)
+}
+
+// RunChunk implements sched.Task over rows.
+func (o *SoftmaxOp) RunChunk(_, start, end int) {
+	shape := o.src.Shape()
+	d1 := shape[len(shape)-1]
+	for r := start; r < end; r++ {
+		row := o.s[r*d1 : (r+1)*d1]
+		out := o.d[r*d1 : (r+1)*d1]
+		maxV := float64(math.Inf(-1))
+		for _, v := range row {
+			if float64(v) > maxV {
+				maxV = float64(v)
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v) - maxV)
+		}
+		for i, v := range row {
+			out[i] = float32(math.Exp(float64(v)-maxV) / sum)
+		}
+	}
+}
+
+// TransposeOp permutes axes of a flat tensor, chunked over output elements.
+type TransposeOp struct {
+	dst, src *tensor.Tensor
+	s, d     []float32
+	perm     [maxTransposeRank]int
+	rank     int
+
+	inStride, outStride [maxTransposeRank]int
+}
+
+// NewTransposeOp binds a transpose execution.
+func NewTransposeOp(dst, src *tensor.Tensor, a *graph.TransposeAttrs) *TransposeOp {
+	o := &TransposeOp{dst: dst, src: src, s: src.Data(), d: dst.Data(), rank: len(a.Perm)}
+	copy(o.perm[:], a.Perm)
+	return o
+}
+
+// Run executes the transpose on the pool. Strides are re-derived from the
+// current shapes here (once per run, not per chunk).
+func (o *TransposeOp) Run(p *sched.Pool) {
+	in, out := o.src.Shape(), o.dst.Shape()
+	acc := 1
+	for i := o.rank - 1; i >= 0; i-- {
+		o.inStride[i] = acc
+		acc *= in[i]
+	}
+	total := 1
+	for i := o.rank - 1; i >= 0; i-- {
+		o.outStride[i] = total
+		total *= out[i]
+	}
+	p.Run(total, sched.Chunk(total, p.Lanes(), elemChunksPerLane), o)
+}
+
+// RunChunk implements sched.Task over flat output indices.
+func (o *TransposeOp) RunChunk(_, start, end int) {
+	for flat := start; flat < end; flat++ {
+		rem := flat
+		srcOff := 0
+		for j := 0; j < o.rank; j++ {
+			srcOff += (rem / o.outStride[j]) * o.inStride[o.perm[j]]
+			rem %= o.outStride[j]
+		}
+		o.d[flat] = o.s[srcOff]
+	}
+}
+
+type matMulForm uint8
+
+const (
+	mmWeight matMulForm = iota // activation × packed constant weight
+	mmQK                       // [B,LA,D] × [B,LB,D]ᵀ per head
+	mmAV                       // [B,H·LA,LB] × [B,LB,D] per head
+)
+
+// MatMulOp covers the three MatMul forms of graph.MatMulAttrs. The weight
+// form packs the constant [K,N] weight into matmul.PackedB panels once and
+// row-chunks MulInto (bitwise chunk-invariant); the attention forms chunk
+// over (batch, head) pairs with plain ascending-index float32 dot products,
+// applying Scale as a single multiply after each dot.
+type MatMulOp struct {
+	form  matMulForm
+	heads int
+	scale float32 // resolved: 1 when attrs.Scale == 0
+
+	dst, a, b *tensor.Tensor
+	ad, bd, d []float32
+
+	// Weight form only.
+	k, n   int
+	packed *matmul.PackedB
+	bias   []float32
+}
+
+// NewMatMulWeightOp binds the weight form: src [.., M, K] × w [K, N] with
+// optional bias [N]. When packB is false the GEMM runs on the unpacked
+// weight via matmul.Mul — the tuner's cost model picks between the two.
+func NewMatMulWeightOp(dst, src, w, bias *tensor.Tensor, a *graph.MatMulAttrs, packB bool) *MatMulOp {
+	ws := w.Shape()
+	o := &MatMulOp{
+		form: mmWeight, scale: resolveScale(a.Scale),
+		dst: dst, a: src, ad: src.Data(), d: dst.Data(),
+		k: ws[0], n: ws[1],
+	}
+	if packB {
+		o.packed = matmul.PackB(w.Data(), o.k, o.n)
+	} else {
+		o.bd = w.Data()
+	}
+	if bias != nil {
+		o.bias = bias.Data()
+	}
+	return o
+}
+
+// NewMatMulBatchedOp binds the QK (TransposeB) or AV form over two rank-3
+// activations.
+func NewMatMulBatchedOp(dst, a, b *tensor.Tensor, attrs *graph.MatMulAttrs) *MatMulOp {
+	form := mmAV
+	if attrs.TransposeB {
+		form = mmQK
+	}
+	return &MatMulOp{
+		form: form, heads: attrs.Heads, scale: resolveScale(attrs.Scale),
+		dst: dst, a: a, b: b,
+		ad: a.Data(), bd: b.Data(), d: dst.Data(),
+	}
+}
+
+func resolveScale(s float32) float32 {
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+// Run executes the GEMM on the pool.
+func (o *MatMulOp) Run(p *sched.Pool) {
+	if o.form == mmWeight {
+		shape := o.a.Shape()
+		rows := 1
+		for _, e := range shape[:len(shape)-1] {
+			rows *= e
+		}
+		p.Run(rows, sched.Chunk(rows, p.Lanes(), 1), o)
+		return
+	}
+	total := o.a.Dim(0) * o.heads
+	p.Run(total, sched.Chunk(total, p.Lanes(), 1), o)
+}
+
+// RunChunk implements sched.Task: rows for the weight form, (batch, head)
+// pairs for the attention forms.
+func (o *MatMulOp) RunChunk(_, start, end int) {
+	switch o.form {
+	case mmWeight:
+		o.runWeight(start, end)
+	case mmQK:
+		o.runQK(start, end)
+	case mmAV:
+		o.runAV(start, end)
+	}
+}
+
+func (o *MatMulOp) runWeight(start, end int) {
+	k, n := o.k, o.n
+	rows := end - start
+	d := o.d[start*n : end*n]
+	if o.packed != nil {
+		o.packed.MulInto(d, o.ad[start*k:end*k], rows)
+	} else {
+		matmul.Mul(d, o.ad[start*k:end*k], o.bd, rows, k, n)
+	}
+	if o.scale != 1 {
+		for i := range d {
+			d[i] *= o.scale
+		}
+	}
+	if o.bias != nil {
+		for r := 0; r < rows; r++ {
+			row := d[r*n : (r+1)*n]
+			for j, b := range o.bias {
+				row[j] += b
+			}
+		}
+	}
+}
+
+func (o *MatMulOp) runQK(start, end int) {
+	qs, ks := o.a.Shape(), o.b.Shape()
+	la, d := qs[1], qs[2]
+	lb := ks[1]
+	h := o.heads
+	dh := d / h
+	for item := start; item < end; item++ {
+		b, hd := item/h, item%h
+		for i := 0; i < la; i++ {
+			q := o.ad[(b*la+i)*d+hd*dh:]
+			outRow := o.d[(b*h*la+hd*la+i)*lb:]
+			for j := 0; j < lb; j++ {
+				kr := o.bd[(b*lb+j)*d+hd*dh:]
+				var acc float32
+				for p := 0; p < dh; p++ {
+					acc += q[p] * kr[p]
+				}
+				outRow[j] = acc * o.scale
+			}
+		}
+	}
+}
+
+func (o *MatMulOp) runAV(start, end int) {
+	as, vs := o.a.Shape(), o.b.Shape()
+	hla, lb := as[1], as[2]
+	d := vs[2]
+	h := o.heads
+	la := hla / h
+	dh := d / h
+	for item := start; item < end; item++ {
+		b, hd := item/h, item%h
+		for i := 0; i < la; i++ {
+			score := o.ad[(b*hla+hd*la+i)*lb:]
+			out := o.d[(b*la+i)*d+hd*dh:]
+			for j := 0; j < dh; j++ {
+				var acc float32
+				for p := 0; p < lb; p++ {
+					acc += score[p] * o.bd[(b*lb+p)*d+hd*dh+j]
+				}
+				out[j] = acc * o.scale
+			}
+		}
+	}
+}

@@ -209,6 +209,8 @@ func ByName(name string) (*graph.Graph, error) {
 		return InceptionV3(), nil
 	case "vgg-16":
 		return VGG16(), nil
+	case "transformer":
+		return Transformer(), nil
 	default:
 		return nil, fmt.Errorf("models: unknown network %q", name)
 	}
@@ -217,7 +219,8 @@ func ByName(name string) (*graph.Graph, error) {
 // Names lists the available networks.
 func Names() []string {
 	return []string{"mobilenet-v1", "mobilenet-v2", "squeezenet-v1.0",
-		"squeezenet-v1.1", "resnet-18", "resnet-50", "inception-v3", "vgg-16"}
+		"squeezenet-v1.1", "resnet-18", "resnet-50", "inception-v3", "vgg-16",
+		"transformer"}
 }
 
 func (b *builder) flatten(name, in string) string {

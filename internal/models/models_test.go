@@ -128,7 +128,7 @@ func TestByNameUnknown(t *testing.T) {
 	if _, err := ByName("alexnet"); err == nil {
 		t.Fatal("expected error for unknown network")
 	}
-	if len(Names()) != 8 {
+	if len(Names()) != 9 {
 		t.Fatalf("Names() = %v", Names())
 	}
 	for _, n := range Names() {

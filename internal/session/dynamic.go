@@ -1,0 +1,201 @@
+// Dynamic shapes: a session prepared at a *maximum* input shape can serve
+// any smaller shape without re-preparation. The Figure-3 arena, every
+// workspace, and every prepared kernel are planned once at the max; per run
+// the only thing that changes is the shape metadata on the arena-wrapped
+// activation tensors, which ApplyInputShapes overwrites in place (the
+// logical content of each tensor becomes the flat row-major prefix of its
+// planned buffer). Kernels in the dynamic-capable op set re-derive their
+// geometry from those shapes at every Run, so the steady state stays
+// pure-compute and allocation-free: repeat shapes hit a cached shape plan
+// and only loop over SetBoundedShape calls.
+package session
+
+import (
+	"fmt"
+
+	"mnn/internal/graph"
+	"mnn/internal/tensor"
+)
+
+// dynamicCapable is the op set whose prepared CPU kernels re-derive geometry
+// from tensor shapes at Run time. Everything here is rank-agnostic and flat
+// (NCHW) on the CPU backend; convolution-family ops bake NC4HW4 geometry
+// into their prepared state and would need re-preparation.
+var dynamicCapable = map[graph.OpType]bool{
+	graph.OpInput:     true,
+	graph.OpMatMul:    true,
+	graph.OpLayerNorm: true,
+	graph.OpGELU:      true,
+	graph.OpTranspose: true,
+	graph.OpSoftmax:   true,
+	graph.OpEltwise:   true,
+}
+
+// dynPlan is one cached shape derivation: the input dims it was derived
+// from (collision check) and the per-tensor shapes to apply.
+type dynPlan struct {
+	inputs  [][]int // one per g.InputNames entry, in order
+	applied []appliedShape
+}
+
+type appliedShape struct {
+	t     *tensor.Tensor
+	shape []int
+}
+
+// dynState is the retained dynamic-shape machinery.
+type dynState struct {
+	tensors map[string]*tensor.Tensor // activation name → arena-wrapped tensor
+	plans   map[uint64][]*dynPlan     // input-dims hash → candidate plans
+	current *dynPlan                  // plan applied by the last ApplyInputShapes
+}
+
+// EnableDynamic validates that the prepared session can serve smaller-than-
+// planned input shapes without re-preparation and retains the machinery to
+// do it. Requirements: the session is prepared (not NoPreparation), every
+// node runs on the CPU backend (no cross-backend mirrors, whose staging
+// schedule is shape-dependent), every op is in the dynamic-capable set, and
+// every activation is flat (no NC4HW4 packing geometry).
+func (s *Session) EnableDynamic() error {
+	if s.cfg.NoPreparation {
+		return fmt.Errorf("session: dynamic shapes require preparation")
+	}
+	if s.bound == nil {
+		return fmt.Errorf("session: dynamic shapes: session not prepared")
+	}
+	cpuName := s.backends[0].Name()
+	for _, n := range s.g.Nodes {
+		if !dynamicCapable[n.Op] {
+			return fmt.Errorf("session: op %v (node %q) does not support dynamic shapes", n.Op, n.Name)
+		}
+		if s.assign[n.Name] != cpuName {
+			return fmt.Errorf("session: dynamic shapes are CPU-only; node %q assigned to %q", n.Name, s.assign[n.Name])
+		}
+	}
+	tensors := make(map[string]*tensor.Tensor, len(s.shapes))
+	for name := range s.shapes {
+		t := s.bound[name+"#"+cpuName]
+		if t == nil {
+			return fmt.Errorf("session: dynamic shapes: activation %q has no CPU binding", name)
+		}
+		if t.Layout() != tensor.NCHW {
+			return fmt.Errorf("session: dynamic shapes: activation %q is %v, need flat NCHW", name, t.Layout())
+		}
+		tensors[name] = t
+	}
+	s.dyn = &dynState{tensors: tensors, plans: map[uint64][]*dynPlan{}}
+	return nil
+}
+
+// Dynamic reports whether EnableDynamic succeeded on this session.
+func (s *Session) Dynamic() bool { return s.dyn != nil }
+
+// hashDims folds input dims into an FNV-1a hash. Inputs are visited in
+// g.InputNames order so the hash is stable across calls.
+func (s *Session) hashDims(inputs map[string]*tensor.Tensor) (uint64, error) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, name := range s.g.InputNames {
+		t, ok := inputs[name]
+		if !ok {
+			return 0, fmt.Errorf("session: missing input %q", name)
+		}
+		for _, d := range t.Shape() {
+			h ^= uint64(d)
+			h *= prime64
+		}
+		h ^= 0xff // rank separator
+		h *= prime64
+	}
+	return h, nil
+}
+
+// ApplyInputShapes re-derives every activation shape from the given run
+// inputs and applies them in place. Repeat shapes hit the plan cache and
+// perform zero allocations; a novel shape runs graph.InferShapes once and
+// caches the result. Shapes that do not fit the planned (max-shape) buffers
+// return an error without modifying any tensor.
+func (s *Session) ApplyInputShapes(inputs map[string]*tensor.Tensor) error {
+	if s.dyn == nil {
+		return fmt.Errorf("session: dynamic shapes not enabled")
+	}
+	h, err := s.hashDims(inputs)
+	if err != nil {
+		return err
+	}
+	for _, p := range s.dyn.plans[h] {
+		if s.planMatches(p, inputs) {
+			return s.applyPlan(p)
+		}
+	}
+	p, err := s.derivePlan(inputs)
+	if err != nil {
+		return err
+	}
+	s.dyn.plans[h] = append(s.dyn.plans[h], p)
+	return s.applyPlan(p)
+}
+
+func (s *Session) planMatches(p *dynPlan, inputs map[string]*tensor.Tensor) bool {
+	for i, name := range s.g.InputNames {
+		if !tensor.EqualShape(p.inputs[i], inputs[name].Shape()) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Session) applyPlan(p *dynPlan) error {
+	if s.dyn.current == p {
+		return nil
+	}
+	for _, a := range p.applied {
+		if err := a.t.SetBoundedShape(a.shape); err != nil {
+			// Unreachable after derivePlan validated the fit, but a failure
+			// mid-loop must not go unnoticed.
+			return err
+		}
+	}
+	s.dyn.current = p
+	return nil
+}
+
+// derivePlan runs shape inference at the requested input shapes and checks
+// every derived shape against its planned buffer capacity.
+func (s *Session) derivePlan(inputs map[string]*tensor.Tensor) (*dynPlan, error) {
+	overrides := make(map[string][]int, len(s.g.InputNames))
+	dims := make([][]int, len(s.g.InputNames))
+	for i, name := range s.g.InputNames {
+		t := inputs[name]
+		planned := s.dyn.tensors[name]
+		if t.Rank() != planned.Rank() {
+			return nil, fmt.Errorf("session: input %q rank %d, planned rank %d", name, t.Rank(), planned.Rank())
+		}
+		shape := append([]int(nil), t.Shape()...)
+		overrides[name] = shape
+		dims[i] = shape
+	}
+	shapes, err := graph.InferShapes(s.g, overrides)
+	if err != nil {
+		return nil, err
+	}
+	p := &dynPlan{inputs: dims, applied: make([]appliedShape, 0, len(shapes))}
+	for name, shape := range shapes {
+		t := s.dyn.tensors[name]
+		if t == nil {
+			return nil, fmt.Errorf("session: activation %q appeared during dynamic inference", name)
+		}
+		if need := tensor.PhysicalLen(t.Layout(), shape); need > len(t.Data()) {
+			return nil, fmt.Errorf("session: activation %q shape %v needs %d floats, planned %d",
+				name, shape, need, len(t.Data()))
+		}
+		if len(shape) != t.Rank() {
+			return nil, fmt.Errorf("session: activation %q rank changed %d -> %d", name, t.Rank(), len(shape))
+		}
+		p.applied = append(p.applied, appliedShape{t: t, shape: append([]int(nil), shape...)})
+	}
+	return p, nil
+}

@@ -112,6 +112,29 @@ func RunReference(g *graph.Graph, inputs map[string]*tensor.Tensor) (map[string]
 			out := tensor.New(shapes[n.Outputs[0]]...)
 			kernels.SoftmaxRef(out, vals[n.Inputs[0]], a.Axis)
 			vals[n.Outputs[0]] = out
+		case graph.OpLayerNorm:
+			a := n.Attrs.(*graph.LayerNormAttrs)
+			out := tensor.New(shapes[n.Outputs[0]]...)
+			kernels.LayerNormRef(out, vals[n.Inputs[0]], w(0, n), w(1, n), a.Eps)
+			vals[n.Outputs[0]] = out
+		case graph.OpGELU:
+			out := tensor.New(shapes[n.Outputs[0]]...)
+			kernels.GELURef(out, vals[n.Inputs[0]])
+			vals[n.Outputs[0]] = out
+		case graph.OpMatMul:
+			a := n.Attrs.(*graph.MatMulAttrs)
+			out := tensor.New(shapes[n.Outputs[0]]...)
+			if a.Heads > 0 {
+				kernels.MatMulRef(out, vals[n.Inputs[0]], vals[n.Inputs[1]], nil, nil, a)
+			} else {
+				kernels.MatMulRef(out, vals[n.Inputs[0]], nil, w(0, n), w(1, n), a)
+			}
+			vals[n.Outputs[0]] = out
+		case graph.OpTranspose:
+			a := n.Attrs.(*graph.TransposeAttrs)
+			out := tensor.New(shapes[n.Outputs[0]]...)
+			kernels.TransposeRef(out, vals[n.Inputs[0]], a.Perm)
+			vals[n.Outputs[0]] = out
 		case graph.OpFlatten, graph.OpReshape:
 			vals[n.Outputs[0]] = vals[n.Inputs[0]].Reshape(shapes[n.Outputs[0]]...)
 		case graph.OpDropout:

@@ -84,6 +84,12 @@ type Session struct {
 	outputs  map[string]*tensor.Tensor
 	backends []backend.Backend
 	stats    Stats
+
+	// Dynamic-shape state (see dynamic.go). bound retains the arena-wrapped
+	// activation tensors from the last prepare so EnableDynamic can build
+	// its name → tensor map; dyn is nil until EnableDynamic succeeds.
+	bound map[string]*tensor.Tensor
+	dyn   *dynState
 }
 
 // New builds a session, running the full pre-inference unless
@@ -305,6 +311,7 @@ func (s *Session) prepare() error {
 		layout := w.bk.PreferredLayout(len(w.shape))
 		bound[w.key+"#"+w.bk.Name()] = tensor.WrapBuffer(w.bk.Buffer(w.key), layout, w.shape...)
 	}
+	s.bound = bound
 	lookup := func(key string, bk backend.Backend) *tensor.Tensor {
 		return bound[key+"#"+bk.Name()]
 	}

@@ -270,6 +270,27 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	return &Tensor{shape: cloneInts(shape), layout: NCHW, dtype: t.dtype, f32: t.f32, i8: t.i8, i32: t.i32, Quant: t.Quant}
 }
 
+// SetBoundedShape overwrites the tensor's shape in place without touching the
+// backing buffer, which keeps its planned (max-shape) capacity. This is the
+// dynamic-shape primitive: the logical content becomes the flat row-major
+// prefix of the buffer. The new shape must have the same rank and fit the
+// existing buffer; only flat layouts (NCHW on rank != 4 data, or rank-4 NCHW)
+// are supported. No allocation occurs.
+func (t *Tensor) SetBoundedShape(shape []int) error {
+	if t.layout == NC4HW4 {
+		return fmt.Errorf("tensor: SetBoundedShape on NC4HW4 tensor")
+	}
+	if len(shape) != len(t.shape) {
+		return fmt.Errorf("tensor: SetBoundedShape rank %d -> %d", len(t.shape), len(shape))
+	}
+	need := PhysicalLen(t.layout, shape)
+	if need > len(t.f32) {
+		return fmt.Errorf("tensor: SetBoundedShape %v needs %d floats, buffer holds %d", shape, need, len(t.f32))
+	}
+	copy(t.shape, shape)
+	return nil
+}
+
 // MinNormalScale is the smallest normal float32 (0x1p-126), the floor for
 // symmetric int8 quantization scales: a subnormal scale loses mantissa
 // precision and breaks the error ≤ scale/2 round-trip bound.

@@ -182,7 +182,7 @@ func TestConfigErrors(t *testing.T) {
 }
 
 func TestNetworksAndDevicesLists(t *testing.T) {
-	if len(mnn.Networks()) != 8 {
+	if len(mnn.Networks()) != 9 {
 		t.Fatalf("networks: %v", mnn.Networks())
 	}
 	found := false

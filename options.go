@@ -23,7 +23,10 @@ type engineConfig struct {
 	simulate    bool
 	poolSize    int
 	inputShapes map[string][]int
-	noPrep      bool
+	// dynamic marks inputShapes as *maximum* shapes (WithMaxInputShapes):
+	// the engine plans once at the max and serves any smaller shape per run.
+	dynamic bool
+	noPrep  bool
 	precision   Precision
 	// int8Plan, nonNegActs and actScales are derived from the graph at Open
 	// time when precision is int8 (optimizer.PlanInt8 / graph.ActScales).
@@ -183,6 +186,32 @@ func WithInputShapes(shapes map[string][]int) Option {
 			cp[name] = append([]int(nil), s...)
 		}
 		c.inputShapes = cp
+		return nil
+	}
+}
+
+// WithMaxInputShapes is WithInputShapes plus dynamic-shape mode: the engine
+// runs pre-inference once at the given maximum shapes — arena, workspaces
+// and prepared kernels are all sized for the max — and Infer then accepts
+// any input whose rank matches and whose every dim is <= the planned max,
+// re-deriving per-run shapes in place without re-preparation. Inputs that
+// do not fit the plan fail with ErrShapeOutOfPlan. Dynamic mode requires
+// the CPU backend and a graph whose ops all support shape re-derivation
+// (the transformer op set: Input, MatMul, LayerNorm, GELU, Transpose,
+// Softmax, Eltwise); Open fails otherwise.
+func WithMaxInputShapes(shapes map[string][]int) Option {
+	return func(c *engineConfig) error {
+		cp := make(map[string][]int, len(shapes))
+		for name, s := range shapes {
+			for _, d := range s {
+				if d < 1 {
+					return fmt.Errorf("mnn: WithMaxInputShapes: input %q has non-positive dim in %v", name, s)
+				}
+			}
+			cp[name] = append([]int(nil), s...)
+		}
+		c.inputShapes = cp
+		c.dynamic = true
 		return nil
 	}
 }

@@ -48,6 +48,16 @@ var errNoBucket = errors.New("serve: no batch bucket available")
 // Other buckets open on their first flush and are evicted least-recently-
 // used when the table exceeds maxBuckets; requests that cannot get a
 // bucket fall through to the unbatched engine.
+//
+// Dynamic mode: when the model's unbatched engine was opened with
+// WithMaxInputShapes, one shared batch engine planned at
+// [maxBatch, maxDims...] serves every bucket. Buckets keep their role as
+// exact-shape queues (stacking only identical shapes preserves the
+// batched≡unbatched bitwise guarantee per bucket) but own no engine: their
+// lazy step is a batch-1 probe through the shared engine to learn output
+// shapes, batches stack at their exact member count (no padding — the
+// dynamic engine accepts any leading dim <= maxBatch), and eviction is pure
+// bookkeeping that never closes the shared engine.
 type batcher struct {
 	fallback   *mnn.Engine // the model's unbatched engine (not owned)
 	cfg        ModelConfig // source + options for opening bucket engines
@@ -55,6 +65,12 @@ type batcher struct {
 	maxLatency time.Duration
 	maxBuckets int
 	slo        time.Duration // admission SLO; bounds effective deadlines
+
+	// dynamic mode (see type comment): shared is the one batch engine
+	// (owned), dynMax the fallback's per-request planned maxima.
+	dynamic bool
+	dynMax  map[string][]int
+	shared  *mnn.Engine
 
 	inputNames  []string
 	outputNames []string
@@ -104,11 +120,19 @@ type bucket struct {
 	outShape   map[string][]int // per-request output shape (dim0 == 1)
 	outLen     map[string]int
 
-	// openMu serializes the lazy engine open across dispatch workers.
+	// openMu serializes the lazy engine open (or, in dynamic mode, the
+	// batch-1 output probe) across dispatch workers. Nothing that holds
+	// batcher.mu may block on openMu: an engine open can take arbitrarily
+	// long, and the scheduler's intake path lives under batcher.mu —
+	// readers that only need "is the engine resident" use the resident
+	// flag instead.
 	openMu  sync.Mutex
 	eng     *mnn.Engine
 	bytes   int64
 	openErr error
+	// resident mirrors "this bucket is ready to serve batches" (engine
+	// open, or probe done in dynamic mode) without requiring openMu.
+	resident atomic.Bool
 
 	// Guarded by batcher.mu:
 	pending  []*batchReq
@@ -203,9 +227,19 @@ func newBatcher(cfg ModelConfig, fallback *mnn.Engine, hooks batcherHooks) (*bat
 		}
 		shapes[name] = s
 	}
+	if ds := fallback.DynamicShapes(); ds != nil {
+		b.dynamic = true
+		b.dynMax = ds
+		if err := b.openShared(); err != nil {
+			return nil, err
+		}
+	}
 	b.primary = b.newBucket(signatureOf(b.inputNames, shapes), shapes)
 	b.primary.primary = true
 	if err := b.ensureEngine(b.primary); err != nil {
+		if b.shared != nil {
+			b.shared.Close()
+		}
 		return nil, err
 	}
 	b.buckets[b.primary.sig] = b.primary
@@ -217,8 +251,60 @@ func newBatcher(cfg ModelConfig, fallback *mnn.Engine, hooks batcherHooks) (*bat
 }
 
 // primaryBytes is the eagerly opened primary bucket engine's byte
-// accounting (counted by the model's load, unlike dynamic buckets).
-func (b *batcher) primaryBytes() int64 { return b.primary.bytes }
+// accounting (counted by the model's load, unlike dynamic buckets). In
+// dynamic mode it is the shared engine — the only batch engine there is.
+func (b *batcher) primaryBytes() int64 {
+	if b.dynamic {
+		return b.shared.MemoryBytes()
+	}
+	return b.primary.bytes
+}
+
+// openShared opens the one batch engine of dynamic mode, planned at
+// [maxBatch, per-request maxima...], and probes it at the full batch shape
+// so "outputs cannot split along dim 0" still fails at Load time. Pool of
+// 2 matches the two dispatch workers: batches from different buckets run
+// concurrently, just as two static bucket engines would.
+func (b *batcher) openShared() error {
+	shapes := make(map[string][]int, len(b.inputNames))
+	for _, name := range b.inputNames {
+		max := b.dynMax[name]
+		if len(max) == 0 || max[0] != 1 {
+			return fmt.Errorf("input %q has planned max shape %v: batching needs a leading batch dim of 1", name, max)
+		}
+		shapes[name] = append([]int{b.maxBatch}, max[1:]...)
+	}
+	eng, err := mnn.Open(b.cfg.Model, append(append([]mnn.Option(nil), b.cfg.Options...),
+		mnn.WithMaxInputShapes(shapes), mnn.WithPoolSize(2))...)
+	if err != nil {
+		return fmt.Errorf("opening shared dynamic batch-%d engine: %w", b.maxBatch, err)
+	}
+	probe := make(map[string]*mnn.Tensor, len(b.inputNames))
+	for name, s := range shapes {
+		probe[name] = tensor.New(s...)
+	}
+	out, err := eng.Infer(context.Background(), probe)
+	if err != nil {
+		eng.Close()
+		return fmt.Errorf("probing shared dynamic batch-%d engine: %w", b.maxBatch, err)
+	}
+	for _, name := range b.outputNames {
+		if s := out[name].Shape(); len(s) == 0 || s[0] != b.maxBatch {
+			eng.Close()
+			return fmt.Errorf("output %q has batched shape %v: cannot split %d requests along dim 0", name, s, b.maxBatch)
+		}
+	}
+	b.shared = eng
+	return nil
+}
+
+// engineFor resolves the engine a bucket's batches run on.
+func (b *batcher) engineFor(bkt *bucket) *mnn.Engine {
+	if b.dynamic {
+		return b.shared
+	}
+	return bkt.eng
+}
 
 // newBucket builds the bookkeeping for one signature; the engine opens on
 // first flush (ensureEngine).
@@ -241,11 +327,15 @@ func (b *batcher) newBucket(sig string, shapes map[string][]int) *bucket {
 	return bkt
 }
 
-// ensureEngine opens (once) the bucket's batch engine and probes it with
-// zeros to learn the output slots. Serialized per bucket; a failed open is
-// sticky so every queued batch of the bucket falls back instead of
-// re-paying the open.
+// ensureEngine makes the bucket ready to serve batches. Static mode opens
+// (once) the bucket's own batch engine and probes it with zeros to learn
+// the output slots; dynamic mode only runs the batch-1 output probe through
+// the shared engine. Serialized per bucket; a failure is sticky so every
+// queued batch of the bucket falls back instead of re-paying the attempt.
 func (b *batcher) ensureEngine(bkt *bucket) error {
+	if b.dynamic {
+		return b.probeDynamic(bkt)
+	}
 	bkt.openMu.Lock()
 	defer bkt.openMu.Unlock()
 	if bkt.eng != nil {
@@ -287,9 +377,45 @@ func (b *batcher) ensureEngine(bkt *bucket) error {
 	}
 	bkt.eng = eng
 	bkt.bytes = eng.MemoryBytes()
+	bkt.resident.Store(true)
 	if !bkt.primary && b.hooks.noteBytes != nil {
 		b.hooks.noteBytes(bkt.bytes)
 	}
+	return nil
+}
+
+// probeDynamic learns the bucket's per-request output shapes with one
+// batch-1 zero run through the shared engine. The shared engine validates
+// the shape against its plan, so an out-of-plan signature that slipped past
+// the intake check fails here (sticky) and its requests fall back.
+func (b *batcher) probeDynamic(bkt *bucket) error {
+	bkt.openMu.Lock()
+	defer bkt.openMu.Unlock()
+	if bkt.resident.Load() {
+		return nil
+	}
+	if bkt.openErr != nil {
+		return bkt.openErr
+	}
+	probe := make(map[string]*mnn.Tensor, len(b.inputNames))
+	for _, name := range b.inputNames {
+		probe[name] = tensor.New(bkt.perShape[name]...)
+	}
+	out, err := b.shared.Infer(context.Background(), probe)
+	if err != nil {
+		bkt.openErr = fmt.Errorf("probing bucket %s on the shared dynamic engine: %w", bkt.sig, err)
+		return bkt.openErr
+	}
+	for _, name := range b.outputNames {
+		s := out[name].Shape()
+		if len(s) == 0 || s[0] != 1 {
+			bkt.openErr = fmt.Errorf("output %q has shape %v at batch 1: cannot stack along dim 0", name, s)
+			return bkt.openErr
+		}
+		bkt.outShape[name] = append([]int(nil), s...)
+		bkt.outLen[name] = tensor.NumElements(s)
+	}
+	bkt.resident.Store(true)
 	return nil
 }
 
@@ -330,6 +456,20 @@ func (b *batcher) signature(inputs map[string]*mnn.Tensor) (string, bool) {
 		s := t.Shape()
 		if len(s) == 0 || s[0] != 1 {
 			return "", false
+		}
+		if b.dynamic {
+			// Out-of-plan shapes fall through to the unbatched engine,
+			// which reports the typed ErrShapeOutOfPlan — never waste a
+			// bucket (and a sticky probe failure) on them.
+			max := b.dynMax[name]
+			if len(s) != len(max) {
+				return "", false
+			}
+			for i, d := range s {
+				if d < 1 || d > max[i] {
+					return "", false
+				}
+			}
 		}
 		shapes[name] = s
 	}
@@ -672,10 +812,11 @@ func (b *batcher) runBatch(bt *batch) {
 	// Partial primary-bucket batches skip pad-and-mask: the unbatched
 	// engine is prepared at exactly this shape and bitwise-identical, so
 	// serving n members at cost n beats padding to cost maxBatch — the
-	// kernels are per-sample, padded slots are pure wasted compute. Dynamic
-	// buckets have no unbatched twin, so they always pad. Members run
-	// concurrently, each under its own caller's context.
-	if bkt.primary && len(live) < b.maxBatch {
+	// kernels are per-sample, padded slots are pure wasted compute. Lazy
+	// static buckets have no unbatched twin, so they always pad. Dynamic
+	// mode never pads at all (exact-n stacking costs n), so every batch —
+	// partial or full, primary or not — takes the stacked path below.
+	if !b.dynamic && bkt.primary && len(live) < b.maxBatch {
 		var wg sync.WaitGroup
 		for _, rq := range live {
 			wg.Add(1)
@@ -694,7 +835,7 @@ func (b *batcher) runBatch(bt *batch) {
 	}
 	stacked := b.stack(bkt, live)
 	ctx, cancel := runContext(live)
-	out, err := bkt.eng.Infer(ctx, stacked)
+	out, err := b.engineFor(bkt).Infer(ctx, stacked)
 	cancel()
 	b.batchRuns.Add(1)
 	if err != nil {
@@ -747,12 +888,19 @@ func runContext(reqs []*batchReq) (context.Context, context.CancelFunc) {
 }
 
 // stack copies the live requests into slots 0..n-1 of the bucket's batch
-// tensors. Slots past n stay zero — the pad half of pad-and-mask; the mask
-// half is splitOutputs reading only the live slots back out.
+// tensors. In static mode the batch tensor is always maxBatch wide and
+// slots past n stay zero — the pad half of pad-and-mask; the mask half is
+// splitOutputs reading only the live slots back out. In dynamic mode the
+// batch tensor is exactly n wide: the shared engine re-derives shapes for
+// the actual member count and no padded slot ever computes.
 func (b *batcher) stack(bkt *bucket, reqs []*batchReq) map[string]*mnn.Tensor {
 	stacked := make(map[string]*mnn.Tensor, len(b.inputNames))
 	for _, name := range b.inputNames {
-		dst := tensor.New(bkt.batchShape[name]...)
+		shape := bkt.batchShape[name]
+		if b.dynamic {
+			shape = append([]int{len(reqs)}, shape[1:]...)
+		}
+		dst := tensor.New(shape...)
 		per := bkt.perLen[name]
 		for i, rq := range reqs {
 			// A view over request i's slot; CopyFrom converts layout if the
@@ -819,9 +967,11 @@ func (b *batcher) stats() batcherStats {
 		if bkt.flushes > 0 {
 			bs.fill = float64(bkt.samples) / (float64(bkt.flushes) * float64(b.maxBatch))
 		}
-		bkt.openMu.Lock()
-		bs.resident = bkt.eng != nil
-		bkt.openMu.Unlock()
+		// The resident flag, not openMu: a dispatch worker can hold openMu
+		// across an arbitrarily slow engine open, and blocking here while
+		// holding b.mu would stall the scheduler's whole intake path for
+		// the duration (the metrics-scrape-freezes-serving bug).
+		bs.resident = bkt.resident.Load()
 		st.buckets = append(st.buckets, bs)
 	}
 	b.mu.Unlock()
@@ -852,5 +1002,8 @@ func (b *batcher) close() {
 		if !bkt.primary && b.hooks.noteBytes != nil && bkt.bytes != 0 {
 			b.hooks.noteBytes(-bkt.bytes)
 		}
+	}
+	if b.shared != nil {
+		b.shared.Close()
 	}
 }

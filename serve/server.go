@@ -46,6 +46,12 @@ type LoadOptions struct {
 	// (mnn.WithTuningCache); meaningful with Tuning "measured".
 	TuningCache string           `json:"tuning_cache,omitempty"`
 	InputShapes map[string][]int `json:"input_shapes,omitempty"`
+	// MaxInputShapes opens a dynamic engine planned once at these maxima;
+	// requests may then use any shape elementwise ≤ the max without
+	// re-preparation (mnn.WithMaxInputShapes). Mutually exclusive with
+	// InputShapes. With batching, the batcher switches to dynamic mode:
+	// one shared batch engine serves every in-plan shape bucket.
+	MaxInputShapes map[string][]int `json:"max_input_shapes,omitempty"`
 }
 
 // EngineOptions converts the wire form into mnn.Open options.
@@ -86,6 +92,12 @@ func (o LoadOptions) EngineOptions() ([]mnn.Option, error) {
 	}
 	if len(o.InputShapes) > 0 {
 		opts = append(opts, mnn.WithInputShapes(o.InputShapes))
+	}
+	if len(o.MaxInputShapes) > 0 {
+		if len(o.InputShapes) > 0 {
+			return nil, fmt.Errorf("%w: input_shapes and max_input_shapes are mutually exclusive", ErrBadRequest)
+		}
+		opts = append(opts, mnn.WithMaxInputShapes(o.MaxInputShapes))
 	}
 	return opts, nil
 }
@@ -501,6 +513,7 @@ func writeError(w http.ResponseWriter, err error) int {
 	case errors.Is(err, ErrModelNotFound), errors.Is(err, mnn.ErrUnknownNetwork):
 		code = http.StatusNotFound
 	case errors.Is(err, ErrBadRequest), errors.Is(err, mnn.ErrInputShape),
+		errors.Is(err, mnn.ErrShapeOutOfPlan),
 		errors.Is(err, mnn.ErrUnknownDevice), errors.Is(err, mnn.ErrUnknownBackend):
 		code = http.StatusBadRequest
 	case errors.Is(err, ErrServerClosed), errors.Is(err, mnn.ErrEngineClosed),
